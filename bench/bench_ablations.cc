@@ -1,0 +1,247 @@
+// Ablations for the design choices DESIGN.md calls out (GDS preset):
+//   A. LINE order: first-only vs second-only vs concatenated, measured both
+//      intrinsically (MR same-relation vs cross-relation cosine gap) and
+//      extrinsically (PA-MR AUC).
+//   B. Bag aggregation for the fused model: selective attention vs average
+//      vs max.
+//   C. Piecewise vs plain max pooling (PCNN+ATT vs CNN+ATT).
+//   D. Proximity-graph co-occurrence threshold: edge count and MR quality.
+//   E. Learned fusion weights (alpha, beta, gamma) of PA-TMR.
+//   F. Embedding source for MR: LINE vs DeepWalk vs node2vec vs GNN-style
+//      propagation (the paper's Section V future-work direction).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/deepwalk.h"
+#include "graph/node2vec.h"
+#include "graph/line.h"
+#include "graph/propagation.h"
+#include "re/pa_model.h"
+#include "re/trainer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::bench {
+namespace {
+
+// Mean MR cosine for same-relation vs different-relation fact pairs.
+void MrQuality(const PreparedData& data, const graph::EmbeddingStore& store,
+               double* same, double* diff) {
+  const auto& triples = data.dataset->world.graph.triples();
+  double same_sum = 0, diff_sum = 0;
+  int same_n = 0, diff_n = 0;
+  for (size_t i = 0; i < triples.size(); i += 2) {
+    for (size_t j = i + 1; j < triples.size(); j += 2) {
+      auto mr_i = store.MutualRelation(static_cast<int>(triples[i].head),
+                                       static_cast<int>(triples[i].tail));
+      auto mr_j = store.MutualRelation(static_cast<int>(triples[j].head),
+                                       static_cast<int>(triples[j].tail));
+      const double cosine = graph::EmbeddingStore::Cosine(mr_i, mr_j);
+      if (triples[i].relation == triples[j].relation) {
+        same_sum += cosine;
+        ++same_n;
+      } else {
+        diff_sum += cosine;
+        ++diff_n;
+      }
+    }
+  }
+  *same = same_n > 0 ? same_sum / same_n : 0;
+  *diff = diff_n > 0 ? diff_sum / diff_n : 0;
+}
+
+struct VariantResult {
+  double auc = 0.0;
+  float alpha = 0.0f;
+  float beta = 0.0f;
+  float gamma = 0.0f;
+};
+
+VariantResult TrainVariant(const PreparedData& data,
+                           const BenchContext& context,
+                           const std::string& encoder,
+                           re::Aggregation aggregation, bool use_mr,
+                           bool use_type, int mr_dim) {
+  util::Rng rng(context.seed + 99);
+  re::PaModelConfig config;
+  config.num_relations = data.bags->num_relations();
+  config.encoder = encoder;
+  config.aggregation = aggregation;
+  config.use_mutual_relation = use_mr;
+  config.use_entity_type = use_type;
+  config.mutual_relation_dim = mr_dim;
+  config.type_dim = 8;
+  config.encoder_config.vocab_size = data.bags->vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = 20;
+  config.encoder_config.filters = 32;
+  config.encoder_config.dropout = 0.5f;
+  config.encoder_config.word_dropout = 0.25f;
+  re::PaModel model(config, &rng);
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = context.epochs("gds");
+  trainer_config.batch_size = context.batch_size;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+  auto result = re::TrainAndEvaluate(&model, data.bags->train_bags(),
+                                     data.bags->test_bags(),
+                                     trainer_config);
+  return {result.auc, model.alpha(), model.beta(), model.gamma()};
+}
+
+}  // namespace
+
+int Run(const BenchContext& context) {
+  std::printf("=== Ablations (GDS preset) ===\n\n");
+  PreparedData data = PrepareData("gds", context);
+  std::vector<std::vector<std::string>> tsv_rows;
+  tsv_rows.push_back({"ablation", "variant", "metric", "value"});
+
+  // --- A. LINE order ---
+  std::printf("A. LINE proximity order (intrinsic MR quality + PA-MR AUC)\n");
+  std::printf("   %-14s %10s %10s %8s %10s\n", "variant", "same-cos",
+              "diff-cos", "gap", "PA-MR AUC");
+  struct OrderVariant {
+    const char* name;
+    bool first, second;
+  };
+  for (const OrderVariant& variant :
+       {OrderVariant{"first-only", true, false},
+        OrderVariant{"second-only", false, true},
+        OrderVariant{"concat", true, true}}) {
+    graph::LineConfig line;
+    line.dim = 128;
+    line.first_order = variant.first;
+    line.second_order = variant.second;
+    line.samples_per_edge = 300;
+    line.seed = context.seed + 1000;
+    graph::EmbeddingStore store = graph::TrainLine(*data.proximity, line);
+    double same = 0, diff = 0;
+    MrQuality(data, store, &same, &diff);
+    IMR_CHECK(data.bags->AttachMutualRelations(store).ok());
+    const VariantResult variant_result =
+        TrainVariant(data, context, "pcnn", re::Aggregation::kAttention,
+                     /*use_mr=*/true, /*use_type=*/false, store.dim());
+    std::printf("   %-14s %10.3f %10.3f %8.3f %10.4f\n", variant.name, same,
+                diff, same - diff, variant_result.auc);
+    tsv_rows.push_back({"line_order", variant.name, "mr_gap",
+                        util::StrFormat("%.4f", same - diff)});
+    tsv_rows.push_back({"line_order", variant.name, "pa_mr_auc",
+                        util::StrFormat("%.4f", variant_result.auc)});
+  }
+  // Restore the default embeddings for later sections.
+  IMR_CHECK(data.bags->AttachMutualRelations(data.embeddings).ok());
+
+  // --- B. Aggregation ---
+  std::printf("\nB. Bag aggregation for PA-TMR\n");
+  struct AggVariant {
+    const char* name;
+    re::Aggregation aggregation;
+  };
+  for (const AggVariant& variant :
+       {AggVariant{"attention", re::Aggregation::kAttention},
+        AggVariant{"average", re::Aggregation::kAverage},
+        AggVariant{"max", re::Aggregation::kMax}}) {
+    const VariantResult variant_result =
+        TrainVariant(data, context, "pcnn", variant.aggregation, true, true,
+                     data.embeddings.dim());
+    std::printf("   %-14s AUC=%.4f\n", variant.name, variant_result.auc);
+    tsv_rows.push_back({"aggregation", variant.name, "auc",
+                        util::StrFormat("%.4f", variant_result.auc)});
+  }
+
+  // --- C. Pooling (reuses the Fig.4/Table IV cache) ---
+  std::printf("\nC. Piecewise vs plain max pooling\n");
+  for (const char* model : {"PCNN+ATT", "CNN+ATT"}) {
+    auto result =
+        ResultFromScores(GetOrComputeScores(model, data, context), data);
+    std::printf("   %-14s AUC=%.4f\n", model, result.auc);
+    tsv_rows.push_back({"pooling", model, "auc",
+                        util::StrFormat("%.4f", result.auc)});
+  }
+
+  // --- D. Proximity threshold ---
+  std::printf("\nD. Proximity-graph co-occurrence threshold\n");
+  for (int threshold : {1, 2, 4, 8}) {
+    graph::ProximityGraph graph(data.dataset->world.graph.num_entities());
+    graph.AddCorpus(data.dataset->unlabeled.sentences);
+    graph.Finalize(threshold);
+    graph::LineConfig line;
+    line.dim = 64;
+    line.samples_per_edge = 200;
+    line.seed = context.seed + 2000;
+    graph::EmbeddingStore store = graph::TrainLine(graph, line);
+    double same = 0, diff = 0;
+    MrQuality(data, store, &same, &diff);
+    std::printf("   threshold %d: %zu edges, MR gap %.3f\n", threshold,
+                graph.edges().size(), same - diff);
+    tsv_rows.push_back({"threshold", std::to_string(threshold), "edges",
+                        std::to_string(graph.edges().size())});
+    tsv_rows.push_back({"threshold", std::to_string(threshold), "mr_gap",
+                        util::StrFormat("%.4f", same - diff)});
+  }
+
+  // --- E. Learned fusion weights ---
+  std::printf("\nE. Learned fusion weights of PA-TMR\n");
+  const VariantResult fusion =
+      TrainVariant(data, context, "pcnn", re::Aggregation::kAttention, true,
+                   true, data.embeddings.dim());
+  std::printf("   alpha (MR) = %.3f, beta (type) = %.3f, gamma (RE) = %.3f "
+              "(AUC=%.4f)\n", fusion.alpha, fusion.beta, fusion.gamma,
+              fusion.auc);
+  tsv_rows.push_back({"fusion", "alpha", "weight",
+                      util::StrFormat("%.4f", fusion.alpha)});
+  tsv_rows.push_back({"fusion", "beta", "weight",
+                      util::StrFormat("%.4f", fusion.beta)});
+  tsv_rows.push_back({"fusion", "gamma", "weight",
+                      util::StrFormat("%.4f", fusion.gamma)});
+
+  // --- F. Embedding source: LINE vs DeepWalk vs LINE+propagation ---
+  std::printf("\nF. MR embedding source (intrinsic gap + PA-MR AUC)\n");
+  std::printf("   %-16s %8s %10s\n", "source", "MR gap", "PA-MR AUC");
+  auto eval_source = [&](const char* name,
+                         const graph::EmbeddingStore& store) {
+    double same = 0, diff = 0;
+    MrQuality(data, store, &same, &diff);
+    IMR_CHECK(data.bags->AttachMutualRelations(store).ok());
+    const VariantResult result =
+        TrainVariant(data, context, "pcnn", re::Aggregation::kAttention,
+                     /*use_mr=*/true, /*use_type=*/false, store.dim());
+    std::printf("   %-16s %8.3f %10.4f\n", name, same - diff, result.auc);
+    tsv_rows.push_back({"mr_source", name, "mr_gap",
+                        util::StrFormat("%.4f", same - diff)});
+    tsv_rows.push_back({"mr_source", name, "pa_mr_auc",
+                        util::StrFormat("%.4f", result.auc)});
+  };
+  eval_source("line", data.embeddings);
+
+  graph::DeepWalkConfig deepwalk;
+  deepwalk.dim = data.embeddings.dim();
+  deepwalk.seed = context.seed + 3000;
+  eval_source("deepwalk", graph::TrainDeepWalk(*data.proximity, deepwalk));
+
+  graph::Node2VecConfig node2vec;
+  node2vec.dim = data.embeddings.dim();
+  node2vec.p = 0.5;  // depth-first-ish walks favour role similarity
+  node2vec.q = 2.0;
+  node2vec.seed = context.seed + 4000;
+  eval_source("node2vec", graph::TrainNode2Vec(*data.proximity, node2vec));
+
+  graph::PropagationConfig propagation;
+  propagation.rounds = 2;
+  eval_source("line+propagate",
+              graph::PropagateEmbeddings(*data.proximity, data.embeddings,
+                                         propagation));
+  // Leave the default embeddings attached for anyone extending this bench.
+  IMR_CHECK(data.bags->AttachMutualRelations(data.embeddings).ok());
+
+  WriteTsv(context, "ablations", tsv_rows);
+  return 0;
+}
+
+}  // namespace imr::bench
+
+int main(int argc, char** argv) {
+  return imr::bench::BenchMain(argc, argv, imr::bench::Run);
+}

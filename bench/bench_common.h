@@ -1,0 +1,83 @@
+// Shared infrastructure for the table/figure harnesses: dataset
+// preparation (world + corpora + proximity graph + LINE embeddings), the
+// model zoo keyed by the names the paper uses, and on-disk caching of
+// per-bag score matrices so benches can reuse each other's training runs
+// (bench_fig4 trains; bench_table4 / fig6 / fig7 reload).
+#ifndef IMR_BENCH_BENCH_COMMON_H_
+#define IMR_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "eval/heldout.h"
+#include "graph/embedding_store.h"
+#include "graph/line.h"
+#include "graph/proximity_graph.h"
+#include "re/bag_dataset.h"
+#include "re/config.h"
+#include "util/flags.h"
+
+namespace imr::bench {
+
+struct BenchContext {
+  std::string results_dir = "bench_results";
+  double scale_gds = 2.0;
+  double scale_nyt = 1.0;
+  int epochs_gds = 60;
+  int epochs_nyt = 40;
+  int batch_size = 32;   // smaller than the paper's 160: tiny corpora need
+                         // more SGD updates per epoch
+  bool paper_dims = false;  // Table III dims instead of the fast bench dims
+  bool no_cache = false;
+  uint64_t seed = 7;
+
+  double scale(const std::string& preset) const;
+  int epochs(const std::string& preset) const;
+};
+
+/// Registers the shared flags; call Parse yourself, then FromFlags.
+void RegisterCommonFlags(util::FlagParser* flags);
+BenchContext ContextFromFlags(const util::FlagParser& flags);
+
+/// Everything a bench needs for one dataset.
+struct PreparedData {
+  std::string preset;  // "nyt" | "gds"
+  std::unique_ptr<datagen::SyntheticDataset> dataset;
+  std::unique_ptr<re::BagDataset> bags;
+  std::unique_ptr<graph::ProximityGraph> proximity;
+  graph::EmbeddingStore embeddings;
+};
+
+/// Generates the dataset, builds the proximity graph from the unlabeled
+/// corpus, trains (or cache-loads) the LINE embeddings, attaches MR
+/// vectors to the bags.
+PreparedData PrepareData(const std::string& preset,
+                         const BenchContext& context);
+
+/// The paper's model zoo. Valid names: Mintz, MultiR, PCNN, PCNN+ATT,
+/// CNN+ATT, GRU+ATT, BGWA, CNN+RL, PA-T, PA-MR, PA-TMR, and the Fig. 5
+/// "+TMR" variants CNN+ATT+TMR, GRU+ATT+TMR, PCNN+TMR, PCNN+ATT+TMR.
+std::vector<std::string> AllModelNames();
+
+/// Trains `model_name` on the prepared data (or loads the cached scores)
+/// and returns the [num_test_bags x num_relations] probability matrix.
+std::vector<std::vector<float>> GetOrComputeScores(
+    const std::string& model_name, const PreparedData& data,
+    const BenchContext& context);
+
+/// Re-runs the held-out evaluation from a score matrix.
+eval::HeldOutResult ResultFromScores(
+    const std::vector<std::vector<float>>& scores, const PreparedData& data);
+
+/// Writes rows to <results_dir>/<name>.tsv (logs a warning on IO errors).
+void WriteTsv(const BenchContext& context, const std::string& name,
+              const std::vector<std::vector<std::string>>& rows);
+
+/// Standard bench entry point: registers flags, parses argv, runs `run`.
+int BenchMain(int argc, char** argv, int (*run)(const BenchContext&));
+
+}  // namespace imr::bench
+
+#endif  // IMR_BENCH_BENCH_COMMON_H_

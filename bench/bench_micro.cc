@@ -1,0 +1,163 @@
+// Substrate micro-benchmarks (google-benchmark): tensor ops, encoder
+// throughput, LINE edge-sampling throughput, alias sampling, and the
+// evaluation pipeline. These are the performance counters a user needs to
+// size real workloads.
+#include <benchmark/benchmark.h>
+
+#include "datagen/presets.h"
+#include "graph/alias_sampler.h"
+#include "graph/line.h"
+#include "graph/proximity_graph.h"
+#include "nn/encoders.h"
+#include "nn/init.h"
+#include "re/bag_dataset.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace imr {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  tensor::Tensor a = nn::NormalInit({n, n}, 1.0f, &rng);
+  tensor::Tensor b = nn::NormalInit({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv1dSame(benchmark::State& state) {
+  const int time = static_cast<int>(state.range(0));
+  const int dim = 60, filters = 230, window = 3;
+  util::Rng rng(2);
+  tensor::Tensor x = nn::NormalInit({time, dim}, 1.0f, &rng);
+  tensor::Tensor w = nn::NormalInit({filters, window * dim}, 0.1f, &rng);
+  tensor::Tensor b = tensor::Tensor::Zeros({filters});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Conv1dSame(x, w, b, window));
+  }
+  state.SetItemsProcessed(state.iterations() * time);
+}
+BENCHMARK(BM_Conv1dSame)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_SoftmaxBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  tensor::Tensor x = nn::NormalInit({160, 53}, 1.0f, &rng);
+  x.set_requires_grad(true);
+  std::vector<int> labels(160, 1);
+  for (auto _ : state) {
+    x.ZeroGrad();
+    tensor::Tensor loss = tensor::CrossEntropyLoss(x, labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_SoftmaxBackward);
+
+std::unique_ptr<nn::SentenceEncoder> MakeBenchEncoder(
+    const std::string& kind, util::Rng* rng) {
+  nn::EncoderConfig config;
+  config.vocab_size = 2000;
+  config.word_dim = 50;
+  config.position_dim = 5;
+  config.max_position = 60;
+  config.filters = 230;
+  config.dropout = 0.0f;
+  return nn::MakeEncoder(kind, config, rng);
+}
+
+nn::EncoderInput MakeBenchSentence(int length, util::Rng* rng) {
+  nn::EncoderInput input;
+  for (int t = 0; t < length; ++t) {
+    input.word_ids.push_back(static_cast<int>(rng->UniformInt(2000)));
+    input.head_offsets.push_back(60 + t);
+    input.tail_offsets.push_back(60 + t - length / 2);
+  }
+  input.head_index = 0;
+  input.tail_index = length / 2;
+  return input;
+}
+
+void BM_EncoderForward(benchmark::State& state, const std::string& kind) {
+  util::Rng rng(4);
+  auto encoder = MakeBenchEncoder(kind, &rng);
+  encoder->SetTraining(false);
+  nn::EncoderInput sentence = MakeBenchSentence(40, &rng);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->Encode(sentence, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_EncoderForward, pcnn, "pcnn");
+BENCHMARK_CAPTURE(BM_EncoderForward, cnn, "cnn");
+BENCHMARK_CAPTURE(BM_EncoderForward, gru, "gru");
+BENCHMARK_CAPTURE(BM_EncoderForward, bgwa, "bgwa");
+
+void BM_EncoderTrainStep(benchmark::State& state) {
+  util::Rng rng(5);
+  auto encoder = MakeBenchEncoder("pcnn", &rng);
+  nn::EncoderInput sentence = MakeBenchSentence(40, &rng);
+  for (auto _ : state) {
+    encoder->ZeroGrad();
+    tensor::Tensor out = encoder->Encode(sentence, &rng);
+    tensor::Sum(tensor::Mul(out, out)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncoderTrainStep);
+
+void BM_AliasSampler(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<double> weights(100000);
+  for (double& w : weights) w = rng.Uniform() + 0.01;
+  graph::AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSampler);
+
+void BM_LineTraining(benchmark::State& state) {
+  datagen::PresetOptions options;
+  options.scale = 0.5;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  graph::ProximityGraph graph(dataset.world.graph.num_entities());
+  graph.AddCorpus(dataset.unlabeled.sentences);
+  graph.Finalize(2);
+  for (auto _ : state) {
+    graph::LineConfig config;
+    config.dim = 64;
+    config.samples_per_edge = 50;
+    benchmark::DoNotOptimize(graph::TrainLine(graph, config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.edges().size()) * 50);
+  state.SetLabel(std::to_string(graph.edges().size()) + " edges");
+}
+BENCHMARK(BM_LineTraining);
+
+void BM_ProximityGraphBuild(benchmark::State& state) {
+  datagen::PresetOptions options;
+  options.scale = 1.0;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  for (auto _ : state) {
+    graph::ProximityGraph graph(dataset.world.graph.num_entities());
+    graph.AddCorpus(dataset.unlabeled.sentences);
+    graph.Finalize(2);
+    benchmark::DoNotOptimize(graph.edges().size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(dataset.unlabeled.sentences.size()));
+}
+BENCHMARK(BM_ProximityGraphBuild);
+
+}  // namespace
+}  // namespace imr
+
+BENCHMARK_MAIN();

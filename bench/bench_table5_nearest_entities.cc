@@ -1,0 +1,86 @@
+// Table V / Figure 8: the embedding-space case study. The paper shows the
+// 10 nearest neighbours of "Seattle" (mostly cities) and "University of
+// Washington" (mostly universities). Our synthetic analogue picks one
+// tail-role and one head-role entity of the same relation and reports the
+// fraction of neighbours drawn from the same semantic role cluster.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace imr::bench {
+namespace {
+
+// Prints neighbours of `entity` and returns how many share its cluster.
+int PrintNeighbors(const PreparedData& data, kg::EntityId entity, int k,
+                   std::vector<std::vector<std::string>>* tsv_rows) {
+  const kg::KnowledgeGraph& graph = data.dataset->world.graph;
+  const kg::Entity& center = graph.entity(entity);
+  std::printf("Top %d nearest entities of %s (cluster %d):\n", k,
+              center.name.c_str(), center.cluster);
+  auto neighbors =
+      data.embeddings.NearestNeighbors(static_cast<int>(entity), k);
+  int same_cluster = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const kg::Entity& other =
+        graph.entity(static_cast<kg::EntityId>(neighbors[i].vertex));
+    const bool same = other.cluster == center.cluster;
+    same_cluster += same;
+    std::printf("  %2zu. %-28s cos=%.3f cluster=%d%s\n", i + 1,
+                other.name.c_str(), neighbors[i].similarity, other.cluster,
+                same ? "  (same role)" : "");
+    tsv_rows->push_back({center.name, std::to_string(i + 1), other.name,
+                         util::StrFormat("%.4f", neighbors[i].similarity),
+                         same ? "1" : "0"});
+  }
+  std::printf("  -> %d/%zu from the same semantic role cluster\n\n",
+              same_cluster, neighbors.size());
+  return same_cluster;
+}
+
+}  // namespace
+
+int Run(const BenchContext& context) {
+  std::printf("=== Table V / Figure 8: nearest entities in embedding space "
+              "===\n\n");
+  PreparedData data = PrepareData("gds", context);
+  const kg::KnowledgeGraph& graph = data.dataset->world.graph;
+
+  // The analogue of (University of Washington, Seattle): the best-covered
+  // fact of relation 1 — the paper's case study uses famous entities, i.e.
+  // ones with plenty of unlabeled co-occurrences.
+  const kg::Triple* fact = nullptr;
+  int64_t best_cooccurrence = -1;
+  for (const kg::Triple& triple : graph.triples()) {
+    if (triple.relation != 1) continue;
+    const int64_t cooccurrence =
+        data.proximity->CooccurrenceCount(triple.head, triple.tail);
+    if (cooccurrence > best_cooccurrence) {
+      best_cooccurrence = cooccurrence;
+      fact = &triple;
+    }
+  }
+  if (fact == nullptr) {
+    std::printf("no facts for relation 1; increase --scale_gds\n");
+    return 1;
+  }
+  std::vector<std::vector<std::string>> tsv_rows;
+  tsv_rows.push_back({"center", "rank", "neighbor", "cosine",
+                      "same_cluster"});
+  const int head_same = PrintNeighbors(data, fact->head, 10, &tsv_rows);
+  const int tail_same = PrintNeighbors(data, fact->tail, 10, &tsv_rows);
+
+  std::printf("Expected shape (paper Table V): most neighbours share the "
+              "centre's semantic role\n(universities around University of "
+              "Washington, cities around Seattle), with a few\nstray "
+              "entities (the paper's 'San Gabriel Valley' case). Here: "
+              "%d/10 and %d/10.\n", head_same, tail_same);
+  WriteTsv(context, "table5_nearest_entities", tsv_rows);
+  return 0;
+}
+
+}  // namespace imr::bench
+
+int main(int argc, char** argv) {
+  return imr::bench::BenchMain(argc, argv, imr::bench::Run);
+}

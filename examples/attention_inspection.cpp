@@ -1,0 +1,119 @@
+// Inspect the selective-attention weights — the paper's noise-mitigation
+// mechanism, made visible. The synthetic generator records whether each
+// sentence truly expresses its bag's relation (`true_relation`), so after
+// training PCNN+ATT we can check the claim directly: attention should
+// concentrate on the sentences that carry the relation's lexical evidence
+// and discount the wrong-label noise.
+//
+// Run:  ./build/examples/attention_inspection
+#include <cstdio>
+#include <map>
+
+#include "imr.h"
+
+using namespace imr;  // example code; library code never does this
+
+int main() {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  datagen::PresetOptions options;
+  options.scale = 1.5;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  re::BagDatasetOptions bag_options;
+  bag_options.max_sentence_length = 40;
+  bag_options.max_position = 20;
+  re::BagDataset bags =
+      re::BagDataset::Build(dataset.world.graph, dataset.corpus.train,
+                            dataset.corpus.test, bag_options);
+
+  // Rebuild the per-bag "is this sentence clean?" flags from the corpus.
+  // Keyed by (head, tail); order matches BagDataset's per-pair grouping
+  // because it preserves corpus order within a bag.
+  std::map<std::pair<int64_t, int64_t>, std::vector<bool>> clean_flags;
+  for (const text::LabeledSentence& labeled : dataset.corpus.train) {
+    clean_flags[{labeled.sentence.head_entity,
+                 labeled.sentence.tail_entity}]
+        .push_back(labeled.true_relation == labeled.relation &&
+                   labeled.relation != kg::kNaRelation);
+  }
+
+  // Train a plain PCNN+ATT model.
+  util::Rng rng(11);
+  re::PaModelConfig config;
+  config.num_relations = bags.num_relations();
+  config.encoder = "pcnn";
+  config.aggregation = re::Aggregation::kAttention;
+  config.encoder_config.vocab_size = bags.vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = 20;
+  config.encoder_config.filters = 32;
+  config.encoder_config.word_dropout = 0.25f;
+  re::PaModel model(config, &rng);
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = 40;
+  trainer_config.batch_size = 32;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+  re::Trainer trainer(&model, trainer_config);
+  trainer.Train(bags.train_bags());
+  model.SetTraining(false);
+
+  // Rebuild the attention layer's view: encode each bag, ask the attention
+  // module for its weights under the gold query, and compare the mean
+  // weight of clean vs noisy sentences.
+  //
+  // PaModel owns its attention internally, so for inspection we recreate
+  // the computation with the public pieces: a fresh SelectiveAttention
+  // cannot reuse the trained weights, so instead we read the trained
+  // weights through the bag probabilities: P(gold | bag) with and without
+  // each sentence (leave-one-out) measures the sentence's contribution —
+  // a model-agnostic attribution that needs no internals.
+  tensor::NoGradGuard no_grad;
+  double clean_drop_sum = 0, noisy_drop_sum = 0;
+  int clean_count = 0, noisy_count = 0;
+  int inspected = 0;
+  for (const re::Bag& bag : bags.train_bags()) {
+    if (bag.relation == kg::kNaRelation || bag.sentences.size() < 2)
+      continue;
+    auto it = clean_flags.find({bag.head, bag.tail});
+    if (it == clean_flags.end() ||
+        it->second.size() != bag.sentences.size())
+      continue;
+    const float full =
+        model.Predict(bag, &rng)[static_cast<size_t>(bag.relation)];
+    for (size_t s = 0; s < bag.sentences.size(); ++s) {
+      re::Bag ablated = bag;
+      ablated.sentences.erase(ablated.sentences.begin() +
+                              static_cast<long>(s));
+      const float without =
+          model.Predict(ablated, &rng)[static_cast<size_t>(bag.relation)];
+      const double drop = static_cast<double>(full) - without;
+      if (it->second[s]) {
+        clean_drop_sum += drop;
+        ++clean_count;
+      } else {
+        noisy_drop_sum += drop;
+        ++noisy_count;
+      }
+    }
+    if (++inspected >= 120) break;  // plenty for a stable estimate
+  }
+
+  const double clean_mean = clean_count ? clean_drop_sum / clean_count : 0;
+  const double noisy_mean = noisy_count ? noisy_drop_sum / noisy_count : 0;
+  std::printf("leave-one-out contribution to P(gold | bag), %d bags:\n",
+              inspected);
+  std::printf("  clean sentences (express the relation): %+0.4f  (n=%d)\n",
+              clean_mean, clean_count);
+  std::printf("  noisy sentences (wrong-label):          %+0.4f  (n=%d)\n",
+              noisy_mean, noisy_count);
+  if (clean_mean > noisy_mean) {
+    std::printf("\n-> removing a clean sentence hurts more than removing a "
+                "noisy one:\n   the attention-weighted bag leans on the "
+                "true evidence, as the paper claims.\n");
+    return 0;
+  }
+  std::printf("\n-> unexpected: noise contributed as much as evidence "
+              "(undertrained model?)\n");
+  return 1;
+}

@@ -1,0 +1,125 @@
+// End-to-end distant-supervision pipeline with file round-tripping:
+//
+//   generate world -> save vocabulary + LINE embeddings + model parameters
+//   to disk -> reload everything into a *fresh* model -> verify the
+//   reloaded model scores identically -> compare PCNN+ATT vs PA-TMR.
+//
+// Demonstrates the persistence surface a production deployment would use
+// (train offline, ship vocab/embeddings/parameters, serve).
+//
+// Run:  ./build/examples/distant_supervision_pipeline [workdir]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "datagen/presets.h"
+#include "graph/line.h"
+#include "graph/proximity_graph.h"
+#include "re/bag_dataset.h"
+#include "re/pa_model.h"
+#include "re/trainer.h"
+#include "util/logging.h"
+#include "util/tsv_writer.h"
+
+using namespace imr;  // example code; library code never does this
+
+namespace {
+
+re::PaModelConfig ModelConfig(const re::BagDataset& bags, int mr_dim,
+                              bool use_extras) {
+  re::PaModelConfig config;
+  config.num_relations = bags.num_relations();
+  config.encoder = "pcnn";
+  config.aggregation = re::Aggregation::kAttention;
+  config.use_mutual_relation = use_extras;
+  config.use_entity_type = use_extras;
+  config.mutual_relation_dim = mr_dim;
+  config.type_dim = 8;
+  config.encoder_config.vocab_size = bags.vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = 20;
+  config.encoder_config.filters = 32;
+  config.encoder_config.word_dropout = 0.25f;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  const std::string workdir = argc > 1 ? argv[1] : "/tmp/imr_pipeline";
+  IMR_CHECK(util::MakeDirectories(workdir).ok());
+
+  // --- Stage 1: data ---
+  datagen::PresetOptions options;
+  options.scale = 1.0;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  re::BagDatasetOptions bag_options;
+  bag_options.max_sentence_length = 40;
+  bag_options.max_position = 20;
+  re::BagDataset bags =
+      re::BagDataset::Build(dataset.world.graph, dataset.corpus.train,
+                            dataset.corpus.test, bag_options);
+  IMR_CHECK(bags.vocabulary().Save(workdir + "/vocab.bin").ok());
+  std::printf("stage 1: %zu train bags, vocabulary saved\n",
+              bags.train_bags().size());
+
+  // --- Stage 2: implicit mutual relations ---
+  graph::ProximityGraph proximity(dataset.world.graph.num_entities());
+  proximity.AddCorpus(dataset.unlabeled.sentences);
+  proximity.Finalize(2);
+  graph::LineConfig line;
+  line.dim = 64;
+  graph::EmbeddingStore embeddings = graph::TrainLine(proximity, line);
+  IMR_CHECK(embeddings.Save(workdir + "/entities.emb").ok());
+  auto reloaded_embeddings =
+      graph::EmbeddingStore::Load(workdir + "/entities.emb");
+  IMR_CHECK(reloaded_embeddings.ok());
+  IMR_CHECK(bags.AttachMutualRelations(*reloaded_embeddings).ok());
+  std::printf("stage 2: LINE embeddings trained, saved and reloaded\n");
+
+  // --- Stage 3: train both models ---
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = 30;
+  trainer_config.batch_size = 32;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+
+  util::Rng rng(7);
+  re::PaModel baseline(ModelConfig(bags, 64, /*use_extras=*/false), &rng);
+  eval::HeldOutResult baseline_result = re::TrainAndEvaluate(
+      &baseline, bags.train_bags(), bags.test_bags(), trainer_config);
+
+  re::PaModel pa_tmr(ModelConfig(bags, 64, /*use_extras=*/true), &rng);
+  eval::HeldOutResult pa_result = re::TrainAndEvaluate(
+      &pa_tmr, bags.train_bags(), bags.test_bags(), trainer_config);
+
+  std::printf("stage 3:\n  PCNN+ATT %s\n  PA-TMR   %s\n",
+              baseline_result.Summary().c_str(),
+              pa_result.Summary().c_str());
+
+  // --- Stage 4: persist the trained model and verify the round trip ---
+  IMR_CHECK(pa_tmr.SaveParameters(workdir + "/pa_tmr.params").ok());
+  util::Rng rng2(99);  // different init, then overwritten by the load
+  re::PaModel served(ModelConfig(bags, 64, /*use_extras=*/true), &rng2);
+  IMR_CHECK(served.LoadParameters(workdir + "/pa_tmr.params").ok());
+  served.SetTraining(false);
+  pa_tmr.SetTraining(false);
+
+  double max_diff = 0;
+  util::Rng eval_rng(1);
+  for (size_t i = 0; i < std::min<size_t>(20, bags.test_bags().size());
+       ++i) {
+    auto a = pa_tmr.Predict(bags.test_bags()[i], &eval_rng);
+    auto b = served.Predict(bags.test_bags()[i], &eval_rng);
+    for (size_t r = 0; r < a.size(); ++r)
+      max_diff = std::max(max_diff, std::abs(double(a[r]) - b[r]));
+  }
+  std::printf("stage 4: parameters round-tripped; max prediction diff "
+              "%.2e %s\n", max_diff, max_diff < 1e-6 ? "[OK]" : "[FAIL]");
+
+  std::printf("\nPA-TMR improves AUC by %+0.4f over PCNN+ATT on this run\n",
+              pa_result.auc - baseline_result.auc);
+  return max_diff < 1e-6 ? 0 : 1;
+}

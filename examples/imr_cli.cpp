@@ -1,0 +1,282 @@
+// imr_cli — a small production-style command-line front-end over the
+// library, showing the full persistence surface:
+//
+//   imr_cli generate --preset gds --out DIR        synthesize corpora
+//   imr_cli embed    --workdir DIR                 proximity graph + LINE
+//   imr_cli train    --workdir DIR [--model pa-tmr] train + save params
+//   imr_cli eval     --workdir DIR [--model pa-tmr] reload + held-out eval
+//   imr_cli nn       --workdir DIR --entity NAME   nearest neighbours
+//
+// Every step reads only the files the previous step wrote, so the stages
+// can run in separate processes (or machines).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "imr.h"
+
+using namespace imr;  // example code; library code never does this
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: imr_cli <generate|embed|train|eval|nn> [flags]\n"
+    "  generate --preset nyt|gds --scale S --out DIR\n"
+    "  embed    --workdir DIR [--dim 64] [--source line|deepwalk]\n"
+    "  train    --workdir DIR [--model pa-tmr|pcnn-att] [--epochs N]\n"
+    "  eval     --workdir DIR [--model pa-tmr|pcnn-att]\n"
+    "  nn       --workdir DIR --entity NAME [--k 10]\n";
+
+// The CLI persists the KG alongside the corpora by regenerating it from
+// the recorded preset+scale+seed (the generator is deterministic), which
+// keeps the on-disk format to corpora + embeddings + parameters.
+struct Manifest {
+  std::string preset = "gds";
+  double scale = 1.0;
+  uint64_t seed = 7;
+
+  util::Status Save(const std::string& dir) const {
+    util::BinaryWriter writer(dir + "/manifest.bin", 0x494D524Du, 1);
+    IMR_RETURN_IF_ERROR(writer.status());
+    writer.WriteString(preset);
+    writer.WriteDouble(scale);
+    writer.WriteU64(seed);
+    return writer.Close();
+  }
+  static util::StatusOr<Manifest> Load(const std::string& dir) {
+    util::BinaryReader reader(dir + "/manifest.bin", 0x494D524Du, 1);
+    IMR_RETURN_IF_ERROR(reader.status());
+    Manifest manifest;
+    manifest.preset = reader.ReadString();
+    manifest.scale = reader.ReadDouble();
+    manifest.seed = reader.ReadU64();
+    IMR_RETURN_IF_ERROR(reader.status());
+    return manifest;
+  }
+};
+
+datagen::SyntheticDataset Regenerate(const Manifest& manifest) {
+  datagen::PresetOptions options;
+  options.scale = manifest.scale;
+  options.seed = manifest.seed;
+  return datagen::MakeDataset(manifest.preset, options);
+}
+
+re::BagDatasetOptions BagOptions() {
+  re::BagDatasetOptions options;
+  options.max_sentence_length = 40;
+  options.max_position = 20;
+  return options;
+}
+
+re::PaModelConfig ModelConfig(const std::string& model,
+                              const re::BagDataset& bags, int mr_dim) {
+  re::PaModelConfig config;
+  config.num_relations = bags.num_relations();
+  config.encoder = "pcnn";
+  config.aggregation = re::Aggregation::kAttention;
+  config.use_mutual_relation = (model == "pa-tmr" || model == "pa-mr");
+  config.use_entity_type = (model == "pa-tmr" || model == "pa-t");
+  config.mutual_relation_dim = mr_dim;
+  config.type_dim = 8;
+  config.encoder_config.vocab_size = bags.vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = 20;
+  config.encoder_config.filters = 32;
+  config.encoder_config.word_dropout = 0.25f;
+  return config;
+}
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Generate(const util::FlagParser& flags) {
+  Manifest manifest;
+  manifest.preset = flags.GetString("preset");
+  manifest.scale = flags.GetDouble("scale");
+  manifest.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string out = flags.GetString("out");
+  IMR_CHECK(!out.empty());
+  auto made = util::MakeDirectories(out);
+  if (!made.ok()) return Fail(made);
+
+  datagen::SyntheticDataset dataset = Regenerate(manifest);
+  auto s1 = text::SaveLabeledCorpus(dataset.corpus.train, out + "/train.bin");
+  auto s2 = text::SaveLabeledCorpus(dataset.corpus.test, out + "/test.bin");
+  auto s3 = text::SaveUnlabeledCorpus(dataset.unlabeled.sentences,
+                                      out + "/unlabeled.bin");
+  auto s4 = manifest.Save(out);
+  for (const util::Status& s : {s1, s2, s3, s4})
+    if (!s.ok()) return Fail(s);
+  std::printf("generated %s: %zu train / %zu test labeled sentences, %zu "
+              "unlabeled\n", manifest.preset.c_str(),
+              dataset.corpus.train.size(), dataset.corpus.test.size(),
+              dataset.unlabeled.sentences.size());
+  return 0;
+}
+
+int Embed(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  auto manifest = Manifest::Load(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  auto unlabeled = text::LoadUnlabeledCorpus(dir + "/unlabeled.bin");
+  if (!unlabeled.ok()) return Fail(unlabeled.status());
+
+  datagen::SyntheticDataset dataset = Regenerate(*manifest);
+  graph::ProximityGraph proximity(dataset.world.graph.num_entities());
+  proximity.AddCorpus(*unlabeled);
+  proximity.Finalize(2);
+
+  graph::EmbeddingStore store;
+  const std::string source = flags.GetString("source");
+  const int dim = static_cast<int>(flags.GetInt("dim"));
+  if (source == "deepwalk") {
+    graph::DeepWalkConfig config;
+    config.dim = dim;
+    store = graph::TrainDeepWalk(proximity, config);
+  } else {
+    graph::LineConfig config;
+    config.dim = dim;
+    store = graph::TrainLine(proximity, config);
+  }
+  auto saved = store.Save(dir + "/entities.emb");
+  if (!saved.ok()) return Fail(saved);
+  std::printf("embedded %d entities into %d dims via %s (%zu graph edges)\n",
+              store.num_vertices(), store.dim(), source.c_str(),
+              proximity.edges().size());
+  return 0;
+}
+
+util::StatusOr<re::BagDataset> LoadBags(const Manifest& manifest,
+                                        const std::string& dir,
+                                        datagen::SyntheticDataset* dataset) {
+  auto train = text::LoadLabeledCorpus(dir + "/train.bin");
+  IMR_RETURN_IF_ERROR(train.status());
+  auto test = text::LoadLabeledCorpus(dir + "/test.bin");
+  IMR_RETURN_IF_ERROR(test.status());
+  *dataset = Regenerate(manifest);
+  return re::BagDataset::Build(dataset->world.graph, *train, *test,
+                               BagOptions());
+}
+
+int Train(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  const std::string model_name = flags.GetString("model");
+  auto manifest = Manifest::Load(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  datagen::SyntheticDataset dataset(datagen::TemplateConfig{});
+  auto bags = LoadBags(*manifest, dir, &dataset);
+  if (!bags.ok()) return Fail(bags.status());
+  auto embeddings = graph::EmbeddingStore::Load(dir + "/entities.emb");
+  if (!embeddings.ok()) return Fail(embeddings.status());
+  auto attached = bags->AttachMutualRelations(*embeddings);
+  if (!attached.ok()) return Fail(attached);
+
+  util::Rng rng(manifest->seed);
+  re::PaModel model(ModelConfig(model_name, *bags, embeddings->dim()), &rng);
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = static_cast<int>(flags.GetInt("epochs"));
+  trainer_config.batch_size = 32;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+  re::Trainer trainer(&model, trainer_config);
+  trainer.Train(bags->train_bags());
+  auto saved = model.SaveParameters(dir + "/" + model_name + ".params");
+  if (!saved.ok()) return Fail(saved);
+  std::printf("trained %s (%zu parameters) for %d epochs; saved\n",
+              model_name.c_str(), model.ParameterCount(),
+              trainer_config.epochs);
+  return 0;
+}
+
+int Eval(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  const std::string model_name = flags.GetString("model");
+  auto manifest = Manifest::Load(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  datagen::SyntheticDataset dataset(datagen::TemplateConfig{});
+  auto bags = LoadBags(*manifest, dir, &dataset);
+  if (!bags.ok()) return Fail(bags.status());
+  auto embeddings = graph::EmbeddingStore::Load(dir + "/entities.emb");
+  if (!embeddings.ok()) return Fail(embeddings.status());
+  auto attached = bags->AttachMutualRelations(*embeddings);
+  if (!attached.ok()) return Fail(attached);
+
+  util::Rng rng(manifest->seed);
+  re::PaModel model(ModelConfig(model_name, *bags, embeddings->dim()), &rng);
+  auto loaded = model.LoadParameters(dir + "/" + model_name + ".params");
+  if (!loaded.ok()) return Fail(loaded);
+  model.SetTraining(false);
+
+  auto result = eval::Evaluate(
+      [&](const re::Bag& bag) { return model.Predict(bag, &rng); },
+      bags->test_bags(), bags->num_relations());
+  std::printf("%s on %s: %s\n", model_name.c_str(),
+              manifest->preset.c_str(), result.Summary().c_str());
+
+  auto breakdown = eval::PerRelationBreakdown(
+      result.gold_labels, result.hard_predictions, bags->num_relations());
+  std::printf("macro over %d relations: P=%.4f R=%.4f F1=%.4f\n",
+              breakdown.relations_with_support, breakdown.macro_precision,
+              breakdown.macro_recall, breakdown.macro_f1);
+  return 0;
+}
+
+int NearestNeighbors(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  auto manifest = Manifest::Load(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  auto embeddings = graph::EmbeddingStore::Load(dir + "/entities.emb");
+  if (!embeddings.ok()) return Fail(embeddings.status());
+  datagen::SyntheticDataset dataset = Regenerate(*manifest);
+  auto entity = dataset.world.graph.FindEntity(flags.GetString("entity"));
+  if (!entity.ok()) return Fail(entity.status());
+  const int k = static_cast<int>(flags.GetInt("k"));
+  std::printf("nearest %d to %s:\n", k, flags.GetString("entity").c_str());
+  for (const auto& neighbor :
+       embeddings->NearestNeighbors(static_cast<int>(*entity), k)) {
+    std::printf("  %-30s cos=%.3f\n",
+                dataset.world.graph.entity(neighbor.vertex).name.c_str(),
+                neighbor.similarity);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  util::FlagParser flags;
+  flags.AddString("preset", "gds", "nyt | gds");
+  flags.AddDouble("scale", 1.0, "dataset size multiplier");
+  flags.AddInt("seed", 7, "generator seed");
+  flags.AddString("out", "imr_workdir", "output directory (generate)");
+  flags.AddString("workdir", "imr_workdir", "working directory");
+  flags.AddInt("dim", 64, "embedding dimension (embed)");
+  flags.AddString("source", "line", "line | deepwalk (embed)");
+  flags.AddString("model", "pa-tmr", "pa-tmr | pa-mr | pa-t | pcnn-att");
+  flags.AddInt("epochs", 30, "training epochs (train)");
+  flags.AddString("entity", "", "entity name (nn)");
+  flags.AddInt("k", 10, "neighbour count (nn)");
+  util::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    if (status.code() == util::StatusCode::kNotFound) return 0;
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(), kUsage);
+    return 1;
+  }
+  if (command == "generate") return Generate(flags);
+  if (command == "embed") return Embed(flags);
+  if (command == "train") return Train(flags);
+  if (command == "eval") return Eval(flags);
+  if (command == "nn") return NearestNeighbors(flags);
+  std::fputs(kUsage, stderr);
+  return 1;
+}

@@ -1,0 +1,125 @@
+// Explore the entity proximity graph and LINE embedding space — the
+// paper's Table V / Figure 8 case study as a standalone tool. Shows, for a
+// handful of entities, their graph neighbours, their nearest neighbours in
+// embedding space, and mutual-relation "analogies" (pairs whose MR vectors
+// are most similar to a query pair's).
+//
+// Run:  ./build/examples/proximity_graph_explore [--scale=2.0]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "datagen/presets.h"
+#include "graph/line.h"
+#include "graph/proximity_graph.h"
+#include "util/logging.h"
+
+using namespace imr;  // example code; library code never does this
+
+namespace {
+
+void ShowEntity(const kg::KnowledgeGraph& graph,
+                const graph::ProximityGraph& proximity,
+                const graph::EmbeddingStore& embeddings, kg::EntityId id) {
+  const kg::Entity& entity = graph.entity(id);
+  std::printf("\n== %s (types:", entity.name.c_str());
+  for (int type : entity.type_ids)
+    std::printf(" %s", kg::CoarseTypeNames()[static_cast<size_t>(type)].c_str());
+  std::printf(") ==\n");
+
+  auto neighbors = proximity.Neighbors(static_cast<int>(id));
+  std::printf("graph degree %zu; strongest co-occurrences:", neighbors.size());
+  std::sort(neighbors.begin(), neighbors.end(), [&](int a, int b) {
+    return proximity.CooccurrenceCount(id, a) >
+           proximity.CooccurrenceCount(id, b);
+  });
+  for (size_t i = 0; i < std::min<size_t>(4, neighbors.size()); ++i) {
+    std::printf(" %s(%lld)",
+                graph.entity(neighbors[i]).name.c_str(),
+                static_cast<long long>(
+                    proximity.CooccurrenceCount(id, neighbors[i])));
+  }
+  std::printf("\nnearest in embedding space:\n");
+  for (const auto& neighbor :
+       embeddings.NearestNeighbors(static_cast<int>(id), 5)) {
+    std::printf("  %-28s cos=%.3f\n",
+                graph.entity(neighbor.vertex).name.c_str(),
+                neighbor.similarity);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = atof(argv[i] + 8);
+  }
+
+  datagen::PresetOptions options;
+  options.scale = scale;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  const kg::KnowledgeGraph& graph = dataset.world.graph;
+
+  graph::ProximityGraph proximity(graph.num_entities());
+  proximity.AddCorpus(dataset.unlabeled.sentences);
+  proximity.Finalize(2);
+  std::printf("proximity graph: %d vertices, %zu edges, max co-occurrence "
+              "%lld\n", proximity.num_vertices(), proximity.edges().size(),
+              static_cast<long long>(proximity.max_cooccurrence()));
+
+  graph::LineConfig line;
+  line.dim = 64;
+  graph::EmbeddingStore embeddings = graph::TrainLine(proximity, line);
+
+  // Show the head and tail of the first two facts of relation 1 (the
+  // synthetic "University of Washington" / "Seattle").
+  int shown = 0;
+  for (const kg::Triple& fact : graph.triples()) {
+    if (fact.relation != 1) continue;
+    ShowEntity(graph, proximity, embeddings, fact.head);
+    ShowEntity(graph, proximity, embeddings, fact.tail);
+    if (++shown >= 1) break;
+  }
+
+  // MR analogy: which pairs have the most similar mutual relation to the
+  // first fact of relation 1?
+  const kg::Triple* query = nullptr;
+  for (const kg::Triple& fact : graph.triples()) {
+    if (fact.relation == 1) {
+      query = &fact;
+      break;
+    }
+  }
+  IMR_CHECK(query != nullptr);
+  auto query_mr = embeddings.MutualRelation(static_cast<int>(query->head),
+                                            static_cast<int>(query->tail));
+  struct Scored {
+    const kg::Triple* fact;
+    double cosine;
+  };
+  std::vector<Scored> scored;
+  for (const kg::Triple& fact : graph.triples()) {
+    if (&fact == query) continue;
+    auto mr = embeddings.MutualRelation(static_cast<int>(fact.head),
+                                        static_cast<int>(fact.tail));
+    scored.push_back({&fact, graph::EmbeddingStore::Cosine(query_mr, mr)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.cosine > b.cosine;
+            });
+  std::printf("\n== pairs with MR most similar to (%s, %s) [relation %s] ==\n",
+              graph.entity(query->head).name.c_str(),
+              graph.entity(query->tail).name.c_str(),
+              graph.relation(query->relation).name.c_str());
+  for (size_t i = 0; i < std::min<size_t>(6, scored.size()); ++i) {
+    std::printf("  (%s, %s) cos=%.3f relation=%s\n",
+                graph.entity(scored[i].fact->head).name.c_str(),
+                graph.entity(scored[i].fact->tail).name.c_str(),
+                scored[i].cosine,
+                graph.relation(scored[i].fact->relation).name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "datagen/distant_supervision.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace imr::datagen {
+
+namespace {
+
+// Realises all sentences for one labeled pair into `out`.
+void EmitPair(const kg::KnowledgeGraph& graph, const TemplateRealiser& realiser,
+              const DistantSupervisionConfig& config, const kg::Triple& pair,
+              int num_sentences, util::Rng* rng,
+              std::vector<text::LabeledSentence>* out) {
+  const std::string& head_name = graph.entity(pair.head).name;
+  const std::string& tail_name = graph.entity(pair.tail).name;
+  const int num_relations = graph.num_relations();
+  for (int s = 0; s < num_sentences; ++s) {
+    int realised_relation = pair.relation;
+    if (pair.relation == kg::kNaRelation) {
+      // NA pairs mostly co-occur without relational language, but a small
+      // fraction of sentences look relational (hard negatives).
+      if (rng->Bernoulli(config.na_false_positive)) {
+        realised_relation =
+            1 + static_cast<int>(rng->UniformInt(
+                    static_cast<uint64_t>(num_relations - 1)));
+      } else {
+        realised_relation = kg::kNaRelation;
+      }
+    } else if (rng->Bernoulli(config.noise_rate)) {
+      // Wrong-label noise: the pair co-occurs for some other reason.
+      realised_relation = kg::kNaRelation;
+    }
+    text::LabeledSentence labeled;
+    labeled.sentence =
+        realiser.Realise(realised_relation, head_name, tail_name, rng);
+    labeled.sentence.head_entity = pair.head;
+    labeled.sentence.tail_entity = pair.tail;
+    labeled.relation = pair.relation;
+    labeled.true_relation = realised_relation;
+    out->push_back(std::move(labeled));
+  }
+}
+
+}  // namespace
+
+DistantSupervisionCorpus SampleDistantSupervision(
+    const World& world, const TemplateRealiser& realiser,
+    const DistantSupervisionConfig& config) {
+  IMR_CHECK_GT(config.train_fraction, 0.0);
+  IMR_CHECK_LT(config.train_fraction, 1.0);
+  IMR_CHECK_GE(config.max_sentences_per_pair, 1);
+  util::Rng rng(config.seed);
+  const kg::KnowledgeGraph& graph = world.graph;
+
+  DistantSupervisionCorpus corpus;
+
+  // Split ground-truth facts into train/test pairs.
+  std::vector<kg::Triple> facts = graph.triples();
+  rng.Shuffle(&facts);
+  const size_t train_count = static_cast<size_t>(
+      static_cast<double>(facts.size()) * config.train_fraction);
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i < train_count)
+      corpus.train_pairs.push_back(facts[i]);
+    else
+      corpus.test_pairs.push_back(facts[i]);
+  }
+
+  // NA pairs: random entity pairs with no fact, split the same way.
+  const size_t total_na = static_cast<size_t>(
+      static_cast<double>(facts.size()) * config.na_pair_ratio);
+  size_t made = 0;
+  size_t attempts = 0;
+  std::vector<kg::Triple> na_pairs;
+  const int num_entities = graph.num_entities();
+  while (made < total_na && attempts < total_na * 40 + 100) {
+    ++attempts;
+    const auto head = static_cast<kg::EntityId>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    const auto tail = static_cast<kg::EntityId>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    if (head == tail) continue;
+    if (graph.PairRelation(head, tail) != kg::kNaRelation) continue;
+    bool duplicate = false;
+    for (const kg::Triple& existing : na_pairs) {
+      if (existing.head == head && existing.tail == tail) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    na_pairs.push_back({head, kg::kNaRelation, tail});
+    ++made;
+  }
+  const size_t na_train = static_cast<size_t>(
+      static_cast<double>(na_pairs.size()) * config.train_fraction);
+  for (size_t i = 0; i < na_pairs.size(); ++i) {
+    if (i < na_train)
+      corpus.train_pairs.push_back(na_pairs[i]);
+    else
+      corpus.test_pairs.push_back(na_pairs[i]);
+  }
+
+  // Sentences per pair: Zipf-tailed, so most pairs get 1-3 sentences and a
+  // few get dozens (paper Fig. 1).
+  auto emit_split = [&](const std::vector<kg::Triple>& pairs,
+                        std::vector<text::LabeledSentence>* out) {
+    for (const kg::Triple& pair : pairs) {
+      const int count = static_cast<int>(
+          rng.Zipf(static_cast<uint64_t>(config.max_sentences_per_pair),
+                   config.zipf_exponent));
+      EmitPair(graph, realiser, config, pair, count, &rng, out);
+    }
+  };
+  emit_split(corpus.train_pairs, &corpus.train);
+  emit_split(corpus.test_pairs, &corpus.test);
+  return corpus;
+}
+
+}  // namespace imr::datagen

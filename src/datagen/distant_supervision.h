@@ -1,0 +1,42 @@
+// Distant-supervision corpus sampler. Given a world and a realiser, it
+// splits the ground-truth pairs into train/test, adds NA pairs, draws a
+// Zipf-tailed number of sentences per pair (reproducing the long-tail of
+// paper Fig. 1), and injects wrong-label noise: with probability
+// `noise_rate` a sentence attached to a pair labeled r is realised without
+// r's lexical evidence (the "Barack Obama visits Hawaii" failure mode).
+#ifndef IMR_DATAGEN_DISTANT_SUPERVISION_H_
+#define IMR_DATAGEN_DISTANT_SUPERVISION_H_
+
+#include <vector>
+
+#include "datagen/templates.h"
+#include "datagen/world.h"
+#include "text/sentence.h"
+
+namespace imr::datagen {
+
+struct DistantSupervisionConfig {
+  double train_fraction = 0.6;    // of ground-truth pairs
+  double na_pair_ratio = 1.0;     // NA pairs per non-NA pair
+  int max_sentences_per_pair = 60;
+  double zipf_exponent = 1.6;     // tail heaviness of sentences-per-pair
+  double noise_rate = 0.35;       // wrong-label sentence probability
+  double na_false_positive = 0.05;// NA sentences that *do* carry a trigger
+  uint64_t seed = 43;
+};
+
+struct DistantSupervisionCorpus {
+  std::vector<text::LabeledSentence> train;
+  std::vector<text::LabeledSentence> test;
+  // Pairs used in each split (head, tail, relation) for bookkeeping.
+  std::vector<kg::Triple> train_pairs;  // relation may be kNaRelation
+  std::vector<kg::Triple> test_pairs;
+};
+
+DistantSupervisionCorpus SampleDistantSupervision(
+    const World& world, const TemplateRealiser& realiser,
+    const DistantSupervisionConfig& config);
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_DISTANT_SUPERVISION_H_

@@ -1,0 +1,106 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace imr::datagen {
+
+namespace {
+
+SyntheticDataset Build(const std::string& name, const WorldConfig& world_cfg,
+                       const TemplateConfig& template_cfg,
+                       const DistantSupervisionConfig& ds_cfg,
+                       const UnlabeledConfig& unlabeled_cfg) {
+  SyntheticDataset dataset(template_cfg);
+  dataset.name = name;
+  dataset.world = BuildWorld(world_cfg);
+  dataset.corpus =
+      SampleDistantSupervision(dataset.world, dataset.realiser, ds_cfg);
+  dataset.unlabeled =
+      SampleUnlabeledCorpus(dataset.world, dataset.realiser, unlabeled_cfg);
+  return dataset;
+}
+
+int Scaled(int base, double scale) {
+  return std::max(2, static_cast<int>(base * scale));
+}
+
+}  // namespace
+
+SyntheticDataset MakeNytLike(const PresetOptions& options) {
+  WorldConfig world_cfg;
+  world_cfg.num_relations = 53;
+  world_cfg.pairs_per_relation = Scaled(40, options.scale);
+  world_cfg.entity_reuse = 0.5;
+  world_cfg.extra_type_prob = 0.3;
+  world_cfg.seed = options.seed;
+
+  TemplateConfig template_cfg;
+  template_cfg.num_relations = 53;
+  template_cfg.triggers_per_relation = 6;
+  template_cfg.background_vocab = 800;
+  template_cfg.seed = options.seed + 1;
+
+  DistantSupervisionConfig ds_cfg;
+  ds_cfg.train_fraction = 0.6;
+  ds_cfg.na_pair_ratio = 1.0;
+  ds_cfg.noise_rate = 0.35;        // NYT distant supervision is noisy
+  ds_cfg.na_false_positive = 0.05;
+  ds_cfg.zipf_exponent = 1.9;      // heaviest singleton share (Fig. 1a)
+  ds_cfg.max_sentences_per_pair = 60;
+  ds_cfg.seed = options.seed + 2;
+
+  UnlabeledConfig unlabeled_cfg;
+  unlabeled_cfg.sentences_per_fact = 6;
+  unlabeled_cfg.role_mixing = 0.4;
+  unlabeled_cfg.random_noise = 0.3;
+  unlabeled_cfg.fact_coverage = 0.65;  // Wikipedia misses many NYT pairs
+  unlabeled_cfg.seed = options.seed + 3;
+
+  return Build("nyt", world_cfg, template_cfg, ds_cfg, unlabeled_cfg);
+}
+
+SyntheticDataset MakeGdsLike(const PresetOptions& options) {
+  WorldConfig world_cfg;
+  world_cfg.num_relations = 5;
+  world_cfg.pairs_per_relation = Scaled(90, options.scale);
+  world_cfg.entity_reuse = 0.6;
+  world_cfg.extra_type_prob = 0.3;
+  world_cfg.seed = options.seed + 10;
+
+  TemplateConfig template_cfg;
+  template_cfg.num_relations = 5;
+  template_cfg.triggers_per_relation = 8;
+  template_cfg.background_vocab = 500;
+  template_cfg.seed = options.seed + 11;
+
+  DistantSupervisionConfig ds_cfg;
+  ds_cfg.train_fraction = 0.7;     // GDS has a larger train share
+  ds_cfg.na_pair_ratio = 0.6;
+  ds_cfg.noise_rate = 0.2;         // human-seeded corpus, milder noise
+  ds_cfg.na_false_positive = 0.04;
+  ds_cfg.zipf_exponent = 1.6;      // milder tail (Fig. 1b)
+  ds_cfg.max_sentences_per_pair = 40;
+  ds_cfg.seed = options.seed + 12;
+
+  UnlabeledConfig unlabeled_cfg;
+  unlabeled_cfg.sentences_per_fact = 6;
+  unlabeled_cfg.role_mixing = 0.4;
+  unlabeled_cfg.random_noise = 0.3;
+  unlabeled_cfg.fact_coverage = 0.85;
+  unlabeled_cfg.seed = options.seed + 13;
+
+  return Build("gds", world_cfg, template_cfg, ds_cfg, unlabeled_cfg);
+}
+
+SyntheticDataset MakeDataset(const std::string& name,
+                             const PresetOptions& options) {
+  if (name == "nyt") return MakeNytLike(options);
+  if (name == "gds") return MakeGdsLike(options);
+  IMR_LOG(Error) << "unknown dataset preset '" << name
+                 << "', falling back to gds";
+  return MakeGdsLike(options);
+}
+
+}  // namespace imr::datagen

@@ -1,0 +1,45 @@
+// Dataset presets shaped after the paper's two benchmarks (Table II):
+//  * NYT-like: 53 relations, large corpus, heavier wrong-label noise;
+//  * GDS-like: 5 relations, small corpus, milder noise.
+// `scale` multiplies the pair counts so benches can trade time for fidelity.
+#ifndef IMR_DATAGEN_PRESETS_H_
+#define IMR_DATAGEN_PRESETS_H_
+
+#include <string>
+
+#include "datagen/distant_supervision.h"
+#include "datagen/unlabeled.h"
+#include "datagen/world.h"
+
+namespace imr::datagen {
+
+/// Everything one experiment needs, bundled.
+struct SyntheticDataset {
+  std::string name;
+  World world;
+  TemplateRealiser realiser;
+  DistantSupervisionCorpus corpus;
+  UnlabeledCorpus unlabeled;
+
+  explicit SyntheticDataset(const TemplateConfig& template_config)
+      : realiser(template_config) {}
+};
+
+struct PresetOptions {
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+/// NYT-shaped dataset: 53 relations including NA.
+SyntheticDataset MakeNytLike(const PresetOptions& options = {});
+
+/// GDS-shaped dataset: 5 relations including NA.
+SyntheticDataset MakeGdsLike(const PresetOptions& options = {});
+
+/// Dispatch by name: "nyt" or "gds".
+SyntheticDataset MakeDataset(const std::string& name,
+                             const PresetOptions& options = {});
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_PRESETS_H_

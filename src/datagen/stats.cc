@@ -1,0 +1,49 @@
+#include "datagen/stats.h"
+
+namespace imr::datagen {
+
+PairCounts CountPairs(const std::vector<text::LabeledSentence>& sentences) {
+  PairCounts counts;
+  for (const text::LabeledSentence& labeled : sentences) {
+    ++counts[{labeled.sentence.head_entity, labeled.sentence.tail_entity}];
+  }
+  return counts;
+}
+
+PairCounts CountPairsUnlabeled(const std::vector<text::Sentence>& sentences) {
+  PairCounts counts;
+  for (const text::Sentence& sentence : sentences) {
+    ++counts[{sentence.head_entity, sentence.tail_entity}];
+  }
+  return counts;
+}
+
+const char* FrequencyHistogram::BucketLabel(int b) {
+  static const char* kLabels[kNumBuckets] = {"1", "2-9", "10-99", ">=100"};
+  return kLabels[b];
+}
+
+int FrequencyHistogram::BucketOf(int count) {
+  if (count <= 1) return 0;
+  if (count <= 9) return 1;
+  if (count <= 99) return 2;
+  return 3;
+}
+
+FrequencyHistogram HistogramOf(const PairCounts& counts) {
+  FrequencyHistogram histogram;
+  for (const auto& [pair, count] : counts) {
+    ++histogram.buckets[FrequencyHistogram::BucketOf(count)];
+  }
+  return histogram;
+}
+
+CorpusStats StatsOf(const std::vector<text::LabeledSentence>& sentences) {
+  CorpusStats stats;
+  stats.num_sentences = static_cast<int64_t>(sentences.size());
+  stats.num_entity_pairs =
+      static_cast<int64_t>(CountPairs(sentences).size());
+  return stats;
+}
+
+}  // namespace imr::datagen

@@ -1,0 +1,43 @@
+// Corpus statistics used by the Table II / Fig. 1 harnesses and the
+// bucketed analyses of Figs. 6-7.
+#ifndef IMR_DATAGEN_STATS_H_
+#define IMR_DATAGEN_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/sentence.h"
+
+namespace imr::datagen {
+
+/// (head, tail) -> number of sentences mentioning the pair.
+using PairCounts = std::map<std::pair<int64_t, int64_t>, int>;
+
+PairCounts CountPairs(const std::vector<text::LabeledSentence>& sentences);
+PairCounts CountPairsUnlabeled(const std::vector<text::Sentence>& sentences);
+
+/// Histogram buckets of pair frequency used in paper Fig. 1:
+/// [1], [2,9], [10,99], [100, inf).
+struct FrequencyHistogram {
+  static constexpr int kNumBuckets = 4;
+  int64_t buckets[kNumBuckets] = {0, 0, 0, 0};
+  static const char* BucketLabel(int b);
+  static int BucketOf(int count);
+};
+
+FrequencyHistogram HistogramOf(const PairCounts& counts);
+
+/// Table II row: corpus size summary.
+struct CorpusStats {
+  int64_t num_sentences = 0;
+  int64_t num_entity_pairs = 0;
+};
+
+CorpusStats StatsOf(const std::vector<text::LabeledSentence>& sentences);
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_STATS_H_

@@ -1,0 +1,82 @@
+#include "datagen/templates.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::datagen {
+
+TemplateRealiser::TemplateRealiser(const TemplateConfig& config)
+    : config_(config) {
+  IMR_CHECK_GE(config.num_relations, 1);
+  IMR_CHECK_GE(config.triggers_per_relation, 1);
+  IMR_CHECK_GE(config.background_vocab, 10);
+  IMR_CHECK_GE(config.min_length, 4);
+  IMR_CHECK_GE(config.max_length, config.min_length);
+  triggers_.resize(static_cast<size_t>(config.num_relations));
+  for (int r = 1; r < config.num_relations; ++r) {
+    for (int j = 0; j < config.triggers_per_relation; ++j) {
+      triggers_[static_cast<size_t>(r)].push_back(
+          util::StrFormat("rel%02d_trig%d", r, j));
+    }
+  }
+  background_.reserve(static_cast<size_t>(config.background_vocab));
+  for (int i = 0; i < config.background_vocab; ++i)
+    background_.push_back(util::StrFormat("bg%04d", i));
+}
+
+const std::vector<std::string>& TemplateRealiser::Triggers(
+    int relation) const {
+  IMR_CHECK_GE(relation, 0);
+  IMR_CHECK_LT(relation, static_cast<int>(triggers_.size()));
+  return triggers_[static_cast<size_t>(relation)];
+}
+
+text::Sentence TemplateRealiser::Realise(int relation,
+                                         const std::string& head_name,
+                                         const std::string& tail_name,
+                                         util::Rng* rng) const {
+  IMR_CHECK(rng != nullptr);
+  const int length = static_cast<int>(
+      rng->UniformRange(config_.min_length, config_.max_length));
+  // Place head and tail at distinct random positions.
+  int head_pos = static_cast<int>(rng->UniformInt(length));
+  int tail_pos = static_cast<int>(rng->UniformInt(length - 1));
+  if (tail_pos >= head_pos) ++tail_pos;
+
+  text::Sentence sentence;
+  sentence.tokens.resize(static_cast<size_t>(length));
+  sentence.head_index = head_pos;
+  sentence.tail_index = tail_pos;
+  for (int i = 0; i < length; ++i) {
+    sentence.tokens[static_cast<size_t>(i)] =
+        background_[rng->UniformInt(background_.size())];
+  }
+  sentence.tokens[static_cast<size_t>(head_pos)] = head_name;
+  sentence.tokens[static_cast<size_t>(tail_pos)] = tail_name;
+
+  if (relation != 0 && !triggers_[static_cast<size_t>(relation)].empty()) {
+    // Drop 1-3 trigger words into background slots, biased to sit between
+    // or next to the entities (where real relational phrases live).
+    const auto& trigs = triggers_[static_cast<size_t>(relation)];
+    const int n_triggers = 1 + static_cast<int>(rng->UniformInt(3));
+    const int lo = std::min(head_pos, tail_pos);
+    const int hi = std::max(head_pos, tail_pos);
+    for (int k = 0; k < n_triggers; ++k) {
+      int pos;
+      if (hi - lo > 1 && rng->Bernoulli(0.7)) {
+        pos = lo + 1 + static_cast<int>(rng->UniformInt(
+                          static_cast<uint64_t>(hi - lo - 1)));
+      } else {
+        pos = static_cast<int>(rng->UniformInt(length));
+      }
+      if (pos == head_pos || pos == tail_pos) continue;
+      sentence.tokens[static_cast<size_t>(pos)] =
+          trigs[rng->UniformInt(trigs.size())];
+    }
+  }
+  return sentence;
+}
+
+}  // namespace imr::datagen

@@ -1,0 +1,53 @@
+// Template-based sentence realiser. Each relation owns a small trigger
+// vocabulary and a set of templates mixing trigger words, background words
+// and the two entity placeholders; NA/noise sentences use background-only
+// templates. This is the synthetic stand-in for real NYT/GDS text: what the
+// encoders must learn is exactly "trigger words near the entity pair imply
+// the relation", which is the lexical signal in the real corpora.
+#ifndef IMR_DATAGEN_TEMPLATES_H_
+#define IMR_DATAGEN_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "text/sentence.h"
+#include "util/rng.h"
+
+namespace imr::datagen {
+
+struct TemplateConfig {
+  int num_relations = 53;         // including NA
+  int triggers_per_relation = 6;  // relation-indicative words
+  int background_vocab = 800;     // filler words shared by all sentences
+  int min_length = 8;             // tokens, including the two entities
+  int max_length = 26;
+  uint64_t seed = 29;
+};
+
+class TemplateRealiser {
+ public:
+  explicit TemplateRealiser(const TemplateConfig& config);
+
+  /// A sentence expressing `relation` between the two entity names.
+  /// relation == kNaRelation yields a background-only sentence.
+  text::Sentence Realise(int relation, const std::string& head_name,
+                         const std::string& tail_name,
+                         util::Rng* rng) const;
+
+  /// Trigger vocabulary of a relation (empty for NA).
+  const std::vector<std::string>& Triggers(int relation) const;
+
+  /// All background words.
+  const std::vector<std::string>& BackgroundWords() const {
+    return background_;
+  }
+
+ private:
+  TemplateConfig config_;
+  std::vector<std::vector<std::string>> triggers_;  // [relation]
+  std::vector<std::string> background_;
+};
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_TEMPLATES_H_

@@ -1,0 +1,66 @@
+#include "datagen/unlabeled.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace imr::datagen {
+
+UnlabeledCorpus SampleUnlabeledCorpus(const World& world,
+                                      const TemplateRealiser& realiser,
+                                      const UnlabeledConfig& config) {
+  IMR_CHECK_GE(config.sentences_per_fact, 1);
+  util::Rng rng(config.seed);
+  const kg::KnowledgeGraph& graph = world.graph;
+  UnlabeledCorpus corpus;
+
+  auto emit = [&](kg::EntityId head, kg::EntityId tail) {
+    // Unlabeled text carries no relation label; realise as background-only
+    // co-occurrence (relation 0). The proximity graph only needs counts.
+    text::Sentence sentence = realiser.Realise(
+        kg::kNaRelation, graph.entity(head).name, graph.entity(tail).name,
+        &rng);
+    sentence.head_entity = head;
+    sentence.tail_entity = tail;
+    corpus.sentences.push_back(std::move(sentence));
+  };
+
+  size_t total = 0;
+  for (const kg::Triple& fact : graph.triples()) {
+    if (!rng.Bernoulli(config.fact_coverage)) continue;  // unmentioned pair
+    // Zipf tail on top of a uniform base, capped; mean ~ sentences_per_fact.
+    const int base = 1 + static_cast<int>(rng.UniformInt(
+                             static_cast<uint64_t>(config.sentences_per_fact)));
+    const int tail = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(config.max_sentences_per_pair),
+                 config.zipf_exponent));
+    const int count =
+        std::min(config.max_sentences_per_pair, base + tail - 1);
+    for (int s = 0; s < count; ++s) {
+      kg::EntityId tail = fact.tail;
+      if (rng.Bernoulli(config.role_mixing)) {
+        const auto& tails =
+            world.tail_role[static_cast<size_t>(fact.relation)];
+        tail = tails[rng.UniformInt(tails.size())];
+      }
+      emit(fact.head, tail);
+      ++total;
+    }
+  }
+
+  // Random noise co-occurrences.
+  const size_t noise = static_cast<size_t>(
+      static_cast<double>(total) * config.random_noise);
+  const int num_entities = graph.num_entities();
+  for (size_t i = 0; i < noise; ++i) {
+    const auto a = static_cast<kg::EntityId>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    auto b = static_cast<kg::EntityId>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    if (a == b) b = (b + 1) % num_entities;
+    emit(a, b);
+  }
+  return corpus;
+}
+
+}  // namespace imr::datagen

@@ -1,0 +1,47 @@
+// Unlabeled-corpus sampler, the synthetic stand-in for the Wikipedia dump
+// used in the paper to build the entity proximity graph. Entities of the
+// same relation roles co-occur densely: a head of relation r appears in
+// sentences not only with its own tail but with other tails of r
+// (universities co-occur with many cities). Pair frequencies are
+// Zipf-tailed so Fig. 6's quantile analysis has a spread to bucket over.
+#ifndef IMR_DATAGEN_UNLABELED_H_
+#define IMR_DATAGEN_UNLABELED_H_
+
+#include <vector>
+
+#include "datagen/templates.h"
+#include "datagen/world.h"
+#include "text/sentence.h"
+
+namespace imr::datagen {
+
+struct UnlabeledConfig {
+  // Expected number of co-occurrence sentences per ground-truth pair.
+  int sentences_per_fact = 8;
+  double zipf_exponent = 1.3;  // spread of per-pair frequencies
+  int max_sentences_per_pair = 120;
+  // Probability that a sentence pairs a head of r with a *different* tail
+  // of r (role-level mixing that creates the shared-neighbour structure).
+  double role_mixing = 0.5;
+  // Extra fully random co-occurrences, as a fraction of the total (noise
+  // edges in the proximity graph).
+  double random_noise = 0.1;
+  // Fraction of ground-truth facts that appear in the unlabeled corpus at
+  // all. Wikipedia does not mention every Freebase pair; uncovered pairs
+  // get no proximity-graph edges, so their MR vectors stay uninformative
+  // (the regime paper Fig. 6's low quantiles measure).
+  double fact_coverage = 1.0;
+  uint64_t seed = 59;
+};
+
+struct UnlabeledCorpus {
+  std::vector<text::Sentence> sentences;
+};
+
+UnlabeledCorpus SampleUnlabeledCorpus(const World& world,
+                                      const TemplateRealiser& realiser,
+                                      const UnlabeledConfig& config);
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_UNLABELED_H_

@@ -1,0 +1,97 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::datagen {
+
+namespace {
+
+// Assigns a (head_type, tail_type) signature to each relation from a small
+// pool, so many relations share the same signature. This mirrors Freebase,
+// where dozens of relations link person-location or person-organization:
+// entity types prune impossible relations but do not identify the correct
+// one (otherwise the type feature alone would solve the task, which is
+// neither realistic nor what the paper reports for PA-T).
+void TypeSignature(int relation, int* head_type, int* tail_type) {
+  // person=0, organization=1, location=2, product=3, art=4, event=5.
+  static constexpr int kPool[][2] = {
+      {0, 2}, {0, 1}, {1, 2}, {0, 0}, {1, 1}, {2, 2}, {0, 4}, {1, 3},
+  };
+  constexpr int kPoolSize = 8;
+  *head_type = kPool[relation % kPoolSize][0];
+  *tail_type = kPool[relation % kPoolSize][1];
+}
+
+}  // namespace
+
+World BuildWorld(const WorldConfig& config) {
+  IMR_CHECK_GE(config.num_relations, 2);
+  IMR_CHECK_GE(config.pairs_per_relation, 1);
+  IMR_CHECK_GT(config.entity_reuse, 0.0);
+  util::Rng rng(config.seed);
+
+  World world;
+  kg::KnowledgeGraph& graph = world.graph;
+  graph.AddRelation("NA");
+  for (int r = 1; r < config.num_relations; ++r) {
+    int head_type = 0, tail_type = 0;
+    TypeSignature(r, &head_type, &tail_type);
+    graph.AddRelation(util::StrFormat("/rel_%02d/role_%02d_to_%02d", r,
+                                      head_type, tail_type),
+                      head_type, tail_type);
+  }
+
+  world.head_role.resize(static_cast<size_t>(config.num_relations));
+  world.tail_role.resize(static_cast<size_t>(config.num_relations));
+
+  // Role cluster sizes: reuse < 1 shrinks the entity pool so entities
+  // appear in multiple facts.
+  const int role_size = std::max(
+      2, static_cast<int>(config.pairs_per_relation * config.entity_reuse));
+
+  for (int r = 1; r < config.num_relations; ++r) {
+    const kg::RelationSchema& schema = graph.relation(r);
+    auto make_role = [&](const char* role, int type,
+                         int cluster) -> std::vector<kg::EntityId> {
+      std::vector<kg::EntityId> members;
+      members.reserve(static_cast<size_t>(role_size));
+      for (int i = 0; i < role_size; ++i) {
+        std::vector<int> types = {type};
+        if (rng.Bernoulli(config.extra_type_prob)) {
+          const int extra =
+              static_cast<int>(rng.UniformInt(kg::kNumCoarseTypes));
+          if (extra != type) types.push_back(extra);
+        }
+        members.push_back(graph.AddEntity(
+            util::StrFormat("ent_r%02d_%s_%02d", r, role, i),
+            std::move(types), cluster));
+      }
+      return members;
+    };
+    world.head_role[static_cast<size_t>(r)] =
+        make_role("h", schema.head_type, 2 * r);
+    world.tail_role[static_cast<size_t>(r)] =
+        make_role("t", schema.tail_type, 2 * r + 1);
+
+    // Ground-truth facts: sample distinct (head, tail) pairs.
+    const auto& heads = world.head_role[static_cast<size_t>(r)];
+    const auto& tails = world.tail_role[static_cast<size_t>(r)];
+    int made = 0;
+    int attempts = 0;
+    while (made < config.pairs_per_relation &&
+           attempts < config.pairs_per_relation * 20) {
+      ++attempts;
+      const kg::EntityId head = heads[rng.UniformInt(heads.size())];
+      const kg::EntityId tail = tails[rng.UniformInt(tails.size())];
+      if (graph.PairRelation(head, tail) != kg::kNaRelation) continue;
+      graph.AddTriple(head, r, tail);
+      ++made;
+    }
+  }
+  return world;
+}
+
+}  // namespace imr::datagen

@@ -1,0 +1,47 @@
+// SyntheticWorld builds the knowledge graph that substitutes for Freebase
+// in the paper's experiments: typed entities grouped into latent semantic
+// clusters, relation schemas with type signatures, and ground-truth triples.
+//
+// Structure mirrors what makes the paper's method work on real data:
+//  * every non-NA relation has a "head role" cluster and a "tail role"
+//    cluster (universities/cities, people/employers, ...);
+//  * pairs of the same relation are therefore semantically similar, which
+//    is exactly the signal the entity proximity graph mines;
+//  * entities can carry an extra random type, so the type-embedding head
+//    must average multiple types as in paper Section III-B.
+#ifndef IMR_DATAGEN_WORLD_H_
+#define IMR_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace imr::datagen {
+
+struct WorldConfig {
+  int num_relations = 53;        // including NA (id 0)
+  int pairs_per_relation = 24;   // ground-truth triples per non-NA relation
+  // Fraction of heads/tails reused across pairs of the same relation; a
+  // value < 1 means role clusters are smaller than the pair count, so the
+  // same entity participates in several facts (long-tail structure).
+  double entity_reuse = 0.5;
+  double extra_type_prob = 0.3;  // chance of a second random type
+  uint64_t seed = 17;
+};
+
+struct World {
+  kg::KnowledgeGraph graph;
+  // Entities playing the head/tail role of each relation (index = relation
+  // id; entry 0 is empty for NA).
+  std::vector<std::vector<kg::EntityId>> head_role;
+  std::vector<std::vector<kg::EntityId>> tail_role;
+};
+
+/// Builds a world from the config. Deterministic in config.seed.
+World BuildWorld(const WorldConfig& config);
+
+}  // namespace imr::datagen
+
+#endif  // IMR_DATAGEN_WORLD_H_

@@ -1,0 +1,46 @@
+#include "eval/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imr::eval {
+
+void RunStats::Add(const std::string& metric, double value) {
+  values_[metric].push_back(value);
+}
+
+void RunStats::AddResult(const HeldOutResult& result) {
+  Add("auc", result.auc);
+  Add("precision", result.best.precision);
+  Add("recall", result.best.recall);
+  Add("f1", result.best.f1);
+  Add("p@100", result.p_at_100);
+  Add("p@200", result.p_at_200);
+}
+
+MetricSummary RunStats::Summary(const std::string& metric) const {
+  MetricSummary summary;
+  auto it = values_.find(metric);
+  if (it == values_.end() || it->second.empty()) return summary;
+  const std::vector<double>& values = it->second;
+  summary.runs = static_cast<int>(values.size());
+  summary.min = *std::min_element(values.begin(), values.end());
+  summary.max = *std::max_element(values.begin(), values.end());
+  double sum = 0;
+  for (double v : values) sum += v;
+  summary.mean = sum / values.size();
+  double sq = 0;
+  for (double v : values) sq += (v - summary.mean) * (v - summary.mean);
+  summary.stddev =
+      values.size() > 1 ? std::sqrt(sq / (values.size() - 1)) : 0.0;
+  return summary;
+}
+
+std::vector<std::string> RunStats::MetricNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, values] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace imr::eval

@@ -1,0 +1,42 @@
+// Multi-run aggregation: the paper reports every metric as the average of
+// five runs. RunStats accumulates per-run metric values and reports
+// mean / stddev / min / max.
+#ifndef IMR_EVAL_AGGREGATE_H_
+#define IMR_EVAL_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/heldout.h"
+
+namespace imr::eval {
+
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int runs = 0;
+};
+
+class RunStats {
+ public:
+  /// Records one named metric observation.
+  void Add(const std::string& metric, double value);
+
+  /// Records the standard metric set of one held-out result.
+  void AddResult(const HeldOutResult& result);
+
+  /// Summary of a metric; zero-initialised if never recorded.
+  MetricSummary Summary(const std::string& metric) const;
+
+  std::vector<std::string> MetricNames() const;
+
+ private:
+  std::map<std::string, std::vector<double>> values_;
+};
+
+}  // namespace imr::eval
+
+#endif  // IMR_EVAL_AGGREGATE_H_

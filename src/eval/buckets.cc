@@ -1,0 +1,86 @@
+#include "eval/buckets.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::eval {
+
+BucketedF1 F1ByBucket(
+    const std::vector<re::Bag>& bags, const std::vector<int>& gold,
+    const std::vector<int>& predicted,
+    const std::vector<std::string>& labels,
+    const std::function<int(const re::Bag&)>& bucket_of) {
+  IMR_CHECK_EQ(bags.size(), gold.size());
+  IMR_CHECK_EQ(bags.size(), predicted.size());
+  const int num_buckets = static_cast<int>(labels.size());
+  std::vector<std::vector<int>> gold_by_bucket(
+      static_cast<size_t>(num_buckets));
+  std::vector<std::vector<int>> pred_by_bucket(
+      static_cast<size_t>(num_buckets));
+  for (size_t i = 0; i < bags.size(); ++i) {
+    const int bucket = bucket_of(bags[i]);
+    if (bucket < 0) continue;
+    IMR_CHECK_LT(bucket, num_buckets);
+    gold_by_bucket[static_cast<size_t>(bucket)].push_back(gold[i]);
+    pred_by_bucket[static_cast<size_t>(bucket)].push_back(predicted[i]);
+  }
+  BucketedF1 result;
+  result.labels = labels;
+  for (int b = 0; b < num_buckets; ++b) {
+    result.scores.push_back(MicroF1NonNa(
+        gold_by_bucket[static_cast<size_t>(b)],
+        pred_by_bucket[static_cast<size_t>(b)]));
+    result.bag_counts.push_back(
+        static_cast<int64_t>(gold_by_bucket[static_cast<size_t>(b)].size()));
+  }
+  return result;
+}
+
+std::function<int(const re::Bag&)> QuantileBuckets(
+    const std::vector<re::Bag>& bags,
+    const std::function<double(const re::Bag&)>& statistic, int num_buckets,
+    std::vector<std::string>* labels_out) {
+  IMR_CHECK_GT(num_buckets, 0);
+  std::vector<double> values;
+  values.reserve(bags.size());
+  for (const re::Bag& bag : bags) values.push_back(statistic(bag));
+  std::sort(values.begin(), values.end());
+
+  // Bucket b covers statistic values in (cut[b-1], cut[b]]. Duplicate cut
+  // values (heavy ties, e.g. many pairs with zero co-occurrences) are
+  // merged so no bucket can be structurally empty.
+  std::vector<double> cuts;
+  for (int b = 1; b < num_buckets; ++b) {
+    const size_t index = std::min(
+        values.size() - 1,
+        static_cast<size_t>(static_cast<double>(values.size()) * b /
+                            num_buckets));
+    cuts.push_back(values[index]);
+  }
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (!cuts.empty() && cuts.back() >= values.back()) cuts.pop_back();
+  if (labels_out != nullptr) {
+    labels_out->clear();
+    double previous = values.front();
+    for (size_t b = 0; b < cuts.size(); ++b) {
+      labels_out->push_back(b == 0
+                                ? util::StrFormat("<=%.0f", cuts[b])
+                                : util::StrFormat("%.0f-%.0f", previous,
+                                                  cuts[b]));
+      previous = cuts[b];
+    }
+    labels_out->push_back(util::StrFormat(">%.0f", previous));
+  }
+  return [statistic, cuts](const re::Bag& bag) {
+    const double value = statistic(bag);
+    for (size_t b = 0; b < cuts.size(); ++b) {
+      if (value <= cuts[b]) return static_cast<int>(b);
+    }
+    return static_cast<int>(cuts.size());
+  };
+}
+
+}  // namespace imr::eval

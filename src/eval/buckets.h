@@ -1,0 +1,40 @@
+// Bucketed F1 analyses for the paper's Fig. 6 (by co-occurrence frequency
+// of the pair in the unlabeled corpus) and Fig. 7 (by number of training
+// sentences of the pair in the distant-supervision corpus).
+#ifndef IMR_EVAL_BUCKETS_H_
+#define IMR_EVAL_BUCKETS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "re/bag_dataset.h"
+
+namespace imr::eval {
+
+struct BucketedF1 {
+  std::vector<std::string> labels;
+  std::vector<MicroF1> scores;
+  std::vector<int64_t> bag_counts;
+};
+
+/// Assigns every bag to a bucket via `bucket_of` (return -1 to skip) and
+/// computes non-NA micro-F1 per bucket from the aligned predictions.
+BucketedF1 F1ByBucket(
+    const std::vector<re::Bag>& bags, const std::vector<int>& gold,
+    const std::vector<int>& predicted,
+    const std::vector<std::string>& labels,
+    const std::function<int(const re::Bag&)>& bucket_of);
+
+/// Quantile bucketing helper: given a per-bag statistic, returns a
+/// bucket_of function splitting the bags into `num_buckets` equal-count
+/// quantiles (Fig. 6 uses quantiles of co-occurrence frequency).
+std::function<int(const re::Bag&)> QuantileBuckets(
+    const std::vector<re::Bag>& bags,
+    const std::function<double(const re::Bag&)>& statistic, int num_buckets,
+    std::vector<std::string>* labels_out);
+
+}  // namespace imr::eval
+
+#endif  // IMR_EVAL_BUCKETS_H_

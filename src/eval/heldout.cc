@@ -1,0 +1,55 @@
+#include "eval/heldout.h"
+
+#include <algorithm>
+
+#include "kg/knowledge_graph.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::eval {
+
+std::string HeldOutResult::Summary() const {
+  return util::StrFormat(
+      "AUC=%.4f P=%.4f R=%.4f F1=%.4f P@100=%.2f P@200=%.2f", auc,
+      best.precision, best.recall, best.f1, p_at_100, p_at_200);
+}
+
+HeldOutResult Evaluate(const BagScorer& scorer,
+                       const std::vector<re::Bag>& bags, int num_relations) {
+  IMR_CHECK_GT(num_relations, 1);
+  HeldOutResult result;
+  result.facts.reserve(bags.size() *
+                       static_cast<size_t>(num_relations - 1));
+  result.hard_predictions.reserve(bags.size());
+  result.gold_labels.reserve(bags.size());
+
+  for (const re::Bag& bag : bags) {
+    const std::vector<float> probabilities = scorer(bag);
+    IMR_CHECK_EQ(static_cast<int>(probabilities.size()), num_relations);
+    if (bag.relation != kg::kNaRelation) ++result.total_positives;
+    int argmax = 0;
+    for (int r = 1; r < num_relations; ++r) {
+      if (probabilities[static_cast<size_t>(r)] >
+          probabilities[static_cast<size_t>(argmax)])
+        argmax = r;
+      ScoredFact fact;
+      fact.head = bag.head;
+      fact.tail = bag.tail;
+      fact.relation = r;
+      fact.score = probabilities[static_cast<size_t>(r)];
+      fact.correct = (bag.relation == r);
+      result.facts.push_back(fact);
+    }
+    result.hard_predictions.push_back(argmax);
+    result.gold_labels.push_back(bag.relation);
+  }
+
+  result.curve = PrecisionRecallCurve(&result.facts, result.total_positives);
+  result.auc = AucPr(result.curve);
+  result.best = MaxF1(result.curve);
+  result.p_at_100 = PrecisionAtK(result.facts, 100);
+  result.p_at_200 = PrecisionAtK(result.facts, 200);
+  return result;
+}
+
+}  // namespace imr::eval

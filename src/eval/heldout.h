@@ -1,0 +1,43 @@
+// Held-out evaluation driver: scores every test bag with a model (or any
+// scoring callback), turns the scores into candidate facts, and computes
+// the paper's metric set (AUC, P/R/F1 at max-F1, P@100, P@200).
+#ifndef IMR_EVAL_HELDOUT_H_
+#define IMR_EVAL_HELDOUT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "re/bag_dataset.h"
+
+namespace imr::eval {
+
+/// Returns P(relation | bag) for all relations (index 0 = NA).
+using BagScorer = std::function<std::vector<float>(const re::Bag&)>;
+
+struct HeldOutResult {
+  std::vector<ScoredFact> facts;  // sorted by descending score
+  std::vector<PrPoint> curve;
+  int64_t total_positives = 0;
+  double auc = 0.0;
+  F1Point best;
+  double p_at_100 = 0.0;
+  double p_at_200 = 0.0;
+
+  /// Hard prediction per test bag (argmax incl. NA), aligned with the bag
+  /// order passed to Evaluate — used by the bucketed analyses.
+  std::vector<int> hard_predictions;
+  std::vector<int> gold_labels;
+
+  std::string Summary() const;  // one-line "AUC=... P=... R=... F1=..."
+};
+
+/// Evaluates `scorer` on `bags`. Every non-NA relation of every bag becomes
+/// a candidate fact with the scorer's probability.
+HeldOutResult Evaluate(const BagScorer& scorer,
+                       const std::vector<re::Bag>& bags, int num_relations);
+
+}  // namespace imr::eval
+
+#endif  // IMR_EVAL_HELDOUT_H_

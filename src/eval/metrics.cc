@@ -1,0 +1,101 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace imr::eval {
+
+std::vector<PrPoint> PrecisionRecallCurve(std::vector<ScoredFact>* facts,
+                                          int64_t total_positives) {
+  IMR_CHECK(facts != nullptr);
+  std::sort(facts->begin(), facts->end(),
+            [](const ScoredFact& a, const ScoredFact& b) {
+              if (a.score != b.score) return a.score > b.score;
+              // Tie-break deterministically.
+              if (a.head != b.head) return a.head < b.head;
+              if (a.tail != b.tail) return a.tail < b.tail;
+              return a.relation < b.relation;
+            });
+  std::vector<PrPoint> curve;
+  curve.reserve(facts->size());
+  int64_t correct = 0;
+  for (size_t i = 0; i < facts->size(); ++i) {
+    correct += (*facts)[i].correct ? 1 : 0;
+    PrPoint point;
+    point.precision = static_cast<double>(correct) /
+                      static_cast<double>(i + 1);
+    point.recall = total_positives > 0
+                       ? static_cast<double>(correct) /
+                             static_cast<double>(total_positives)
+                       : 0.0;
+    point.threshold = (*facts)[i].score;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AucPr(const std::vector<PrPoint>& curve) {
+  if (curve.empty()) return 0.0;
+  double auc = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = 1.0;
+  for (const PrPoint& point : curve) {
+    auc += (point.recall - prev_recall) *
+           0.5 * (point.precision + prev_precision);
+    prev_recall = point.recall;
+    prev_precision = point.precision;
+  }
+  return auc;
+}
+
+F1Point MaxF1(const std::vector<PrPoint>& curve) {
+  F1Point best;
+  for (const PrPoint& point : curve) {
+    const double denom = point.precision + point.recall;
+    const double f1 = denom > 0 ? 2 * point.precision * point.recall / denom
+                                : 0.0;
+    if (f1 > best.f1) {
+      best.f1 = f1;
+      best.precision = point.precision;
+      best.recall = point.recall;
+      best.threshold = point.threshold;
+    }
+  }
+  return best;
+}
+
+double PrecisionAtK(const std::vector<ScoredFact>& facts, size_t k) {
+  if (facts.empty() || k == 0) return 0.0;
+  const size_t n = std::min(k, facts.size());
+  int64_t correct = 0;
+  for (size_t i = 0; i < n; ++i) correct += facts[i].correct ? 1 : 0;
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+MicroF1 MicroF1NonNa(const std::vector<int>& gold,
+                     const std::vector<int>& predicted, int na_relation) {
+  IMR_CHECK_EQ(gold.size(), predicted.size());
+  int64_t true_positive = 0, predicted_positive = 0, gold_positive = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (predicted[i] != na_relation) ++predicted_positive;
+    if (gold[i] != na_relation) ++gold_positive;
+    if (predicted[i] != na_relation && predicted[i] == gold[i])
+      ++true_positive;
+  }
+  MicroF1 out;
+  out.support = gold_positive;
+  out.precision = predicted_positive > 0
+                      ? static_cast<double>(true_positive) /
+                            static_cast<double>(predicted_positive)
+                      : 0.0;
+  out.recall = gold_positive > 0
+                   ? static_cast<double>(true_positive) /
+                         static_cast<double>(gold_positive)
+                   : 0.0;
+  const double denom = out.precision + out.recall;
+  out.f1 = denom > 0 ? 2 * out.precision * out.recall / denom : 0.0;
+  return out;
+}
+
+}  // namespace imr::eval

@@ -1,0 +1,64 @@
+// Held-out evaluation metrics for distant-supervision RE (paper Section
+// IV-A.2): precision-recall curve over scored facts, area under the PR
+// curve, the max-F1 operating point, and precision at top-N.
+#ifndef IMR_EVAL_METRICS_H_
+#define IMR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace imr::eval {
+
+/// One candidate fact emitted by a model: pair + non-NA relation + score.
+struct ScoredFact {
+  int64_t head = -1;
+  int64_t tail = -1;
+  int relation = 0;
+  double score = 0.0;
+  bool correct = false;  // the KG contains (head, relation, tail)
+};
+
+struct PrPoint {
+  double precision = 0.0;
+  double recall = 0.0;
+  double threshold = 0.0;
+};
+
+/// Sorts facts by descending score and sweeps the threshold.
+/// `total_positives` is the number of true facts in the test set (the
+/// recall denominator). Facts list may be modified (sorted).
+std::vector<PrPoint> PrecisionRecallCurve(std::vector<ScoredFact>* facts,
+                                          int64_t total_positives);
+
+/// Area under the PR curve by trapezoidal rule over recall.
+double AucPr(const std::vector<PrPoint>& curve);
+
+struct F1Point {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double threshold = 0.0;
+};
+
+/// Operating point with the maximum F1 (paper reports P/R at this point).
+F1Point MaxF1(const std::vector<PrPoint>& curve);
+
+/// Precision among the top-k facts by score (P@N). Facts must already be
+/// sorted descending (PrecisionRecallCurve does this).
+double PrecisionAtK(const std::vector<ScoredFact>& facts, size_t k);
+
+/// Micro-averaged F1 of hard predictions against gold labels, ignoring the
+/// NA class in both precision and recall (used by the Fig. 6/7 buckets).
+struct MicroF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t support = 0;  // gold non-NA count
+};
+MicroF1 MicroF1NonNa(const std::vector<int>& gold,
+                     const std::vector<int>& predicted, int na_relation = 0);
+
+}  // namespace imr::eval
+
+#endif  // IMR_EVAL_METRICS_H_

@@ -1,0 +1,56 @@
+#include "eval/per_relation.h"
+
+#include "util/logging.h"
+
+namespace imr::eval {
+
+PerRelationResult PerRelationBreakdown(const std::vector<int>& gold,
+                                       const std::vector<int>& predicted,
+                                       int num_relations, int na_relation) {
+  IMR_CHECK_EQ(gold.size(), predicted.size());
+  IMR_CHECK_GT(num_relations, 0);
+  PerRelationResult result;
+  result.relations.resize(static_cast<size_t>(num_relations));
+  for (int r = 0; r < num_relations; ++r)
+    result.relations[static_cast<size_t>(r)].relation = r;
+
+  for (size_t i = 0; i < gold.size(); ++i) {
+    IMR_CHECK_GE(gold[i], 0);
+    IMR_CHECK_LT(gold[i], num_relations);
+    IMR_CHECK_GE(predicted[i], 0);
+    IMR_CHECK_LT(predicted[i], num_relations);
+    ++result.relations[static_cast<size_t>(gold[i])].support;
+    ++result.relations[static_cast<size_t>(predicted[i])].predicted;
+    if (gold[i] == predicted[i])
+      ++result.relations[static_cast<size_t>(gold[i])].true_positive;
+  }
+
+  double precision_sum = 0, recall_sum = 0, f1_sum = 0;
+  for (RelationReport& report : result.relations) {
+    report.precision =
+        report.predicted > 0
+            ? static_cast<double>(report.true_positive) / report.predicted
+            : 0.0;
+    report.recall =
+        report.support > 0
+            ? static_cast<double>(report.true_positive) / report.support
+            : 0.0;
+    const double denom = report.precision + report.recall;
+    report.f1 =
+        denom > 0 ? 2 * report.precision * report.recall / denom : 0.0;
+    if (report.relation != na_relation && report.support > 0) {
+      precision_sum += report.precision;
+      recall_sum += report.recall;
+      f1_sum += report.f1;
+      ++result.relations_with_support;
+    }
+  }
+  if (result.relations_with_support > 0) {
+    result.macro_precision = precision_sum / result.relations_with_support;
+    result.macro_recall = recall_sum / result.relations_with_support;
+    result.macro_f1 = f1_sum / result.relations_with_support;
+  }
+  return result;
+}
+
+}  // namespace imr::eval

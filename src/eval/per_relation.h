@@ -1,0 +1,41 @@
+// Per-relation breakdown of hard predictions: precision / recall / F1 and
+// support for each relation, plus macro averages. Complements the
+// held-out micro metrics with the view a practitioner debugging a single
+// relation needs.
+#ifndef IMR_EVAL_PER_RELATION_H_
+#define IMR_EVAL_PER_RELATION_H_
+
+#include <string>
+#include <vector>
+
+namespace imr::eval {
+
+struct RelationReport {
+  int relation = 0;
+  int64_t support = 0;        // gold occurrences
+  int64_t predicted = 0;      // predicted occurrences
+  int64_t true_positive = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct PerRelationResult {
+  std::vector<RelationReport> relations;  // index == relation id
+  double macro_precision = 0.0;  // over relations with support > 0, excl NA
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  int relations_with_support = 0;
+};
+
+/// Computes the breakdown from aligned gold/predicted label vectors.
+/// Relation ids must lie in [0, num_relations). NA (id `na_relation`) is
+/// reported but excluded from the macro averages.
+PerRelationResult PerRelationBreakdown(const std::vector<int>& gold,
+                                       const std::vector<int>& predicted,
+                                       int num_relations,
+                                       int na_relation = 0);
+
+}  // namespace imr::eval
+
+#endif  // IMR_EVAL_PER_RELATION_H_

@@ -1,0 +1,54 @@
+#include "graph/alias_sampler.h"
+
+#include "util/logging.h"
+
+namespace imr::graph {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  IMR_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    IMR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  IMR_CHECK_GT(total, 0.0);
+
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (size_t i : small) {  // numerical leftovers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(util::Rng* rng) const {
+  const size_t column = rng->UniformInt(prob_.size());
+  return rng->Uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace imr::graph

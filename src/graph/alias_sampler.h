@@ -1,0 +1,30 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution.
+// Used for LINE's edge sampling (proportional to edge weight) and negative
+// sampling (proportional to degree^0.75).
+#ifndef IMR_GRAPH_ALIAS_SAMPLER_H_
+#define IMR_GRAPH_ALIAS_SAMPLER_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace imr::graph {
+
+class AliasSampler {
+ public:
+  /// Builds the table from non-negative weights (at least one positive).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index with probability weight[i] / sum(weights).
+  size_t Sample(util::Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace imr::graph
+
+#endif  // IMR_GRAPH_ALIAS_SAMPLER_H_

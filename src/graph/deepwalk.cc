@@ -1,0 +1,146 @@
+#include "graph/deepwalk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "graph/alias_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::graph {
+
+namespace {
+
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// Weighted adjacency with per-vertex alias samplers for O(1) next-step
+// draws.
+struct WalkGraph {
+  std::vector<std::vector<int>> neighbors;
+  std::vector<std::unique_ptr<AliasSampler>> samplers;
+
+  explicit WalkGraph(const ProximityGraph& graph)
+      : neighbors(static_cast<size_t>(graph.num_vertices())),
+        samplers(static_cast<size_t>(graph.num_vertices())) {
+    std::vector<std::vector<double>> weights(
+        static_cast<size_t>(graph.num_vertices()));
+    for (const Edge& edge : graph.edges()) {
+      neighbors[static_cast<size_t>(edge.source)].push_back(edge.target);
+      weights[static_cast<size_t>(edge.source)].push_back(edge.weight);
+      neighbors[static_cast<size_t>(edge.target)].push_back(edge.source);
+      weights[static_cast<size_t>(edge.target)].push_back(edge.weight);
+    }
+    for (size_t v = 0; v < neighbors.size(); ++v) {
+      if (!neighbors[v].empty())
+        samplers[v] = std::make_unique<AliasSampler>(weights[v]);
+    }
+  }
+
+  int Step(int vertex, util::Rng* rng) const {
+    const auto& sampler = samplers[static_cast<size_t>(vertex)];
+    if (sampler == nullptr) return -1;
+    return neighbors[static_cast<size_t>(vertex)]
+                    [sampler->Sample(rng)];
+  }
+};
+
+}  // namespace
+
+EmbeddingStore TrainDeepWalk(const ProximityGraph& graph,
+                             const DeepWalkConfig& config) {
+  IMR_CHECK_GT(config.dim, 0);
+  IMR_CHECK_GT(config.walk_length, 1);
+  util::Rng rng(config.seed);
+  const int vertices = graph.num_vertices();
+  const int dim = config.dim;
+
+  EmbeddingStore store(vertices, dim);
+  std::vector<float> contexts(static_cast<size_t>(vertices) * dim, 0.0f);
+  const float bound = 0.5f / static_cast<float>(dim);
+  for (int v = 0; v < vertices; ++v) {
+    float* row = store.Vector(v);
+    for (int d = 0; d < dim; ++d)
+      row[d] = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+
+  std::vector<double> noise_weights(static_cast<size_t>(vertices));
+  for (int v = 0; v < vertices; ++v)
+    noise_weights[static_cast<size_t>(v)] =
+        std::pow(graph.degrees()[static_cast<size_t>(v)],
+                 config.noise_power);
+  bool any_noise = false;
+  for (double w : noise_weights) any_noise |= (w > 0);
+  if (!any_noise) std::fill(noise_weights.begin(), noise_weights.end(), 1.0);
+  AliasSampler noise(noise_weights);
+
+  WalkGraph walk_graph(graph);
+  std::vector<int> order(static_cast<size_t>(vertices));
+  for (int v = 0; v < vertices; ++v) order[static_cast<size_t>(v)] = v;
+
+  const int64_t total_walks =
+      static_cast<int64_t>(vertices) * config.walks_per_vertex;
+  int64_t done_walks = 0;
+  std::vector<int> walk(static_cast<size_t>(config.walk_length));
+  for (int round = 0; round < config.walks_per_vertex; ++round) {
+    rng.Shuffle(&order);
+    for (int start : order) {
+      const float progress =
+          static_cast<float>(done_walks) / static_cast<float>(total_walks);
+      const float lr = std::max(config.initial_lr * (1.0f - progress),
+                                config.initial_lr * 1e-4f);
+      ++done_walks;
+      // Roll the walk.
+      int length = 0;
+      int current = start;
+      while (length < config.walk_length && current >= 0) {
+        walk[static_cast<size_t>(length++)] = current;
+        current = walk_graph.Step(current, &rng);
+      }
+      if (length < 2) continue;
+      // Skip-gram over the walk.
+      for (int center = 0; center < length; ++center) {
+        const int lo = std::max(0, center - config.window);
+        const int hi = std::min(length - 1, center + config.window);
+        float* center_vec =
+            store.Vector(walk[static_cast<size_t>(center)]);
+        for (int pos = lo; pos <= hi; ++pos) {
+          if (pos == center) continue;
+          const int target = walk[static_cast<size_t>(pos)];
+          std::vector<float> grad(static_cast<size_t>(dim), 0.0f);
+          for (int k = 0; k <= config.negative_samples; ++k) {
+            int vertex;
+            float label;
+            if (k == 0) {
+              vertex = target;
+              label = 1.0f;
+            } else {
+              vertex = static_cast<int>(noise.Sample(&rng));
+              if (vertex == target) continue;
+              label = 0.0f;
+            }
+            float* ctx =
+                contexts.data() + static_cast<size_t>(vertex) * dim;
+            float dot = 0.0f;
+            for (int d = 0; d < dim; ++d) dot += center_vec[d] * ctx[d];
+            const float g = (label - FastSigmoid(dot)) * lr;
+            for (int d = 0; d < dim; ++d) {
+              grad[static_cast<size_t>(d)] += g * ctx[d];
+              ctx[d] += g * center_vec[d];
+            }
+          }
+          for (int d = 0; d < dim; ++d)
+            center_vec[d] += grad[static_cast<size_t>(d)];
+        }
+      }
+    }
+  }
+  store.NormalizeRows();
+  return store;
+}
+
+}  // namespace imr::graph

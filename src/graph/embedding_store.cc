@@ -1,0 +1,128 @@
+#include "graph/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace imr::graph {
+
+namespace {
+constexpr uint32_t kEmbeddingMagic = 0x494D5245;  // "IMRE"
+constexpr uint32_t kEmbeddingVersion = 1;
+}  // namespace
+
+EmbeddingStore::EmbeddingStore(int num_vertices, int dim)
+    : num_vertices_(num_vertices), dim_(dim) {
+  IMR_CHECK_GT(num_vertices, 0);
+  IMR_CHECK_GT(dim, 0);
+  data_.assign(static_cast<size_t>(num_vertices) * dim, 0.0f);
+}
+
+float* EmbeddingStore::Vector(int vertex) {
+  IMR_CHECK_GE(vertex, 0);
+  IMR_CHECK_LT(vertex, num_vertices_);
+  return data_.data() + static_cast<size_t>(vertex) * dim_;
+}
+
+const float* EmbeddingStore::Vector(int vertex) const {
+  IMR_CHECK_GE(vertex, 0);
+  IMR_CHECK_LT(vertex, num_vertices_);
+  return data_.data() + static_cast<size_t>(vertex) * dim_;
+}
+
+std::vector<float> EmbeddingStore::VectorCopy(int vertex) const {
+  const float* row = Vector(vertex);
+  return std::vector<float>(row, row + dim_);
+}
+
+std::vector<float> EmbeddingStore::MutualRelation(int i, int j) const {
+  const float* ui = Vector(i);
+  const float* uj = Vector(j);
+  std::vector<float> mr(static_cast<size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) mr[static_cast<size_t>(d)] = uj[d] - ui[d];
+  return mr;
+}
+
+double EmbeddingStore::Cosine(int a, int b) const {
+  const float* va = Vector(a);
+  const float* vb = Vector(b);
+  double dot = 0, na = 0, nb = 0;
+  for (int d = 0; d < dim_; ++d) {
+    dot += static_cast<double>(va[d]) * vb[d];
+    na += static_cast<double>(va[d]) * va[d];
+    nb += static_cast<double>(vb[d]) * vb[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+double EmbeddingStore::Cosine(const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  IMR_CHECK_EQ(a.size(), b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    dot += static_cast<double>(a[d]) * b[d];
+    na += static_cast<double>(a[d]) * a[d];
+    nb += static_cast<double>(b[d]) * b[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+std::vector<EmbeddingStore::Neighbor> EmbeddingStore::NearestNeighbors(
+    int vertex, int k) const {
+  std::vector<Neighbor> all;
+  all.reserve(static_cast<size_t>(num_vertices_ - 1));
+  for (int v = 0; v < num_vertices_; ++v) {
+    if (v == vertex) continue;
+    all.push_back({v, Cosine(vertex, v)});
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+void EmbeddingStore::NormalizeRows() {
+  for (int v = 0; v < num_vertices_; ++v) {
+    float* row = Vector(v);
+    double norm = 0;
+    for (int d = 0; d < dim_; ++d) norm += static_cast<double>(row[d]) * row[d];
+    norm = std::sqrt(norm);
+    if (norm <= 0) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+util::Status EmbeddingStore::Save(const std::string& path) const {
+  util::BinaryWriter writer(path, kEmbeddingMagic, kEmbeddingVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+  writer.WriteU32(static_cast<uint32_t>(num_vertices_));
+  writer.WriteU32(static_cast<uint32_t>(dim_));
+  writer.WriteFloatVector(data_);
+  return writer.Close();
+}
+
+util::StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  util::BinaryReader reader(path, kEmbeddingMagic, kEmbeddingVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  const int num_vertices = static_cast<int>(reader.ReadU32());
+  const int dim = static_cast<int>(reader.ReadU32());
+  std::vector<float> data = reader.ReadFloatVector();
+  IMR_RETURN_IF_ERROR(reader.status());
+  if (num_vertices <= 0 || dim <= 0 ||
+      data.size() != static_cast<size_t>(num_vertices) * dim) {
+    return util::InvalidArgument("corrupt embedding file: " + path);
+  }
+  EmbeddingStore store(num_vertices, dim);
+  store.data_ = std::move(data);
+  return store;
+}
+
+}  // namespace imr::graph

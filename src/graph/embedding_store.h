@@ -1,0 +1,59 @@
+// Dense entity-embedding store with cosine nearest-neighbour queries and
+// the paper's implicit-mutual-relation vector MR(i, j) = U_j - U_i.
+#ifndef IMR_GRAPH_EMBEDDING_STORE_H_
+#define IMR_GRAPH_EMBEDDING_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::graph {
+
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  EmbeddingStore(int num_vertices, int dim);
+
+  int num_vertices() const { return num_vertices_; }
+  int dim() const { return dim_; }
+
+  /// Mutable row access.
+  float* Vector(int vertex);
+  const float* Vector(int vertex) const;
+  std::vector<float> VectorCopy(int vertex) const;
+
+  /// MR(i, j) = U_j - U_i (paper Section III-A.3).
+  std::vector<float> MutualRelation(int i, int j) const;
+
+  /// Top-k most cosine-similar vertices to `vertex` (excluding itself).
+  struct Neighbor {
+    int vertex = -1;
+    double similarity = 0.0;
+  };
+  std::vector<Neighbor> NearestNeighbors(int vertex, int k) const;
+
+  /// Cosine similarity between two stored vectors.
+  double Cosine(int a, int b) const;
+  /// Cosine similarity between two raw vectors of dim().
+  static double Cosine(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+  /// L2-normalises every row in place (no-op for zero rows).
+  void NormalizeRows();
+
+  /// Flat [num_vertices x dim] view, row-major.
+  const std::vector<float>& flat() const { return data_; }
+
+  util::Status Save(const std::string& path) const;
+  static util::StatusOr<EmbeddingStore> Load(const std::string& path);
+
+ private:
+  int num_vertices_ = 0;
+  int dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace imr::graph
+
+#endif  // IMR_GRAPH_EMBEDDING_STORE_H_

@@ -1,0 +1,163 @@
+#include "graph/line.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/alias_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::graph {
+
+namespace {
+
+// Fast, clamped sigmoid.
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// One SGD step of skip-gram-with-negative-sampling on (source, target):
+// maximises log sigma(ctx_t . emb_s) and K terms log sigma(-ctx_n . emb_s).
+// `embeddings`/`contexts` are [V x dim] row-major; for first-order LINE,
+// pass the same buffer for both.
+void SgnsUpdate(float* embeddings, float* contexts, int dim, int source,
+                int target, int negatives, const AliasSampler& noise,
+                float lr, util::Rng* rng) {
+  float* source_vec = embeddings + static_cast<size_t>(source) * dim;
+  std::vector<float> source_grad(static_cast<size_t>(dim), 0.0f);
+  for (int k = 0; k <= negatives; ++k) {
+    int vertex;
+    float label;
+    if (k == 0) {
+      vertex = target;
+      label = 1.0f;
+    } else {
+      vertex = static_cast<int>(noise.Sample(rng));
+      if (vertex == target) continue;
+      label = 0.0f;
+    }
+    float* ctx_vec = contexts + static_cast<size_t>(vertex) * dim;
+    float dot = 0.0f;
+    for (int d = 0; d < dim; ++d) dot += source_vec[d] * ctx_vec[d];
+    const float grad_scale = (label - FastSigmoid(dot)) * lr;
+    for (int d = 0; d < dim; ++d) {
+      source_grad[static_cast<size_t>(d)] += grad_scale * ctx_vec[d];
+      ctx_vec[d] += grad_scale * source_vec[d];
+    }
+  }
+  for (int d = 0; d < dim; ++d)
+    source_vec[d] += source_grad[static_cast<size_t>(d)];
+}
+
+// Trains one LINE order into `embeddings`; `contexts` is a separate buffer
+// for second order and aliases `embeddings` for first order.
+void TrainOrder(const ProximityGraph& graph, const LineConfig& config,
+                int dim, float* embeddings, float* contexts,
+                util::Rng* rng) {
+  const auto& edges = graph.edges();
+  if (edges.empty()) return;
+
+  std::vector<double> edge_weights;
+  edge_weights.reserve(edges.size());
+  for (const Edge& edge : edges) edge_weights.push_back(edge.weight);
+  AliasSampler edge_sampler(edge_weights);
+
+  std::vector<double> noise_weights(graph.degrees().size());
+  for (size_t v = 0; v < noise_weights.size(); ++v)
+    noise_weights[v] = std::pow(graph.degrees()[v], config.noise_power);
+  double total_noise = 0;
+  for (double w : noise_weights) total_noise += w;
+  if (total_noise <= 0) {
+    // Degenerate graph: uniform noise.
+    std::fill(noise_weights.begin(), noise_weights.end(), 1.0);
+  }
+  AliasSampler noise_sampler(noise_weights);
+
+  const int64_t total_samples =
+      static_cast<int64_t>(edges.size()) * config.samples_per_edge;
+  for (int64_t step = 0; step < total_samples; ++step) {
+    const float progress =
+        static_cast<float>(step) / static_cast<float>(total_samples);
+    const float lr =
+        std::max(config.initial_lr * (1.0f - progress),
+                 config.initial_lr * 1e-4f);
+    const Edge& edge = edges[edge_sampler.Sample(rng)];
+    // Undirected edge: train both directions (LINE treats each undirected
+    // edge as two directed ones).
+    if (rng->Bernoulli(0.5)) {
+      SgnsUpdate(embeddings, contexts, dim, edge.source, edge.target,
+                 config.negative_samples, noise_sampler, lr, rng);
+    } else {
+      SgnsUpdate(embeddings, contexts, dim, edge.target, edge.source,
+                 config.negative_samples, noise_sampler, lr, rng);
+    }
+  }
+}
+
+void RandomInit(float* data, size_t n, int dim, util::Rng* rng) {
+  const float bound = 0.5f / static_cast<float>(dim);
+  for (size_t i = 0; i < n; ++i)
+    data[i] = static_cast<float>(rng->Uniform(-bound, bound));
+}
+
+// L2-normalises [V x dim] rows in place.
+void NormalizeBlock(float* data, int vertices, int dim) {
+  for (int v = 0; v < vertices; ++v) {
+    float* row = data + static_cast<size_t>(v) * dim;
+    double norm = 0;
+    for (int d = 0; d < dim; ++d)
+      norm += static_cast<double>(row[d]) * row[d];
+    norm = std::sqrt(norm);
+    if (norm <= 0) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int d = 0; d < dim; ++d) row[d] *= inv;
+  }
+}
+
+}  // namespace
+
+EmbeddingStore TrainLine(const ProximityGraph& graph,
+                         const LineConfig& config) {
+  IMR_CHECK(config.first_order || config.second_order);
+  IMR_CHECK_GT(config.dim, 1);
+  util::Rng rng(config.seed);
+  const int vertices = graph.num_vertices();
+  const bool both = config.first_order && config.second_order;
+  const int half = both ? config.dim / 2 : config.dim;
+
+  EmbeddingStore store(vertices, both ? 2 * half : half);
+
+  std::vector<float> first, second, second_context;
+  if (config.first_order) {
+    first.resize(static_cast<size_t>(vertices) * half);
+    RandomInit(first.data(), first.size(), half, &rng);
+    TrainOrder(graph, config, half, first.data(), first.data(), &rng);
+    NormalizeBlock(first.data(), vertices, half);
+  }
+  if (config.second_order) {
+    second.resize(static_cast<size_t>(vertices) * half);
+    second_context.assign(static_cast<size_t>(vertices) * half, 0.0f);
+    RandomInit(second.data(), second.size(), half, &rng);
+    TrainOrder(graph, config, half, second.data(), second_context.data(),
+               &rng);
+    NormalizeBlock(second.data(), vertices, half);
+  }
+
+  for (int v = 0; v < vertices; ++v) {
+    float* out = store.Vector(v);
+    int offset = 0;
+    if (config.first_order) {
+      std::copy_n(first.data() + static_cast<size_t>(v) * half, half, out);
+      offset = half;
+    }
+    if (config.second_order) {
+      std::copy_n(second.data() + static_cast<size_t>(v) * half, half,
+                  out + offset);
+    }
+  }
+  return store;
+}
+
+}  // namespace imr::graph

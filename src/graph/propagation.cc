@@ -1,0 +1,105 @@
+#include "graph/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace imr::graph {
+
+namespace {
+
+struct Adjacency {
+  std::vector<std::vector<int>> neighbors;
+  std::vector<std::vector<double>> weights;
+
+  explicit Adjacency(const ProximityGraph& graph)
+      : neighbors(static_cast<size_t>(graph.num_vertices())),
+        weights(static_cast<size_t>(graph.num_vertices())) {
+    for (const Edge& edge : graph.edges()) {
+      neighbors[static_cast<size_t>(edge.source)].push_back(edge.target);
+      weights[static_cast<size_t>(edge.source)].push_back(edge.weight);
+      neighbors[static_cast<size_t>(edge.target)].push_back(edge.source);
+      weights[static_cast<size_t>(edge.target)].push_back(edge.weight);
+    }
+  }
+};
+
+double CosineRaw(const float* a, const float* b, int dim) {
+  double dot = 0, na = 0, nb = 0;
+  for (int d = 0; d < dim; ++d) {
+    dot += static_cast<double>(a[d]) * b[d];
+    na += static_cast<double>(a[d]) * a[d];
+    nb += static_cast<double>(b[d]) * b[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+EmbeddingStore PropagateEmbeddings(const ProximityGraph& graph,
+                                   const EmbeddingStore& store,
+                                   const PropagationConfig& config) {
+  IMR_CHECK_EQ(graph.num_vertices(), store.num_vertices());
+  IMR_CHECK_GE(config.rounds, 0);
+  IMR_CHECK_GE(config.mix, 0.0f);
+  IMR_CHECK_LE(config.mix, 1.0f);
+  const int dim = store.dim();
+  Adjacency adjacency(graph);
+
+  EmbeddingStore current(store.num_vertices(), dim);
+  std::copy(store.flat().begin(), store.flat().end(),
+            current.Vector(0));
+
+  for (int round = 0; round < config.rounds; ++round) {
+    EmbeddingStore next(store.num_vertices(), dim);
+    for (int u = 0; u < store.num_vertices(); ++u) {
+      const auto& neighbors = adjacency.neighbors[static_cast<size_t>(u)];
+      const float* self = current.Vector(u);
+      float* out = next.Vector(u);
+      if (neighbors.empty()) {
+        std::copy(self, self + dim, out);
+        continue;
+      }
+      // Neighbour weights.
+      std::vector<double> alphas(neighbors.size());
+      if (config.weighting == PropagationWeighting::kEdgeWeight) {
+        double total = 0;
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          alphas[i] = adjacency.weights[static_cast<size_t>(u)][i];
+          total += alphas[i];
+        }
+        if (total <= 0) total = 1;
+        for (double& alpha : alphas) alpha /= total;
+      } else {
+        double max_score = -1e30;
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          alphas[i] = CosineRaw(self, current.Vector(neighbors[i]), dim) /
+                      config.attention_temperature;
+          max_score = std::max(max_score, alphas[i]);
+        }
+        double total = 0;
+        for (double& alpha : alphas) {
+          alpha = std::exp(alpha - max_score);
+          total += alpha;
+        }
+        for (double& alpha : alphas) alpha /= total;
+      }
+      // Aggregate.
+      for (int d = 0; d < dim; ++d)
+        out[d] = (1.0f - config.mix) * self[d];
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const float* nv = current.Vector(neighbors[i]);
+        const float scale =
+            config.mix * static_cast<float>(alphas[i]);
+        for (int d = 0; d < dim; ++d) out[d] += scale * nv[d];
+      }
+    }
+    if (config.renormalize) next.NormalizeRows();
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace imr::graph

@@ -1,0 +1,37 @@
+// Embedding propagation over the proximity graph — the lightweight version
+// of the GNN extension the paper proposes as future work (Section V): LINE
+// "may fail for vertices that have few or even no edges"; propagating each
+// vertex's embedding through its neighbourhood smooths exactly those
+// vertices. Two neighbour weightings:
+//   * kEdgeWeight  — GCN-flavoured, normalised edge weights;
+//   * kAttention   — GAT-flavoured, softmax over embedding similarity.
+#ifndef IMR_GRAPH_PROPAGATION_H_
+#define IMR_GRAPH_PROPAGATION_H_
+
+#include "graph/embedding_store.h"
+#include "graph/proximity_graph.h"
+
+namespace imr::graph {
+
+enum class PropagationWeighting {
+  kEdgeWeight,  // w_uv / sum_w (GCN-style mean aggregation)
+  kAttention,   // softmax_v(cos(h_u, h_v) / temperature) (GAT-style)
+};
+
+struct PropagationConfig {
+  int rounds = 2;
+  // h'_u = (1 - mix) * h_u + mix * aggregate(neighbours).
+  float mix = 0.5f;
+  PropagationWeighting weighting = PropagationWeighting::kEdgeWeight;
+  float attention_temperature = 0.2f;
+  bool renormalize = true;  // L2-normalise rows after each round
+};
+
+/// Returns a smoothed copy of `store`. Isolated vertices are unchanged.
+EmbeddingStore PropagateEmbeddings(const ProximityGraph& graph,
+                                   const EmbeddingStore& store,
+                                   const PropagationConfig& config);
+
+}  // namespace imr::graph
+
+#endif  // IMR_GRAPH_PROPAGATION_H_

@@ -1,0 +1,88 @@
+#include "graph/proximity_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace imr::graph {
+
+ProximityGraph::ProximityGraph(int num_vertices)
+    : num_vertices_(num_vertices) {
+  IMR_CHECK_GT(num_vertices, 0);
+}
+
+void ProximityGraph::AddCooccurrence(int64_t a, int64_t b) {
+  IMR_CHECK_GE(a, 0);
+  IMR_CHECK_LT(a, num_vertices_);
+  IMR_CHECK_GE(b, 0);
+  IMR_CHECK_LT(b, num_vertices_);
+  if (a == b) return;  // self-co-occurrence carries no relational signal
+  const int64_t count = ++counts_[Key(a, b)];
+  max_count_ = std::max(max_count_, count);
+  finalized_ = false;
+}
+
+void ProximityGraph::AddCorpus(const std::vector<text::Sentence>& sentences) {
+  for (const text::Sentence& sentence : sentences) {
+    if (sentence.head_entity < 0 || sentence.tail_entity < 0) continue;
+    AddCooccurrence(sentence.head_entity, sentence.tail_entity);
+  }
+}
+
+void ProximityGraph::Finalize(int min_cooccurrence) {
+  IMR_CHECK_GE(min_cooccurrence, 1);
+  edges_.clear();
+  degrees_.assign(static_cast<size_t>(num_vertices_), 0.0);
+  adjacency_.assign(static_cast<size_t>(num_vertices_), {});
+  // log(1) == 0 would zero all weights when the max count is 1; clamp the
+  // denominator so single-count graphs still get usable weights.
+  const double denom =
+      std::log(std::max<double>(2.0, static_cast<double>(max_count_)));
+  for (const auto& [key, count] : counts_) {
+    if (count < min_cooccurrence) continue;
+    Edge edge;
+    edge.source = static_cast<int32_t>(key >> 32);
+    edge.target = static_cast<int32_t>(key & 0xffffffff);
+    edge.cooccurrence = count;
+    edge.weight =
+        std::log(static_cast<double>(std::max<int64_t>(2, count))) / denom;
+    degrees_[static_cast<size_t>(edge.source)] += edge.weight;
+    degrees_[static_cast<size_t>(edge.target)] += edge.weight;
+    adjacency_[static_cast<size_t>(edge.source)].push_back(edge.target);
+    adjacency_[static_cast<size_t>(edge.target)].push_back(edge.source);
+    edges_.push_back(edge);
+  }
+  // Deterministic ordering regardless of hash-map iteration.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+  for (auto& neighbors : adjacency_)
+    std::sort(neighbors.begin(), neighbors.end());
+  finalized_ = true;
+}
+
+const std::vector<Edge>& ProximityGraph::edges() const {
+  IMR_CHECK(finalized_);
+  return edges_;
+}
+
+const std::vector<double>& ProximityGraph::degrees() const {
+  IMR_CHECK(finalized_);
+  return degrees_;
+}
+
+int64_t ProximityGraph::CooccurrenceCount(int64_t a, int64_t b) const {
+  auto it = counts_.find(Key(a, b));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<int> ProximityGraph::Neighbors(int vertex) const {
+  IMR_CHECK(finalized_);
+  IMR_CHECK_GE(vertex, 0);
+  IMR_CHECK_LT(vertex, num_vertices_);
+  return adjacency_[static_cast<size_t>(vertex)];
+}
+
+}  // namespace imr::graph

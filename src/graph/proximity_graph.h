@@ -1,0 +1,71 @@
+// Entity proximity graph (paper Section III-A.1): vertices are entities,
+// an edge (i, j) exists when the pair co-occurs in at least
+// `min_cooccurrence` unlabeled sentences, and its weight is
+//     w_ij = log(co_ij) / log(max_kl co_kl).
+#ifndef IMR_GRAPH_PROXIMITY_GRAPH_H_
+#define IMR_GRAPH_PROXIMITY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/sentence.h"
+#include "util/status.h"
+
+namespace imr::graph {
+
+struct Edge {
+  int32_t source = 0;
+  int32_t target = 0;
+  double weight = 0.0;
+  int64_t cooccurrence = 0;
+};
+
+class ProximityGraph {
+ public:
+  /// `num_vertices` is the entity-id space; sentences reference entity ids
+  /// in [0, num_vertices).
+  explicit ProximityGraph(int num_vertices);
+
+  /// Counts one co-occurrence (order-insensitive).
+  void AddCooccurrence(int64_t a, int64_t b);
+
+  /// Counts every sentence's (head, tail) pair.
+  void AddCorpus(const std::vector<text::Sentence>& sentences);
+
+  /// Materialises edges for pairs with count >= min_cooccurrence and
+  /// computes the log-normalised weights. Must be called after counting
+  /// and before the accessors below; may be called again after more counts.
+  void Finalize(int min_cooccurrence = 2);
+
+  int num_vertices() const { return num_vertices_; }
+  /// Undirected edges (each stored once, source < target).
+  const std::vector<Edge>& edges() const;
+  /// Weighted degree of each vertex.
+  const std::vector<double>& degrees() const;
+  /// Raw co-occurrence count of a pair (0 when never seen).
+  int64_t CooccurrenceCount(int64_t a, int64_t b) const;
+  int64_t max_cooccurrence() const { return max_count_; }
+
+  /// Neighbours of a vertex in the finalised graph.
+  std::vector<int> Neighbors(int vertex) const;
+
+ private:
+  static uint64_t Key(int64_t a, int64_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) |
+           static_cast<uint64_t>(b & 0xffffffff);
+  }
+
+  int num_vertices_;
+  bool finalized_ = false;
+  std::unordered_map<uint64_t, int64_t> counts_;
+  int64_t max_count_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<double> degrees_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace imr::graph
+
+#endif  // IMR_GRAPH_PROXIMITY_GRAPH_H_

@@ -1,0 +1,64 @@
+// Umbrella header for the IMR library — implicit mutual relations for
+// neural relation extraction (Kuang et al., ICDE 2020), reimplemented in
+// C++20 with all of its substrates.
+//
+// Typical usage (see examples/quickstart.cpp):
+//   #include "imr.h"
+//   auto dataset = imr::datagen::MakeGdsLike({});
+//   auto bags = imr::re::BagDataset::Build(...);
+//   imr::graph::ProximityGraph proximity(...);
+//   auto embeddings = imr::graph::TrainLine(proximity, {});
+//   bags.AttachMutualRelations(embeddings);
+//   imr::re::PaModel model(config, &rng);
+//   imr::re::TrainAndEvaluate(&model, bags.train_bags(), bags.test_bags(), {});
+#ifndef IMR_IMR_H_
+#define IMR_IMR_H_
+
+#include "datagen/distant_supervision.h"   // IWYU pragma: export
+#include "datagen/presets.h"               // IWYU pragma: export
+#include "datagen/stats.h"                 // IWYU pragma: export
+#include "datagen/templates.h"             // IWYU pragma: export
+#include "datagen/unlabeled.h"             // IWYU pragma: export
+#include "datagen/world.h"                 // IWYU pragma: export
+#include "eval/aggregate.h"                // IWYU pragma: export
+#include "eval/buckets.h"                  // IWYU pragma: export
+#include "eval/heldout.h"                  // IWYU pragma: export
+#include "eval/metrics.h"                  // IWYU pragma: export
+#include "eval/per_relation.h"             // IWYU pragma: export
+#include "graph/alias_sampler.h"           // IWYU pragma: export
+#include "graph/deepwalk.h"                // IWYU pragma: export
+#include "graph/embedding_store.h"         // IWYU pragma: export
+#include "graph/line.h"                    // IWYU pragma: export
+#include "graph/node2vec.h"                // IWYU pragma: export
+#include "graph/propagation.h"             // IWYU pragma: export
+#include "graph/proximity_graph.h"         // IWYU pragma: export
+#include "kg/knowledge_graph.h"            // IWYU pragma: export
+#include "kg/types.h"                      // IWYU pragma: export
+#include "nn/attention.h"                  // IWYU pragma: export
+#include "nn/encoders.h"                   // IWYU pragma: export
+#include "nn/gradcheck.h"                  // IWYU pragma: export
+#include "nn/layers.h"                     // IWYU pragma: export
+#include "nn/optimizer.h"                  // IWYU pragma: export
+#include "re/bag_dataset.h"                // IWYU pragma: export
+#include "re/cnn_rl.h"                     // IWYU pragma: export
+#include "re/config.h"                     // IWYU pragma: export
+#include "re/mimlre.h"                     // IWYU pragma: export
+#include "re/mintz.h"                      // IWYU pragma: export
+#include "re/multir.h"                     // IWYU pragma: export
+#include "re/pa_model.h"                   // IWYU pragma: export
+#include "re/trainer.h"                    // IWYU pragma: export
+#include "tensor/ops.h"                    // IWYU pragma: export
+#include "tensor/tensor.h"                 // IWYU pragma: export
+#include "text/corpus_io.h"                // IWYU pragma: export
+#include "text/position.h"                 // IWYU pragma: export
+#include "text/sentence.h"                 // IWYU pragma: export
+#include "text/tokenizer.h"                // IWYU pragma: export
+#include "text/vocab.h"                    // IWYU pragma: export
+#include "util/flags.h"                    // IWYU pragma: export
+#include "util/logging.h"                  // IWYU pragma: export
+#include "util/rng.h"                      // IWYU pragma: export
+#include "util/serialization.h"            // IWYU pragma: export
+#include "util/status.h"                   // IWYU pragma: export
+#include "util/tsv_writer.h"               // IWYU pragma: export
+
+#endif  // IMR_IMR_H_

@@ -1,0 +1,102 @@
+#include "kg/knowledge_graph.h"
+
+#include "util/logging.h"
+
+namespace imr::kg {
+
+EntityId KnowledgeGraph::AddEntity(const std::string& name,
+                                   std::vector<int> type_ids, int cluster) {
+  IMR_CHECK(!name.empty());
+  IMR_CHECK(!type_ids.empty());
+  IMR_CHECK(entity_by_name_.find(name) == entity_by_name_.end());
+  Entity entity;
+  entity.id = static_cast<EntityId>(entities_.size());
+  entity.name = name;
+  entity.type_ids = std::move(type_ids);
+  entity.cluster = cluster;
+  entity_by_name_.emplace(name, entity.id);
+  entities_.push_back(std::move(entity));
+  return entities_.back().id;
+}
+
+int KnowledgeGraph::AddRelation(const std::string& name, int head_type,
+                                int tail_type) {
+  IMR_CHECK(relation_by_name_.find(name) == relation_by_name_.end());
+  RelationSchema schema;
+  schema.id = static_cast<int>(relations_.size());
+  if (schema.id == kNaRelation) {
+    IMR_CHECK_EQ(name, "NA");
+  }
+  schema.name = name;
+  schema.head_type = head_type;
+  schema.tail_type = tail_type;
+  relation_by_name_.emplace(name, schema.id);
+  relations_.push_back(std::move(schema));
+  return relations_.back().id;
+}
+
+void KnowledgeGraph::AddTriple(EntityId head, int relation, EntityId tail) {
+  IMR_CHECK_GE(head, 0);
+  IMR_CHECK_LT(head, num_entities());
+  IMR_CHECK_GE(tail, 0);
+  IMR_CHECK_LT(tail, num_entities());
+  IMR_CHECK_GE(relation, 0);
+  IMR_CHECK_LT(relation, num_relations());
+  const uint64_t key = PairKey(head, tail);
+  auto [it, inserted] = relation_by_pair_.emplace(key, relation);
+  if (!inserted) return;  // first fact wins; duplicates ignored
+  triples_.push_back({head, relation, tail});
+}
+
+const Entity& KnowledgeGraph::entity(EntityId id) const {
+  IMR_CHECK_GE(id, 0);
+  IMR_CHECK_LT(id, num_entities());
+  return entities_[static_cast<size_t>(id)];
+}
+
+const RelationSchema& KnowledgeGraph::relation(int id) const {
+  IMR_CHECK_GE(id, 0);
+  IMR_CHECK_LT(id, num_relations());
+  return relations_[static_cast<size_t>(id)];
+}
+
+util::StatusOr<EntityId> KnowledgeGraph::FindEntity(
+    const std::string& name) const {
+  auto it = entity_by_name_.find(name);
+  if (it == entity_by_name_.end())
+    return util::NotFound("entity: " + name);
+  return it->second;
+}
+
+util::StatusOr<int> KnowledgeGraph::FindRelation(
+    const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end())
+    return util::NotFound("relation: " + name);
+  return it->second;
+}
+
+int KnowledgeGraph::PairRelation(EntityId head, EntityId tail) const {
+  auto it = relation_by_pair_.find(PairKey(head, tail));
+  return it == relation_by_pair_.end() ? kNaRelation : it->second;
+}
+
+bool KnowledgeGraph::HasTriple(EntityId head, int relation,
+                               EntityId tail) const {
+  return PairRelation(head, tail) == relation && relation != kNaRelation;
+}
+
+bool KnowledgeGraph::TypeCompatible(EntityId head, int relation,
+                                    EntityId tail) const {
+  const RelationSchema& schema = this->relation(relation);
+  auto has_type = [this](EntityId id, int type) {
+    if (type < 0) return true;
+    for (int t : entity(id).type_ids)
+      if (t == type) return true;
+    return false;
+  };
+  return has_type(head, schema.head_type) &&
+         has_type(tail, schema.tail_type);
+}
+
+}  // namespace imr::kg

@@ -1,0 +1,98 @@
+// In-memory knowledge graph: entities with FIGER-style types, relation
+// schemas with type signatures, and a triple store with the indexes the RE
+// pipeline needs (pair -> relation for distant supervision, held-out eval).
+#ifndef IMR_KG_KNOWLEDGE_GRAPH_H_
+#define IMR_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace imr::kg {
+
+using EntityId = int64_t;
+
+struct Entity {
+  EntityId id = -1;
+  std::string name;            // single-token surface form, e.g. "stanford_university"
+  std::vector<int> type_ids;   // coarse FIGER type ids (>= 1 entry)
+  int cluster = -1;            // latent semantic cluster (datagen metadata)
+};
+
+struct RelationSchema {
+  int id = -1;
+  std::string name;       // e.g. "/location/location/contains"
+  int head_type = -1;     // required coarse type of the head entity
+  int tail_type = -1;     // required coarse type of the tail entity
+};
+
+struct Triple {
+  EntityId head = -1;
+  int relation = 0;
+  EntityId tail = -1;
+};
+
+/// Relation id 0 is always NA ("no relation"), as in NYT/GDS.
+constexpr int kNaRelation = 0;
+
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // Movable, not copyable (indexes can be large).
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+
+  /// Adds an entity; returns its id. Names must be unique.
+  EntityId AddEntity(const std::string& name, std::vector<int> type_ids,
+                     int cluster = -1);
+
+  /// Adds a relation schema; returns its id. Id 0 must be NA.
+  int AddRelation(const std::string& name, int head_type = -1,
+                  int tail_type = -1);
+
+  /// Records a fact. Duplicate facts are ignored.
+  void AddTriple(EntityId head, int relation, EntityId tail);
+
+  const Entity& entity(EntityId id) const;
+  const RelationSchema& relation(int id) const;
+  util::StatusOr<EntityId> FindEntity(const std::string& name) const;
+  util::StatusOr<int> FindRelation(const std::string& name) const;
+
+  /// Relation between a pair; kNaRelation when no fact exists.
+  int PairRelation(EntityId head, EntityId tail) const;
+  bool HasTriple(EntityId head, int relation, EntityId tail) const;
+
+  int num_entities() const { return static_cast<int>(entities_.size()); }
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  /// True when (head_type, tail_type) of the entities satisfies the
+  /// relation's signature (unconstrained slots always match).
+  bool TypeCompatible(EntityId head, int relation, EntityId tail) const;
+
+ private:
+  static uint64_t PairKey(EntityId head, EntityId tail) {
+    return (static_cast<uint64_t>(head) << 32) ^
+           static_cast<uint64_t>(tail & 0xffffffff);
+  }
+
+  std::vector<Entity> entities_;
+  std::vector<RelationSchema> relations_;
+  std::vector<Triple> triples_;
+  std::unordered_map<std::string, EntityId> entity_by_name_;
+  std::unordered_map<std::string, int> relation_by_name_;
+  std::unordered_map<uint64_t, int> relation_by_pair_;
+};
+
+}  // namespace imr::kg
+
+#endif  // IMR_KG_KNOWLEDGE_GRAPH_H_

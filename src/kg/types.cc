@@ -1,0 +1,39 @@
+#include "kg/types.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace imr::kg {
+
+const std::vector<std::string>& CoarseTypeNames() {
+  // FIGER first-level types (Ling & Weld 2012, Figure 1).
+  static const std::vector<std::string>& kNames =
+      *new std::vector<std::string>{
+          "person",        "organization", "location",   "product",
+          "art",           "event",        "building",   "people",
+          "internet",      "time",         "law",        "game",
+          "transportation","food",         "title",      "broadcast",
+          "living_thing",  "education",    "written_work","medicine",
+          "body_part",     "disease",      "symptom",    "award",
+          "language",      "religion",     "god",        "chemistry",
+          "biology",       "finance",      "astral_body","geography",
+          "government",    "military",     "news_agency","park",
+          "play",          "visual_art"};
+  IMR_CHECK_EQ(static_cast<int>(kNames.size()), kNumCoarseTypes);
+  return kNames;
+}
+
+int CoarseTypeId(const std::string& name) {
+  static const std::unordered_map<std::string, int>& kIndex = [] {
+    auto* index = new std::unordered_map<std::string, int>();
+    const auto& names = CoarseTypeNames();
+    for (size_t i = 0; i < names.size(); ++i)
+      index->emplace(names[i], static_cast<int>(i));
+    return *index;
+  }();
+  auto it = kIndex.find(name);
+  return it == kIndex.end() ? -1 : it->second;
+}
+
+}  // namespace imr::kg

@@ -1,0 +1,23 @@
+// FIGER first-hierarchy entity types (Ling & Weld 2012). The paper uses the
+// 38 coarse types that form FIGER's first level; we embed the same taxonomy
+// so entity-type features are structurally identical to the original.
+#ifndef IMR_KG_TYPES_H_
+#define IMR_KG_TYPES_H_
+
+#include <string>
+#include <vector>
+
+namespace imr::kg {
+
+/// Number of coarse types (paper Section III-B).
+constexpr int kNumCoarseTypes = 38;
+
+/// Names of the 38 coarse FIGER types, index == type id.
+const std::vector<std::string>& CoarseTypeNames();
+
+/// Id for a type name; -1 when unknown.
+int CoarseTypeId(const std::string& name);
+
+}  // namespace imr::kg
+
+#endif  // IMR_KG_TYPES_H_

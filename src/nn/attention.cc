@@ -1,0 +1,37 @@
+#include "nn/attention.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace imr::nn {
+
+using tensor::Tensor;
+
+SelectiveAttention::SelectiveAttention(int dim, int num_relations,
+                                       util::Rng* rng)
+    : dim_(dim), num_relations_(num_relations) {
+  IMR_CHECK_GT(dim, 0);
+  IMR_CHECK_GT(num_relations, 0);
+  // A initialised to identity so attention starts as plain dot-product
+  // similarity with the query.
+  diag_ = RegisterParameter("diag", tensor::Tensor::Full({dim}, 1.0f));
+  queries_ = std::make_unique<Embedding>(num_relations, dim, rng);
+  RegisterChild("queries", queries_.get());
+}
+
+Tensor SelectiveAttention::Weights(const Tensor& x, int relation) const {
+  IMR_CHECK_GE(relation, 0);
+  IMR_CHECK_LT(relation, num_relations_);
+  Tensor query = tensor::Reshape(queries_->Forward({relation}), {dim_});
+  // q_j = x_j A r with diagonal A == x_j . (diag * r).
+  Tensor scores = tensor::RowwiseDot(x, tensor::Mul(diag_, query));
+  return tensor::Softmax(scores);
+}
+
+Tensor SelectiveAttention::BagRepresentation(const Tensor& x,
+                                             int relation) const {
+  Tensor alpha = Weights(x, relation);
+  return tensor::WeightedSumRows(x, alpha);
+}
+
+}  // namespace imr::nn

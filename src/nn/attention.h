@@ -1,0 +1,41 @@
+// Sentence-level selective attention over a bag of sentence encodings
+// (Lin et al. 2016): alpha_j = softmax_j(x_j A r), bag = sum_j alpha_j x_j,
+// where A is a learned diagonal matrix and r a per-relation query vector.
+#ifndef IMR_NN_ATTENTION_H_
+#define IMR_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace imr::nn {
+
+class SelectiveAttention : public Module {
+ public:
+  /// `dim` is the sentence-encoding width, `num_relations` the number of
+  /// query vectors.
+  SelectiveAttention(int dim, int num_relations, util::Rng* rng);
+
+  /// Attention-weighted bag representation for a query relation.
+  /// x: [N x dim] sentence encodings; returns [dim].
+  tensor::Tensor BagRepresentation(const tensor::Tensor& x,
+                                   int relation) const;
+
+  /// The attention weights themselves (softmax over sentences), useful for
+  /// inspection and tests. Returns [N].
+  tensor::Tensor Weights(const tensor::Tensor& x, int relation) const;
+
+  int dim() const { return dim_; }
+  int num_relations() const { return num_relations_; }
+
+ private:
+  int dim_;
+  int num_relations_;
+  tensor::Tensor diag_;  // A, stored as its diagonal [dim]
+  std::unique_ptr<Embedding> queries_;
+};
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_ATTENTION_H_

@@ -1,0 +1,45 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace imr::nn {
+
+GradCheckResult CheckModuleGradients(
+    Module* module, const std::function<tensor::Tensor()>& loss_fn,
+    double eps, int max_entries_per_param) {
+  module->ZeroGrad();
+  tensor::Tensor loss = loss_fn();
+  loss.Backward();
+
+  // Snapshot analytic gradients (Step() is never called here).
+  auto params = module->Parameters();
+  GradCheckResult result;
+  for (NamedParameter& p : params) {
+    std::vector<float> analytic = p.tensor.grad();
+    if (analytic.empty()) analytic.assign(p.tensor.size(), 0.0f);
+    const size_t n = p.tensor.size();
+    const size_t stride =
+        n <= static_cast<size_t>(max_entries_per_param)
+            ? 1
+            : n / static_cast<size_t>(max_entries_per_param);
+    for (size_t i = 0; i < n; i += stride) {
+      auto& values = p.tensor.mutable_data();
+      const float saved = values[i];
+      values[i] = saved + static_cast<float>(eps);
+      const double up = loss_fn().item();
+      values[i] = saved - static_cast<float>(eps);
+      const double down = loss_fn().item();
+      values[i] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      const double diff = std::abs(numeric - analytic[i]);
+      if (diff > result.max_abs_diff) {
+        result.max_abs_diff = diff;
+        result.worst_parameter = p.name;
+        result.worst_index = i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace imr::nn

@@ -1,0 +1,29 @@
+// Numerical gradient checking for layers and whole models: compares the
+// analytic gradient of a scalar loss with central finite differences over
+// every parameter of a Module. Used extensively in tests.
+#ifndef IMR_NN_GRADCHECK_H_
+#define IMR_NN_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "nn/module.h"
+
+namespace imr::nn {
+
+struct GradCheckResult {
+  double max_abs_diff = 0.0;
+  std::string worst_parameter;
+  size_t worst_index = 0;
+};
+
+/// `loss_fn` must rebuild the forward graph from scratch on every call and
+/// return a scalar tensor. Checks up to `max_entries_per_param` entries of
+/// each parameter (stride-sampled) to keep the check fast on big tables.
+GradCheckResult CheckModuleGradients(
+    Module* module, const std::function<tensor::Tensor()>& loss_fn,
+    double eps = 1e-3, int max_entries_per_param = 24);
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_GRADCHECK_H_

@@ -1,0 +1,38 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace imr::nn {
+
+tensor::Tensor UniformInit(std::vector<int> shape, float bound,
+                           util::Rng* rng) {
+  size_t n = 1;
+  for (int d : shape) n *= static_cast<size_t>(d);
+  std::vector<float> data(n);
+  for (float& v : data)
+    v = static_cast<float>(rng->Uniform(-bound, bound));
+  return tensor::Tensor::FromData(std::move(shape), std::move(data));
+}
+
+tensor::Tensor XavierInit(std::vector<int> shape, util::Rng* rng) {
+  float fan_in = 1.0f, fan_out = 1.0f;
+  if (shape.size() == 2) {
+    fan_in = static_cast<float>(shape[0]);
+    fan_out = static_cast<float>(shape[1]);
+  } else if (shape.size() == 1) {
+    fan_in = fan_out = static_cast<float>(shape[0]);
+  }
+  const float bound = std::sqrt(6.0f / (fan_in + fan_out));
+  return UniformInit(std::move(shape), bound, rng);
+}
+
+tensor::Tensor NormalInit(std::vector<int> shape, float stddev,
+                          util::Rng* rng) {
+  size_t n = 1;
+  for (int d : shape) n *= static_cast<size_t>(d);
+  std::vector<float> data(n);
+  for (float& v : data) v = static_cast<float>(rng->Normal(0.0, stddev));
+  return tensor::Tensor::FromData(std::move(shape), std::move(data));
+}
+
+}  // namespace imr::nn

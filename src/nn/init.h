@@ -1,0 +1,24 @@
+// Weight initializers.
+#ifndef IMR_NN_INIT_H_
+#define IMR_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace imr::nn {
+
+/// Uniform in [-bound, bound].
+tensor::Tensor UniformInit(std::vector<int> shape, float bound,
+                           util::Rng* rng);
+
+/// Glorot/Xavier uniform: bound = sqrt(6 / (fan_in + fan_out)). For rank-2
+/// shapes [rows, cols], fan_in = rows and fan_out = cols; rank-1 uses size.
+tensor::Tensor XavierInit(std::vector<int> shape, util::Rng* rng);
+
+/// N(0, stddev^2).
+tensor::Tensor NormalInit(std::vector<int> shape, float stddev,
+                          util::Rng* rng);
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_INIT_H_

@@ -1,0 +1,52 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace imr::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  IMR_CHECK_GT(in_features, 0);
+  IMR_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", XavierInit({in_features, out_features}, rng));
+  bias_ = RegisterParameter("bias", tensor::Tensor::Zeros({out_features}));
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  tensor::Tensor y = tensor::MatMul(x, weight_);
+  if (y.rank() == 1) return tensor::Add(y, bias_);
+  return tensor::AddRowVector(y, bias_);
+}
+
+Embedding::Embedding(int vocab_size, int dim, util::Rng* rng,
+                     float init_bound)
+    : vocab_size_(vocab_size), dim_(dim) {
+  IMR_CHECK_GT(vocab_size, 0);
+  IMR_CHECK_GT(dim, 0);
+  const float bound =
+      init_bound > 0.0f ? init_bound
+                        : std::sqrt(6.0f / static_cast<float>(dim));
+  table_ =
+      RegisterParameter("table", UniformInit({vocab_size, dim}, bound, rng));
+}
+
+tensor::Tensor Embedding::Forward(const std::vector<int>& indices) const {
+  return tensor::GatherRows(table_, indices);
+}
+
+util::Status Embedding::SetWeights(const std::vector<float>& values) {
+  if (values.size() != table_.size()) {
+    return util::InvalidArgument(
+        "embedding weight size mismatch: expected " +
+        std::to_string(table_.size()) + ", got " +
+        std::to_string(values.size()));
+  }
+  table_.mutable_data() = values;
+  return util::OkStatus();
+}
+
+}  // namespace imr::nn

@@ -1,0 +1,57 @@
+// Basic neural layers: Linear and Embedding.
+#ifndef IMR_NN_LAYERS_H_
+#define IMR_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace imr::nn {
+
+/// y = x W + b, with W: [in x out], b: [out].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Rng* rng);
+
+  /// x: [N x in] or rank-1 [in]; returns [N x out] or rank-1 [out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+/// Trainable lookup table [vocab x dim].
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, util::Rng* rng, float init_bound = 0.0f);
+
+  /// Returns [indices.size() x dim].
+  tensor::Tensor Forward(const std::vector<int>& indices) const;
+
+  /// Overwrites the table rows with pre-trained values [vocab x dim];
+  /// used to load LINE entity embeddings.
+  util::Status SetWeights(const std::vector<float>& values);
+
+  int vocab_size() const { return vocab_size_; }
+  int dim() const { return dim_; }
+  const tensor::Tensor& table() const { return table_; }
+
+ private:
+  int vocab_size_;
+  int dim_;
+  tensor::Tensor table_;
+};
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_LAYERS_H_

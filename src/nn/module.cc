@@ -1,0 +1,90 @@
+#include "nn/module.h"
+
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace imr::nn {
+
+namespace {
+constexpr uint32_t kParamsMagic = 0x494D5250;  // "IMRP"
+constexpr uint32_t kParamsVersion = 1;
+}  // namespace
+
+std::vector<NamedParameter> Module::Parameters() const {
+  std::vector<NamedParameter> out = params_;
+  for (const auto& [name, child] : children_) {
+    for (NamedParameter p : child->Parameters()) {
+      p.name = name + "." + p.name;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : params_) p.tensor.ZeroGrad();
+  for (auto& [name, child] : children_) child->ZeroGrad();
+}
+
+size_t Module::ParameterCount() const {
+  size_t n = 0;
+  for (const NamedParameter& p : Parameters()) n += p.tensor.size();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+tensor::Tensor Module::RegisterParameter(const std::string& name,
+                                         tensor::Tensor tensor) {
+  tensor.set_requires_grad(true);
+  params_.push_back({name, tensor});
+  return tensor;
+}
+
+void Module::RegisterChild(const std::string& name, Module* child) {
+  IMR_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+util::Status Module::SaveParameters(const std::string& path) const {
+  util::BinaryWriter writer(path, kParamsMagic, kParamsVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+  const auto params = Parameters();
+  writer.WriteU64(params.size());
+  for (const NamedParameter& p : params) {
+    writer.WriteString(p.name);
+    writer.WriteFloatVector(p.tensor.data());
+  }
+  return writer.Close();
+}
+
+util::Status Module::LoadParameters(const std::string& path) {
+  util::BinaryReader reader(path, kParamsMagic, kParamsVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  auto params = Parameters();
+  const uint64_t count = reader.ReadU64();
+  if (count != params.size()) {
+    return util::InvalidArgument("parameter count mismatch: file has " +
+                                 std::to_string(count) + ", model has " +
+                                 std::to_string(params.size()));
+  }
+  for (NamedParameter& p : params) {
+    const std::string name = reader.ReadString();
+    std::vector<float> values = reader.ReadFloatVector();
+    IMR_RETURN_IF_ERROR(reader.status());
+    if (name != p.name) {
+      return util::InvalidArgument("parameter name mismatch: expected " +
+                                   p.name + ", file has " + name);
+    }
+    if (values.size() != p.tensor.size()) {
+      return util::InvalidArgument("parameter size mismatch for " + p.name);
+    }
+    p.tensor.mutable_data() = std::move(values);
+  }
+  return util::OkStatus();
+}
+
+}  // namespace imr::nn

@@ -1,0 +1,62 @@
+// Parameter registry shared by all neural layers. A Module owns named
+// parameter tensors; composite modules register their children so that
+// Parameters() walks the whole tree (optimizers and serialization use it).
+#ifndef IMR_NN_MODULE_H_
+#define IMR_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace imr::nn {
+
+struct NamedParameter {
+  std::string name;
+  tensor::Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children, prefixed
+  /// with the child path ("encoder.conv_weight").
+  std::vector<NamedParameter> Parameters() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  size_t ParameterCount() const;
+
+  /// Switches training mode (affects dropout) for this module and children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Serializes / restores all parameter values (by registry order).
+  util::Status SaveParameters(const std::string& path) const;
+  util::Status LoadParameters(const std::string& path);
+
+ protected:
+  /// Registers a parameter; the returned tensor has requires_grad set.
+  tensor::Tensor RegisterParameter(const std::string& name,
+                                   tensor::Tensor tensor);
+  /// Registers a child module (not owned).
+  void RegisterChild(const std::string& name, Module* child);
+
+ private:
+  std::vector<NamedParameter> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_MODULE_H_

@@ -1,0 +1,100 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace imr::nn {
+
+Optimizer::Optimizer(Module* module, float learning_rate)
+    : learning_rate_(learning_rate) {
+  for (NamedParameter& p : module->Parameters())
+    params_.push_back(p.tensor);
+}
+
+Sgd::Sgd(Module* module, float learning_rate, float weight_decay,
+         float clip_norm)
+    : Optimizer(module, learning_rate),
+      weight_decay_(weight_decay),
+      clip_norm_(clip_norm) {}
+
+void Sgd::Step() {
+  float scale = 1.0f;
+  if (clip_norm_ > 0.0f) {
+    double total = 0.0;
+    for (auto& p : params_) {
+      const auto& g = p.grad();
+      for (float gv : g) total += static_cast<double>(gv) * gv;
+    }
+    const double norm = std::sqrt(total);
+    if (norm > clip_norm_) scale = static_cast<float>(clip_norm_ / norm);
+  }
+  for (auto& p : params_) {
+    auto& values = p.mutable_data();
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    for (size_t i = 0; i < values.size(); ++i) {
+      float grad = g[i] * scale;
+      if (weight_decay_ > 0.0f) grad += weight_decay_ * values[i];
+      values[i] -= learning_rate_ * grad;
+    }
+    p.ZeroGrad();
+  }
+}
+
+Adagrad::Adagrad(Module* module, float learning_rate, float epsilon)
+    : Optimizer(module, learning_rate), epsilon_(epsilon) {
+  accum_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i)
+    accum_[i].assign(params_[i].size(), 0.0f);
+}
+
+void Adagrad::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& values = p.mutable_data();
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    auto& acc = accum_[i];
+    for (size_t j = 0; j < values.size(); ++j) {
+      acc[j] += g[j] * g[j];
+      values[j] -= learning_rate_ * g[j] /
+                   (std::sqrt(acc[j]) + epsilon_);
+    }
+    p.ZeroGrad();
+  }
+}
+
+Adam::Adam(Module* module, float learning_rate, float beta1, float beta2,
+           float epsilon)
+    : Optimizer(module, learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& values = p.mutable_data();
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    for (size_t j = 0; j < values.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m_[i][j] / bias1;
+      const float v_hat = v_[i][j] / bias2;
+      values[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    p.ZeroGrad();
+  }
+}
+
+}  // namespace imr::nn

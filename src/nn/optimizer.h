@@ -1,0 +1,67 @@
+// First-order optimizers over a Module's parameters. The paper trains with
+// SGD (lr = 0.3); Adagrad is used for LINE-style embedding training and
+// Adam is provided for convenience.
+#ifndef IMR_NN_OPTIMIZER_H_
+#define IMR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace imr::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void Step() = 0;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  Optimizer(Module* module, float learning_rate);
+
+  std::vector<tensor::Tensor> params_;
+  float learning_rate_;
+};
+
+/// Plain SGD with optional L2 weight decay and gradient clipping (by global
+/// norm; 0 disables).
+class Sgd : public Optimizer {
+ public:
+  Sgd(Module* module, float learning_rate, float weight_decay = 0.0f,
+      float clip_norm = 0.0f);
+  void Step() override;
+
+ private:
+  float weight_decay_;
+  float clip_norm_;
+};
+
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(Module* module, float learning_rate, float epsilon = 1e-8f);
+  void Step() override;
+
+ private:
+  float epsilon_;
+  std::vector<std::vector<float>> accum_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(Module* module, float learning_rate, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, epsilon_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace imr::nn
+
+#endif  // IMR_NN_OPTIMIZER_H_

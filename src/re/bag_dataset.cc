@@ -1,0 +1,119 @@
+#include "re/bag_dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/position.h"
+#include "util/logging.h"
+
+namespace imr::re {
+
+nn::EncoderInput MakeEncoderInput(const text::Sentence& sentence,
+                                  const text::Vocabulary& vocab,
+                                  const BagDatasetOptions& options) {
+  IMR_CHECK(!sentence.tokens.empty());
+  const int num_tokens = static_cast<int>(sentence.tokens.size());
+  const text::TruncationResult window = text::TruncateAroundEntities(
+      num_tokens, sentence.head_index, sentence.tail_index,
+      options.max_sentence_length);
+
+  nn::EncoderInput input;
+  input.word_ids.reserve(static_cast<size_t>(window.end - window.begin));
+  for (int t = window.begin; t < window.end; ++t) {
+    if (options.blind_entities && t == sentence.head_index) {
+      input.word_ids.push_back(vocab.Id(kHeadPlaceholder));
+    } else if (options.blind_entities && t == sentence.tail_index) {
+      input.word_ids.push_back(vocab.Id(kTailPlaceholder));
+    } else {
+      input.word_ids.push_back(
+          vocab.Id(sentence.tokens[static_cast<size_t>(t)]));
+    }
+  }
+  const int length = window.end - window.begin;
+  // Mentions may fall outside the window on pathological sentences; clamp
+  // so position features stay valid.
+  input.head_index =
+      std::clamp(sentence.head_index - window.begin, 0, length - 1);
+  input.tail_index =
+      std::clamp(sentence.tail_index - window.begin, 0, length - 1);
+  input.head_offsets = text::RelativePositionIds(length, input.head_index,
+                                                 options.max_position);
+  input.tail_offsets = text::RelativePositionIds(length, input.tail_index,
+                                                 options.max_position);
+  return input;
+}
+
+namespace {
+
+std::vector<Bag> BuildBags(const kg::KnowledgeGraph& graph,
+                           const std::vector<text::LabeledSentence>& corpus,
+                           const text::Vocabulary& vocab,
+                           const BagDatasetOptions& options) {
+  // Group sentences by (head, tail); deterministic ordering via std::map.
+  std::map<std::pair<int64_t, int64_t>, std::vector<const text::LabeledSentence*>>
+      groups;
+  for (const text::LabeledSentence& labeled : corpus) {
+    groups[{labeled.sentence.head_entity, labeled.sentence.tail_entity}]
+        .push_back(&labeled);
+  }
+  std::vector<Bag> bags;
+  bags.reserve(groups.size());
+  for (const auto& [pair, sentences] : groups) {
+    Bag bag;
+    bag.head = pair.first;
+    bag.tail = pair.second;
+    bag.relation = sentences.front()->relation;
+    bag.head_types = graph.entity(bag.head).type_ids;
+    bag.tail_types = graph.entity(bag.tail).type_ids;
+    bag.sentences.reserve(sentences.size());
+    for (const text::LabeledSentence* labeled : sentences) {
+      bag.sentences.push_back(
+          MakeEncoderInput(labeled->sentence, vocab, options));
+    }
+    bags.push_back(std::move(bag));
+  }
+  return bags;
+}
+
+}  // namespace
+
+BagDataset BagDataset::Build(const kg::KnowledgeGraph& graph,
+                             const std::vector<text::LabeledSentence>& train,
+                             const std::vector<text::LabeledSentence>& test,
+                             const BagDatasetOptions& options) {
+  BagDataset dataset;
+  for (const text::LabeledSentence& labeled : train) {
+    for (const std::string& token : labeled.sentence.tokens)
+      dataset.vocab_.Count(token);
+  }
+  if (options.blind_entities) {
+    // Guarantee the placeholders survive min-count pruning.
+    for (int i = 0; i < options.vocab_min_count; ++i) {
+      dataset.vocab_.Count(kHeadPlaceholder);
+      dataset.vocab_.Count(kTailPlaceholder);
+    }
+  }
+  dataset.vocab_.Freeze(options.vocab_min_count);
+  dataset.train_bags_ = BuildBags(graph, train, dataset.vocab_, options);
+  dataset.test_bags_ = BuildBags(graph, test, dataset.vocab_, options);
+  dataset.num_relations_ = graph.num_relations();
+  return dataset;
+}
+
+util::Status BagDataset::AttachMutualRelations(
+    const graph::EmbeddingStore& store) {
+  for (std::vector<Bag>* split : {&train_bags_, &test_bags_}) {
+    for (Bag& bag : *split) {
+      if (bag.head >= store.num_vertices() ||
+          bag.tail >= store.num_vertices()) {
+        return util::InvalidArgument(
+            "bag references an entity outside the embedding store");
+      }
+      bag.mutual_relation = store.MutualRelation(
+          static_cast<int>(bag.head), static_cast<int>(bag.tail));
+    }
+  }
+  return util::OkStatus();
+}
+
+}  // namespace imr::re

@@ -1,0 +1,79 @@
+// Bags of sentences per entity pair — the multi-instance unit of distant
+// supervision. BagDataset turns a labeled corpus into encoder-ready bags,
+// attaches entity-type ids from the knowledge graph and (optionally) the
+// implicit-mutual-relation vectors from a LINE embedding store.
+#ifndef IMR_RE_BAG_DATASET_H_
+#define IMR_RE_BAG_DATASET_H_
+
+#include <vector>
+
+#include "graph/embedding_store.h"
+#include "kg/knowledge_graph.h"
+#include "nn/encoders.h"
+#include "text/sentence.h"
+#include "text/vocab.h"
+#include "util/status.h"
+
+namespace imr::re {
+
+struct Bag {
+  kg::EntityId head = -1;
+  kg::EntityId tail = -1;
+  int relation = 0;  // distant-supervision label
+  std::vector<nn::EncoderInput> sentences;
+  std::vector<int> head_types;
+  std::vector<int> tail_types;
+  // MR(head, tail) = U_tail - U_head; empty until attached.
+  std::vector<float> mutual_relation;
+};
+
+struct BagDatasetOptions {
+  int max_sentence_length = 120;  // paper Table III
+  int max_position = 60;          // must match EncoderConfig.max_position
+  int vocab_min_count = 1;
+  // Replace the head/tail mentions with placeholder tokens. Entity-level
+  // semantics then enter the model only through the MR / type components,
+  // which is the paper's division of labour, and unseen test entities stop
+  // injecting untrained <unk> activations into the max pooling.
+  bool blind_entities = true;
+};
+
+/// Placeholder surface forms used when blind_entities is set.
+inline constexpr const char* kHeadPlaceholder = "<head_entity>";
+inline constexpr const char* kTailPlaceholder = "<tail_entity>";
+
+class BagDataset {
+ public:
+  /// Builds train/test bags. The vocabulary is built from the training
+  /// split only (standard protocol) and frozen.
+  static BagDataset Build(const kg::KnowledgeGraph& graph,
+                          const std::vector<text::LabeledSentence>& train,
+                          const std::vector<text::LabeledSentence>& test,
+                          const BagDatasetOptions& options = {});
+
+  const std::vector<Bag>& train_bags() const { return train_bags_; }
+  const std::vector<Bag>& test_bags() const { return test_bags_; }
+  std::vector<Bag>& mutable_train_bags() { return train_bags_; }
+  std::vector<Bag>& mutable_test_bags() { return test_bags_; }
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  int num_relations() const { return num_relations_; }
+
+  /// Copies MR vectors out of `store` into every bag (entity id == vertex).
+  util::Status AttachMutualRelations(const graph::EmbeddingStore& store);
+
+ private:
+  text::Vocabulary vocab_;
+  std::vector<Bag> train_bags_;
+  std::vector<Bag> test_bags_;
+  int num_relations_ = 0;
+};
+
+/// Converts one sentence into encoder features using a frozen vocabulary
+/// (exposed for tests and custom pipelines).
+nn::EncoderInput MakeEncoderInput(const text::Sentence& sentence,
+                                  const text::Vocabulary& vocab,
+                                  const BagDatasetOptions& options);
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_BAG_DATASET_H_

@@ -1,0 +1,161 @@
+#include "re/cnn_rl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace imr::re {
+
+CnnRlModel::CnnRlModel(const PaModelConfig& classifier_config,
+                       const CnnRlConfig& config, util::Rng* rng)
+    : config_(config), extractor_(config.hash_bits), rng_(config.seed) {
+  PaModelConfig cnn_config = classifier_config;
+  cnn_config.encoder = config.encoder;
+  cnn_config.aggregation = Aggregation::kAverage;
+  cnn_config.use_mutual_relation = false;
+  cnn_config.use_entity_type = false;
+  classifier_ = std::make_unique<PaModel>(cnn_config, rng);
+  selector_weights_.assign(static_cast<size_t>(extractor_.dim()), 0.0f);
+}
+
+float CnnRlModel::KeepProbability(const nn::EncoderInput& sentence) const {
+  const SparseFeatures f = extractor_.SentenceFeatures(sentence);
+  float score = selector_bias_;
+  for (size_t i = 0; i < f.indices.size(); ++i)
+    score += selector_weights_[f.indices[i]] * f.values[i];
+  return 1.0f / (1.0f + std::exp(-score));
+}
+
+Bag CnnRlModel::SelectInstances(const Bag& bag, bool stochastic,
+                                util::Rng* rng,
+                                std::vector<int>* kept_indices) const {
+  Bag selected = bag;
+  selected.sentences.clear();
+  kept_indices->clear();
+  float best_p = -1.0f;
+  int best_index = 0;
+  for (size_t s = 0; s < bag.sentences.size(); ++s) {
+    const float p = KeepProbability(bag.sentences[s]);
+    if (p > best_p) {
+      best_p = p;
+      best_index = static_cast<int>(s);
+    }
+    const bool keep = stochastic ? rng->Bernoulli(p) : p >= 0.5f;
+    if (keep) {
+      selected.sentences.push_back(bag.sentences[s]);
+      kept_indices->push_back(static_cast<int>(s));
+    }
+  }
+  if (selected.sentences.empty()) {
+    // Never leave a bag empty: keep the selector's favourite sentence.
+    selected.sentences.push_back(
+        bag.sentences[static_cast<size_t>(best_index)]);
+    kept_indices->push_back(best_index);
+  }
+  return selected;
+}
+
+void CnnRlModel::Train(const std::vector<Bag>& bags) {
+  IMR_CHECK(!bags.empty());
+  // Adam: the synthetic corpora are too small for the paper's raw-SGD
+  // schedule to escape memorisation (see DESIGN.md).
+  nn::Adam optimizer(classifier_.get(), config_.classifier_lr);
+
+  std::vector<const Bag*> order;
+  order.reserve(bags.size());
+  for (const Bag& bag : bags) order.push_back(&bag);
+
+  // Phase 1: pretrain the classifier on all instances.
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    classifier_->SetTraining(true);
+    rng_.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      std::vector<const Bag*> batch(order.begin() + static_cast<long>(begin),
+                                    order.begin() + static_cast<long>(end));
+      classifier_->ZeroGrad();
+      classifier_->BatchLoss(batch, &rng_).Backward();
+      optimizer.Step();
+    }
+    optimizer.set_learning_rate(optimizer.learning_rate() *
+                                config_.lr_decay);
+  }
+
+  // Phase 2: joint episodes — the selector samples instance subsets, the
+  // classifier's log-likelihood is the reward. Classifier updates are
+  // batched (per-bag Adam steps destabilise it on larger corpora); the
+  // selector's REINFORCE update stays per-bag.
+  float selector_lr = config_.selector_lr;
+  std::vector<Bag> batch_buffer;
+  auto flush_classifier_batch = [&] {
+    if (batch_buffer.empty()) return;
+    std::vector<const Bag*> batch;
+    batch.reserve(batch_buffer.size());
+    for (const Bag& bag : batch_buffer) batch.push_back(&bag);
+    classifier_->ZeroGrad();
+    classifier_->BatchLoss(batch, &rng_).Backward();
+    optimizer.Step();
+    batch_buffer.clear();
+  };
+  for (int epoch = 0; epoch < config_.joint_epochs; ++epoch) {
+    classifier_->SetTraining(true);
+    rng_.Shuffle(&order);
+    std::vector<int> kept;
+    for (const Bag* bag : order) {
+      Bag selected = SelectInstances(*bag, /*stochastic=*/true, &rng_, &kept);
+
+      float reward;
+      {
+        tensor::NoGradGuard no_grad;
+        reward = -classifier_->BatchLoss({&selected}, &rng_).item();
+      }
+      batch_buffer.push_back(selected);
+      if (static_cast<int>(batch_buffer.size()) >= config_.batch_size) {
+        flush_classifier_batch();
+      }
+
+      if (!baseline_initialized_) {
+        reward_baseline_ = reward;
+        baseline_initialized_ = true;
+      }
+      const float advantage = reward - reward_baseline_;
+      reward_baseline_ = 0.95f * reward_baseline_ + 0.05f * reward;
+
+      // REINFORCE update: grad log pi = (action - p) * features.
+      for (size_t s = 0; s < bag->sentences.size(); ++s) {
+        const float p = KeepProbability(bag->sentences[s]);
+        const bool was_kept =
+            std::find(kept.begin(), kept.end(), static_cast<int>(s)) !=
+            kept.end();
+        const float action = was_kept ? 1.0f : 0.0f;
+        const float scale = selector_lr * advantage * (action - p);
+        if (scale == 0.0f) continue;
+        const SparseFeatures f =
+            extractor_.SentenceFeatures(bag->sentences[s]);
+        for (size_t i = 0; i < f.indices.size(); ++i)
+          selector_weights_[f.indices[i]] += scale * f.values[i];
+        selector_bias_ += scale;
+      }
+    }
+    flush_classifier_batch();
+    selector_lr *= config_.lr_decay;
+    optimizer.set_learning_rate(optimizer.learning_rate() *
+                                config_.lr_decay);
+  }
+  classifier_->SetTraining(false);
+}
+
+std::vector<float> CnnRlModel::Predict(const Bag& bag) {
+  classifier_->SetTraining(false);
+  std::vector<int> kept;
+  Bag selected =
+      SelectInstances(bag, /*stochastic=*/false, &rng_, &kept);
+  return classifier_->Predict(selected, &rng_);
+}
+
+}  // namespace imr::re

@@ -1,0 +1,22 @@
+#include "re/config.h"
+
+namespace imr::re {
+
+PaModelConfig PaperDefaults(int num_relations, int vocab_size) {
+  PaModelConfig config;
+  config.num_relations = num_relations;
+  config.encoder = "pcnn";
+  config.aggregation = Aggregation::kAttention;
+  config.encoder_config.vocab_size = vocab_size;
+  config.encoder_config.word_dim = 50;       // kw
+  config.encoder_config.position_dim = 5;    // kp
+  config.encoder_config.max_position = 60;   // half of max length 120
+  config.encoder_config.window = 3;          // l
+  config.encoder_config.filters = 230;       // k
+  config.encoder_config.dropout = 0.5f;      // p
+  config.type_dim = 20;                      // kt
+  config.mutual_relation_dim = 128;          // ke
+  return config;
+}
+
+}  // namespace imr::re

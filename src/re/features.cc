@@ -1,0 +1,108 @@
+#include "re/features.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace imr::re {
+
+namespace {
+// Feature namespaces keep different feature kinds from colliding
+// systematically.
+enum FeatureKind : uint64_t {
+  kUnigram = 1,
+  kBetween = 2,
+  kAdjacent = 3,
+  kDistance = 4,
+  kTypePair = 5,
+};
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(int hash_bits) : hash_bits_(hash_bits) {
+  IMR_CHECK_GE(hash_bits, 8);
+  IMR_CHECK_LE(hash_bits, 24);
+}
+
+uint32_t FeatureExtractor::HashFeature(uint64_t a, uint64_t b,
+                                       uint64_t c) const {
+  const uint64_t h = Mix(a * 0x9E3779B97F4A7C15ULL + Mix(b) + Mix(c) * 31);
+  return static_cast<uint32_t>(h & ((1ULL << hash_bits_) - 1));
+}
+
+SparseFeatures FeatureExtractor::SentenceFeatures(
+    const nn::EncoderInput& sentence) const {
+  std::map<uint32_t, float> accum;
+  const auto& words = sentence.word_ids;
+  const int n = static_cast<int>(words.size());
+  for (int t = 0; t < n; ++t) {
+    accum[HashFeature(kUnigram, static_cast<uint64_t>(words[t]), 0)] += 1.0f;
+  }
+  const int lo = std::min(sentence.head_index, sentence.tail_index);
+  const int hi = std::max(sentence.head_index, sentence.tail_index);
+  // Words strictly between the mentions, position-tagged.
+  for (int t = lo + 1; t < hi; ++t) {
+    accum[HashFeature(kBetween, static_cast<uint64_t>(words[t]),
+                      static_cast<uint64_t>(t - lo))] += 1.0f;
+  }
+  // Window of +-2 around each mention.
+  for (int delta = -2; delta <= 2; ++delta) {
+    if (delta == 0) continue;
+    for (int center : {sentence.head_index, sentence.tail_index}) {
+      const int t = center + delta;
+      if (t < 0 || t >= n) continue;
+      accum[HashFeature(kAdjacent, static_cast<uint64_t>(words[t]),
+                        static_cast<uint64_t>(delta + 8))] += 1.0f;
+    }
+  }
+  // Bucketed mention distance.
+  const int distance = std::min(hi - lo, 10);
+  accum[HashFeature(kDistance, static_cast<uint64_t>(distance), 0)] += 1.0f;
+
+  SparseFeatures out;
+  out.indices.reserve(accum.size());
+  out.values.reserve(accum.size());
+  for (const auto& [index, value] : accum) {
+    out.indices.push_back(index);
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+SparseFeatures FeatureExtractor::BagFeatures(const Bag& bag) const {
+  std::map<uint32_t, float> accum;
+  for (const nn::EncoderInput& sentence : bag.sentences) {
+    SparseFeatures features = SentenceFeatures(sentence);
+    for (size_t i = 0; i < features.indices.size(); ++i)
+      accum[features.indices[i]] += features.values[i];
+  }
+  // Normalise by bag size so big bags don't dominate.
+  const float inv = 1.0f / static_cast<float>(bag.sentences.size());
+  for (auto& [index, value] : accum) value *= inv;
+  // Type-conjunction features.
+  for (int head_type : bag.head_types) {
+    for (int tail_type : bag.tail_types) {
+      accum[HashFeature(kTypePair, static_cast<uint64_t>(head_type),
+                        static_cast<uint64_t>(tail_type))] += 1.0f;
+    }
+  }
+  SparseFeatures out;
+  out.indices.reserve(accum.size());
+  out.values.reserve(accum.size());
+  for (const auto& [index, value] : accum) {
+    out.indices.push_back(index);
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace imr::re

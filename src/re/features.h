@@ -1,0 +1,43 @@
+// Sparse hashed lexical features for the non-neural baselines (Mintz et
+// al. 2009 style): unigrams, entity-adjacent words, the between-entities
+// word sequence, mention distance, and entity-type conjunctions. Features
+// are hashed into a fixed-size space so the models stay allocation-free.
+#ifndef IMR_RE_FEATURES_H_
+#define IMR_RE_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "re/bag_dataset.h"
+
+namespace imr::re {
+
+struct SparseFeatures {
+  // Parallel arrays: hashed feature index -> value (1.0 for indicators).
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+};
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(int hash_bits = 15);
+
+  int dim() const { return 1 << hash_bits_; }
+
+  /// Features of one sentence (word ids are enough: the synthetic corpus is
+  /// already tokenised and vocabulary-mapped).
+  SparseFeatures SentenceFeatures(const nn::EncoderInput& sentence) const;
+
+  /// Union of sentence features plus pair-level (type) features; values
+  /// accumulate so repeated evidence counts.
+  SparseFeatures BagFeatures(const Bag& bag) const;
+
+ private:
+  uint32_t HashFeature(uint64_t a, uint64_t b, uint64_t c) const;
+
+  int hash_bits_;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_FEATURES_H_

@@ -1,0 +1,153 @@
+#include "re/mimlre.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::re {
+
+namespace {
+void SoftmaxInPlace(std::vector<float>* scores) {
+  const float max_v = *std::max_element(scores->begin(), scores->end());
+  float denom = 0.0f;
+  for (float& s : *scores) {
+    s = std::exp(s - max_v);
+    denom += s;
+  }
+  for (float& s : *scores) s /= denom;
+}
+}  // namespace
+
+MimlreModel::MimlreModel(int num_relations, const MimlreConfig& config)
+    : num_relations_(num_relations),
+      config_(config),
+      extractor_(config.hash_bits) {
+  IMR_CHECK_GT(num_relations, 1);
+  weights_.assign(
+      static_cast<size_t>(num_relations) * extractor_.dim(), 0.0f);
+  bias_.assign(static_cast<size_t>(num_relations), 0.0f);
+}
+
+std::vector<float> MimlreModel::SentenceScores(
+    const SparseFeatures& f) const {
+  std::vector<float> scores(bias_.begin(), bias_.end());
+  for (int r = 0; r < num_relations_; ++r) {
+    const float* row =
+        weights_.data() + static_cast<size_t>(r) * extractor_.dim();
+    float acc = 0.0f;
+    for (size_t i = 0; i < f.indices.size(); ++i)
+      acc += row[f.indices[i]] * f.values[i];
+    scores[static_cast<size_t>(r)] += acc;
+  }
+  return scores;
+}
+
+void MimlreModel::SgdStep(const SparseFeatures& f, int label, float lr) {
+  std::vector<float> probs = SentenceScores(f);
+  SoftmaxInPlace(&probs);
+  for (int r = 0; r < num_relations_; ++r) {
+    const float grad =
+        probs[static_cast<size_t>(r)] - (r == label ? 1.0f : 0.0f);
+    if (grad == 0.0f) continue;
+    float* row =
+        weights_.data() + static_cast<size_t>(r) * extractor_.dim();
+    for (size_t i = 0; i < f.indices.size(); ++i) {
+      float& w = row[f.indices[i]];
+      w -= lr * (grad * f.values[i] + config_.l2 * w);
+    }
+    bias_[static_cast<size_t>(r)] -= lr * grad;
+  }
+}
+
+void MimlreModel::Train(const std::vector<Bag>& bags) {
+  IMR_CHECK(!bags.empty());
+  util::Rng rng(config_.seed);
+  // Pre-extract sentence features; initialise latent labels to the bag
+  // label (the distant-supervision assumption).
+  std::vector<std::vector<SparseFeatures>> features(bags.size());
+  std::vector<std::vector<int>> latent(bags.size());
+  for (size_t b = 0; b < bags.size(); ++b) {
+    for (const nn::EncoderInput& sentence : bags[b].sentences)
+      features[b].push_back(extractor_.SentenceFeatures(sentence));
+    latent[b].assign(bags[b].sentences.size(), bags[b].relation);
+  }
+
+  std::vector<size_t> order(bags.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float lr = config_.learning_rate;
+  for (int round = 0; round < config_.em_rounds; ++round) {
+    // E-step (skipped on the first round: latent labels start at the bag
+    // label): re-impute each sentence's latent label.
+    if (round > 0) {
+      for (size_t b = 0; b < bags.size(); ++b) {
+        const int bag_label = bags[b].relation;
+        if (bag_label == 0) continue;  // NA bags: all sentences stay NA
+        // Score every sentence; the one most confident in the bag label
+        // keeps it (at-least-one constraint); the rest choose between the
+        // bag label and NA by posterior.
+        size_t best_sentence = 0;
+        float best_score = -1.0f;
+        std::vector<std::vector<float>> posteriors(features[b].size());
+        for (size_t s = 0; s < features[b].size(); ++s) {
+          posteriors[s] = SentenceScores(features[b][s]);
+          SoftmaxInPlace(&posteriors[s]);
+          const float score =
+              posteriors[s][static_cast<size_t>(bag_label)];
+          if (score > best_score) {
+            best_score = score;
+            best_sentence = s;
+          }
+        }
+        for (size_t s = 0; s < features[b].size(); ++s) {
+          if (s == best_sentence) {
+            latent[b][s] = bag_label;
+          } else {
+            latent[b][s] =
+                posteriors[s][static_cast<size_t>(bag_label)] >=
+                        posteriors[s][0]
+                    ? bag_label
+                    : 0;
+          }
+        }
+      }
+    }
+    // M-step: logistic regression on the imputed sentence labels.
+    for (int epoch = 0; epoch < config_.epochs_per_round; ++epoch) {
+      rng.Shuffle(&order);
+      for (size_t b : order) {
+        for (size_t s = 0; s < features[b].size(); ++s)
+          SgdStep(features[b][s], latent[b][s], lr);
+      }
+      lr *= 0.9f;
+    }
+  }
+}
+
+std::vector<float> MimlreModel::Predict(const Bag& bag) const {
+  // Noisy-OR over sentence posteriors: P(r | bag) = 1 - prod_s (1 - p_rs).
+  std::vector<double> not_prob(static_cast<size_t>(num_relations_), 1.0);
+  for (const nn::EncoderInput& sentence : bag.sentences) {
+    std::vector<float> posterior =
+        SentenceScores(extractor_.SentenceFeatures(sentence));
+    SoftmaxInPlace(&posterior);
+    for (int r = 0; r < num_relations_; ++r)
+      not_prob[static_cast<size_t>(r)] *=
+          1.0 - static_cast<double>(posterior[static_cast<size_t>(r)]);
+  }
+  std::vector<float> probs(static_cast<size_t>(num_relations_));
+  float total = 0.0f;
+  for (int r = 0; r < num_relations_; ++r) {
+    probs[static_cast<size_t>(r)] =
+        static_cast<float>(1.0 - not_prob[static_cast<size_t>(r)]);
+    total += probs[static_cast<size_t>(r)];
+  }
+  if (total > 0) {
+    for (float& p : probs) p /= total;
+  }
+  return probs;
+}
+
+}  // namespace imr::re

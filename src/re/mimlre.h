@@ -1,0 +1,50 @@
+// MIMLRE-style baseline (Surdeanu et al. 2012): multi-instance multi-label
+// learning via hard EM. Each sentence carries a latent label; the E-step
+// assigns latent labels consistent with the bag's relation under the
+// at-least-one constraint (the best-scoring sentence keeps the bag label,
+// the others may flip to NA), and the M-step retrains a per-sentence
+// multiclass logistic regression on the imputed labels. This is the
+// classic simplification of the full graphical model, sufficient for the
+// Fig. 4a baseline roster.
+#ifndef IMR_RE_MIMLRE_H_
+#define IMR_RE_MIMLRE_H_
+
+#include <vector>
+
+#include "re/features.h"
+
+namespace imr::re {
+
+struct MimlreConfig {
+  int em_rounds = 4;
+  int epochs_per_round = 4;  // logistic-regression epochs per M-step
+  float learning_rate = 0.5f;
+  float l2 = 1e-5f;
+  int hash_bits = 15;
+  uint64_t seed = 239;
+};
+
+class MimlreModel {
+ public:
+  MimlreModel(int num_relations, const MimlreConfig& config);
+
+  void Train(const std::vector<Bag>& bags);
+
+  /// Bag-level probabilities: noisy-OR of per-sentence posteriors for each
+  /// non-NA relation, renormalised.
+  std::vector<float> Predict(const Bag& bag) const;
+
+ private:
+  std::vector<float> SentenceScores(const SparseFeatures& f) const;
+  void SgdStep(const SparseFeatures& f, int label, float lr);
+
+  int num_relations_;
+  MimlreConfig config_;
+  FeatureExtractor extractor_;
+  std::vector<float> weights_;  // [num_relations x dim]
+  std::vector<float> bias_;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_MIMLRE_H_

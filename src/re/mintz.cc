@@ -1,0 +1,89 @@
+#include "re/mintz.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::re {
+
+MintzModel::MintzModel(int num_relations, const MintzConfig& config)
+    : num_relations_(num_relations),
+      config_(config),
+      extractor_(config.hash_bits) {
+  IMR_CHECK_GT(num_relations, 1);
+  weights_.assign(
+      static_cast<size_t>(num_relations) * extractor_.dim(), 0.0f);
+  bias_.assign(static_cast<size_t>(num_relations), 0.0f);
+}
+
+std::vector<float> MintzModel::Scores(const SparseFeatures& features) const {
+  std::vector<float> scores(bias_.begin(), bias_.end());
+  for (int r = 0; r < num_relations_; ++r) {
+    const float* row =
+        weights_.data() + static_cast<size_t>(r) * extractor_.dim();
+    float acc = 0.0f;
+    for (size_t i = 0; i < features.indices.size(); ++i)
+      acc += row[features.indices[i]] * features.values[i];
+    scores[static_cast<size_t>(r)] += acc;
+  }
+  return scores;
+}
+
+namespace {
+void SoftmaxInPlace(std::vector<float>* scores) {
+  float max_v = *std::max_element(scores->begin(), scores->end());
+  float denom = 0.0f;
+  for (float& s : *scores) {
+    s = std::exp(s - max_v);
+    denom += s;
+  }
+  for (float& s : *scores) s /= denom;
+}
+}  // namespace
+
+void MintzModel::Train(const std::vector<Bag>& bags) {
+  IMR_CHECK(!bags.empty());
+  util::Rng rng(config_.seed);
+  // Pre-extract features once.
+  std::vector<SparseFeatures> features;
+  features.reserve(bags.size());
+  for (const Bag& bag : bags) features.push_back(extractor_.BagFeatures(bag));
+
+  std::vector<size_t> order(bags.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float lr = config_.learning_rate;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t index : order) {
+      const SparseFeatures& f = features[index];
+      std::vector<float> probs = Scores(f);
+      SoftmaxInPlace(&probs);
+      const int label = bags[index].relation;
+      // Gradient of cross-entropy on the touched features only.
+      for (int r = 0; r < num_relations_; ++r) {
+        const float grad =
+            probs[static_cast<size_t>(r)] - (r == label ? 1.0f : 0.0f);
+        if (grad == 0.0f) continue;
+        float* row =
+            weights_.data() + static_cast<size_t>(r) * extractor_.dim();
+        for (size_t i = 0; i < f.indices.size(); ++i) {
+          float& w = row[f.indices[i]];
+          w -= lr * (grad * f.values[i] + config_.l2 * w);
+        }
+        bias_[static_cast<size_t>(r)] -= lr * grad;
+      }
+    }
+    lr *= 0.9f;
+  }
+}
+
+std::vector<float> MintzModel::Predict(const Bag& bag) const {
+  std::vector<float> probs = Scores(extractor_.BagFeatures(bag));
+  SoftmaxInPlace(&probs);
+  return probs;
+}
+
+}  // namespace imr::re

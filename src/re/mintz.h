@@ -1,0 +1,44 @@
+// Mintz et al. 2009 baseline: multiclass logistic regression over sparse
+// bag-level lexical features (the classic non-neural distant-supervision
+// model of paper Fig. 4a).
+#ifndef IMR_RE_MINTZ_H_
+#define IMR_RE_MINTZ_H_
+
+#include <vector>
+
+#include "re/features.h"
+
+namespace imr::re {
+
+struct MintzConfig {
+  int epochs = 12;
+  float learning_rate = 0.5f;
+  float l2 = 1e-5f;
+  int hash_bits = 15;
+  uint64_t seed = 211;
+};
+
+class MintzModel {
+ public:
+  MintzModel(int num_relations, const MintzConfig& config);
+
+  void Train(const std::vector<Bag>& bags);
+
+  /// P(relation | bag) for every relation.
+  std::vector<float> Predict(const Bag& bag) const;
+
+  int num_relations() const { return num_relations_; }
+
+ private:
+  std::vector<float> Scores(const SparseFeatures& features) const;
+
+  int num_relations_;
+  MintzConfig config_;
+  FeatureExtractor extractor_;
+  std::vector<float> weights_;  // [num_relations x dim], row-major
+  std::vector<float> bias_;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_MINTZ_H_

@@ -1,0 +1,110 @@
+#include "re/multir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::re {
+
+MultirModel::MultirModel(int num_relations, const MultirConfig& config)
+    : num_relations_(num_relations),
+      config_(config),
+      extractor_(config.hash_bits) {
+  IMR_CHECK_GT(num_relations, 1);
+  weights_.assign(
+      static_cast<size_t>(num_relations) * extractor_.dim(), 0.0f);
+}
+
+float MultirModel::SentenceScore(const SparseFeatures& f,
+                                 int relation) const {
+  const float* row =
+      weights_.data() + static_cast<size_t>(relation) * extractor_.dim();
+  float acc = 0.0f;
+  for (size_t i = 0; i < f.indices.size(); ++i)
+    acc += row[f.indices[i]] * f.values[i];
+  return acc;
+}
+
+void MultirModel::Update(const SparseFeatures& f, int relation, float step) {
+  float* row =
+      weights_.data() + static_cast<size_t>(relation) * extractor_.dim();
+  for (size_t i = 0; i < f.indices.size(); ++i)
+    row[f.indices[i]] += step * f.values[i];
+}
+
+void MultirModel::BagScores(const std::vector<SparseFeatures>& sentences,
+                            std::vector<float>* scores,
+                            std::vector<int>* best_sentence) const {
+  scores->assign(static_cast<size_t>(num_relations_),
+                 -std::numeric_limits<float>::infinity());
+  best_sentence->assign(static_cast<size_t>(num_relations_), 0);
+  for (size_t s = 0; s < sentences.size(); ++s) {
+    for (int r = 0; r < num_relations_; ++r) {
+      const float score = SentenceScore(sentences[s], r);
+      if (score > (*scores)[static_cast<size_t>(r)]) {
+        (*scores)[static_cast<size_t>(r)] = score;
+        (*best_sentence)[static_cast<size_t>(r)] = static_cast<int>(s);
+      }
+    }
+  }
+}
+
+void MultirModel::Train(const std::vector<Bag>& bags) {
+  IMR_CHECK(!bags.empty());
+  util::Rng rng(config_.seed);
+  std::vector<std::vector<SparseFeatures>> features(bags.size());
+  for (size_t b = 0; b < bags.size(); ++b) {
+    for (const nn::EncoderInput& sentence : bags[b].sentences)
+      features[b].push_back(extractor_.SentenceFeatures(sentence));
+  }
+  std::vector<size_t> order(bags.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<float> scores;
+  std::vector<int> best;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t index : order) {
+      BagScores(features[index], &scores, &best);
+      const int gold = bags[index].relation;
+      int predicted = 0;
+      for (int r = 1; r < num_relations_; ++r) {
+        if (scores[static_cast<size_t>(r)] >
+            scores[static_cast<size_t>(predicted)])
+          predicted = r;
+      }
+      if (predicted == gold) continue;
+      // Promote the gold relation on its best sentence, demote the wrongly
+      // predicted one on the sentence that caused it.
+      const auto& gold_sentence = features[index][static_cast<size_t>(
+          best[static_cast<size_t>(gold)])];
+      const auto& bad_sentence = features[index][static_cast<size_t>(
+          best[static_cast<size_t>(predicted)])];
+      Update(gold_sentence, gold, config_.learning_rate);
+      Update(bad_sentence, predicted, -config_.learning_rate);
+    }
+  }
+}
+
+std::vector<float> MultirModel::Predict(const Bag& bag) const {
+  std::vector<SparseFeatures> sentences;
+  sentences.reserve(bag.sentences.size());
+  for (const nn::EncoderInput& sentence : bag.sentences)
+    sentences.push_back(extractor_.SentenceFeatures(sentence));
+  std::vector<float> scores;
+  std::vector<int> best;
+  BagScores(sentences, &scores, &best);
+  // Softmax into pseudo-probabilities for the held-out harness.
+  float max_v = *std::max_element(scores.begin(), scores.end());
+  float denom = 0.0f;
+  for (float& s : scores) {
+    s = std::exp(s - max_v);
+    denom += s;
+  }
+  for (float& s : scores) s /= denom;
+  return scores;
+}
+
+}  // namespace imr::re

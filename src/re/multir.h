@@ -1,0 +1,47 @@
+// MultiR-style baseline (Hoffmann et al. 2011): multi-instance perceptron.
+// Each sentence is scored independently; a bag's relation score is the max
+// over its sentences (at-least-one assumption). Training is a structured
+// perceptron update on the highest-scoring sentence when the bag-level
+// prediction is wrong.
+#ifndef IMR_RE_MULTIR_H_
+#define IMR_RE_MULTIR_H_
+
+#include <vector>
+
+#include "re/features.h"
+
+namespace imr::re {
+
+struct MultirConfig {
+  int epochs = 8;
+  float learning_rate = 0.1f;
+  int hash_bits = 15;
+  uint64_t seed = 223;
+};
+
+class MultirModel {
+ public:
+  MultirModel(int num_relations, const MultirConfig& config);
+
+  void Train(const std::vector<Bag>& bags);
+
+  /// Pseudo-probabilities: softmax over the bag's max-over-sentences scores.
+  std::vector<float> Predict(const Bag& bag) const;
+
+ private:
+  // Per-relation max over sentence scores, plus which sentence attains it.
+  void BagScores(const std::vector<SparseFeatures>& sentences,
+                 std::vector<float>* scores,
+                 std::vector<int>* best_sentence) const;
+  float SentenceScore(const SparseFeatures& f, int relation) const;
+  void Update(const SparseFeatures& f, int relation, float step);
+
+  int num_relations_;
+  MultirConfig config_;
+  FeatureExtractor extractor_;
+  std::vector<float> weights_;  // [num_relations x dim]
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_MULTIR_H_

@@ -1,0 +1,86 @@
+// The paper's unified relation-extraction model (Section III-D).
+//
+// Per bag of sentences for an entity pair (e_i, e_j):
+//   RE     = softmax(W_RE X_bag + b_RE)   X_bag from the sentence encoder +
+//                                          selective attention / averaging
+//   C_MR   = softmax(W_MR MR_ij + b_MR)    MR_ij = U_j - U_i from LINE
+//   C_T    = softmax(W_T  T_ij  + b_T)     T_ij = concat(type embeddings)
+//   P(r)   = softmax(w (a C_MR + b C_T + g RE) + bias)
+// with scalar a, b, g, w learned jointly with everything else.
+//
+// Configuration degrees of freedom reproduce the paper's model zoo:
+//   encoder=pcnn, att, no MR/T            -> PCNN+ATT   (Lin et al.)
+//   encoder=pcnn, avg, no MR/T            -> PCNN       (Zeng et al.)
+//   encoder=cnn,  att, no MR/T            -> CNN+ATT
+//   encoder=gru,  att, no MR/T            -> GRU+ATT
+//   encoder=bgwa, att, no MR/T            -> BGWA-style
+//   + use_entity_type                     -> PA-T
+//   + use_mutual_relation                 -> PA-MR
+//   + both                                -> PA-TMR (the paper's model)
+#ifndef IMR_RE_PA_MODEL_H_
+#define IMR_RE_PA_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/encoders.h"
+#include "nn/layers.h"
+#include "re/bag_dataset.h"
+#include "re/config.h"
+#include "re/type_embedding.h"
+#include "util/status.h"
+
+namespace imr::re {
+
+class PaModel : public nn::Module {
+ public:
+  PaModel(const PaModelConfig& config, util::Rng* rng);
+
+  /// Final (pre-softmax) logits of one bag, with the attention query fixed
+  /// to `query_relation` (the gold label during training).
+  tensor::Tensor BagLogits(const Bag& bag, int query_relation,
+                           util::Rng* rng) const;
+
+  /// Training loss of a batch of bags (mean cross-entropy of the gold
+  /// labels, attention queried with the gold label as in Lin et al.).
+  tensor::Tensor BatchLoss(const std::vector<const Bag*>& batch,
+                           util::Rng* rng) const;
+
+  /// Inference: probability of every relation for a bag. With selective
+  /// attention each relation r is scored under its own query (the standard
+  /// "diagonal" evaluation); with avg/max one forward pass suffices.
+  std::vector<float> Predict(const Bag& bag, util::Rng* rng) const;
+
+  const PaModelConfig& config() const { return config_; }
+  int num_relations() const { return config_.num_relations; }
+
+  /// The learned fusion weights (alpha, beta, gamma) — exposed for the
+  /// ablation benches.
+  float alpha() const;
+  float beta() const;
+  float gamma() const;
+
+ private:
+  // Encodes all sentences of a bag into [N x C].
+  tensor::Tensor EncodeBag(const Bag& bag, util::Rng* rng) const;
+  tensor::Tensor Aggregate(const tensor::Tensor& encodings,
+                           int query_relation) const;
+  // Fuses RE logits with the MR / Type confidences for one bag.
+  tensor::Tensor FuseLogits(const Bag& bag,
+                            const tensor::Tensor& re_logits) const;
+
+  PaModelConfig config_;
+  std::unique_ptr<nn::SentenceEncoder> encoder_;
+  std::unique_ptr<nn::SelectiveAttention> attention_;
+  std::unique_ptr<nn::Linear> re_head_;
+  std::unique_ptr<nn::Linear> mr_head_;
+  std::unique_ptr<TypeEmbedding> type_embedding_;
+  std::unique_ptr<nn::Linear> type_head_;
+  // Fusion parameters.
+  tensor::Tensor alpha_, beta_, gamma_, fuse_scale_, fuse_bias_;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_PA_MODEL_H_

@@ -1,0 +1,129 @@
+#include "re/trainer.h"
+
+#include <chrono>
+#include <memory>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace imr::re {
+
+Trainer::Trainer(PaModel* model, const TrainerConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  IMR_CHECK(model != nullptr);
+}
+
+std::vector<EpochStats> Trainer::Train(
+    const std::vector<Bag>& train_bags,
+    const std::function<bool(const EpochStats&)>& on_epoch) {
+  IMR_CHECK(!train_bags.empty());
+  std::unique_ptr<nn::Optimizer> optimizer_holder;
+  if (config_.optimizer == "adam") {
+    optimizer_holder =
+        std::make_unique<nn::Adam>(model_, config_.learning_rate);
+  } else if (config_.optimizer == "adagrad") {
+    optimizer_holder =
+        std::make_unique<nn::Adagrad>(model_, config_.learning_rate);
+  } else {
+    IMR_CHECK(config_.optimizer == "sgd");
+    optimizer_holder = std::make_unique<nn::Sgd>(
+        model_, config_.learning_rate, config_.weight_decay,
+        config_.clip_norm);
+  }
+  nn::Optimizer& optimizer = *optimizer_holder;
+  std::vector<const Bag*> order;
+  order.reserve(train_bags.size());
+  for (const Bag& bag : train_bags) order.push_back(&bag);
+
+  // Word-embedding tables targeted by adversarial perturbation.
+  std::vector<tensor::Tensor> adversarial_targets;
+  if (config_.adversarial_epsilon > 0.0f) {
+    for (nn::NamedParameter& p : model_->Parameters()) {
+      if (p.name.size() >= 10 &&
+          p.name.compare(p.name.size() - 10, 10, "word.table") == 0) {
+        adversarial_targets.push_back(p.tensor);
+      }
+    }
+  }
+
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto start = std::chrono::steady_clock::now();
+    model_->SetTraining(true);
+    rng_.Shuffle(&order);
+    double loss_sum = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      std::vector<const Bag*> batch(order.begin() + static_cast<long>(begin),
+                                    order.begin() + static_cast<long>(end));
+      model_->ZeroGrad();
+      tensor::Tensor loss = model_->BatchLoss(batch, &rng_);
+      loss.Backward();
+      if (!adversarial_targets.empty()) {
+        // FGSM: perturb the embedding tables along the loss gradient,
+        // accumulate the adversarial gradients, then restore the tables so
+        // the optimizer steps from the clean point.
+        std::vector<std::vector<float>> saved;
+        saved.reserve(adversarial_targets.size());
+        for (tensor::Tensor& table : adversarial_targets) {
+          saved.push_back(table.data());
+          const auto& grad = table.grad();
+          if (grad.empty()) continue;
+          auto& values = table.mutable_data();
+          for (size_t i = 0; i < values.size(); ++i) {
+            const float sign =
+                grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
+            values[i] += config_.adversarial_epsilon * sign;
+          }
+        }
+        model_->BatchLoss(batch, &rng_).Backward();
+        for (size_t t = 0; t < adversarial_targets.size(); ++t) {
+          adversarial_targets[t].mutable_data() = std::move(saved[t]);
+        }
+      }
+      optimizer.Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    optimizer.set_learning_rate(optimizer.learning_rate() *
+                                config_.lr_decay);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = batches > 0 ? loss_sum / batches : 0.0;
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (config_.verbose) {
+      IMR_LOG(Info) << "epoch " << epoch << " loss=" << stats.mean_loss
+                    << " (" << stats.seconds << "s)";
+    }
+    history.push_back(stats);
+    if (on_epoch && !on_epoch(stats)) break;
+  }
+  model_->SetTraining(false);
+  return history;
+}
+
+eval::HeldOutResult Trainer::Evaluate(const std::vector<Bag>& test_bags) {
+  model_->SetTraining(false);
+  util::Rng* rng = &rng_;
+  PaModel* model = model_;
+  return eval::Evaluate(
+      [model, rng](const Bag& bag) { return model->Predict(bag, rng); },
+      test_bags, model_->num_relations());
+}
+
+eval::HeldOutResult TrainAndEvaluate(PaModel* model,
+                                     const std::vector<Bag>& train_bags,
+                                     const std::vector<Bag>& test_bags,
+                                     const TrainerConfig& config) {
+  Trainer trainer(model, config);
+  trainer.Train(train_bags);
+  return trainer.Evaluate(test_bags);
+}
+
+}  // namespace imr::re

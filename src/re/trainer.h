@@ -1,0 +1,51 @@
+// Mini-batch SGD training loop for PaModel over a bag dataset, with the
+// paper's schedule (SGD, lr 0.3, batch 160, per-epoch decay) and an
+// optional per-epoch held-out evaluation callback.
+#ifndef IMR_RE_TRAINER_H_
+#define IMR_RE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "eval/heldout.h"
+#include "re/config.h"
+#include "re/pa_model.h"
+
+namespace imr::re {
+
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(PaModel* model, const TrainerConfig& config);
+
+  /// Trains on `train_bags`; returns per-epoch stats. The optional callback
+  /// fires after each epoch (e.g. for eval logging / early stopping: return
+  /// false to stop).
+  std::vector<EpochStats> Train(
+      const std::vector<Bag>& train_bags,
+      const std::function<bool(const EpochStats&)>& on_epoch = nullptr);
+
+  /// Convenience: evaluates the trained model on `test_bags`.
+  eval::HeldOutResult Evaluate(const std::vector<Bag>& test_bags);
+
+ private:
+  PaModel* model_;
+  TrainerConfig config_;
+  util::Rng rng_;
+};
+
+/// One-call helper used by benches: train a model, return the held-out
+/// result.
+eval::HeldOutResult TrainAndEvaluate(PaModel* model,
+                                     const std::vector<Bag>& train_bags,
+                                     const std::vector<Bag>& test_bags,
+                                     const TrainerConfig& config);
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_TRAINER_H_

@@ -1,0 +1,28 @@
+#include "re/type_embedding.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace imr::re {
+
+TypeEmbedding::TypeEmbedding(int type_dim, util::Rng* rng, int num_types)
+    : type_dim_(type_dim) {
+  table_ = std::make_unique<nn::Embedding>(num_types, type_dim, rng);
+  RegisterChild("table", table_.get());
+}
+
+tensor::Tensor TypeEmbedding::EntityVector(
+    const std::vector<int>& type_ids) const {
+  IMR_CHECK(!type_ids.empty());
+  tensor::Tensor rows = table_->Forward(type_ids);
+  return tensor::MeanRows(rows);
+}
+
+tensor::Tensor TypeEmbedding::PairVector(
+    const std::vector<int>& head_types,
+    const std::vector<int>& tail_types) const {
+  return tensor::ConcatVec(
+      {EntityVector(head_types), EntityVector(tail_types)});
+}
+
+}  // namespace imr::re

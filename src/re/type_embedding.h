@@ -1,0 +1,37 @@
+// Entity-type embedding (paper Section III-B): each of the 38 coarse FIGER
+// types gets a kt-dimensional vector; an entity's type vector is the mean
+// over its types, and a pair is represented as concat(head, tail) in 2*kt.
+#ifndef IMR_RE_TYPE_EMBEDDING_H_
+#define IMR_RE_TYPE_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "kg/types.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace imr::re {
+
+class TypeEmbedding : public nn::Module {
+ public:
+  TypeEmbedding(int type_dim, util::Rng* rng,
+                int num_types = kg::kNumCoarseTypes);
+
+  /// Mean type embedding of one entity: [type_dim]. Requires >= 1 type.
+  tensor::Tensor EntityVector(const std::vector<int>& type_ids) const;
+
+  /// T_ij = concat(Type_i, Type_j): [2 * type_dim].
+  tensor::Tensor PairVector(const std::vector<int>& head_types,
+                            const std::vector<int>& tail_types) const;
+
+  int type_dim() const { return type_dim_; }
+
+ private:
+  int type_dim_;
+  std::unique_ptr<nn::Embedding> table_;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_TYPE_EMBEDDING_H_

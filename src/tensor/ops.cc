@@ -1,0 +1,841 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace imr::tensor {
+
+namespace {
+
+using internal::MakeResult;
+using internal::TensorImpl;
+
+// Accumulates `delta` into the grad of `parent` if it requires grad.
+inline bool WantsGrad(const Tensor& t) {
+  return t.defined() && t.requires_grad();
+}
+
+inline std::vector<float>* GradOf(const Tensor& t) {
+  t.impl()->EnsureGrad();
+  return &t.impl()->grad;
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  IMR_CHECK(a.shape() == b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + bv[i];
+  return MakeResult(a.shape(), std::move(out), {a, b},
+                    [a, b](TensorImpl& self) {
+                      if (WantsGrad(a)) {
+                        auto* ga = GradOf(a);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*ga)[i] += self.grad[i];
+                      }
+                      if (WantsGrad(b)) {
+                        auto* gb = GradOf(b);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*gb)[i] += self.grad[i];
+                      }
+                    });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] - bv[i];
+  return MakeResult(a.shape(), std::move(out), {a, b},
+                    [a, b](TensorImpl& self) {
+                      if (WantsGrad(a)) {
+                        auto* ga = GradOf(a);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*ga)[i] += self.grad[i];
+                      }
+                      if (WantsGrad(b)) {
+                        auto* gb = GradOf(b);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*gb)[i] -= self.grad[i];
+                      }
+                    });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * bv[i];
+  return MakeResult(a.shape(), std::move(out), {a, b},
+                    [a, b](TensorImpl& self) {
+                      const auto& av = a.data();
+                      const auto& bv = b.data();
+                      if (WantsGrad(a)) {
+                        auto* ga = GradOf(a);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*ga)[i] += self.grad[i] * bv[i];
+                      }
+                      if (WantsGrad(b)) {
+                        auto* gb = GradOf(b);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*gb)[i] += self.grad[i] * av[i];
+                      }
+                    });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * s;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a, s](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i)
+                        (*ga)[i] += self.grad[i] * s;
+                    });
+}
+
+Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& s) {
+  IMR_CHECK_EQ(s.size(), 1u);
+  const float sv = s.data()[0];
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * sv;
+  return MakeResult(a.shape(), std::move(out), {a, s},
+                    [a, s](TensorImpl& self) {
+                      const float sv = s.data()[0];
+                      if (WantsGrad(a)) {
+                        auto* ga = GradOf(a);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*ga)[i] += self.grad[i] * sv;
+                      }
+                      if (WantsGrad(s)) {
+                        auto* gs = GradOf(s);
+                        const auto& av = a.data();
+                        float acc = 0.0f;
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          acc += self.grad[i] * av[i];
+                        (*gs)[0] += acc;
+                      }
+                    });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + s;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i)
+                        (*ga)[i] += self.grad[i];
+                    });
+}
+
+Tensor Tanh(const Tensor& a) {
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i) {
+                        const float y = self.value[i];
+                        (*ga)[i] += self.grad[i] * (1.0f - y * y);
+                      }
+                    });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-av[i]));
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i) {
+                        const float y = self.value[i];
+                        (*ga)[i] += self.grad[i] * y * (1.0f - y);
+                      }
+                    });
+}
+
+Tensor Relu(const Tensor& a) {
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] > 0 ? av[i] : 0.0f;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i) {
+                        if (self.value[i] > 0) (*ga)[i] += self.grad[i];
+                      }
+                    });
+}
+
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  IMR_CHECK(rng != nullptr);
+  IMR_CHECK_LT(p, 1.0f);
+  const float keep_scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(a.size());
+  std::vector<float> out(a.size());
+  const auto& av = a.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+    out[i] = av[i] * mask[i];
+  }
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [a, mask = std::move(mask)](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i)
+                        (*ga)[i] += self.grad[i] * mask[i];
+                    });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const bool lhs_vector = (a.rank() == 1);
+  const int rows = lhs_vector ? 1 : a.shape()[0];
+  const int inner = lhs_vector ? a.shape()[0] : a.shape()[1];
+  IMR_CHECK_EQ(b.rank(), 2);
+  IMR_CHECK_EQ(b.shape()[0], inner);
+  const int cols = b.shape()[1];
+
+  std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  // ikj ordering: streams through b row-wise, vectorises well.
+  for (int i = 0; i < rows; ++i) {
+    const float* arow = av + static_cast<size_t>(i) * inner;
+    float* orow = out.data() + static_cast<size_t>(i) * cols;
+    for (int k = 0; k < inner; ++k) {
+      const float aval = arow[k];
+      if (aval == 0.0f) continue;
+      const float* brow = bv + static_cast<size_t>(k) * cols;
+      for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  std::vector<int> out_shape =
+      lhs_vector ? std::vector<int>{cols} : std::vector<int>{rows, cols};
+  return MakeResult(
+      std::move(out_shape), std::move(out), {a, b},
+      [a, b, rows, inner, cols](TensorImpl& self) {
+        const float* gout = self.grad.data();
+        if (WantsGrad(a)) {
+          // dA = dOut * B^T : [rows x cols] x [cols x inner]
+          auto* ga = GradOf(a);
+          const float* bv = b.data().data();
+          for (int i = 0; i < rows; ++i) {
+            const float* grow = gout + static_cast<size_t>(i) * cols;
+            float* garow = ga->data() + static_cast<size_t>(i) * inner;
+            for (int k = 0; k < inner; ++k) {
+              const float* brow = bv + static_cast<size_t>(k) * cols;
+              float acc = 0.0f;
+              for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+              garow[k] += acc;
+            }
+          }
+        }
+        if (WantsGrad(b)) {
+          // dB = A^T * dOut : [inner x rows] x [rows x cols]
+          auto* gb = GradOf(b);
+          const float* av = a.data().data();
+          for (int i = 0; i < rows; ++i) {
+            const float* arow = av + static_cast<size_t>(i) * inner;
+            const float* grow = gout + static_cast<size_t>(i) * cols;
+            for (int k = 0; k < inner; ++k) {
+              const float aval = arow[k];
+              if (aval == 0.0f) continue;
+              float* gbrow = gb->data() + static_cast<size_t>(k) * cols;
+              for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+            }
+          }
+        }
+      });
+}
+
+Tensor AddRowVector(const Tensor& m, const Tensor& v) {
+  const int rows = m.rows();
+  const int cols = m.cols();
+  IMR_CHECK_EQ(static_cast<int>(v.size()), cols);
+  std::vector<float> out(m.size());
+  const auto& mv = m.data();
+  const auto& vv = v.data();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(r) * cols + c] =
+          mv[static_cast<size_t>(r) * cols + c] + vv[c];
+    }
+  }
+  return MakeResult(m.shape(), std::move(out), {m, v},
+                    [m, v, rows, cols](TensorImpl& self) {
+                      if (WantsGrad(m)) {
+                        auto* gm = GradOf(m);
+                        for (size_t i = 0; i < self.grad.size(); ++i)
+                          (*gm)[i] += self.grad[i];
+                      }
+                      if (WantsGrad(v)) {
+                        auto* gv = GradOf(v);
+                        for (int r = 0; r < rows; ++r)
+                          for (int c = 0; c < cols; ++c)
+                            (*gv)[c] +=
+                                self.grad[static_cast<size_t>(r) * cols + c];
+                      }
+                    });
+}
+
+Tensor RowwiseDot(const Tensor& x, const Tensor& q) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  const int rows = x.shape()[0];
+  const int cols = x.shape()[1];
+  IMR_CHECK_EQ(static_cast<int>(q.size()), cols);
+  std::vector<float> out(rows, 0.0f);
+  const auto& xv = x.data();
+  const auto& qv = q.data();
+  for (int r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    for (int c = 0; c < cols; ++c)
+      acc += xv[static_cast<size_t>(r) * cols + c] * qv[c];
+    out[r] = acc;
+  }
+  return MakeResult({rows}, std::move(out), {x, q},
+                    [x, q, rows, cols](TensorImpl& self) {
+                      const auto& xv = x.data();
+                      const auto& qv = q.data();
+                      if (WantsGrad(x)) {
+                        auto* gx = GradOf(x);
+                        for (int r = 0; r < rows; ++r)
+                          for (int c = 0; c < cols; ++c)
+                            (*gx)[static_cast<size_t>(r) * cols + c] +=
+                                self.grad[r] * qv[c];
+                      }
+                      if (WantsGrad(q)) {
+                        auto* gq = GradOf(q);
+                        for (int r = 0; r < rows; ++r)
+                          for (int c = 0; c < cols; ++c)
+                            (*gq)[c] +=
+                                self.grad[r] *
+                                xv[static_cast<size_t>(r) * cols + c];
+                      }
+                    });
+}
+
+Tensor WeightedSumRows(const Tensor& x, const Tensor& w) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  const int rows = x.shape()[0];
+  const int cols = x.shape()[1];
+  IMR_CHECK_EQ(static_cast<int>(w.size()), rows);
+  std::vector<float> out(cols, 0.0f);
+  const auto& xv = x.data();
+  const auto& wv = w.data();
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out[c] += wv[r] * xv[static_cast<size_t>(r) * cols + c];
+  return MakeResult({cols}, std::move(out), {x, w},
+                    [x, w, rows, cols](TensorImpl& self) {
+                      const auto& xv = x.data();
+                      const auto& wv = w.data();
+                      if (WantsGrad(x)) {
+                        auto* gx = GradOf(x);
+                        for (int r = 0; r < rows; ++r)
+                          for (int c = 0; c < cols; ++c)
+                            (*gx)[static_cast<size_t>(r) * cols + c] +=
+                                wv[r] * self.grad[c];
+                      }
+                      if (WantsGrad(w)) {
+                        auto* gw = GradOf(w);
+                        for (int r = 0; r < rows; ++r) {
+                          float acc = 0.0f;
+                          for (int c = 0; c < cols; ++c)
+                            acc += xv[static_cast<size_t>(r) * cols + c] *
+                                   self.grad[c];
+                          (*gw)[r] += acc;
+                        }
+                      }
+                    });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int> shape) {
+  size_t n = 1;
+  for (int d : shape) n *= static_cast<size_t>(d);
+  IMR_CHECK_EQ(n, a.size());
+  std::vector<float> out = a.data();
+  return MakeResult(std::move(shape), std::move(out), {a},
+                    [a](TensorImpl& self) {
+                      if (!WantsGrad(a)) return;
+                      auto* ga = GradOf(a);
+                      for (size_t i = 0; i < self.grad.size(); ++i)
+                        (*ga)[i] += self.grad[i];
+                    });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  IMR_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const Tensor& p : parts) {
+    IMR_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total_rows) * cols);
+  for (const Tensor& p : parts)
+    out.insert(out.end(), p.data().begin(), p.data().end());
+  return MakeResult({total_rows, cols}, std::move(out),
+                    std::vector<Tensor>(parts), [parts](TensorImpl& self) {
+                      size_t offset = 0;
+                      for (const Tensor& p : parts) {
+                        if (WantsGrad(p)) {
+                          auto* gp = GradOf(p);
+                          for (size_t i = 0; i < p.size(); ++i)
+                            (*gp)[i] += self.grad[offset + i];
+                        }
+                        offset += p.size();
+                      }
+                    });
+}
+
+Tensor ConcatVec(const std::vector<Tensor>& parts) {
+  IMR_CHECK(!parts.empty());
+  std::vector<float> out;
+  int total = 0;
+  for (const Tensor& p : parts) {
+    IMR_CHECK_EQ(p.rank(), 1);
+    total += p.shape()[0];
+    out.insert(out.end(), p.data().begin(), p.data().end());
+  }
+  return MakeResult({total}, std::move(out), std::vector<Tensor>(parts),
+                    [parts](TensorImpl& self) {
+                      size_t offset = 0;
+                      for (const Tensor& p : parts) {
+                        if (WantsGrad(p)) {
+                          auto* gp = GradOf(p);
+                          for (size_t i = 0; i < p.size(); ++i)
+                            (*gp)[i] += self.grad[offset + i];
+                        }
+                        offset += p.size();
+                      }
+                    });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  IMR_CHECK(!parts.empty());
+  const int rows = parts[0].rows();
+  int total_cols = 0;
+  for (const Tensor& p : parts) {
+    IMR_CHECK_EQ(p.rank(), 2);
+    IMR_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+  }
+  std::vector<float> out(static_cast<size_t>(rows) * total_cols);
+  int col_offset = 0;
+  for (const Tensor& p : parts) {
+    const int cols = p.cols();
+    const auto& pv = p.data();
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pv.begin() + static_cast<size_t>(r) * cols,
+                pv.begin() + static_cast<size_t>(r + 1) * cols,
+                out.begin() + static_cast<size_t>(r) * total_cols +
+                    col_offset);
+    }
+    col_offset += cols;
+  }
+  return MakeResult({rows, total_cols}, std::move(out),
+                    std::vector<Tensor>(parts),
+                    [parts, rows, total_cols](TensorImpl& self) {
+                      int col_offset = 0;
+                      for (const Tensor& p : parts) {
+                        const int cols = p.cols();
+                        if (WantsGrad(p)) {
+                          auto* gp = GradOf(p);
+                          for (int r = 0; r < rows; ++r)
+                            for (int c = 0; c < cols; ++c)
+                              (*gp)[static_cast<size_t>(r) * cols + c] +=
+                                  self.grad[static_cast<size_t>(r) *
+                                                total_cols +
+                                            col_offset + c];
+                        }
+                        col_offset += cols;
+                      }
+                    });
+}
+
+Tensor Row(const Tensor& x, int r) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  IMR_CHECK_GE(r, 0);
+  IMR_CHECK_LT(r, x.shape()[0]);
+  const int cols = x.shape()[1];
+  std::vector<float> out(
+      x.data().begin() + static_cast<size_t>(r) * cols,
+      x.data().begin() + static_cast<size_t>(r + 1) * cols);
+  return MakeResult({cols}, std::move(out), {x},
+                    [x, r, cols](TensorImpl& self) {
+                      if (!WantsGrad(x)) return;
+                      auto* gx = GradOf(x);
+                      for (int c = 0; c < cols; ++c)
+                        (*gx)[static_cast<size_t>(r) * cols + c] +=
+                            self.grad[c];
+                    });
+}
+
+Tensor Slice(const Tensor& v, int start, int len) {
+  IMR_CHECK_EQ(v.rank(), 1);
+  IMR_CHECK_GE(start, 0);
+  IMR_CHECK_GE(len, 0);
+  IMR_CHECK_LE(start + len, v.shape()[0]);
+  std::vector<float> out(v.data().begin() + start,
+                         v.data().begin() + start + len);
+  return MakeResult({len}, std::move(out), {v},
+                    [v, start, len](TensorImpl& self) {
+                      if (!WantsGrad(v)) return;
+                      auto* gv = GradOf(v);
+                      for (int i = 0; i < len; ++i)
+                        (*gv)[start + i] += self.grad[i];
+                    });
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
+  IMR_CHECK_EQ(table.rank(), 2);
+  const int vocab = table.shape()[0];
+  const int dim = table.shape()[1];
+  std::vector<float> out(indices.size() * static_cast<size_t>(dim));
+  const auto& tv = table.data();
+  for (size_t n = 0; n < indices.size(); ++n) {
+    const int idx = indices[n];
+    IMR_CHECK_GE(idx, 0);
+    IMR_CHECK_LT(idx, vocab);
+    std::copy(tv.begin() + static_cast<size_t>(idx) * dim,
+              tv.begin() + static_cast<size_t>(idx + 1) * dim,
+              out.begin() + n * dim);
+  }
+  return MakeResult({static_cast<int>(indices.size()), dim}, std::move(out),
+                    {table}, [table, indices, dim](TensorImpl& self) {
+                      if (!WantsGrad(table)) return;
+                      auto* gt = GradOf(table);
+                      for (size_t n = 0; n < indices.size(); ++n) {
+                        const size_t dst =
+                            static_cast<size_t>(indices[n]) * dim;
+                        for (int c = 0; c < dim; ++c)
+                          (*gt)[dst + c] += self.grad[n * dim + c];
+                      }
+                    });
+}
+
+Tensor Sum(const Tensor& a) {
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  return MakeResult({1}, {acc}, {a}, [a](TensorImpl& self) {
+    if (!WantsGrad(a)) return;
+    auto* ga = GradOf(a);
+    for (size_t i = 0; i < ga->size(); ++i) (*ga)[i] += self.grad[0];
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  IMR_CHECK_GT(a.size(), 0u);
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  const float inv = 1.0f / static_cast<float>(a.size());
+  return MakeResult({1}, {acc * inv}, {a}, [a, inv](TensorImpl& self) {
+    if (!WantsGrad(a)) return;
+    auto* ga = GradOf(a);
+    for (size_t i = 0; i < ga->size(); ++i) (*ga)[i] += self.grad[0] * inv;
+  });
+}
+
+Tensor SumRows(const Tensor& x) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  const int rows = x.shape()[0];
+  const int cols = x.shape()[1];
+  std::vector<float> out(cols, 0.0f);
+  const auto& xv = x.data();
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out[c] += xv[static_cast<size_t>(r) * cols + c];
+  return MakeResult({cols}, std::move(out), {x},
+                    [x, rows, cols](TensorImpl& self) {
+                      if (!WantsGrad(x)) return;
+                      auto* gx = GradOf(x);
+                      for (int r = 0; r < rows; ++r)
+                        for (int c = 0; c < cols; ++c)
+                          (*gx)[static_cast<size_t>(r) * cols + c] +=
+                              self.grad[c];
+                    });
+}
+
+Tensor MeanRows(const Tensor& x) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  IMR_CHECK_GT(x.shape()[0], 0);
+  return Scale(SumRows(x), 1.0f / static_cast<float>(x.shape()[0]));
+}
+
+Tensor MaxOverRows(const Tensor& x) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  const int rows = x.shape()[0];
+  const int cols = x.shape()[1];
+  IMR_CHECK_GT(rows, 0);
+  std::vector<float> out(cols, -std::numeric_limits<float>::infinity());
+  std::vector<int> argmax(cols, 0);
+  const auto& xv = x.data();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const float v = xv[static_cast<size_t>(r) * cols + c];
+      if (v > out[c]) {
+        out[c] = v;
+        argmax[c] = r;
+      }
+    }
+  }
+  return MakeResult({cols}, std::move(out), {x},
+                    [x, argmax = std::move(argmax), cols](TensorImpl& self) {
+                      if (!WantsGrad(x)) return;
+                      auto* gx = GradOf(x);
+                      for (int c = 0; c < cols; ++c)
+                        (*gx)[static_cast<size_t>(argmax[c]) * cols + c] +=
+                            self.grad[c];
+                    });
+}
+
+Tensor PiecewiseMaxOverRows(const Tensor& x, int b1, int b2) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  const int rows = x.shape()[0];
+  const int cols = x.shape()[1];
+  IMR_CHECK_GE(b1, 0);
+  IMR_CHECK_LE(b1, b2);
+  IMR_CHECK_LE(b2, rows);
+  std::vector<float> out(3 * static_cast<size_t>(cols), 0.0f);
+  // argmax = -1 marks an empty segment (output stays 0, no gradient).
+  std::vector<int> argmax(3 * static_cast<size_t>(cols), -1);
+  const auto& xv = x.data();
+  const int bounds[4] = {0, b1, b2, rows};
+  for (int seg = 0; seg < 3; ++seg) {
+    const int lo = bounds[seg];
+    const int hi = bounds[seg + 1];
+    if (lo >= hi) continue;
+    for (int c = 0; c < cols; ++c) {
+      float best = -std::numeric_limits<float>::infinity();
+      int best_r = lo;
+      for (int r = lo; r < hi; ++r) {
+        const float v = xv[static_cast<size_t>(r) * cols + c];
+        if (v > best) {
+          best = v;
+          best_r = r;
+        }
+      }
+      out[static_cast<size_t>(seg) * cols + c] = best;
+      argmax[static_cast<size_t>(seg) * cols + c] = best_r;
+    }
+  }
+  return MakeResult({3 * cols}, std::move(out), {x},
+                    [x, argmax = std::move(argmax), cols](TensorImpl& self) {
+                      if (!WantsGrad(x)) return;
+                      auto* gx = GradOf(x);
+                      for (size_t i = 0; i < argmax.size(); ++i) {
+                        const int r = argmax[i];
+                        if (r < 0) continue;
+                        const size_t c = i % cols;
+                        (*gx)[static_cast<size_t>(r) * cols + c] +=
+                            self.grad[i];
+                      }
+                    });
+}
+
+namespace {
+// Computes row-wise softmax of `in` ([rows x cols]) into `out`.
+void SoftmaxRows(const float* in, float* out, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* irow = in + static_cast<size_t>(r) * cols;
+    float* orow = out + static_cast<size_t>(r) * cols;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      orow[c] = std::exp(irow[c] - max_v);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+}
+}  // namespace
+
+Tensor Softmax(const Tensor& x) {
+  const int rows = x.rows();
+  const int cols = x.cols();
+  std::vector<float> out(x.size());
+  SoftmaxRows(x.data().data(), out.data(), rows, cols);
+  return MakeResult(
+      x.shape(), std::move(out), {x}, [x, rows, cols](TensorImpl& self) {
+        if (!WantsGrad(x)) return;
+        auto* gx = GradOf(x);
+        for (int r = 0; r < rows; ++r) {
+          const float* y = self.value.data() + static_cast<size_t>(r) * cols;
+          const float* gy = self.grad.data() + static_cast<size_t>(r) * cols;
+          float dot = 0.0f;
+          for (int c = 0; c < cols; ++c) dot += y[c] * gy[c];
+          float* grow = gx->data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) grow[c] += y[c] * (gy[c] - dot);
+        }
+      });
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  const int rows = x.rows();
+  const int cols = x.cols();
+  std::vector<float> out(x.size());
+  const auto& xv = x.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* irow = xv.data() + static_cast<size_t>(r) * cols;
+    float* orow = out.data() + static_cast<size_t>(r) * cols;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) denom += std::exp(irow[c] - max_v);
+    const float log_denom = max_v + std::log(denom);
+    for (int c = 0; c < cols; ++c) orow[c] = irow[c] - log_denom;
+  }
+  return MakeResult(
+      x.shape(), std::move(out), {x}, [x, rows, cols](TensorImpl& self) {
+        if (!WantsGrad(x)) return;
+        auto* gx = GradOf(x);
+        for (int r = 0; r < rows; ++r) {
+          const float* y = self.value.data() + static_cast<size_t>(r) * cols;
+          const float* gy = self.grad.data() + static_cast<size_t>(r) * cols;
+          float sum_g = 0.0f;
+          for (int c = 0; c < cols; ++c) sum_g += gy[c];
+          float* grow = gx->data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c)
+            grow[c] += gy[c] - std::exp(y[c]) * sum_g;
+        }
+      });
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits,
+                        const std::vector<int>& labels) {
+  const int rows = logits.rows();
+  const int cols = logits.cols();
+  IMR_CHECK_EQ(static_cast<size_t>(rows), labels.size());
+  // Forward: mean of -log softmax(logits)[r, labels[r]].
+  std::vector<float> probs(logits.size());
+  SoftmaxRows(logits.data().data(), probs.data(), rows, cols);
+  float loss = 0.0f;
+  for (int r = 0; r < rows; ++r) {
+    const int label = labels[r];
+    IMR_CHECK_GE(label, 0);
+    IMR_CHECK_LT(label, cols);
+    const float p = probs[static_cast<size_t>(r) * cols + label];
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  loss /= static_cast<float>(rows);
+  return MakeResult(
+      {1}, {loss}, {logits},
+      [logits, labels, probs = std::move(probs), rows,
+       cols](TensorImpl& self) {
+        if (!WantsGrad(logits)) return;
+        auto* gx = GradOf(logits);
+        const float scale = self.grad[0] / static_cast<float>(rows);
+        for (int r = 0; r < rows; ++r) {
+          const float* prow = probs.data() + static_cast<size_t>(r) * cols;
+          float* grow = gx->data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) grow[c] += scale * prow[c];
+          grow[labels[r]] -= scale;
+        }
+      });
+}
+
+Tensor Conv1dSame(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                  int window) {
+  IMR_CHECK_EQ(x.rank(), 2);
+  IMR_CHECK_EQ(weight.rank(), 2);
+  IMR_CHECK_EQ(window % 2, 1);
+  const int time = x.shape()[0];
+  const int dim = x.shape()[1];
+  const int filters = weight.shape()[0];
+  IMR_CHECK_EQ(weight.shape()[1], window * dim);
+  IMR_CHECK_EQ(static_cast<int>(bias.size()), filters);
+  const int half = window / 2;
+
+  std::vector<float> out(static_cast<size_t>(time) * filters);
+  const float* xv = x.data().data();
+  const float* wv = weight.data().data();
+  const float* bv = bias.data().data();
+  for (int t = 0; t < time; ++t) {
+    float* orow = out.data() + static_cast<size_t>(t) * filters;
+    for (int f = 0; f < filters; ++f) orow[f] = bv[f];
+    for (int w = 0; w < window; ++w) {
+      const int src = t + w - half;
+      if (src < 0 || src >= time) continue;  // zero padding
+      const float* xrow = xv + static_cast<size_t>(src) * dim;
+      // weight layout: [f][w*dim + d]
+      for (int f = 0; f < filters; ++f) {
+        const float* wrow = wv + static_cast<size_t>(f) * window * dim +
+                            static_cast<size_t>(w) * dim;
+        float acc = 0.0f;
+        for (int d = 0; d < dim; ++d) acc += xrow[d] * wrow[d];
+        orow[f] += acc;
+      }
+    }
+  }
+  return MakeResult(
+      {time, filters}, std::move(out), {x, weight, bias},
+      [x, weight, bias, window, time, dim, filters, half](TensorImpl& self) {
+        const float* gout = self.grad.data();
+        const float* xv = x.data().data();
+        const float* wv = weight.data().data();
+        if (WantsGrad(bias)) {
+          auto* gb = GradOf(bias);
+          for (int t = 0; t < time; ++t) {
+            const float* grow = gout + static_cast<size_t>(t) * filters;
+            for (int f = 0; f < filters; ++f) (*gb)[f] += grow[f];
+          }
+        }
+        const bool want_x = WantsGrad(x);
+        const bool want_w = WantsGrad(weight);
+        if (!want_x && !want_w) return;
+        auto* gx = want_x ? GradOf(x) : nullptr;
+        auto* gw = want_w ? GradOf(weight) : nullptr;
+        for (int t = 0; t < time; ++t) {
+          const float* grow = gout + static_cast<size_t>(t) * filters;
+          for (int w = 0; w < window; ++w) {
+            const int src = t + w - half;
+            if (src < 0 || src >= time) continue;
+            const float* xrow = xv + static_cast<size_t>(src) * dim;
+            for (int f = 0; f < filters; ++f) {
+              const float g = grow[f];
+              if (g == 0.0f) continue;
+              const size_t woff = static_cast<size_t>(f) * window * dim +
+                                  static_cast<size_t>(w) * dim;
+              if (want_w) {
+                float* gwrow = gw->data() + woff;
+                for (int d = 0; d < dim; ++d) gwrow[d] += g * xrow[d];
+              }
+              if (want_x) {
+                const float* wrow = wv + woff;
+                float* gxrow = gx->data() + static_cast<size_t>(src) * dim;
+                for (int d = 0; d < dim; ++d) gxrow[d] += g * wrow[d];
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace imr::tensor

@@ -1,0 +1,113 @@
+// Differentiable operations on Tensor. Every op returns a fresh node whose
+// backward closure accumulates into the parents' gradients. Shapes are
+// validated with IMR_CHECK; passing mismatched shapes is a programming error.
+//
+// Conventions: rank-2 tensors are row-major [rows x cols]; a "row vector"
+// argument may be rank-1 [C]. Sentence encoders treat rows as time steps.
+#ifndef IMR_TENSOR_OPS_H_
+#define IMR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace imr::tensor {
+
+// ---- elementwise ----
+
+/// c = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// c = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// c = a * b elementwise (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = a * s.
+Tensor Scale(const Tensor& a, float s);
+/// c = a * s where s is a trainable scalar tensor (size 1). Gradients flow
+/// into both a and s.
+Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& s);
+/// c = a + s.
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+
+/// Inverted dropout: zeroes with probability p and scales kept values by
+/// 1/(1-p). Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training);
+
+// ---- linear algebra ----
+
+/// [R x K] x [K x C] -> [R x C]. A rank-1 lhs is treated as [1 x K] and the
+/// result is rank-1 [C].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Adds a row vector v [C] (or [1 x C]) to every row of m [R x C].
+Tensor AddRowVector(const Tensor& m, const Tensor& v);
+
+/// Dot product of each row of x [N x C] with q [C] -> [N].
+Tensor RowwiseDot(const Tensor& x, const Tensor& q);
+
+/// Sum_n w[n] * x[n, :] -> [C]. w is rank-1 [N].
+Tensor WeightedSumRows(const Tensor& x, const Tensor& w);
+
+// ---- shape ----
+
+/// Same data, new shape (sizes must match).
+Tensor Reshape(const Tensor& a, std::vector<int> shape);
+
+/// Stacks parts vertically; each part is [r_i x C] or rank-1 [C] (one row).
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Concatenates rank-1 vectors into one rank-1 vector.
+Tensor ConcatVec(const std::vector<Tensor>& parts);
+
+/// Concatenates rank-2 tensors horizontally; all parts share the row count.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Extracts row r of a rank-2 tensor as a rank-1 vector.
+Tensor Row(const Tensor& x, int r);
+
+/// Extracts v[start, start+len) of a rank-1 vector.
+Tensor Slice(const Tensor& v, int start, int len);
+
+/// Embedding lookup: rows of `table` [V x D] at `indices` -> [N x D].
+/// Gradients scatter-add into the table.
+Tensor GatherRows(const Tensor& table, const std::vector<int>& indices);
+
+// ---- reductions ----
+
+Tensor Sum(const Tensor& a);          // -> scalar
+Tensor Mean(const Tensor& a);         // -> scalar
+Tensor SumRows(const Tensor& x);      // [T x C] -> [C]
+Tensor MeanRows(const Tensor& x);     // [T x C] -> [C]
+/// Per-column max over rows: [T x C] -> [C].
+Tensor MaxOverRows(const Tensor& x);
+
+/// Piecewise max pooling (Zeng et al. 2015): rows are split into three
+/// segments [0, b1), [b1, b2), [b2, T) and max-pooled per column, giving
+/// [3*C]. Empty segments contribute zeros. Requires 0 <= b1 <= b2 <= T.
+Tensor PiecewiseMaxOverRows(const Tensor& x, int b1, int b2);
+
+// ---- softmax & losses ----
+
+/// Row-wise softmax ([N x C] or rank-1).
+Tensor Softmax(const Tensor& x);
+/// Row-wise log-softmax.
+Tensor LogSoftmax(const Tensor& x);
+/// Mean negative log-likelihood of `labels` under row-wise softmax(logits).
+/// logits: [N x C] (or rank-1 with one label). Returns a scalar.
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels);
+
+// ---- convolution ----
+
+/// 1-D convolution over time with "same" zero padding.
+///   x: [T x D], weight: [F x (window*D)], bias: [F] -> [T x F].
+/// Window must be odd. Filter f at time t sees rows t-w/2 .. t+w/2.
+Tensor Conv1dSame(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                  int window);
+
+}  // namespace imr::tensor
+
+#endif  // IMR_TENSOR_OPS_H_

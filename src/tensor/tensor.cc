@@ -1,0 +1,224 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace imr::tensor {
+
+namespace {
+thread_local bool g_grad_mode = true;
+
+size_t ShapeSize(const std::vector<int>& shape) {
+  size_t n = 1;
+  for (int d : shape) {
+    IMR_CHECK_GE(d, 0);
+    n *= static_cast<size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float fill, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->value.assign(ShapeSize(shape), fill);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data,
+                        bool requires_grad) {
+  IMR_CHECK_EQ(ShapeSize(shape), data.size());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->value = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+const std::vector<int>& Tensor::shape() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+int Tensor::rank() const { return static_cast<int>(shape().size()); }
+
+size_t Tensor::size() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->value.size();
+}
+
+int Tensor::rows() const {
+  const auto& s = shape();
+  if (s.size() == 1) return 1;
+  IMR_CHECK_EQ(s.size(), 2u);
+  return s[0];
+}
+
+int Tensor::cols() const {
+  const auto& s = shape();
+  if (s.size() == 1) return s[0];
+  IMR_CHECK_EQ(s.size(), 2u);
+  return s[1];
+}
+
+bool Tensor::requires_grad() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool requires_grad) {
+  IMR_CHECK(impl_ != nullptr);
+  impl_->requires_grad = requires_grad;
+}
+
+const std::vector<float>& Tensor::data() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->value;
+}
+
+std::vector<float>& Tensor::mutable_data() {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->value;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::mutable_grad() {
+  IMR_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::item() const {
+  IMR_CHECK_EQ(size(), 1u);
+  return data()[0];
+}
+
+float Tensor::at(int i) const {
+  IMR_CHECK_EQ(rank(), 1);
+  IMR_CHECK_GE(i, 0);
+  IMR_CHECK_LT(i, shape()[0]);
+  return data()[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int r, int c) const {
+  IMR_CHECK_EQ(rank(), 2);
+  IMR_CHECK_GE(r, 0);
+  IMR_CHECK_LT(r, shape()[0]);
+  IMR_CHECK_GE(c, 0);
+  IMR_CHECK_LT(c, shape()[1]);
+  return data()[static_cast<size_t>(r) * shape()[1] + c];
+}
+
+void Tensor::ZeroGrad() {
+  IMR_CHECK(impl_ != nullptr);
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+void Tensor::Backward() {
+  IMR_CHECK(impl_ != nullptr);
+  IMR_CHECK_EQ(size(), 1u);
+  // Seed.
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+
+  // Iterative post-order DFS to get a topological order.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorImpl* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order: parents before children; walk in reverse so each
+  // node's grad is complete before its backward_fn fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+std::string Tensor::DebugString() const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream os;
+  os << "Tensor([";
+  for (size_t i = 0; i < shape().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape()[i];
+  }
+  os << "], [";
+  const size_t preview = std::min<size_t>(size(), 8);
+  for (size_t i = 0; i < preview; ++i) {
+    if (i > 0) os << ", ";
+    os << data()[i];
+  }
+  if (size() > preview) os << ", ...";
+  os << "])";
+  return os.str();
+}
+
+namespace internal {
+
+Tensor MakeResult(std::vector<int> shape, std::vector<float> value,
+                  std::vector<Tensor> parents,
+                  std::function<void(TensorImpl&)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->value = std::move(value);
+  bool any_grad = false;
+  for (const Tensor& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  if (any_grad && GradModeEnabled()) {
+    impl->requires_grad = true;
+    impl->backward_fn = std::move(backward);
+    impl->parents.reserve(parents.size());
+    for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+
+}  // namespace imr::tensor

@@ -1,0 +1,121 @@
+// A small dense float tensor with reverse-mode automatic differentiation.
+//
+// Design: Tensor is a cheap value-semantic handle onto a shared node
+// (TensorImpl). Each op produces a fresh node that records its parents and a
+// backward closure; Tensor::Backward() runs the closures in reverse
+// topological order. Only rank-1 and rank-2 tensors are used by IMR models,
+// which keeps every op simple, cache-friendly and easy to verify with
+// numerical gradient checks (see nn/gradcheck.h).
+#ifndef IMR_TENSOR_TENSOR_H_
+#define IMR_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace imr::tensor {
+
+class Tensor;
+
+namespace internal {
+
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily, same length as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  // Reads this->grad, accumulates into parents' grads. Null for leaves.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  size_t size() const { return value.size(); }
+  void EnsureGrad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// Returns true when ops should record the autograd graph. Defaults to true.
+bool GradModeEnabled();
+
+/// RAII guard that disables graph recording (used during evaluation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Dense float tensor handle. Copying shares the underlying node.
+class Tensor {
+ public:
+  /// Empty (null) tensor; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Fresh leaf tensors.
+  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int> shape, float fill,
+                     bool requires_grad = false);
+  static Tensor FromData(std::vector<int> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const std::vector<int>& shape() const;
+  int rank() const;
+  /// Total number of elements.
+  size_t size() const;
+  /// Rows/cols of a rank-2 tensor; a rank-1 tensor is treated as one row.
+  int rows() const;
+  int cols() const;
+
+  bool requires_grad() const;
+  void set_requires_grad(bool requires_grad);
+
+  const std::vector<float>& data() const;
+  std::vector<float>& mutable_data();
+  /// Gradient buffer; empty until backward touched this node.
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+
+  float item() const;           // requires size()==1
+  float at(int i) const;        // rank-1 access
+  float at(int r, int c) const; // rank-2 access
+
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this scalar node.
+  void Backward();
+
+  std::string DebugString() const;
+
+  // --- internal plumbing for ops ---
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// Creates a result node wired to its parents; `backward` may be null when
+/// grad mode is off or no parent requires grad.
+Tensor MakeResult(std::vector<int> shape, std::vector<float> value,
+                  std::vector<Tensor> parents,
+                  std::function<void(TensorImpl&)> backward);
+
+}  // namespace internal
+
+}  // namespace imr::tensor
+
+#endif  // IMR_TENSOR_TENSOR_H_

@@ -1,0 +1,103 @@
+#include "text/corpus_io.h"
+
+#include "util/serialization.h"
+
+namespace imr::text {
+
+namespace {
+constexpr uint32_t kLabeledMagic = 0x494D524C;    // "IMRL"
+constexpr uint32_t kUnlabeledMagic = 0x494D5255;  // "IMRU"
+constexpr uint32_t kVersion = 1;
+
+void WriteSentence(util::BinaryWriter* writer, const Sentence& sentence) {
+  writer->WriteU64(sentence.tokens.size());
+  for (const std::string& token : sentence.tokens)
+    writer->WriteString(token);
+  writer->WriteI64(sentence.head_index);
+  writer->WriteI64(sentence.tail_index);
+  writer->WriteI64(sentence.head_entity);
+  writer->WriteI64(sentence.tail_entity);
+}
+
+util::Status ReadSentence(util::BinaryReader* reader, Sentence* sentence) {
+  const uint64_t tokens = reader->ReadU64();
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (tokens > (1u << 20))
+    return util::InvalidArgument("corrupt corpus: oversized sentence");
+  sentence->tokens.clear();
+  sentence->tokens.reserve(tokens);
+  for (uint64_t t = 0; t < tokens; ++t)
+    sentence->tokens.push_back(reader->ReadString());
+  sentence->head_index = static_cast<int>(reader->ReadI64());
+  sentence->tail_index = static_cast<int>(reader->ReadI64());
+  sentence->head_entity = reader->ReadI64();
+  sentence->tail_entity = reader->ReadI64();
+  IMR_RETURN_IF_ERROR(reader->status());
+  const int n = static_cast<int>(sentence->tokens.size());
+  if (n == 0 || sentence->head_index < 0 || sentence->head_index >= n ||
+      sentence->tail_index < 0 || sentence->tail_index >= n) {
+    return util::InvalidArgument("corrupt corpus: bad mention index");
+  }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status SaveLabeledCorpus(const std::vector<LabeledSentence>& corpus,
+                               const std::string& path) {
+  util::BinaryWriter writer(path, kLabeledMagic, kVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+  writer.WriteU64(corpus.size());
+  for (const LabeledSentence& labeled : corpus) {
+    WriteSentence(&writer, labeled.sentence);
+    writer.WriteI64(labeled.relation);
+    writer.WriteI64(labeled.true_relation);
+  }
+  return writer.Close();
+}
+
+util::StatusOr<std::vector<LabeledSentence>> LoadLabeledCorpus(
+    const std::string& path) {
+  util::BinaryReader reader(path, kLabeledMagic, kVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  const uint64_t count = reader.ReadU64();
+  IMR_RETURN_IF_ERROR(reader.status());
+  std::vector<LabeledSentence> corpus;
+  corpus.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LabeledSentence labeled;
+    IMR_RETURN_IF_ERROR(ReadSentence(&reader, &labeled.sentence));
+    labeled.relation = static_cast<int>(reader.ReadI64());
+    labeled.true_relation = static_cast<int>(reader.ReadI64());
+    IMR_RETURN_IF_ERROR(reader.status());
+    corpus.push_back(std::move(labeled));
+  }
+  return corpus;
+}
+
+util::Status SaveUnlabeledCorpus(const std::vector<Sentence>& corpus,
+                                 const std::string& path) {
+  util::BinaryWriter writer(path, kUnlabeledMagic, kVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+  writer.WriteU64(corpus.size());
+  for (const Sentence& sentence : corpus) WriteSentence(&writer, sentence);
+  return writer.Close();
+}
+
+util::StatusOr<std::vector<Sentence>> LoadUnlabeledCorpus(
+    const std::string& path) {
+  util::BinaryReader reader(path, kUnlabeledMagic, kVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  const uint64_t count = reader.ReadU64();
+  IMR_RETURN_IF_ERROR(reader.status());
+  std::vector<Sentence> corpus;
+  corpus.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Sentence sentence;
+    IMR_RETURN_IF_ERROR(ReadSentence(&reader, &sentence));
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace imr::text

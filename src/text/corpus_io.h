@@ -1,0 +1,28 @@
+// Binary persistence for corpora: labeled distant-supervision sentences
+// and unlabeled co-occurrence sentences. Lets the expensive generation /
+// annotation step run once and be shared across experiments, exactly like
+// shipping a preprocessed NYT/GDS dump.
+#ifndef IMR_TEXT_CORPUS_IO_H_
+#define IMR_TEXT_CORPUS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "text/sentence.h"
+#include "util/status.h"
+
+namespace imr::text {
+
+util::Status SaveLabeledCorpus(const std::vector<LabeledSentence>& corpus,
+                               const std::string& path);
+util::StatusOr<std::vector<LabeledSentence>> LoadLabeledCorpus(
+    const std::string& path);
+
+util::Status SaveUnlabeledCorpus(const std::vector<Sentence>& corpus,
+                                 const std::string& path);
+util::StatusOr<std::vector<Sentence>> LoadUnlabeledCorpus(
+    const std::string& path);
+
+}  // namespace imr::text
+
+#endif  // IMR_TEXT_CORPUS_IO_H_

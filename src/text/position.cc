@@ -1,0 +1,47 @@
+#include "text/position.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace imr::text {
+
+std::vector<int> RelativePositionIds(int num_tokens, int entity_index,
+                                     int max_position) {
+  IMR_CHECK_GT(num_tokens, 0);
+  IMR_CHECK_GT(max_position, 0);
+  std::vector<int> ids(static_cast<size_t>(num_tokens));
+  for (int t = 0; t < num_tokens; ++t) {
+    int offset = t - entity_index;
+    offset = std::clamp(offset, -max_position, max_position);
+    ids[static_cast<size_t>(t)] = offset + max_position;
+  }
+  return ids;
+}
+
+TruncationResult TruncateAroundEntities(int num_tokens, int head_index,
+                                        int tail_index, int max_length) {
+  IMR_CHECK_GT(max_length, 0);
+  TruncationResult result;
+  if (num_tokens <= max_length) {
+    result.begin = 0;
+    result.end = num_tokens;
+    return result;
+  }
+  const int lo = std::min(head_index, tail_index);
+  const int hi = std::max(head_index, tail_index);
+  // Centre the window on the entity span; widen symmetrically.
+  int begin = std::max(0, (lo + hi) / 2 - max_length / 2);
+  if (begin + max_length > num_tokens) begin = num_tokens - max_length;
+  // Guarantee both mentions are inside when the span fits.
+  if (hi - lo < max_length) {
+    begin = std::min(begin, lo);
+    begin = std::max(begin, hi - max_length + 1);
+    begin = std::max(0, std::min(begin, num_tokens - max_length));
+  }
+  result.begin = begin;
+  result.end = begin + max_length;
+  return result;
+}
+
+}  // namespace imr::text

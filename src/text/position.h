@@ -1,0 +1,27 @@
+// Relative position features (Zeng et al. 2014): each token's offset to the
+// head/tail mention, clipped to [-max_position, max_position] and shifted to
+// non-negative ids for the position embedding table.
+#ifndef IMR_TEXT_POSITION_H_
+#define IMR_TEXT_POSITION_H_
+
+#include <vector>
+
+namespace imr::text {
+
+/// Offset ids for every token w.r.t. the mention at `entity_index`.
+/// Returned ids lie in [0, 2*max_position].
+std::vector<int> RelativePositionIds(int num_tokens, int entity_index,
+                                     int max_position);
+
+/// Truncates a sentence (tokens and both mention indices) to `max_length`
+/// tokens, keeping a window that contains both mentions when possible.
+struct TruncationResult {
+  int begin = 0;  // first kept token
+  int end = 0;    // one past the last kept token
+};
+TruncationResult TruncateAroundEntities(int num_tokens, int head_index,
+                                        int tail_index, int max_length);
+
+}  // namespace imr::text
+
+#endif  // IMR_TEXT_POSITION_H_

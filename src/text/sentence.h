@@ -1,0 +1,30 @@
+// Core text-corpus structures: a tokenized sentence mentioning an entity
+// pair, and a labeled distant-supervision instance.
+#ifndef IMR_TEXT_SENTENCE_H_
+#define IMR_TEXT_SENTENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imr::text {
+
+/// One sentence mentioning a (head, tail) entity pair.
+struct Sentence {
+  std::vector<std::string> tokens;
+  int head_index = 0;  // token index of the head entity mention
+  int tail_index = 0;  // token index of the tail entity mention
+  int64_t head_entity = -1;
+  int64_t tail_entity = -1;
+};
+
+/// A distant-supervision labeled sentence (label may be noisy).
+struct LabeledSentence {
+  Sentence sentence;
+  int relation = 0;       // distant-supervision label
+  int true_relation = 0;  // generator ground truth (for noise diagnostics)
+};
+
+}  // namespace imr::text
+
+#endif  // IMR_TEXT_SENTENCE_H_

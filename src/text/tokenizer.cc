@@ -1,0 +1,45 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace imr::text {
+
+std::vector<std::string> Tokenize(std::string_view raw,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw_c : raw) {
+    unsigned char c = static_cast<unsigned char>(raw_c);
+    if (std::isspace(c)) {
+      flush();
+      continue;
+    }
+    if (options.split_punctuation && std::ispunct(c) && c != '_' &&
+        c != '\'') {
+      flush();
+      tokens.push_back(std::string(1, raw_c));
+      continue;
+    }
+    current.push_back(options.lowercase
+                          ? static_cast<char>(std::tolower(c))
+                          : raw_c);
+  }
+  flush();
+  return tokens;
+}
+
+int FindToken(const std::vector<std::string>& tokens,
+              const std::string& mention) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == mention) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace imr::text

@@ -1,0 +1,28 @@
+// Whitespace/punctuation tokenizer with lower-casing, plus helpers for
+// locating entity mentions in raw text.
+#ifndef IMR_TEXT_TOKENIZER_H_
+#define IMR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imr::text {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool split_punctuation = true;  // "Hawaii." -> "hawaii", "."
+};
+
+/// Splits raw text into tokens. Entity mentions containing underscores are
+/// kept as single tokens (the synthetic realiser emits "new_york_city").
+std::vector<std::string> Tokenize(std::string_view raw,
+                                  const TokenizerOptions& options = {});
+
+/// Finds the first token equal to `mention`; returns -1 when absent.
+int FindToken(const std::vector<std::string>& tokens,
+              const std::string& mention);
+
+}  // namespace imr::text
+
+#endif  // IMR_TEXT_TOKENIZER_H_

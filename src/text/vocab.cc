@@ -1,0 +1,98 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace imr::text {
+
+namespace {
+constexpr uint32_t kVocabMagic = 0x494D5256;  // "IMRV"
+constexpr uint32_t kVocabVersion = 1;
+}  // namespace
+
+Vocabulary::Vocabulary() : words_{"<pad>", "<unk>"} {}
+
+void Vocabulary::Count(const std::string& word) {
+  IMR_CHECK(!frozen_);
+  ++counts_[word];
+}
+
+void Vocabulary::Freeze(int min_count) {
+  if (frozen_) return;
+  // Sort by (count desc, word asc) for a deterministic id assignment.
+  std::vector<std::pair<std::string, int64_t>> entries(counts_.begin(),
+                                                       counts_.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (auto& [word, count] : entries) {
+    if (count < min_count) continue;
+    ids_.emplace(word, static_cast<int>(words_.size()));
+    words_.push_back(word);
+  }
+  counts_.clear();
+  frozen_ = true;
+}
+
+int Vocabulary::Id(const std::string& word) const {
+  IMR_CHECK(frozen_);
+  auto it = ids_.find(word);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::Word(int id) const {
+  IMR_CHECK_GE(id, 0);
+  IMR_CHECK_LT(id, static_cast<int>(words_.size()));
+  return words_[static_cast<size_t>(id)];
+}
+
+bool Vocabulary::Contains(const std::string& word) const {
+  return ids_.count(word) > 0;
+}
+
+int Vocabulary::size() const {
+  IMR_CHECK(frozen_);
+  return static_cast<int>(words_.size());
+}
+
+std::vector<int> Vocabulary::Ids(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) out.push_back(Id(token));
+  return out;
+}
+
+util::Status Vocabulary::Save(const std::string& path) const {
+  if (!frozen_) return util::FailedPrecondition("vocabulary not frozen");
+  util::BinaryWriter writer(path, kVocabMagic, kVocabVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+  writer.WriteU64(words_.size());
+  for (const std::string& word : words_) writer.WriteString(word);
+  return writer.Close();
+}
+
+util::StatusOr<Vocabulary> Vocabulary::Load(const std::string& path) {
+  util::BinaryReader reader(path, kVocabMagic, kVocabVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  const uint64_t count = reader.ReadU64();
+  Vocabulary vocab;
+  vocab.words_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    vocab.words_.push_back(reader.ReadString());
+    IMR_RETURN_IF_ERROR(reader.status());
+  }
+  if (vocab.words_.size() < 2 || vocab.words_[0] != "<pad>" ||
+      vocab.words_[1] != "<unk>") {
+    return util::InvalidArgument("corrupt vocabulary file: " + path);
+  }
+  for (size_t i = 2; i < vocab.words_.size(); ++i)
+    vocab.ids_.emplace(vocab.words_[i], static_cast<int>(i));
+  vocab.frozen_ = true;
+  return vocab;
+}
+
+}  // namespace imr::text

@@ -1,0 +1,53 @@
+// Word vocabulary with UNK handling and frequency-based pruning.
+#ifndef IMR_TEXT_VOCAB_H_
+#define IMR_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::text {
+
+/// Maps words to dense ids. Id 0 is reserved for <pad>, id 1 for <unk>.
+class Vocabulary {
+ public:
+  static constexpr int kPadId = 0;
+  static constexpr int kUnkId = 1;
+
+  Vocabulary();
+
+  /// Counts a word occurrence (call during the first corpus pass).
+  void Count(const std::string& word);
+
+  /// Freezes the vocabulary, keeping words with count >= min_count.
+  /// Idempotent; counting after freezing is an error.
+  void Freeze(int min_count = 1);
+  bool frozen() const { return frozen_; }
+
+  /// Id for a word; kUnkId when unknown. Requires frozen().
+  int Id(const std::string& word) const;
+  /// Word for an id; "<unk>"/"<pad>" for the reserved ids.
+  const std::string& Word(int id) const;
+  bool Contains(const std::string& word) const;
+
+  /// Number of ids (including the two reserved ones). Requires frozen().
+  int size() const;
+
+  /// Convenience: ids for a token sequence.
+  std::vector<int> Ids(const std::vector<std::string>& tokens) const;
+
+  util::Status Save(const std::string& path) const;
+  static util::StatusOr<Vocabulary> Load(const std::string& path);
+
+ private:
+  bool frozen_ = false;
+  std::unordered_map<std::string, int64_t> counts_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace imr::text
+
+#endif  // IMR_TEXT_VOCAB_H_

@@ -1,0 +1,154 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::util {
+
+namespace {
+const char* TypeName(int t) {
+  static const char* kNames[] = {"int", "double", "string", "bool"};
+  return kNames[t];
+}
+}  // namespace
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t default_value,
+                               const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value), help};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name,
+                                  double default_value,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(default_value), help};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  const std::string& default_value,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool default_value,
+                                const std::string& help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
+  order_.push_back(name);
+  return *this;
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    return InvalidArgument("unknown flag --" + name);
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0')
+        return InvalidArgument("flag --" + name + " expects an int, got '" +
+                               text + "'");
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0')
+        return InvalidArgument("flag --" + name + " expects a double, got '" +
+                               text + "'");
+      break;
+    }
+    case Type::kBool: {
+      if (text != "true" && text != "false" && text != "1" && text != "0")
+        return InvalidArgument("flag --" + name +
+                               " expects true/false, got '" + text + "'");
+      break;
+    }
+    case Type::kString:
+      break;
+  }
+  flag.value = text;
+  return OkStatus();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return NotFound("help requested");
+    }
+    if (!StartsWith(arg, "--"))
+      return InvalidArgument("expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return InvalidArgument("flag --" + name + " is missing a value");
+      }
+    }
+    IMR_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return OkStatus();
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  IMR_CHECK(it != flags_.end());
+  IMR_CHECK(it->second.type == Type::kInt);
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  IMR_CHECK(it != flags_.end());
+  IMR_CHECK(it->second.type == Type::kDouble);
+  return std::strtod(it->second.value.c_str(), nullptr);
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  IMR_CHECK(it != flags_.end());
+  return it->second.value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  IMR_CHECK(it != flags_.end());
+  IMR_CHECK(it->second.type == Type::kBool);
+  return it->second.value == "true" || it->second.value == "1";
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += StrFormat("  --%s (%s, default %s)\n      %s\n", name.c_str(),
+                     TypeName(static_cast<int>(flag.type)),
+                     flag.value.c_str(), flag.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace imr::util

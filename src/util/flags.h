@@ -1,0 +1,55 @@
+// Tiny command-line flag parser used by benches and examples.
+// Supports --name=value and --name value; unrecognised flags are an error
+// so typos are caught.
+#ifndef IMR_UTIL_FLAGS_H_
+#define IMR_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::util {
+
+class FlagParser {
+ public:
+  /// Registers a flag with a default and help text. Returns *this for
+  /// chaining.
+  FlagParser& AddInt(const std::string& name, int64_t default_value,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double default_value,
+                        const std::string& help);
+  FlagParser& AddString(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool default_value,
+                      const std::string& help);
+
+  /// Parses argv. On "--help" prints usage and returns a NotFound status the
+  /// caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  std::string GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // textual representation
+    std::string help;
+  };
+  Status SetValue(const std::string& name, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_FLAGS_H_

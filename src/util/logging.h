@@ -1,0 +1,76 @@
+// Minimal leveled logging plus CHECK macros. Logging goes to stderr; the
+// level can be lowered globally (benches use kWarning to keep stdout clean
+// for the reported tables).
+#ifndef IMR_UTIL_LOGGING_H_
+#define IMR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace imr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Thread-compatible (set once at
+/// startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define IMR_LOG(level)                                              \
+  ::imr::util::internal_logging::LogMessage(                        \
+      ::imr::util::LogLevel::k##level, __FILE__, __LINE__)
+
+// Fatal invariant check. Stays on in release builds: database-style code
+// prefers a crash with context over silent corruption.
+#define IMR_CHECK(condition)                                        \
+  (condition) ? (void)0                                             \
+              : (void)::imr::util::internal_logging::FatalMessage(  \
+                    __FILE__, __LINE__, #condition)
+
+#define IMR_CHECK_EQ(a, b) IMR_CHECK((a) == (b))
+#define IMR_CHECK_NE(a, b) IMR_CHECK((a) != (b))
+#define IMR_CHECK_LT(a, b) IMR_CHECK((a) < (b))
+#define IMR_CHECK_LE(a, b) IMR_CHECK((a) <= (b))
+#define IMR_CHECK_GT(a, b) IMR_CHECK((a) > (b))
+#define IMR_CHECK_GE(a, b) IMR_CHECK((a) >= (b))
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_LOGGING_H_

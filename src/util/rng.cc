@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace imr::util {
+
+namespace {
+// splitmix64, used to expand the seed into the 256-bit xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  IMR_CHECK_GT(n, 0u);
+  // Rejection to remove modulo bias.
+  const uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  IMR_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    IMR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  IMR_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  IMR_CHECK_GT(n, 0u);
+  IMR_CHECK_GT(s, 0.0);
+  // Devroye's rejection method for the Zipf distribution.
+  const double nd = static_cast<double>(n);
+  auto h_integral = [s](double x) {
+    // integral of t^{-s} from 1 to x (log when s == 1).
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_integral_inv = [s](double y) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx_max = h_integral(nd + 0.5);
+  const double hx_min = h_integral(0.5);
+  while (true) {
+    const double u = hx_min + Uniform() * (hx_max - hx_min);
+    const double x = h_integral_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    // Acceptance probability for the discretized sample.
+    const double ratio =
+        (h_integral(kd + 0.5) - h_integral(kd - 0.5)) / std::pow(kd, -s);
+    if (Uniform() * 1.1 <= ratio) return k;
+  }
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace imr::util

@@ -1,0 +1,129 @@
+#include "util/serialization.h"
+
+namespace imr::util {
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
+                           uint32_t version)
+    : out_(path, std::ios::binary) {
+  if (!out_.is_open()) {
+    status_ = IoError("cannot open for write: " + path);
+    return;
+  }
+  WriteU32(magic);
+  WriteU32(version);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_.good()) status_ = IoError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t value) { WriteRaw(&value, sizeof value); }
+void BinaryWriter::WriteU64(uint64_t value) { WriteRaw(&value, sizeof value); }
+void BinaryWriter::WriteI64(int64_t value) { WriteRaw(&value, sizeof value); }
+void BinaryWriter::WriteFloat(float value) { WriteRaw(&value, sizeof value); }
+void BinaryWriter::WriteDouble(double value) {
+  WriteRaw(&value, sizeof value);
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  WriteRaw(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteU64(values.size());
+  WriteRaw(values.data(), values.size() * sizeof(float));
+}
+
+Status BinaryWriter::Close() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = IoError("flush failed");
+  }
+  out_.close();
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t version)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = IoError("cannot open for read: " + path);
+    return;
+  }
+  const uint32_t file_magic = ReadU32();
+  const uint32_t file_version = ReadU32();
+  if (!status_.ok()) return;
+  if (file_magic != magic) {
+    status_ = InvalidArgument("bad magic in " + path);
+  } else if (file_version != version) {
+    status_ = InvalidArgument("unsupported version in " + path);
+  }
+}
+
+void BinaryReader::ReadRaw(void* data, size_t size) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size)) {
+    status_ = IoError("unexpected end of file");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t value = 0;
+  ReadRaw(&value, sizeof value);
+  return value;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  ReadRaw(&value, sizeof value);
+  return value;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t value = 0;
+  ReadRaw(&value, sizeof value);
+  return value;
+}
+
+float BinaryReader::ReadFloat() {
+  float value = 0;
+  ReadRaw(&value, sizeof value);
+  return value;
+}
+
+double BinaryReader::ReadDouble() {
+  double value = 0;
+  ReadRaw(&value, sizeof value);
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t size = ReadU64();
+  if (!status_.ok()) return {};
+  if (size > (1ULL << 32)) {
+    status_ = InvalidArgument("string too large; corrupt file?");
+    return {};
+  }
+  std::string value(size, '\0');
+  ReadRaw(value.data(), size);
+  return value;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  const uint64_t size = ReadU64();
+  if (!status_.ok()) return {};
+  if (size > (1ULL << 32)) {
+    status_ = InvalidArgument("vector too large; corrupt file?");
+    return {};
+  }
+  std::vector<float> values(size);
+  ReadRaw(values.data(), size * sizeof(float));
+  return values;
+}
+
+}  // namespace imr::util

@@ -1,0 +1,66 @@
+// Binary (little-endian) serialization helpers for corpora, vocabularies and
+// embedding matrices. All readers validate a magic+version header so stale
+// files fail loudly rather than producing garbage models.
+#ifndef IMR_UTIL_SERIALIZATION_H_
+#define IMR_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::util {
+
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Check status() before
+  /// use.
+  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
+
+  const Status& status() const { return status_; }
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteFloat(float value);
+  void WriteDouble(double value);
+  void WriteString(const std::string& value);
+  void WriteFloatVector(const std::vector<float>& values);
+
+  /// Flushes and closes; returns the final status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+class BinaryReader {
+ public:
+  /// Opens `path` and validates the header against magic/version.
+  BinaryReader(const std::string& path, uint32_t magic, uint32_t version);
+
+  const Status& status() const { return status_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadFloat();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+
+ private:
+  void ReadRaw(void* data, size_t size);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_SERIALIZATION_H_

@@ -1,0 +1,112 @@
+// Lightweight Status / StatusOr error handling, used across all IMR public
+// APIs instead of exceptions. Modeled on absl::Status but self-contained.
+#ifndef IMR_UTIL_STATUS_H_
+#define IMR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace imr::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: why it failed".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status OutOfRange(std::string message);
+Status FailedPrecondition(std::string message);
+Status Internal(std::string message);
+Status Unimplemented(std::string message);
+Status IoError(std::string message);
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define IMR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::imr::util::Status imr_status_ = (expr);      \
+    if (!imr_status_.ok()) return imr_status_;     \
+  } while (0)
+
+#define IMR_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto imr_statusor_##__LINE__ = (expr);           \
+  if (!imr_statusor_##__LINE__.ok())               \
+    return imr_statusor_##__LINE__.status();       \
+  lhs = std::move(imr_statusor_##__LINE__).value()
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers used across the text pipeline and report writers.
+#ifndef IMR_UTIL_STRING_UTIL_H_
+#define IMR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imr::util {
+
+/// Splits on any occurrence of `sep` (single character); empty pieces kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; no empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Strip(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#include "util/tsv_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "util/string_util.h"
+
+namespace imr::util {
+
+Status MakeDirectories(const std::string& path) {
+  if (path.empty()) return OkStatus();
+  std::string partial = path[0] == '/' ? "/" : "";
+  for (const std::string& piece : Split(path, '/')) {
+    if (piece.empty()) continue;
+    if (!partial.empty() && partial.back() != '/') partial += "/";
+    partial += piece;
+    if (partial == ".") continue;
+    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return IoError("mkdir failed for " + partial);
+    }
+  }
+  return OkStatus();
+}
+
+TsvWriter::TsvWriter(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    status_ = MakeDirectories(path.substr(0, slash));
+    if (!status_.ok()) return;
+  }
+  out_.open(path);
+  if (!out_.is_open()) status_ = IoError("cannot open for write: " + path);
+}
+
+void TsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << '\t';
+    std::string cell = cells[i];
+    for (char& c : cell) {
+      if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    out_ << cell;
+  }
+  out_ << '\n';
+  if (!out_.good()) status_ = IoError("write failed");
+}
+
+Status TsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_.good() && status_.ok()) status_ = IoError("flush failed");
+    out_.close();
+  }
+  return status_;
+}
+
+}  // namespace imr::util

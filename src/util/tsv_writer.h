@@ -1,0 +1,36 @@
+// Writes tab-separated report files under a results directory; used by the
+// benchmark harness so every table/figure leaves a machine-readable trace.
+#ifndef IMR_UTIL_TSV_WRITER_H_
+#define IMR_UTIL_TSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::util {
+
+class TsvWriter {
+ public:
+  /// Creates parent directories as needed and opens `path` for writing.
+  explicit TsvWriter(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; cells are escaped minimally (tabs/newlines -> spaces).
+  void WriteRow(const std::vector<std::string>& cells);
+
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+/// mkdir -p equivalent; returns OK if the directory already exists.
+Status MakeDirectories(const std::string& path);
+
+}  // namespace imr::util
+
+#endif  // IMR_UTIL_TSV_WRITER_H_

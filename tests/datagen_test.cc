@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datagen/distant_supervision.h"
+#include "datagen/presets.h"
+#include "datagen/stats.h"
+#include "datagen/templates.h"
+#include "datagen/unlabeled.h"
+#include "datagen/world.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace imr::datagen {
+namespace {
+
+WorldConfig SmallWorldConfig() {
+  WorldConfig config;
+  config.num_relations = 6;
+  config.pairs_per_relation = 12;
+  config.seed = 3;
+  return config;
+}
+
+TemplateConfig SmallTemplateConfig() {
+  TemplateConfig config;
+  config.num_relations = 6;
+  config.background_vocab = 50;
+  config.seed = 5;
+  return config;
+}
+
+TEST(WorldTest, BuildsRequestedShape) {
+  World world = BuildWorld(SmallWorldConfig());
+  EXPECT_EQ(world.graph.num_relations(), 6);
+  EXPECT_EQ(world.graph.relation(kg::kNaRelation).name, "NA");
+  EXPECT_GT(world.graph.num_entities(), 0);
+  // Every non-NA relation has facts and role clusters.
+  for (int r = 1; r < 6; ++r) {
+    EXPECT_FALSE(world.head_role[static_cast<size_t>(r)].empty());
+    EXPECT_FALSE(world.tail_role[static_cast<size_t>(r)].empty());
+  }
+  EXPECT_GT(world.graph.triples().size(), 5u * 6u);
+}
+
+TEST(WorldTest, FactsRespectTypeSignatures) {
+  World world = BuildWorld(SmallWorldConfig());
+  for (const kg::Triple& triple : world.graph.triples()) {
+    EXPECT_TRUE(
+        world.graph.TypeCompatible(triple.head, triple.relation, triple.tail))
+        << world.graph.entity(triple.head).name << " -"
+        << world.graph.relation(triple.relation).name;
+  }
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = BuildWorld(SmallWorldConfig());
+  World b = BuildWorld(SmallWorldConfig());
+  ASSERT_EQ(a.graph.triples().size(), b.graph.triples().size());
+  for (size_t i = 0; i < a.graph.triples().size(); ++i) {
+    EXPECT_EQ(a.graph.triples()[i].head, b.graph.triples()[i].head);
+    EXPECT_EQ(a.graph.triples()[i].tail, b.graph.triples()[i].tail);
+  }
+}
+
+TEST(WorldTest, SomeEntitiesHaveMultipleTypes) {
+  WorldConfig config = SmallWorldConfig();
+  config.extra_type_prob = 0.5;
+  World world = BuildWorld(config);
+  int multi = 0;
+  for (const kg::Entity& e : world.graph.entities())
+    multi += (e.type_ids.size() > 1);
+  EXPECT_GT(multi, 0);
+}
+
+TEST(TemplateTest, RealisedSentenceContainsEntitiesAtIndices) {
+  TemplateRealiser realiser(SmallTemplateConfig());
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    text::Sentence s = realiser.Realise(2, "head_ent", "tail_ent", &rng);
+    ASSERT_LT(static_cast<size_t>(s.head_index), s.tokens.size());
+    ASSERT_LT(static_cast<size_t>(s.tail_index), s.tokens.size());
+    EXPECT_EQ(s.tokens[static_cast<size_t>(s.head_index)], "head_ent");
+    EXPECT_EQ(s.tokens[static_cast<size_t>(s.tail_index)], "tail_ent");
+    EXPECT_NE(s.head_index, s.tail_index);
+  }
+}
+
+TEST(TemplateTest, RelationSentencesCarryTriggers) {
+  TemplateRealiser realiser(SmallTemplateConfig());
+  util::Rng rng(9);
+  const auto& triggers = realiser.Triggers(3);
+  ASSERT_FALSE(triggers.empty());
+  std::set<std::string> trigger_set(triggers.begin(), triggers.end());
+  int with_trigger = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    text::Sentence s = realiser.Realise(3, "h", "t", &rng);
+    for (const std::string& token : s.tokens) {
+      if (trigger_set.count(token)) {
+        ++with_trigger;
+        break;
+      }
+    }
+  }
+  // Most relational sentences must carry lexical evidence (a trigger can
+  // occasionally be overwritten by entity collision or skipped).
+  EXPECT_GT(with_trigger, n * 6 / 10);
+}
+
+TEST(TemplateTest, NaSentencesNeverCarryTriggers) {
+  TemplateRealiser realiser(SmallTemplateConfig());
+  util::Rng rng(11);
+  std::set<std::string> all_triggers;
+  for (int r = 1; r < 6; ++r)
+    for (const auto& t : realiser.Triggers(r)) all_triggers.insert(t);
+  for (int i = 0; i < 100; ++i) {
+    text::Sentence s = realiser.Realise(kg::kNaRelation, "h", "t", &rng);
+    for (const std::string& token : s.tokens) {
+      EXPECT_EQ(all_triggers.count(token), 0u) << token;
+    }
+  }
+}
+
+TEST(TemplateTest, LengthsWithinBounds) {
+  TemplateConfig config = SmallTemplateConfig();
+  config.min_length = 6;
+  config.max_length = 9;
+  TemplateRealiser realiser(config);
+  util::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    text::Sentence s = realiser.Realise(1, "h", "t", &rng);
+    EXPECT_GE(s.tokens.size(), 6u);
+    EXPECT_LE(s.tokens.size(), 9u);
+  }
+}
+
+class DistantSupervisionTest : public ::testing::Test {
+ protected:
+  DistantSupervisionTest()
+      : world_(BuildWorld(SmallWorldConfig())),
+        realiser_(SmallTemplateConfig()) {
+    config_.seed = 21;
+    corpus_ = SampleDistantSupervision(world_, realiser_, config_);
+  }
+
+  World world_;
+  TemplateRealiser realiser_;
+  DistantSupervisionConfig config_;
+  DistantSupervisionCorpus corpus_;
+};
+
+TEST_F(DistantSupervisionTest, SplitsAreDisjoint) {
+  std::set<std::pair<int64_t, int64_t>> train_pairs;
+  for (const auto& p : corpus_.train_pairs)
+    train_pairs.insert({p.head, p.tail});
+  for (const auto& p : corpus_.test_pairs) {
+    EXPECT_EQ(train_pairs.count({p.head, p.tail}), 0u);
+  }
+}
+
+TEST_F(DistantSupervisionTest, LabelsMatchKnowledgeGraph) {
+  for (const auto& labeled : corpus_.train) {
+    EXPECT_EQ(labeled.relation,
+              world_.graph.PairRelation(labeled.sentence.head_entity,
+                                        labeled.sentence.tail_entity));
+  }
+}
+
+TEST_F(DistantSupervisionTest, ContainsNaPairs) {
+  int na = 0, non_na = 0;
+  for (const auto& p : corpus_.train_pairs)
+    (p.relation == kg::kNaRelation ? na : non_na)++;
+  EXPECT_GT(na, 0);
+  EXPECT_GT(non_na, 0);
+}
+
+TEST_F(DistantSupervisionTest, NoiseRateRoughlyRespected) {
+  int noisy = 0, total = 0;
+  for (const auto& labeled : corpus_.train) {
+    if (labeled.relation == kg::kNaRelation) continue;
+    ++total;
+    noisy += (labeled.true_relation != labeled.relation);
+  }
+  ASSERT_GT(total, 100);
+  const double rate = static_cast<double>(noisy) / total;
+  EXPECT_NEAR(rate, config_.noise_rate, 0.08);
+}
+
+TEST_F(DistantSupervisionTest, SentencesPerPairLongTailed) {
+  PairCounts counts = CountPairs(corpus_.train);
+  FrequencyHistogram hist = HistogramOf(counts);
+  // Long tail: singleton+small buckets dominate.
+  EXPECT_GT(hist.buckets[0] + hist.buckets[1],
+            hist.buckets[2] + hist.buckets[3]);
+  // But the tail is not empty.
+  EXPECT_GT(hist.buckets[2] + hist.buckets[3], 0);
+}
+
+TEST(UnlabeledTest, RoleMixingCreatesSharedNeighbors) {
+  World world = BuildWorld(SmallWorldConfig());
+  TemplateRealiser realiser(SmallTemplateConfig());
+  UnlabeledConfig config;
+  config.seed = 31;
+  UnlabeledCorpus corpus = SampleUnlabeledCorpus(world, realiser, config);
+  ASSERT_FALSE(corpus.sentences.empty());
+
+  // Count how many distinct tails each head of relation 1 co-occurs with.
+  std::map<int64_t, std::set<int64_t>> partners;
+  for (const auto& s : corpus.sentences)
+    partners[s.head_entity].insert(s.tail_entity);
+  const auto& heads = world.head_role[1];
+  int heads_with_multiple = 0;
+  for (kg::EntityId h : heads)
+    if (partners[h].size() > 1) ++heads_with_multiple;
+  EXPECT_GT(heads_with_multiple, 0);
+}
+
+TEST(UnlabeledTest, EntitiesAnnotated) {
+  World world = BuildWorld(SmallWorldConfig());
+  TemplateRealiser realiser(SmallTemplateConfig());
+  UnlabeledConfig config;
+  config.seed = 33;
+  UnlabeledCorpus corpus = SampleUnlabeledCorpus(world, realiser, config);
+  for (const auto& s : corpus.sentences) {
+    ASSERT_GE(s.head_entity, 0);
+    ASSERT_GE(s.tail_entity, 0);
+    EXPECT_EQ(s.tokens[static_cast<size_t>(s.head_index)],
+              world.graph.entity(s.head_entity).name);
+  }
+}
+
+TEST(StatsTest, HistogramBuckets) {
+  EXPECT_EQ(FrequencyHistogram::BucketOf(1), 0);
+  EXPECT_EQ(FrequencyHistogram::BucketOf(2), 1);
+  EXPECT_EQ(FrequencyHistogram::BucketOf(9), 1);
+  EXPECT_EQ(FrequencyHistogram::BucketOf(10), 2);
+  EXPECT_EQ(FrequencyHistogram::BucketOf(99), 2);
+  EXPECT_EQ(FrequencyHistogram::BucketOf(100), 3);
+}
+
+TEST(PresetTest, GdsShape) {
+  PresetOptions options;
+  options.scale = 0.2;
+  SyntheticDataset dataset = MakeGdsLike(options);
+  EXPECT_EQ(dataset.name, "gds");
+  EXPECT_EQ(dataset.world.graph.num_relations(), 5);
+  EXPECT_FALSE(dataset.corpus.train.empty());
+  EXPECT_FALSE(dataset.corpus.test.empty());
+  EXPECT_FALSE(dataset.unlabeled.sentences.empty());
+}
+
+TEST(PresetTest, NytShape) {
+  PresetOptions options;
+  options.scale = 0.1;
+  SyntheticDataset dataset = MakeNytLike(options);
+  EXPECT_EQ(dataset.world.graph.num_relations(), 53);
+  // NYT corpus must be bigger than a GDS corpus at the same scale in
+  // sentences (Table II relation).
+  SyntheticDataset gds = MakeGdsLike(options);
+  EXPECT_GT(dataset.corpus.train.size() + dataset.corpus.test.size(),
+            gds.corpus.train.size() + gds.corpus.test.size());
+}
+
+TEST(PresetTest, DispatchByName) {
+  PresetOptions options;
+  options.scale = 0.05;
+  EXPECT_EQ(MakeDataset("nyt", options).world.graph.num_relations(), 53);
+  EXPECT_EQ(MakeDataset("gds", options).world.graph.num_relations(), 5);
+}
+
+}  // namespace
+}  // namespace imr::datagen

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "eval/buckets.h"
+#include "eval/heldout.h"
+#include "eval/metrics.h"
+
+namespace imr::eval {
+namespace {
+
+TEST(MetricsTest, PerfectRankingHasAucOne) {
+  std::vector<ScoredFact> facts;
+  for (int i = 0; i < 5; ++i)
+    facts.push_back({i, i + 100, 1, 1.0 - 0.1 * i, true});
+  for (int i = 0; i < 5; ++i)
+    facts.push_back({i + 50, i + 100, 1, 0.3 - 0.01 * i, false});
+  auto curve = PrecisionRecallCurve(&facts, 5);
+  EXPECT_NEAR(AucPr(curve), 1.0, 1e-9);
+  auto best = MaxF1(curve);
+  EXPECT_NEAR(best.f1, 1.0, 1e-9);
+  EXPECT_NEAR(PrecisionAtK(facts, 5), 1.0, 1e-9);
+  EXPECT_NEAR(PrecisionAtK(facts, 10), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, InvertedRankingHasLowAuc) {
+  std::vector<ScoredFact> facts;
+  for (int i = 0; i < 5; ++i)
+    facts.push_back({i, i + 100, 1, 0.1 + 0.01 * i, true});
+  for (int i = 0; i < 5; ++i)
+    facts.push_back({i + 50, i + 100, 1, 0.9 - 0.01 * i, false});
+  auto curve = PrecisionRecallCurve(&facts, 5);
+  EXPECT_LT(AucPr(curve), 0.4);
+}
+
+TEST(MetricsTest, RecallDenominatorRespected) {
+  // Only 1 of 4 positives retrieved.
+  std::vector<ScoredFact> facts = {{1, 2, 1, 0.9, true}};
+  auto curve = PrecisionRecallCurve(&facts, 4);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].recall, 0.25, 1e-9);
+  EXPECT_NEAR(curve[0].precision, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, CurveIsDeterministicUnderTies) {
+  std::vector<ScoredFact> a = {{2, 3, 1, 0.5, false}, {1, 3, 1, 0.5, true}};
+  std::vector<ScoredFact> b = {{1, 3, 1, 0.5, true}, {2, 3, 1, 0.5, false}};
+  auto ca = PrecisionRecallCurve(&a, 1);
+  auto cb = PrecisionRecallCurve(&b, 1);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i)
+    EXPECT_EQ(ca[i].precision, cb[i].precision);
+}
+
+TEST(MetricsTest, MicroF1IgnoresNa) {
+  // gold:      1 1 0 2 0
+  // predicted: 1 0 0 2 1
+  MicroF1 f1 = MicroF1NonNa({1, 1, 0, 2, 0}, {1, 0, 0, 2, 1});
+  // predicted non-NA = 3 (indices 0,3,4), correct = 2 -> P = 2/3
+  // gold non-NA = 3, recalled = 2 -> R = 2/3
+  EXPECT_NEAR(f1.precision, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(f1.recall, 2.0 / 3, 1e-9);
+  EXPECT_EQ(f1.support, 3);
+}
+
+TEST(MetricsTest, MicroF1EmptyInput) {
+  MicroF1 f1 = MicroF1NonNa({}, {});
+  EXPECT_EQ(f1.f1, 0.0);
+  EXPECT_EQ(f1.support, 0);
+}
+
+TEST(HeldOutTest, OracleScorerGetsPerfectMetrics) {
+  std::vector<re::Bag> bags;
+  for (int i = 0; i < 6; ++i) {
+    re::Bag bag;
+    bag.head = i;
+    bag.tail = i + 100;
+    bag.relation = i % 3;  // relations 0 (NA), 1, 2
+    bags.push_back(bag);
+  }
+  const int num_relations = 3;
+  auto oracle = [&](const re::Bag& bag) {
+    std::vector<float> probs(num_relations, 0.01f);
+    probs[static_cast<size_t>(bag.relation)] = 0.98f;
+    return probs;
+  };
+  HeldOutResult result = Evaluate(oracle, bags, num_relations);
+  EXPECT_EQ(result.total_positives, 4);
+  EXPECT_NEAR(result.auc, 1.0, 1e-6);
+  EXPECT_NEAR(result.best.f1, 1.0, 1e-6);
+  ASSERT_EQ(result.hard_predictions.size(), bags.size());
+  for (size_t i = 0; i < bags.size(); ++i)
+    EXPECT_EQ(result.hard_predictions[i], bags[i].relation);
+}
+
+TEST(HeldOutTest, UniformScorerIsWeak) {
+  std::vector<re::Bag> bags;
+  for (int i = 0; i < 20; ++i) {
+    re::Bag bag;
+    bag.head = i;
+    bag.tail = i + 100;
+    bag.relation = (i >= 16) ? 1 : 0;  // positives rank last under ties
+    bags.push_back(bag);
+  }
+  auto uniform = [](const re::Bag&) {
+    return std::vector<float>{0.5f, 0.5f};
+  };
+  HeldOutResult result = Evaluate(uniform, bags, 2);
+  EXPECT_LT(result.auc, 0.5);
+}
+
+TEST(BucketsTest, QuantileSplitsEvenly) {
+  std::vector<re::Bag> bags(100);
+  for (size_t i = 0; i < bags.size(); ++i) bags[i].head = static_cast<int64_t>(i);
+  std::vector<std::string> labels;
+  auto bucket_of = QuantileBuckets(
+      bags, [](const re::Bag& b) { return static_cast<double>(b.head); }, 4,
+      &labels);
+  ASSERT_EQ(labels.size(), 4u);
+  std::vector<int> counts(4, 0);
+  for (const auto& bag : bags) counts[static_cast<size_t>(bucket_of(bag))]++;
+  for (int c : counts) EXPECT_NEAR(c, 25, 2);
+}
+
+TEST(BucketsTest, F1PerBucket) {
+  std::vector<re::Bag> bags(4);
+  bags[0].head = 0;  // bucket 0
+  bags[1].head = 0;
+  bags[2].head = 1;  // bucket 1
+  bags[3].head = 1;
+  std::vector<int> gold = {1, 1, 1, 1};
+  std::vector<int> pred = {1, 1, 0, 0};  // perfect in bucket 0, zero in 1
+  auto result = F1ByBucket(
+      bags, gold, pred, {"lo", "hi"},
+      [](const re::Bag& b) { return static_cast<int>(b.head); });
+  ASSERT_EQ(result.scores.size(), 2u);
+  EXPECT_NEAR(result.scores[0].f1, 1.0, 1e-9);
+  EXPECT_NEAR(result.scores[1].f1, 0.0, 1e-9);
+  EXPECT_EQ(result.bag_counts[0], 2);
+}
+
+TEST(BucketsTest, SkippedBagsExcluded) {
+  std::vector<re::Bag> bags(3);
+  std::vector<int> gold = {1, 1, 1};
+  std::vector<int> pred = {1, 1, 1};
+  auto result = F1ByBucket(bags, gold, pred, {"only"},
+                           [](const re::Bag&) { return -1; });
+  EXPECT_EQ(result.bag_counts[0], 0);
+}
+
+}  // namespace
+}  // namespace imr::eval

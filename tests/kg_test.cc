@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace imr::kg {
+namespace {
+
+TEST(TypesTest, ThirtyEightUniqueCoarseTypes) {
+  const auto& names = CoarseTypeNames();
+  EXPECT_EQ(static_cast<int>(names.size()), kNumCoarseTypes);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(TypesTest, LookupRoundTrip) {
+  EXPECT_EQ(CoarseTypeId("person"), 0);
+  EXPECT_EQ(CoarseTypeNames()[static_cast<size_t>(CoarseTypeId("location"))],
+            "location");
+  EXPECT_EQ(CoarseTypeId("not_a_type"), -1);
+}
+
+class KnowledgeGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_.AddRelation("NA");
+    located_in_ = graph_.AddRelation("/location/contains",
+                                     CoarseTypeId("organization"),
+                                     CoarseTypeId("location"));
+    uw_ = graph_.AddEntity("university_of_washington",
+                           {CoarseTypeId("organization"),
+                            CoarseTypeId("education")});
+    seattle_ = graph_.AddEntity("seattle", {CoarseTypeId("location")});
+    nyc_ = graph_.AddEntity("new_york_city", {CoarseTypeId("location")});
+  }
+
+  KnowledgeGraph graph_;
+  int located_in_ = -1;
+  EntityId uw_ = -1, seattle_ = -1, nyc_ = -1;
+};
+
+TEST_F(KnowledgeGraphTest, EntityAndRelationLookup) {
+  EXPECT_EQ(graph_.num_entities(), 3);
+  EXPECT_EQ(graph_.num_relations(), 2);
+  auto found = graph_.FindEntity("seattle");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, seattle_);
+  EXPECT_FALSE(graph_.FindEntity("atlantis").ok());
+  auto rel = graph_.FindRelation("/location/contains");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, located_in_);
+}
+
+TEST_F(KnowledgeGraphTest, TriplesAndPairRelation) {
+  graph_.AddTriple(uw_, located_in_, seattle_);
+  EXPECT_EQ(graph_.PairRelation(uw_, seattle_), located_in_);
+  EXPECT_EQ(graph_.PairRelation(uw_, nyc_), kNaRelation);
+  EXPECT_TRUE(graph_.HasTriple(uw_, located_in_, seattle_));
+  EXPECT_FALSE(graph_.HasTriple(uw_, located_in_, nyc_));
+  EXPECT_EQ(graph_.triples().size(), 1u);
+  // Duplicate ignored.
+  graph_.AddTriple(uw_, located_in_, seattle_);
+  EXPECT_EQ(graph_.triples().size(), 1u);
+}
+
+TEST_F(KnowledgeGraphTest, TypeCompatibility) {
+  EXPECT_TRUE(graph_.TypeCompatible(uw_, located_in_, seattle_));
+  // seattle is not an organization, so it cannot be the head.
+  EXPECT_FALSE(graph_.TypeCompatible(seattle_, located_in_, uw_));
+  // NA has no constraints.
+  EXPECT_TRUE(graph_.TypeCompatible(seattle_, kNaRelation, uw_));
+}
+
+TEST_F(KnowledgeGraphTest, MultiTypedEntityMatchesAnyOfItsTypes) {
+  const int education = CoarseTypeId("education");
+  const int rel = graph_.AddRelation("/education/institution", education,
+                                     CoarseTypeId("location"));
+  EXPECT_TRUE(graph_.TypeCompatible(uw_, rel, seattle_));
+}
+
+}  // namespace
+}  // namespace imr::kg

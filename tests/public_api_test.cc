@@ -1,0 +1,53 @@
+// Compilation-surface test: the umbrella header must be self-contained and
+// the whole public API reachable through it. Exercises one tiny call into
+// each namespace so the symbols actually link.
+#include "imr.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(PublicApiTest, EveryNamespaceReachableThroughUmbrellaHeader) {
+  // util
+  imr::util::Rng rng(1);
+  EXPECT_NE(rng.Next(), 0u);
+  EXPECT_TRUE(imr::util::OkStatus().ok());
+
+  // tensor
+  imr::tensor::Tensor t = imr::tensor::Tensor::Scalar(2.0f);
+  EXPECT_FLOAT_EQ(imr::tensor::Scale(t, 2.0f).item(), 4.0f);
+
+  // text
+  EXPECT_EQ(imr::text::Tokenize("a b").size(), 2u);
+
+  // kg
+  EXPECT_EQ(imr::kg::CoarseTypeId("person"), 0);
+
+  // datagen (smallest possible world)
+  imr::datagen::WorldConfig world_config;
+  world_config.num_relations = 2;
+  world_config.pairs_per_relation = 2;
+  imr::datagen::World world = imr::datagen::BuildWorld(world_config);
+  EXPECT_GT(world.graph.num_entities(), 0);
+
+  // graph
+  imr::graph::ProximityGraph proximity(4);
+  proximity.AddCooccurrence(0, 1);
+  proximity.AddCooccurrence(0, 1);
+  proximity.Finalize(2);
+  EXPECT_EQ(proximity.edges().size(), 1u);
+
+  // nn
+  imr::nn::Linear linear(2, 2, &rng);
+  EXPECT_EQ(linear.ParameterCount(), 6u);
+
+  // eval
+  auto f1 = imr::eval::MicroF1NonNa({1}, {1});
+  EXPECT_NEAR(f1.f1, 1.0, 1e-12);
+
+  // re
+  imr::re::PaModelConfig config = imr::re::PaperDefaults(5, 100);
+  EXPECT_EQ(config.encoder_config.filters, 230);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "text/position.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace imr::text {
+namespace {
+
+TEST(TokenizerTest, SplitsWhitespaceAndPunctuation) {
+  auto tokens = Tokenize("Obama was born in Honolulu, Hawaii.");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0], "obama");
+  EXPECT_EQ(tokens[4], "honolulu");
+  EXPECT_EQ(tokens[5], ",");
+  EXPECT_EQ(tokens[6], "hawaii");
+  EXPECT_EQ(tokens[7], ".");
+}
+
+TEST(TokenizerTest, KeepsUnderscoreEntities) {
+  auto tokens = Tokenize("the University_of_Washington in seattle");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1], "university_of_washington");
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  auto tokens = Tokenize("Hello World", options);
+  EXPECT_EQ(tokens[0], "Hello");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizerTest, FindToken) {
+  auto tokens = Tokenize("a b c b");
+  EXPECT_EQ(FindToken(tokens, "b"), 1);
+  EXPECT_EQ(FindToken(tokens, "z"), -1);
+}
+
+TEST(VocabularyTest, ReservedIds) {
+  Vocabulary vocab;
+  vocab.Count("apple");
+  vocab.Freeze();
+  EXPECT_EQ(vocab.Word(Vocabulary::kPadId), "<pad>");
+  EXPECT_EQ(vocab.Word(Vocabulary::kUnkId), "<unk>");
+  EXPECT_EQ(vocab.size(), 3);
+  EXPECT_EQ(vocab.Id("apple"), 2);
+  EXPECT_EQ(vocab.Id("banana"), Vocabulary::kUnkId);
+}
+
+TEST(VocabularyTest, MinCountPrunes) {
+  Vocabulary vocab;
+  for (int i = 0; i < 3; ++i) vocab.Count("common");
+  vocab.Count("rare");
+  vocab.Freeze(/*min_count=*/2);
+  EXPECT_TRUE(vocab.Contains("common"));
+  EXPECT_FALSE(vocab.Contains("rare"));
+  EXPECT_EQ(vocab.Id("rare"), Vocabulary::kUnkId);
+}
+
+TEST(VocabularyTest, DeterministicIdsByFrequencyThenName) {
+  Vocabulary vocab;
+  vocab.Count("zeta");
+  vocab.Count("zeta");
+  vocab.Count("alpha");
+  vocab.Count("beta");
+  vocab.Freeze();
+  EXPECT_EQ(vocab.Id("zeta"), 2);   // most frequent first
+  EXPECT_EQ(vocab.Id("alpha"), 3);  // then lexicographic
+  EXPECT_EQ(vocab.Id("beta"), 4);
+}
+
+TEST(VocabularyTest, IdsForTokenSequence) {
+  Vocabulary vocab;
+  vocab.Count("a");
+  vocab.Count("b");
+  vocab.Freeze();
+  auto ids = vocab.Ids({"a", "x", "b"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], Vocabulary::kUnkId);
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  Vocabulary vocab;
+  vocab.Count("hello");
+  vocab.Count("world");
+  vocab.Count("hello");
+  vocab.Freeze();
+  const std::string path = "/tmp/imr_vocab_test.bin";
+  ASSERT_TRUE(vocab.Save(path).ok());
+  auto loaded = Vocabulary::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), vocab.size());
+  EXPECT_EQ(loaded->Id("hello"), vocab.Id("hello"));
+  EXPECT_EQ(loaded->Id("nope"), Vocabulary::kUnkId);
+  std::remove(path.c_str());
+}
+
+TEST(VocabularyTest, SaveUnfrozenFails) {
+  Vocabulary vocab;
+  vocab.Count("x");
+  EXPECT_FALSE(vocab.Save("/tmp/imr_vocab_unfrozen.bin").ok());
+}
+
+TEST(PositionTest, RelativeIdsClippedAndShifted) {
+  auto ids = RelativePositionIds(5, 2, 10);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], 8);   // -2 + 10
+  EXPECT_EQ(ids[2], 10);  // 0 + 10
+  EXPECT_EQ(ids[4], 12);  // +2 + 10
+
+  // Clipping on long sentences.
+  auto long_ids = RelativePositionIds(100, 0, 10);
+  EXPECT_EQ(long_ids[99], 20);  // clipped at +10
+  EXPECT_EQ(long_ids[50], 20);
+}
+
+TEST(PositionTest, TruncationNoOpWhenShort) {
+  auto r = TruncateAroundEntities(10, 2, 7, 20);
+  EXPECT_EQ(r.begin, 0);
+  EXPECT_EQ(r.end, 10);
+}
+
+TEST(PositionTest, TruncationKeepsBothEntities) {
+  for (int head = 0; head < 40; head += 7) {
+    for (int tail = 0; tail < 40; tail += 5) {
+      if (head == tail) continue;
+      auto r = TruncateAroundEntities(40, head, tail, 15);
+      EXPECT_EQ(r.end - r.begin, 15);
+      if (std::abs(head - tail) < 15) {
+        EXPECT_LE(r.begin, std::min(head, tail))
+            << "head=" << head << " tail=" << tail;
+        EXPECT_GT(r.end, std::max(head, tail));
+      }
+    }
+  }
+}
+
+TEST(PositionTest, TruncationWindowInBounds) {
+  auto r = TruncateAroundEntities(30, 29, 28, 10);
+  EXPECT_GE(r.begin, 0);
+  EXPECT_LE(r.end, 30);
+  EXPECT_EQ(r.end - r.begin, 10);
+}
+
+}  // namespace
+}  // namespace imr::text

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/tsv_writer.h"
+
+namespace imr::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad dim");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = NotFound("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.UniformInt(8)]++;
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 1000) << "value " << value << " under-sampled";
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Discrete(weights)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.012);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.012);
+}
+
+TEST(RngTest, ZipfHeavyHead) {
+  Rng rng(19);
+  const int n = 50000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.2);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    ones += (v == 1);
+  }
+  // Rank 1 should dominate: for s=1.2, P(1) ~ 1/zeta-ish, well above 20%.
+  EXPECT_GT(ones, n / 5);
+}
+
+TEST(RngTest, ZipfRankMonotone) {
+  Rng rng(23);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t v = rng.Zipf(10, 1.0);
+    counts[v]++;
+  }
+  for (int r = 1; r < 10; ++r) {
+    EXPECT_GT(counts[r], counts[r + 1]) << "rank " << r;
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  auto parts = SplitWhitespace("  hello   world \t foo\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "foo");
+}
+
+TEST(StringUtilTest, JoinStripLower) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Strip("  x y  "), "x y");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  FlagParser parser;
+  parser.AddInt("n", 10, "count")
+      .AddDouble("lr", 0.3, "rate")
+      .AddString("name", "abc", "label")
+      .AddBool("verbose", false, "noise");
+  const char* argv[] = {"prog", "--n=20", "--lr", "0.5", "--verbose"};
+  ASSERT_TRUE(parser.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(parser.GetInt("n"), 20);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("lr"), 0.5);
+  EXPECT_EQ(parser.GetString("name"), "abc");
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser parser;
+  parser.AddInt("n", 1, "count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsBadInt) {
+  FlagParser parser;
+  parser.AddInt("n", 1, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(SerializationTest, RoundTrip) {
+  const std::string path = "/tmp/imr_serialization_test.bin";
+  {
+    BinaryWriter writer(path, 0xABCD1234u, 1);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteU32(7);
+    writer.WriteU64(1ull << 40);
+    writer.WriteI64(-5);
+    writer.WriteFloat(1.5f);
+    writer.WriteDouble(2.25);
+    writer.WriteString("hello");
+    writer.WriteFloatVector({1.0f, 2.0f, 3.0f});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    BinaryReader reader(path, 0xABCD1234u, 1);
+    ASSERT_TRUE(reader.status().ok());
+    EXPECT_EQ(reader.ReadU32(), 7u);
+    EXPECT_EQ(reader.ReadU64(), 1ull << 40);
+    EXPECT_EQ(reader.ReadI64(), -5);
+    EXPECT_FLOAT_EQ(reader.ReadFloat(), 1.5f);
+    EXPECT_DOUBLE_EQ(reader.ReadDouble(), 2.25);
+    EXPECT_EQ(reader.ReadString(), "hello");
+    auto vec = reader.ReadFloatVector();
+    ASSERT_EQ(vec.size(), 3u);
+    EXPECT_FLOAT_EQ(vec[2], 3.0f);
+    EXPECT_TRUE(reader.status().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  const std::string path = "/tmp/imr_serialization_magic.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    writer.WriteU32(1);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path, 0x2222u, 1);
+  EXPECT_FALSE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  const std::string path = "/tmp/imr_serialization_trunc.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  ASSERT_TRUE(reader.status().ok());
+  reader.ReadU64();  // nothing left to read
+  EXPECT_FALSE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TsvWriterTest, WritesRowsAndEscapes) {
+  const std::string path = "/tmp/imr_tsv_test/sub/out.tsv";
+  {
+    TsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteRow({"a", "b\tc", "d\ne"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a\tb c\td e");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imr::util
