@@ -12,6 +12,7 @@
 #include "re/trainer.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/tsv_writer.h"
 
 namespace imr::bench {
@@ -36,6 +37,9 @@ void RegisterCommonFlags(util::FlagParser* flags) {
                  "use the full Table III dimensions (slower)");
   flags->AddBool("no_cache", false, "ignore and overwrite cached scores");
   flags->AddInt("seed", 7, "master seed");
+  flags->AddInt("imr_threads", 0,
+                "worker threads for kernels/graph/trainer "
+                "(0 = hardware concurrency, 1 = sequential bit-exact)");
 }
 
 BenchContext ContextFromFlags(const util::FlagParser& flags) {
@@ -49,6 +53,7 @@ BenchContext ContextFromFlags(const util::FlagParser& flags) {
   context.paper_dims = flags.GetBool("paper_dims");
   context.no_cache = flags.GetBool("no_cache");
   context.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  util::SetGlobalThreads(static_cast<int>(flags.GetInt("imr_threads")));
   return context;
 }
 

@@ -2,7 +2,21 @@
 // throughput, LINE edge-sampling throughput, alias sampling, and the
 // evaluation pipeline. These are the performance counters a user needs to
 // size real workloads.
+//
+// Besides the google-benchmark suite, main() first runs a thread-scaling
+// sweep over imr_threads in {1, 2, 4, 8} for the parallelised hot paths
+// (MatMul forward/backward, Conv1dSame, LINE SGNS) and records ops/sec and
+// speedup-vs-1-thread in bench_results/micro_scaling.tsv plus the
+// machine-readable bench_results/BENCH_parallel.json, so every later PR has
+// a perf trajectory to compare against. Pass --skip_scaling to go straight
+// to google-benchmark, or --scaling_only to stop after the sweep.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "datagen/presets.h"
 #include "graph/alias_sampler.h"
@@ -13,6 +27,8 @@
 #include "re/bag_dataset.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/tsv_writer.h"
 
 namespace imr {
 namespace {
@@ -157,7 +173,183 @@ void BM_ProximityGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ProximityGraphBuild);
 
+// ---- thread-scaling sweep -------------------------------------------------
+
+struct ScalingRow {
+  std::string bench;
+  int threads = 1;
+  double ops_per_sec = 0.0;
+  double speedup = 1.0;  // vs the 1-thread row of the same bench
+};
+
+// Calls `body` (which performs `ops_per_call` units of work) repeatedly for
+// at least `min_seconds` of wall clock and returns ops/sec.
+template <typename Body>
+double MeasureOpsPerSec(const Body& body, double ops_per_call,
+                        double min_seconds = 0.2) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up (first call pays pool spin-up / page faults)
+  int64_t calls = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(calls) * ops_per_call / elapsed;
+}
+
+void RunScalingSweep() {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<ScalingRow> rows;
+
+  const int n = 256;
+  util::Rng rng(11);
+  tensor::Tensor a = nn::NormalInit({n, n}, 1.0f, &rng);
+  tensor::Tensor b = nn::NormalInit({n, n}, 1.0f, &rng);
+  tensor::Tensor ag = nn::NormalInit({n, n}, 1.0f, &rng);
+  tensor::Tensor bg = nn::NormalInit({n, n}, 1.0f, &rng);
+  ag.set_requires_grad(true);
+  bg.set_requires_grad(true);
+
+  const int time = 120, dim = 60, filters = 230, window = 3;
+  tensor::Tensor cx = nn::NormalInit({time, dim}, 1.0f, &rng);
+  tensor::Tensor cw = nn::NormalInit({filters, window * dim}, 0.1f, &rng);
+  tensor::Tensor cb = tensor::Tensor::Zeros({filters});
+
+  datagen::PresetOptions options;
+  options.scale = 0.25;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(options);
+  graph::ProximityGraph graph(dataset.world.graph.num_entities());
+  graph.AddCorpus(dataset.unlabeled.sentences);
+  graph.Finalize(2);
+  const int64_t line_samples_per_edge = 50;
+  const double line_ops = static_cast<double>(graph.edges().size()) *
+                          static_cast<double>(line_samples_per_edge);
+
+  for (int threads : thread_counts) {
+    util::SetGlobalThreads(threads);
+
+    rows.push_back({"matmul256_forward", threads,
+                    MeasureOpsPerSec(
+                        [&] {
+                          tensor::NoGradGuard no_grad;
+                          benchmark::DoNotOptimize(tensor::MatMul(a, b));
+                        },
+                        2.0 * n * n * n),
+                    1.0});
+
+    rows.push_back({"matmul256_train_step", threads,
+                    MeasureOpsPerSec(
+                        [&] {
+                          ag.ZeroGrad();
+                          bg.ZeroGrad();
+                          tensor::Sum(tensor::MatMul(ag, bg)).Backward();
+                        },
+                        // forward + dA + dB
+                        3.0 * 2.0 * n * n * n),
+                    1.0});
+
+    rows.push_back(
+        {"conv1d_forward", threads,
+         MeasureOpsPerSec(
+             [&] {
+               tensor::NoGradGuard no_grad;
+               benchmark::DoNotOptimize(
+                   tensor::Conv1dSame(cx, cw, cb, window));
+             },
+             2.0 * time * filters * window * dim),
+         1.0});
+
+    rows.push_back({"line_sgns", threads,
+                    MeasureOpsPerSec(
+                        [&] {
+                          graph::LineConfig config;
+                          config.dim = 64;
+                          config.samples_per_edge = line_samples_per_edge;
+                          config.threads = threads;
+                          benchmark::DoNotOptimize(
+                              graph::TrainLine(graph, config));
+                        },
+                        line_ops, /*min_seconds=*/0.5),
+                    1.0});
+  }
+  util::SetGlobalThreads(0);  // restore default for the benchmark suite
+
+  // Speedup vs the 1-thread row of the same benchmark.
+  for (ScalingRow& row : rows) {
+    for (const ScalingRow& base : rows) {
+      if (base.bench == row.bench && base.threads == 1) {
+        row.speedup = base.ops_per_sec > 0 ? row.ops_per_sec / base.ops_per_sec
+                                           : 0.0;
+        break;
+      }
+    }
+  }
+
+  (void)util::MakeDirectories("bench_results");
+  {
+    util::TsvWriter writer("bench_results/micro_scaling.tsv");
+    writer.WriteRow({"bench", "threads", "ops_per_sec", "speedup_vs_1"});
+    for (const ScalingRow& row : rows) {
+      char ops[64], speedup[64];
+      std::snprintf(ops, sizeof(ops), "%.3e", row.ops_per_sec);
+      std::snprintf(speedup, sizeof(speedup), "%.3f", row.speedup);
+      writer.WriteRow(
+          {row.bench, std::to_string(row.threads), ops, speedup});
+    }
+    util::Status status = writer.Close();
+    if (!status.ok())
+      std::fprintf(stderr, "cannot write micro_scaling.tsv: %s\n",
+                   status.ToString().c_str());
+  }
+  {
+    std::FILE* out = std::fopen("bench_results/BENCH_parallel.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+      return;
+    }
+    std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+                 std::thread::hardware_concurrency());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ScalingRow& row = rows[i];
+      std::fprintf(out,
+                   "    {\"bench\": \"%s\", \"threads\": %d, "
+                   "\"ops_per_sec\": %.6e, \"speedup_vs_1\": %.4f}%s\n",
+                   row.bench.c_str(), row.threads, row.ops_per_sec,
+                   row.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+  std::fprintf(stderr,
+               "[bench_micro] scaling sweep written to "
+               "bench_results/micro_scaling.tsv and BENCH_parallel.json\n");
+}
+
 }  // namespace
 }  // namespace imr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool skip_scaling = false;
+  bool scaling_only = false;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip_scaling") == 0) {
+      skip_scaling = true;
+    } else if (std::strcmp(argv[i], "--scaling_only") == 0) {
+      scaling_only = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!skip_scaling) imr::RunScalingSweep();
+  if (!scaling_only) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -266,12 +266,16 @@ int main(int argc, char** argv) {
   flags.AddInt("epochs", 30, "training epochs (train)");
   flags.AddString("entity", "", "entity name (nn)");
   flags.AddInt("k", 10, "neighbour count (nn)");
+  flags.AddInt("imr_threads", 0,
+               "worker threads for kernels/graph/trainer "
+               "(0 = hardware concurrency, 1 = sequential bit-exact)");
   util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     if (status.code() == util::StatusCode::kNotFound) return 0;
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(), kUsage);
     return 1;
   }
+  util::SetGlobalThreads(static_cast<int>(flags.GetInt("imr_threads")));
   if (command == "generate") return Generate(flags);
   if (command == "embed") return Embed(flags);
   if (command == "train") return Train(flags);

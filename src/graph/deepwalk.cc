@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "graph/alias_sampler.h"
+#include "graph/hogwild_sgns.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace imr::graph {
 
@@ -84,6 +86,63 @@ EmbeddingStore TrainDeepWalk(const ProximityGraph& graph,
 
   const int64_t total_walks =
       static_cast<int64_t>(vertices) * config.walks_per_vertex;
+
+  const int threads =
+      config.threads > 0 ? config.threads : util::GlobalThreads();
+  if (threads > 1 && vertices > 1) {
+    // Hogwild: each round shuffles the start order on the caller's rng
+    // (deterministic), then shards it across workers. Workers roll walks
+    // and apply skip-gram updates with private rngs and scratch; shared
+    // matrices are touched through relaxed atomics. Learning rate decays
+    // with the global walk index, as in the sequential schedule.
+    const int64_t grain =
+        (static_cast<int64_t>(vertices) + threads - 1) / threads;
+    const int64_t shards = util::ThreadPool::NumChunks(0, vertices, grain);
+    for (int round = 0; round < config.walks_per_vertex; ++round) {
+      rng.Shuffle(&order);
+      std::vector<uint64_t> seeds(static_cast<size_t>(shards));
+      for (uint64_t& s : seeds) s = rng.Next();
+      util::GlobalPool().ParallelForChunks(
+          0, vertices, grain, [&](int64_t lo, int64_t hi, int64_t shard) {
+            util::Rng worker_rng(seeds[static_cast<size_t>(shard)]);
+            std::vector<int> walk(static_cast<size_t>(config.walk_length));
+            std::vector<float> scratch(static_cast<size_t>(dim));
+            for (int64_t idx = lo; idx < hi; ++idx) {
+              const int64_t done =
+                  static_cast<int64_t>(round) * vertices + idx;
+              const float progress = static_cast<float>(done) /
+                                     static_cast<float>(total_walks);
+              const float lr =
+                  std::max(config.initial_lr * (1.0f - progress),
+                           config.initial_lr * 1e-4f);
+              int length = 0;
+              int current = order[static_cast<size_t>(idx)];
+              while (length < config.walk_length && current >= 0) {
+                walk[static_cast<size_t>(length++)] = current;
+                current = walk_graph.Step(current, &worker_rng);
+              }
+              if (length < 2) continue;
+              for (int center = 0; center < length; ++center) {
+                const int w_lo = std::max(0, center - config.window);
+                const int w_hi = std::min(length - 1, center + config.window);
+                float* center_vec =
+                    store.Vector(walk[static_cast<size_t>(center)]);
+                for (int pos = w_lo; pos <= w_hi; ++pos) {
+                  if (pos == center) continue;
+                  internal::HogwildSgnsUpdate(
+                      center_vec, contexts.data(), dim,
+                      walk[static_cast<size_t>(pos)],
+                      config.negative_samples, noise, lr, &worker_rng,
+                      &scratch);
+                }
+              }
+            }
+          });
+    }
+    store.NormalizeRows();
+    return store;
+  }
+
   int64_t done_walks = 0;
   std::vector<int> walk(static_cast<size_t>(config.walk_length));
   for (int round = 0; round < config.walks_per_vertex; ++round) {

@@ -1,0 +1,70 @@
+// Internal shared kernel for Hogwild-style skip-gram with negative sampling
+// (Recht et al. 2011), used by the parallel paths of LINE, DeepWalk and
+// node2vec. Every access to the shared embedding/context matrices goes
+// through the relaxed-atomic helpers so the intentional data races of
+// asynchronous SGD are well-defined C++ (and quiet under
+// -fsanitize=thread); lost updates are statistically benign.
+//
+// The math matches the sequential per-update kernels exactly — only the
+// memory accesses differ — so a 1-thread run through this kernel would be
+// bit-identical to the legacy loops. The callers still keep the legacy code
+// for threads == 1 to preserve the original rng stream.
+#ifndef IMR_GRAPH_HOGWILD_SGNS_H_
+#define IMR_GRAPH_HOGWILD_SGNS_H_
+
+#include <cmath>
+#include <vector>
+
+#include "graph/alias_sampler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace imr::graph::internal {
+
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// One SGNS step on (center, target): maximises log sigma(ctx_t . center)
+/// plus `negatives` terms log sigma(-ctx_n . center). `center_vec` points at
+/// the center row of the shared embedding matrix; `contexts` is the shared
+/// [V x dim] context matrix (may alias the embedding matrix for first-order
+/// LINE). `scratch` is the caller's per-worker gradient buffer.
+inline void HogwildSgnsUpdate(float* center_vec, float* contexts, int dim,
+                              int target, int negatives,
+                              const AliasSampler& noise, float lr,
+                              util::Rng* rng, std::vector<float>* scratch) {
+  scratch->assign(static_cast<size_t>(dim), 0.0f);
+  float* center_grad = scratch->data();
+  for (int k = 0; k <= negatives; ++k) {
+    int vertex;
+    float label;
+    if (k == 0) {
+      vertex = target;
+      label = 1.0f;
+    } else {
+      vertex = static_cast<int>(noise.Sample(rng));
+      if (vertex == target) continue;
+      label = 0.0f;
+    }
+    float* ctx_vec = contexts + static_cast<size_t>(vertex) * dim;
+    float dot = 0.0f;
+    for (int d = 0; d < dim; ++d)
+      dot += util::RelaxedLoad(center_vec + d) * util::RelaxedLoad(ctx_vec + d);
+    const float grad_scale = (label - FastSigmoid(dot)) * lr;
+    for (int d = 0; d < dim; ++d) {
+      const float cv = util::RelaxedLoad(center_vec + d);
+      const float xv = util::RelaxedLoad(ctx_vec + d);
+      center_grad[d] += grad_scale * xv;
+      util::RelaxedStore(ctx_vec + d, xv + grad_scale * cv);
+    }
+  }
+  for (int d = 0; d < dim; ++d)
+    util::RelaxedAdd(center_vec + d, center_grad[d]);
+}
+
+}  // namespace imr::graph::internal
+
+#endif  // IMR_GRAPH_HOGWILD_SGNS_H_

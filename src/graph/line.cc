@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "graph/alias_sampler.h"
+#include "graph/hogwild_sgns.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace imr::graph {
 
@@ -51,6 +53,18 @@ void SgnsUpdate(float* embeddings, float* contexts, int dim, int source,
     source_vec[d] += source_grad[static_cast<size_t>(d)];
 }
 
+// Hogwild variant of SgnsUpdate: identical math through the shared
+// relaxed-atomic kernel (see hogwild_sgns.h); `scratch` is the caller's
+// per-worker gradient buffer, avoiding a heap allocation per step.
+void SgnsUpdateHogwild(float* embeddings, float* contexts, int dim,
+                       int source, int target, int negatives,
+                       const AliasSampler& noise, float lr, util::Rng* rng,
+                       std::vector<float>* scratch) {
+  internal::HogwildSgnsUpdate(embeddings + static_cast<size_t>(source) * dim,
+                              contexts, dim, target, negatives, noise, lr,
+                              rng, scratch);
+}
+
 // Trains one LINE order into `embeddings`; `contexts` is a separate buffer
 // for second order and aliases `embeddings` for first order.
 void TrainOrder(const ProximityGraph& graph, const LineConfig& config,
@@ -77,6 +91,46 @@ void TrainOrder(const ProximityGraph& graph, const LineConfig& config,
 
   const int64_t total_samples =
       static_cast<int64_t>(edges.size()) * config.samples_per_edge;
+  const int threads =
+      config.threads > 0 ? config.threads : util::GlobalThreads();
+
+  if (threads > 1 && total_samples > 1) {
+    // Hogwild: shard the sample budget into `threads` contiguous ranges,
+    // one private rng per shard (seeded sequentially from the caller's rng
+    // so the caller's stream advances deterministically). Learning rate
+    // decays with the GLOBAL step index, exactly as the sequential
+    // schedule. Updates race benignly through relaxed atomics.
+    const int64_t grain = (total_samples + threads - 1) / threads;
+    const int64_t shards =
+        util::ThreadPool::NumChunks(0, total_samples, grain);
+    std::vector<uint64_t> seeds(static_cast<size_t>(shards));
+    for (uint64_t& s : seeds) s = rng->Next();
+    util::GlobalPool().ParallelForChunks(
+        0, total_samples, grain,
+        [&](int64_t lo, int64_t hi, int64_t shard) {
+          util::Rng worker_rng(seeds[static_cast<size_t>(shard)]);
+          std::vector<float> scratch(static_cast<size_t>(dim));
+          for (int64_t step = lo; step < hi; ++step) {
+            const float progress =
+                static_cast<float>(step) / static_cast<float>(total_samples);
+            const float lr =
+                std::max(config.initial_lr * (1.0f - progress),
+                         config.initial_lr * 1e-4f);
+            const Edge& edge = edges[edge_sampler.Sample(&worker_rng)];
+            if (worker_rng.Bernoulli(0.5)) {
+              SgnsUpdateHogwild(embeddings, contexts, dim, edge.source,
+                                edge.target, config.negative_samples,
+                                noise_sampler, lr, &worker_rng, &scratch);
+            } else {
+              SgnsUpdateHogwild(embeddings, contexts, dim, edge.target,
+                                edge.source, config.negative_samples,
+                                noise_sampler, lr, &worker_rng, &scratch);
+            }
+          }
+        });
+    return;
+  }
+
   for (int64_t step = 0; step < total_samples; ++step) {
     const float progress =
         static_cast<float>(step) / static_cast<float>(total_samples);

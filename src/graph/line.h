@@ -28,6 +28,11 @@ struct LineConfig {
   float initial_lr = 0.025f;
   double noise_power = 0.75;  // P_n(v) ~ deg^noise_power
   uint64_t seed = 97;
+  // Hogwild worker count; 0 defers to util::GlobalThreads(). At 1 the
+  // original sequential SGD path (and rng stream) runs bit-exactly; at N>1
+  // edge sampling shards across workers with per-worker rngs and lock-free
+  // updates — quality-equivalent but not bit-reproducible across counts.
+  int threads = 0;
 };
 
 /// Trains LINE on a finalised proximity graph. When both orders are on,

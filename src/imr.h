@@ -59,6 +59,7 @@
 #include "util/rng.h"                      // IWYU pragma: export
 #include "util/serialization.h"            // IWYU pragma: export
 #include "util/status.h"                   // IWYU pragma: export
+#include "util/thread_pool.h"              // IWYU pragma: export
 #include "util/tsv_writer.h"               // IWYU pragma: export
 
 #endif  // IMR_IMR_H_

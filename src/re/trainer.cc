@@ -4,9 +4,18 @@
 #include <memory>
 
 #include "nn/optimizer.h"
+#include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace imr::re {
+
+namespace {
+// Each batch splits into at most this many data-parallel chunks. The chunk
+// count depends only on the batch size — never on the worker count — so
+// every threads > 1 run reproduces the same floats.
+constexpr int64_t kTrainerChunks = 16;
+}  // namespace
 
 Trainer::Trainer(PaModel* model, const TrainerConfig& config)
     : model_(model), config_(config), rng_(config.seed) {
@@ -60,32 +69,38 @@ std::vector<EpochStats> Trainer::Train(
       std::vector<const Bag*> batch(order.begin() + static_cast<long>(begin),
                                     order.begin() + static_cast<long>(end));
       model_->ZeroGrad();
-      tensor::Tensor loss = model_->BatchLoss(batch, &rng_);
-      loss.Backward();
-      if (!adversarial_targets.empty()) {
-        // FGSM: perturb the embedding tables along the loss gradient,
-        // accumulate the adversarial gradients, then restore the tables so
-        // the optimizer steps from the clean point.
-        std::vector<std::vector<float>> saved;
-        saved.reserve(adversarial_targets.size());
-        for (tensor::Tensor& table : adversarial_targets) {
-          saved.push_back(table.data());
-          const auto& grad = table.grad();
-          if (grad.empty()) continue;
-          auto& values = table.mutable_data();
-          for (size_t i = 0; i < values.size(); ++i) {
-            const float sign =
-                grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
-            values[i] += config_.adversarial_epsilon * sign;
+      const int threads =
+          config_.threads > 0 ? config_.threads : util::GlobalThreads();
+      if (threads > 1 && batch.size() > 1) {
+        loss_sum += ParallelBatchStep(batch, &adversarial_targets);
+      } else {
+        tensor::Tensor loss = model_->BatchLoss(batch, &rng_);
+        loss.Backward();
+        if (!adversarial_targets.empty()) {
+          // FGSM: perturb the embedding tables along the loss gradient,
+          // accumulate the adversarial gradients, then restore the tables
+          // so the optimizer steps from the clean point.
+          std::vector<std::vector<float>> saved;
+          saved.reserve(adversarial_targets.size());
+          for (tensor::Tensor& table : adversarial_targets) {
+            saved.push_back(table.data());
+            const auto& grad = table.grad();
+            if (grad.empty()) continue;
+            auto& values = table.mutable_data();
+            for (size_t i = 0; i < values.size(); ++i) {
+              const float sign =
+                  grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
+              values[i] += config_.adversarial_epsilon * sign;
+            }
+          }
+          model_->BatchLoss(batch, &rng_).Backward();
+          for (size_t t = 0; t < adversarial_targets.size(); ++t) {
+            adversarial_targets[t].mutable_data() = std::move(saved[t]);
           }
         }
-        model_->BatchLoss(batch, &rng_).Backward();
-        for (size_t t = 0; t < adversarial_targets.size(); ++t) {
-          adversarial_targets[t].mutable_data() = std::move(saved[t]);
-        }
+        loss_sum += loss.item();
       }
       optimizer.Step();
-      loss_sum += loss.item();
       ++batches;
     }
     optimizer.set_learning_rate(optimizer.learning_rate() *
@@ -106,6 +121,77 @@ std::vector<EpochStats> Trainer::Train(
   }
   model_->SetTraining(false);
   return history;
+}
+
+double Trainer::ParallelBatchStep(
+    const std::vector<const Bag*>& batch,
+    std::vector<tensor::Tensor>* adversarial_targets) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const int64_t grain = (n + kTrainerChunks - 1) / kTrainerChunks;
+  const int64_t chunks = util::ThreadPool::NumChunks(0, n, grain);
+
+  // One data-parallel forward/backward over the batch. Chunk seeds are
+  // drawn sequentially from the trainer rng up front (so its stream
+  // advances identically at any worker count); each chunk builds its own
+  // graph with a private rng (dropout) and a gradient sink capturing its
+  // leaf gradients. Sinks merge into the shared grads in ascending chunk
+  // order afterwards. Each chunk loss is scaled by chunk_size / batch_size
+  // before backward, so the merged gradient equals the gradient of the
+  // global batch mean. Returns the batch mean loss.
+  auto run_pass = [&]() -> double {
+    std::vector<uint64_t> seeds(static_cast<size_t>(chunks));
+    for (uint64_t& s : seeds) s = rng_.Next();
+    std::vector<std::unique_ptr<tensor::internal::ScopedGradSink>> sinks(
+        static_cast<size_t>(chunks));
+    std::vector<double> losses(static_cast<size_t>(chunks), 0.0);
+    util::GlobalPool().ParallelForChunks(
+        0, n, grain, [&](int64_t lo, int64_t hi, int64_t chunk) {
+          const auto c = static_cast<size_t>(chunk);
+          util::Rng chunk_rng(seeds[c]);
+          sinks[c] = std::make_unique<tensor::internal::ScopedGradSink>();
+          struct SinkGuard {
+            tensor::internal::ScopedGradSink* sink;
+            ~SinkGuard() { sink->Deactivate(); }
+          } guard{sinks[c].get()};
+          std::vector<const Bag*> chunk_bags(
+              batch.begin() + static_cast<long>(lo),
+              batch.begin() + static_cast<long>(hi));
+          tensor::Tensor loss = model_->BatchLoss(chunk_bags, &chunk_rng);
+          const float weight =
+              static_cast<float>(hi - lo) / static_cast<float>(n);
+          tensor::Scale(loss, weight).Backward();
+          losses[c] = static_cast<double>(loss.item()) *
+                      static_cast<double>(hi - lo);
+        });
+    for (auto& sink : sinks) sink->MergeIntoShared();
+    double sum = 0.0;
+    for (double l : losses) sum += l;
+    return sum / static_cast<double>(n);
+  };
+
+  const double mean_loss = run_pass();
+  if (!adversarial_targets->empty()) {
+    // FGSM on the merged full-batch gradients, mirroring the sequential
+    // path: perturb, run a second (parallel) pass that accumulates the
+    // adversarial gradients on top, then restore the clean tables.
+    std::vector<std::vector<float>> saved;
+    saved.reserve(adversarial_targets->size());
+    for (tensor::Tensor& table : *adversarial_targets) {
+      saved.push_back(table.data());
+      const auto& grad = table.grad();
+      if (grad.empty()) continue;
+      auto& values = table.mutable_data();
+      for (size_t i = 0; i < values.size(); ++i) {
+        const float sign = grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
+        values[i] += config_.adversarial_epsilon * sign;
+      }
+    }
+    run_pass();
+    for (size_t t = 0; t < adversarial_targets->size(); ++t) {
+      (*adversarial_targets)[t].mutable_data() = std::move(saved[t]);
+    }
+  }
+  return mean_loss;
 }
 
 eval::HeldOutResult Trainer::Evaluate(const std::vector<Bag>& test_bags) {

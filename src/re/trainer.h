@@ -34,6 +34,14 @@ class Trainer {
   eval::HeldOutResult Evaluate(const std::vector<Bag>& test_bags);
 
  private:
+  /// Data-parallel forward/backward over one batch (clean pass plus the
+  /// optional FGSM adversarial pass), leaving full-batch gradients in the
+  /// shared parameter tensors. Returns the batch mean loss. Chunking is a
+  /// pure function of the batch size, so results are bit-identical for any
+  /// worker count > 1.
+  double ParallelBatchStep(const std::vector<const Bag*>& batch,
+                           std::vector<tensor::Tensor>* adversarial_targets);
+
   PaModel* model_;
   TrainerConfig config_;
   util::Rng rng_;

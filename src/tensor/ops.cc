@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace imr::tensor {
 
@@ -19,12 +20,86 @@ inline bool WantsGrad(const Tensor& t) {
 }
 
 inline std::vector<float>* GradOf(const Tensor& t) {
-  t.impl()->EnsureGrad();
-  return &t.impl()->grad;
+  // Routes through the thread-local gradient sink (when one is active) so
+  // data-parallel backward passes accumulate leaf grads privately.
+  return internal::GradTarget(t.impl());
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
   IMR_CHECK(a.shape() == b.shape());
+}
+
+// ---- MatMul kernels -------------------------------------------------------
+//
+// Bit-exactness contract: every output element's float accumulation sequence
+// is fixed by the element itself (k ascending for the forward/dA dots, i
+// ascending for dB), never by chunk boundaries or thread count, so results
+// are identical at any --imr_threads — and identical to the original scalar
+// kernels (zero operands are skipped exactly as before).
+
+// Work below this many multiply-adds is not worth a pool dispatch.
+constexpr int64_t kMatMulParallelFlops = 1 << 14;
+// Packing pays for itself only when the packed panel is reused many times.
+constexpr int kMatMulMinRowsForPack = 8;
+// Column tile for the packed dot kernel: one tile of B^T rows stays hot in
+// L1/L2 while it is reused across a panel of output rows.
+constexpr int kMatMulColTile = 64;
+
+// Grain (rows per chunk) is a pure function of the shape, keeping chunk
+// boundaries independent of the worker count.
+inline int64_t RowGrain(int64_t per_row_work) {
+  return std::max<int64_t>(1, kMatMulParallelFlops / std::max<int64_t>(1, per_row_work));
+}
+
+// Packs row-major src [rows x cols] into dst as its transpose [cols x rows].
+// Blocked for cache friendliness; pure copies, so trivially deterministic.
+void PackTranspose(const float* src, int rows, int cols, float* dst,
+                   util::ThreadPool* pool) {
+  constexpr int kBlock = 32;
+  auto pack_panel = [&](int64_t j_lo, int64_t j_hi) {
+    for (int64_t jb = j_lo; jb < j_hi; jb += kBlock) {
+      const int64_t j_end = std::min<int64_t>(j_hi, jb + kBlock);
+      for (int ib = 0; ib < rows; ib += kBlock) {
+        const int i_end = std::min(rows, ib + kBlock);
+        for (int64_t j = jb; j < j_end; ++j) {
+          float* drow = dst + j * rows;
+          for (int i = ib; i < i_end; ++i) {
+            drow[i] = src[static_cast<size_t>(i) * cols + j];
+          }
+        }
+      }
+    }
+  };
+  const int64_t work = static_cast<int64_t>(rows) * cols;
+  if (pool != nullptr && work >= kMatMulParallelFlops && cols > kBlock) {
+    pool->ParallelFor(0, cols, kBlock, pack_panel);
+  } else {
+    pack_panel(0, cols);
+  }
+}
+
+// out[i, j] = sum_k a[i, k] * bt[j, k] for i in [row_lo, row_hi), all j.
+// k ascends and zero a-operands are skipped, matching the original ikj
+// kernel's per-element accumulation sequence exactly.
+void MatMulPanelDot(const float* av, const float* bt, float* out, int64_t row_lo,
+                    int64_t row_hi, int inner, int cols) {
+  for (int j0 = 0; j0 < cols; j0 += kMatMulColTile) {
+    const int j_end = std::min(cols, j0 + kMatMulColTile);
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = av + static_cast<size_t>(i) * inner;
+      float* orow = out + static_cast<size_t>(i) * cols;
+      for (int j = j0; j < j_end; ++j) {
+        const float* btrow = bt + static_cast<size_t>(j) * inner;
+        float acc = 0.0f;
+        for (int k = 0; k < inner; ++k) {
+          const float aval = arow[k];
+          if (aval == 0.0f) continue;
+          acc += aval * btrow[k];
+        }
+        orow[j] = acc;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -222,15 +297,30 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
   const float* av = a.data().data();
   const float* bv = b.data().data();
-  // ikj ordering: streams through b row-wise, vectorises well.
-  for (int i = 0; i < rows; ++i) {
-    const float* arow = av + static_cast<size_t>(i) * inner;
-    float* orow = out.data() + static_cast<size_t>(i) * cols;
-    for (int k = 0; k < inner; ++k) {
-      const float aval = arow[k];
-      if (aval == 0.0f) continue;
-      const float* brow = bv + static_cast<size_t>(k) * cols;
-      for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
+  const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
+  if (rows >= kMatMulMinRowsForPack && flops >= kMatMulParallelFlops) {
+    // Blocked kernel: pack B^T once, then compute row panels of dots. The
+    // packed panel streams contiguously for every output row.
+    util::ThreadPool& pool = util::GlobalPool();
+    std::vector<float> bt(static_cast<size_t>(cols) * inner);
+    PackTranspose(bv, inner, cols, bt.data(), &pool);
+    pool.ParallelFor(0, rows,
+                     RowGrain(static_cast<int64_t>(inner) * cols),
+                     [&](int64_t lo, int64_t hi) {
+                       MatMulPanelDot(av, bt.data(), out.data(), lo, hi,
+                                      inner, cols);
+                     });
+  } else {
+    // ikj ordering: streams through b row-wise, vectorises well.
+    for (int i = 0; i < rows; ++i) {
+      const float* arow = av + static_cast<size_t>(i) * inner;
+      float* orow = out.data() + static_cast<size_t>(i) * cols;
+      for (int k = 0; k < inner; ++k) {
+        const float aval = arow[k];
+        if (aval == 0.0f) continue;
+        const float* brow = bv + static_cast<size_t>(k) * cols;
+        for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
+      }
     }
   }
   std::vector<int> out_shape =
@@ -239,33 +329,75 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       std::move(out_shape), std::move(out), {a, b},
       [a, b, rows, inner, cols](TensorImpl& self) {
         const float* gout = self.grad.data();
+        const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
+        const bool parallel = flops >= kMatMulParallelFlops;
         if (WantsGrad(a)) {
-          // dA = dOut * B^T : [rows x cols] x [cols x inner]
+          // dA = dOut * B^T : [rows x cols] x [cols x inner]. Each dA[i,k]
+          // is a fresh dot over j added once into the existing grad — b is
+          // streamed row-contiguously, and the form is kept exactly as the
+          // scalar kernel so in-place accumulation stays bit-identical.
           auto* ga = GradOf(a);
+          float* gav = ga->data();
           const float* bv = b.data().data();
-          for (int i = 0; i < rows; ++i) {
-            const float* grow = gout + static_cast<size_t>(i) * cols;
-            float* garow = ga->data() + static_cast<size_t>(i) * inner;
-            for (int k = 0; k < inner; ++k) {
-              const float* brow = bv + static_cast<size_t>(k) * cols;
-              float acc = 0.0f;
-              for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
-              garow[k] += acc;
+          auto da_rows = [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              const float* grow = gout + static_cast<size_t>(i) * cols;
+              float* garow = gav + static_cast<size_t>(i) * inner;
+              for (int k = 0; k < inner; ++k) {
+                const float* brow = bv + static_cast<size_t>(k) * cols;
+                float acc = 0.0f;
+                for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+                garow[k] += acc;
+              }
             }
+          };
+          if (parallel && rows >= 2) {
+            util::GlobalPool().ParallelFor(
+                0, rows, RowGrain(static_cast<int64_t>(inner) * cols),
+                da_rows);
+          } else {
+            da_rows(0, rows);
           }
         }
         if (WantsGrad(b)) {
-          // dB = A^T * dOut : [inner x rows] x [rows x cols]
+          // dB = A^T * dOut : [inner x rows] x [rows x cols]. Restructured
+          // k-outer over a packed A^T so each dB row is produced by exactly
+          // one chunk and gb is streamed once instead of once per i (the
+          // old i-outer loop re-streamed the whole gb matrix `rows` times
+          // and read `a` column-wise from the k loop's perspective).
+          // Per (k,j) the accumulation stays i-ascending with the same
+          // zero-skip, so bits match the old kernel exactly.
           auto* gb = GradOf(b);
+          float* gbv = gb->data();
           const float* av = a.data().data();
-          for (int i = 0; i < rows; ++i) {
-            const float* arow = av + static_cast<size_t>(i) * inner;
-            const float* grow = gout + static_cast<size_t>(i) * cols;
-            for (int k = 0; k < inner; ++k) {
-              const float aval = arow[k];
-              if (aval == 0.0f) continue;
-              float* gbrow = gb->data() + static_cast<size_t>(k) * cols;
-              for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+          if (parallel && rows >= kMatMulMinRowsForPack) {
+            util::ThreadPool& pool = util::GlobalPool();
+            std::vector<float> at(static_cast<size_t>(inner) * rows);
+            PackTranspose(av, rows, inner, at.data(), &pool);
+            pool.ParallelFor(
+                0, inner, RowGrain(static_cast<int64_t>(rows) * cols),
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t k = lo; k < hi; ++k) {
+                    const float* atrow = at.data() + static_cast<size_t>(k) * rows;
+                    float* gbrow = gbv + static_cast<size_t>(k) * cols;
+                    for (int i = 0; i < rows; ++i) {
+                      const float aval = atrow[i];
+                      if (aval == 0.0f) continue;
+                      const float* grow = gout + static_cast<size_t>(i) * cols;
+                      for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+                    }
+                  }
+                });
+          } else {
+            for (int i = 0; i < rows; ++i) {
+              const float* arow = av + static_cast<size_t>(i) * inner;
+              const float* grow = gout + static_cast<size_t>(i) * cols;
+              for (int k = 0; k < inner; ++k) {
+                const float aval = arow[k];
+                if (aval == 0.0f) continue;
+                float* gbrow = gbv + static_cast<size_t>(k) * cols;
+                for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+              }
             }
           }
         }
@@ -777,62 +909,120 @@ Tensor Conv1dSame(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const float* xv = x.data().data();
   const float* wv = weight.data().data();
   const float* bv = bias.data().data();
-  for (int t = 0; t < time; ++t) {
-    float* orow = out.data() + static_cast<size_t>(t) * filters;
-    for (int f = 0; f < filters; ++f) orow[f] = bv[f];
-    for (int w = 0; w < window; ++w) {
-      const int src = t + w - half;
-      if (src < 0 || src >= time) continue;  // zero padding
-      const float* xrow = xv + static_cast<size_t>(src) * dim;
-      // weight layout: [f][w*dim + d]
-      for (int f = 0; f < filters; ++f) {
-        const float* wrow = wv + static_cast<size_t>(f) * window * dim +
-                            static_cast<size_t>(w) * dim;
-        float acc = 0.0f;
-        for (int d = 0; d < dim; ++d) acc += xrow[d] * wrow[d];
-        orow[f] += acc;
+  // Each output row t is produced wholly by the chunk that owns t, with the
+  // same per-row arithmetic as the scalar kernel, so the result is
+  // bit-identical at any thread count.
+  const int64_t conv_work =
+      static_cast<int64_t>(time) * filters * window * dim;
+  auto forward_rows = [&](int64_t t_lo, int64_t t_hi) {
+    for (int64_t t = t_lo; t < t_hi; ++t) {
+      float* orow = out.data() + static_cast<size_t>(t) * filters;
+      for (int f = 0; f < filters; ++f) orow[f] = bv[f];
+      for (int w = 0; w < window; ++w) {
+        const int src = static_cast<int>(t) + w - half;
+        if (src < 0 || src >= time) continue;  // zero padding
+        const float* xrow = xv + static_cast<size_t>(src) * dim;
+        // weight layout: [f][w*dim + d]
+        for (int f = 0; f < filters; ++f) {
+          const float* wrow = wv + static_cast<size_t>(f) * window * dim +
+                              static_cast<size_t>(w) * dim;
+          float acc = 0.0f;
+          for (int d = 0; d < dim; ++d) acc += xrow[d] * wrow[d];
+          orow[f] += acc;
+        }
       }
     }
+  };
+  if (conv_work >= kMatMulParallelFlops && time >= 2) {
+    util::GlobalPool().ParallelFor(
+        0, time,
+        RowGrain(static_cast<int64_t>(filters) * window * dim),
+        forward_rows);
+  } else {
+    forward_rows(0, time);
   }
   return MakeResult(
       {time, filters}, std::move(out), {x, weight, bias},
       [x, weight, bias, window, time, dim, filters, half](TensorImpl& self) {
+        // Backward runs as three owner-computes passes (bias and weight
+        // sharded over filters, input sharded over source rows). Each pass
+        // reproduces the scalar kernel's per-element accumulation sequence
+        // — t ascends for every (f), (f,w,d) and (src,d) destination — so
+        // gradients are bit-identical at any thread count.
         const float* gout = self.grad.data();
         const float* xv = x.data().data();
         const float* wv = weight.data().data();
+        const int64_t conv_work =
+            static_cast<int64_t>(time) * filters * window * dim;
+        const bool parallel = conv_work >= kMatMulParallelFlops;
         if (WantsGrad(bias)) {
           auto* gb = GradOf(bias);
+          float* gbv = gb->data();
           for (int t = 0; t < time; ++t) {
             const float* grow = gout + static_cast<size_t>(t) * filters;
-            for (int f = 0; f < filters; ++f) (*gb)[f] += grow[f];
+            for (int f = 0; f < filters; ++f) gbv[f] += grow[f];
           }
         }
-        const bool want_x = WantsGrad(x);
-        const bool want_w = WantsGrad(weight);
-        if (!want_x && !want_w) return;
-        auto* gx = want_x ? GradOf(x) : nullptr;
-        auto* gw = want_w ? GradOf(weight) : nullptr;
-        for (int t = 0; t < time; ++t) {
-          const float* grow = gout + static_cast<size_t>(t) * filters;
-          for (int w = 0; w < window; ++w) {
-            const int src = t + w - half;
-            if (src < 0 || src >= time) continue;
-            const float* xrow = xv + static_cast<size_t>(src) * dim;
-            for (int f = 0; f < filters; ++f) {
-              const float g = grow[f];
-              if (g == 0.0f) continue;
-              const size_t woff = static_cast<size_t>(f) * window * dim +
-                                  static_cast<size_t>(w) * dim;
-              if (want_w) {
-                float* gwrow = gw->data() + woff;
-                for (int d = 0; d < dim; ++d) gwrow[d] += g * xrow[d];
-              }
-              if (want_x) {
-                const float* wrow = wv + woff;
-                float* gxrow = gx->data() + static_cast<size_t>(src) * dim;
-                for (int d = 0; d < dim; ++d) gxrow[d] += g * wrow[d];
+        if (WantsGrad(weight)) {
+          auto* gw = GradOf(weight);
+          float* gwv = gw->data();
+          auto gw_filters = [&](int64_t f_lo, int64_t f_hi) {
+            for (int t = 0; t < time; ++t) {
+              const float* grow = gout + static_cast<size_t>(t) * filters;
+              for (int w = 0; w < window; ++w) {
+                const int src = t + w - half;
+                if (src < 0 || src >= time) continue;
+                const float* xrow = xv + static_cast<size_t>(src) * dim;
+                for (int64_t f = f_lo; f < f_hi; ++f) {
+                  const float g = grow[f];
+                  if (g == 0.0f) continue;
+                  float* gwrow = gwv + static_cast<size_t>(f) * window * dim +
+                                 static_cast<size_t>(w) * dim;
+                  for (int d = 0; d < dim; ++d) gwrow[d] += g * xrow[d];
+                }
               }
             }
+          };
+          if (parallel && filters >= 2) {
+            util::GlobalPool().ParallelFor(
+                0, filters,
+                RowGrain(static_cast<int64_t>(time) * window * dim),
+                gw_filters);
+          } else {
+            gw_filters(0, filters);
+          }
+        }
+        if (WantsGrad(x)) {
+          auto* gx = GradOf(x);
+          float* gxv = gx->data();
+          // For a fixed src row, contributions arrive from (t, w) pairs
+          // with t = src - w + half; walking w DOWN walks t UP, matching
+          // the scalar kernel's t-ascending order into gx[src, d].
+          auto gx_rows = [&](int64_t src_lo, int64_t src_hi) {
+            for (int64_t src = src_lo; src < src_hi; ++src) {
+              float* gxrow = gxv + static_cast<size_t>(src) * dim;
+              for (int w = window - 1; w >= 0; --w) {
+                const int t = static_cast<int>(src) - w + half;
+                if (t < 0 || t >= time) continue;
+                const float* grow = gout + static_cast<size_t>(t) * filters;
+                for (int f = 0; f < filters; ++f) {
+                  const float g = grow[f];
+                  if (g == 0.0f) continue;
+                  const float* wrow = wv +
+                                      static_cast<size_t>(f) * window * dim +
+                                      static_cast<size_t>(w) * dim;
+                  for (int d = 0; d < dim; ++d) gxrow[d] += g * wrow[d];
+                }
+              }
+            }
+          };
+          if (parallel && time >= 2) {
+            util::GlobalPool().ParallelFor(
+                0, time,
+                RowGrain(static_cast<int64_t>(filters) * window * dim),
+                gx_rows);
+          } else {
+            gx_rows(0, time);
           }
         }
       });

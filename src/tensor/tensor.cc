@@ -197,6 +197,53 @@ std::string Tensor::DebugString() const {
 
 namespace internal {
 
+namespace {
+thread_local ScopedGradSink* g_active_sink = nullptr;
+}  // namespace
+
+ScopedGradSink::ScopedGradSink() : previous_(g_active_sink) {
+  g_active_sink = this;
+}
+
+ScopedGradSink::~ScopedGradSink() { Deactivate(); }
+
+void ScopedGradSink::Deactivate() {
+  if (active_) {
+    if (g_active_sink == this) g_active_sink = previous_;
+    active_ = false;
+  }
+}
+
+std::vector<float>* ScopedGradSink::BufferFor(
+    const std::shared_ptr<TensorImpl>& impl) {
+  auto it = index_.find(impl.get());
+  if (it == index_.end()) {
+    it = index_.emplace(impl.get(), entries_.size()).first;
+    entries_.push_back({impl, std::vector<float>(impl->value.size(), 0.0f)});
+  }
+  return &entries_[it->second].grad;
+}
+
+void ScopedGradSink::MergeIntoShared() {
+  for (Entry& entry : entries_) {
+    entry.impl->EnsureGrad();
+    float* dst = entry.impl->grad.data();
+    const float* src = entry.grad.data();
+    const size_t n = entry.grad.size();
+    for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+  }
+}
+
+std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>& impl) {
+  // Leaves (parameters) are shared across data-parallel replicas and must be
+  // redirected; intermediate nodes (backward_fn set) are replica-private.
+  if (g_active_sink != nullptr && !impl->backward_fn) {
+    return g_active_sink->BufferFor(impl);
+  }
+  impl->EnsureGrad();
+  return &impl->grad;
+}
+
 Tensor MakeResult(std::vector<int> shape, std::vector<float> value,
                   std::vector<Tensor> parents,
                   std::function<void(TensorImpl&)> backward) {

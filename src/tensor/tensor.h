@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace imr::tensor {
@@ -113,6 +114,58 @@ namespace internal {
 Tensor MakeResult(std::vector<int> shape, std::vector<float> value,
                   std::vector<Tensor> parents,
                   std::function<void(TensorImpl&)> backward);
+
+/// Thread-local redirection of leaf-gradient accumulation, enabling
+/// data-parallel backward passes over shared parameters.
+///
+/// While a sink is active on a thread, backward closures running on that
+/// thread accumulate gradients of LEAF nodes (parameters: requires_grad set,
+/// no backward_fn) into a private per-sink buffer instead of the shared
+/// TensorImpl::grad. Intermediate nodes are created per-thread during a
+/// data-parallel forward pass, so their member grad is already private and
+/// stays in use. After the parallel region the caller merges sinks into the
+/// shared grads sequentially (in a fixed order, keeping float accumulation
+/// deterministic for a fixed chunk count).
+class ScopedGradSink {
+ public:
+  /// Installs the sink on the constructing thread.
+  ScopedGradSink();
+  ~ScopedGradSink();
+  ScopedGradSink(const ScopedGradSink&) = delete;
+  ScopedGradSink& operator=(const ScopedGradSink&) = delete;
+
+  /// Uninstalls the sink (idempotent; the destructor calls it too). Must run
+  /// on the thread that constructed the sink. Lets a worker detach the sink
+  /// while keeping its buffers alive for a later merge on another thread.
+  void Deactivate();
+
+  struct Entry {
+    std::shared_ptr<TensorImpl> impl;
+    std::vector<float> grad;  // same length as impl->value
+  };
+
+  /// Leaves this sink captured, in first-touch order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Adds the buffered gradients into the shared impl->grad fields. Call
+  /// after the sink is deactivated (destructor ran) or from the owning
+  /// thread outside any backward pass; not thread-safe across sinks.
+  void MergeIntoShared();
+
+ private:
+  friend std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>&);
+  std::vector<float>* BufferFor(const std::shared_ptr<TensorImpl>& impl);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<TensorImpl*, size_t> index_;
+  ScopedGradSink* previous_;
+  bool active_ = true;
+};
+
+/// The buffer a backward closure should accumulate `impl`'s gradient into:
+/// the active sink's private buffer for leaves when a sink is installed on
+/// this thread, the node's own grad otherwise.
+std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>& impl);
 
 }  // namespace internal
 

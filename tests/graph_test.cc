@@ -182,6 +182,51 @@ TEST(LineTest, SeparatesCommunities) {
       << "within=" << within << " across=" << across;
 }
 
+TEST(LineTest, HogwildSeparatesCommunities) {
+  // Same two-cluster setup as SeparatesCommunities, but trained with four
+  // Hogwild workers. The sharded path is not bit-exact with the sequential
+  // one, so we assert the embedding quality, not the exact values.
+  const int n = 20;
+  ProximityGraph graph(n);
+  util::Rng rng(41);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      int a = static_cast<int>(rng.UniformInt(10));
+      int b = static_cast<int>(rng.UniformInt(10));
+      if (a != b) graph.AddCooccurrence(a, b);
+      a = 10 + static_cast<int>(rng.UniformInt(10));
+      b = 10 + static_cast<int>(rng.UniformInt(10));
+      if (a != b) graph.AddCooccurrence(a, b);
+    }
+    if (round % 10 == 0) graph.AddCooccurrence(0, 10);
+  }
+  graph.Finalize(2);
+
+  LineConfig config;
+  config.dim = 16;
+  config.samples_per_edge = 600;
+  config.seed = 43;
+  config.threads = 4;
+  EmbeddingStore store = TrainLine(graph, config);
+
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      within += store.Cosine(a, b);
+      ++nw;
+    }
+    for (int b = 10; b < 20; ++b) {
+      across += store.Cosine(a, b);
+      ++na;
+    }
+  }
+  within /= nw;
+  across /= na;
+  EXPECT_GT(within, across + 0.2)
+      << "within=" << within << " across=" << across;
+}
+
 TEST(LineTest, FirstOrderOnlyAndSecondOrderOnly) {
   ProximityGraph graph(6);
   for (int i = 0; i < 5; ++i) {

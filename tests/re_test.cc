@@ -339,6 +339,32 @@ TEST(TrainingTest, LossDecreasesOverEpochs) {
   EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
 }
 
+TEST(TrainingTest, ParallelBatchesBitIdenticalAcrossThreadCounts) {
+  // The data-parallel trainer splits each batch into a fixed number of
+  // chunks whose boundaries depend only on the batch size, so every
+  // thread count > 1 must yield bit-identical loss curves.
+  Fixture& f = SharedFixture();
+  auto run = [&f](int threads) {
+    util::Rng rng(107);
+    PaModelConfig config =
+        f.SmallModelConfig("cnn", Aggregation::kAverage, false, false);
+    PaModel model(config, &rng);
+    TrainerConfig trainer_config;
+    trainer_config.epochs = 2;
+    trainer_config.batch_size = 32;
+    trainer_config.learning_rate = 0.2f;
+    trainer_config.threads = threads;
+    Trainer trainer(&model, trainer_config);
+    return trainer.Train(f.bags->train_bags());
+  };
+  auto two = run(2);
+  auto four = run(4);
+  ASSERT_EQ(two.size(), four.size());
+  for (size_t e = 0; e < two.size(); ++e) {
+    EXPECT_EQ(two[e].mean_loss, four[e].mean_loss) << "epoch " << e;
+  }
+}
+
 TEST(TrainingTest, PaTmrBeatsUniformByWideMargin) {
   Fixture& f = SharedFixture();
   f.AttachMr();

@@ -6,6 +6,7 @@
 
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace imr::tensor {
 namespace {
@@ -444,6 +445,105 @@ TEST(TensorTest, ReshapeGradFlows) {
   Sum(Mul(y, y)).Backward();
   EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
   EXPECT_FLOAT_EQ(x.grad()[5], 12.0f);
+}
+
+// ---- thread-count determinism ---------------------------------------------
+//
+// The parallel kernels promise BIT-identical outputs and gradients at any
+// --imr_threads value (every output element's float accumulation sequence
+// is independent of chunk boundaries), so these compare with EXPECT_EQ on
+// raw float vectors — no tolerance.
+
+struct MatMulRun {
+  std::vector<float> out, ga, gb;
+};
+
+MatMulRun RunMatMul(int threads, const std::vector<float>& adata,
+                    const std::vector<float>& bdata, int rows, int inner,
+                    int cols) {
+  util::SetGlobalThreads(threads);
+  Tensor a = Tensor::FromData({rows, inner}, adata, true);
+  Tensor b = Tensor::FromData({inner, cols}, bdata, true);
+  Tensor out = MatMul(a, b);
+  Sum(out).Backward();
+  util::SetGlobalThreads(0);
+  return {out.data(), a.grad(), b.grad()};
+}
+
+TEST(ThreadedKernelsTest, MatMulBitIdenticalAcrossThreadCounts) {
+  // 48x40x56 is above the parallel/packing thresholds, so the blocked
+  // packed-transpose kernels run (over a 4-thread pool in the N=4 case).
+  const int rows = 48, inner = 40, cols = 56;
+  util::Rng rng(77);
+  std::vector<float> adata(static_cast<size_t>(rows) * inner);
+  std::vector<float> bdata(static_cast<size_t>(inner) * cols);
+  for (float& v : adata) v = static_cast<float>(rng.Normal());
+  for (float& v : bdata) v = static_cast<float>(rng.Normal());
+  // Some exact zeros to exercise the sparse skip on every path.
+  for (size_t i = 0; i < adata.size(); i += 13) adata[i] = 0.0f;
+
+  const MatMulRun one = RunMatMul(1, adata, bdata, rows, inner, cols);
+  const MatMulRun four = RunMatMul(4, adata, bdata, rows, inner, cols);
+  const MatMulRun eight = RunMatMul(8, adata, bdata, rows, inner, cols);
+  EXPECT_EQ(one.out, four.out);
+  EXPECT_EQ(one.ga, four.ga);
+  EXPECT_EQ(one.gb, four.gb);
+  EXPECT_EQ(one.out, eight.out);
+  EXPECT_EQ(one.ga, eight.ga);
+  EXPECT_EQ(one.gb, eight.gb);
+}
+
+struct ConvRun {
+  std::vector<float> out, gx, gw, gb;
+};
+
+ConvRun RunConv(int threads, const std::vector<float>& xdata,
+                const std::vector<float>& wdata,
+                const std::vector<float>& bdata, int time, int dim,
+                int filters, int window) {
+  util::SetGlobalThreads(threads);
+  Tensor x = Tensor::FromData({time, dim}, xdata, true);
+  Tensor w = Tensor::FromData({filters, window * dim}, wdata, true);
+  Tensor b = Tensor::FromData({filters}, bdata, true);
+  Tensor out = Conv1dSame(x, w, b, window);
+  Sum(out).Backward();
+  util::SetGlobalThreads(0);
+  return {out.data(), x.grad(), w.grad(), b.grad()};
+}
+
+TEST(ThreadedKernelsTest, Conv1dSameBitIdenticalAcrossThreadCounts) {
+  const int time = 40, dim = 16, filters = 32, window = 3;
+  util::Rng rng(78);
+  std::vector<float> xdata(static_cast<size_t>(time) * dim);
+  std::vector<float> wdata(static_cast<size_t>(filters) * window * dim);
+  std::vector<float> bdata(static_cast<size_t>(filters));
+  for (float& v : xdata) v = static_cast<float>(rng.Normal());
+  for (float& v : wdata) v = static_cast<float>(rng.Normal()) * 0.1f;
+  for (float& v : bdata) v = static_cast<float>(rng.Normal()) * 0.01f;
+
+  const ConvRun one = RunConv(1, xdata, wdata, bdata, time, dim, filters,
+                              window);
+  const ConvRun four = RunConv(4, xdata, wdata, bdata, time, dim, filters,
+                               window);
+  EXPECT_EQ(one.out, four.out);
+  EXPECT_EQ(one.gx, four.gx);
+  EXPECT_EQ(one.gw, four.gw);
+  EXPECT_EQ(one.gb, four.gb);
+}
+
+TEST(ThreadedKernelsTest, ScopedGradSinkCapturesLeafGrads) {
+  internal::ScopedGradSink sink;
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4}, true);
+  Tensor b = Tensor::FromData({2, 2}, {5, 6, 7, 8}, true);
+  Sum(Mul(a, b)).Backward();
+  sink.Deactivate();
+  // The shared grads stay untouched until the merge.
+  EXPECT_TRUE(a.grad().empty() ||
+              a.grad() == std::vector<float>(4, 0.0f));
+  ASSERT_EQ(sink.entries().size(), 2u);
+  sink.MergeIntoShared();
+  EXPECT_EQ(a.grad(), b.data());
+  EXPECT_EQ(b.grad(), a.data());
 }
 
 }  // namespace

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
+#include <stdexcept>
 
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/serialization.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/tsv_writer.h"
 
 namespace imr::util {
@@ -244,6 +249,107 @@ TEST(SerializationTest, RejectsTruncatedFile) {
   reader.ReadU64();  // nothing left to read
   EXPECT_FALSE(reader.status().ok());
   std::remove(path.c_str());
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(100);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, 100, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) visits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto collect = [](int threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::array<int64_t, 3>> chunks;
+    pool.ParallelForChunks(3, 50, 8,
+                           [&](int64_t lo, int64_t hi, int64_t chunk) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             chunks.push_back({lo, hi, chunk});
+                           });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(1), collect(4));
+  EXPECT_EQ(ThreadPool::NumChunks(3, 50, 8), 6);
+  EXPECT_EQ(ThreadPool::NumChunks(5, 5, 8), 0);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 64, 1,
+                       [&](int64_t lo, int64_t) {
+                         if (lo == 13) throw std::runtime_error("chunk 13");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing region and runs later work.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t, int64_t) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, GrainMustBePositive) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 0, [](int64_t, int64_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(pool.ParallelFor(0, 10, -3, [](int64_t, int64_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(64);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // The nested call must not deadlock or reschedule; it runs inline on
+    // this worker over its own chunk partition.
+    pool.ParallelFor(0, 8, 2, [&](int64_t ilo, int64_t ihi) {
+      for (int64_t i = ilo; i < ihi; ++i)
+        visits[static_cast<size_t>(lo * 8 + i)]++;
+    });
+    (void)hi;
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, TreeReduceIsDeterministicAcrossPools) {
+  Rng rng(97);
+  auto make_parts = [&]() {
+    Rng local(97);
+    std::vector<std::vector<float>> parts(7, std::vector<float>(33));
+    for (auto& part : parts)
+      for (float& x : part) x = static_cast<float>(local.Uniform(-1.0, 1.0));
+    return parts;
+  };
+  auto a = make_parts();
+  auto b = make_parts();
+  auto c = make_parts();
+  ThreadPool pool1(1), pool4(4);
+  TreeReduce(&pool1, &a);
+  TreeReduce(&pool4, &b);
+  TreeReduce(nullptr, &c);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[0], c[0]);
+  // Sanity: the reduction actually sums.
+  auto parts = make_parts();
+  double expect = 0;
+  for (const auto& part : parts) expect += part[0];
+  EXPECT_NEAR(a[0][0], expect, 1e-5);
+}
+
+TEST(ThreadPoolTest, GlobalPoolFollowsSetGlobalThreads) {
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreads(), 3);
+  EXPECT_EQ(GlobalPool().threads(), 3);
+  SetGlobalThreads(0);  // restore the hardware-concurrency default
+  EXPECT_GE(GlobalThreads(), 1);
 }
 
 TEST(TsvWriterTest, WritesRowsAndEscapes) {
