@@ -14,8 +14,13 @@ thread_local int g_region_depth = 0;
 }  // namespace
 
 // One ParallelFor invocation. Workers and the caller pull chunk indices
-// from `next_chunk`; the last finisher signals `done_` via the owning
-// pool's mutex.
+// from `next_chunk`. Lifetime: the Region lives on the caller's stack, so
+// workers check in (under the pool mutex, when they take the region
+// pointer) and check out (after their final, failed chunk claim); the
+// caller may not return — and so destroy the Region — until
+// checked_out == checked_in. Waiting on chunk completion alone would be a
+// use-after-free: the worker that runs the last chunk still loops back
+// for one more next_chunk.fetch_add before it notices the region drained.
 struct ThreadPool::Region {
   int64_t begin = 0;
   int64_t grain = 1;
@@ -23,7 +28,8 @@ struct ThreadPool::Region {
   int64_t end = 0;
   const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
   std::atomic<int64_t> next_chunk{0};
-  std::atomic<int64_t> unfinished{0};
+  int64_t checked_in = 0;   // guarded by the pool's mutex_
+  int64_t checked_out = 0;  // guarded by the pool's mutex_
   std::exception_ptr first_exception;  // guarded by exception_mutex
   std::mutex exception_mutex;
 };
@@ -70,11 +76,6 @@ void ThreadPool::RunRegion(Region* region) {
       }
     }
     --g_region_depth;
-    if (region->unfinished.fetch_sub(1) == 1) {
-      // Last chunk: wake the caller (it may be sleeping in ParallelFor).
-      std::lock_guard<std::mutex> lock(mutex_);
-      done_.notify_all();
-    }
   }
 }
 
@@ -91,8 +92,16 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       seen_epoch = region_epoch_;
       region = active_region_;
+      ++region->checked_in;
     }
     RunRegion(region);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++region->checked_out;
+    }
+    // After the check-out above this thread never touches `region` again,
+    // so the caller is free to destroy it once it observes the count.
+    done_.notify_all();
   }
 }
 
@@ -128,7 +137,11 @@ void ThreadPool::ParallelForChunks(
   region.grain = grain;
   region.num_chunks = num_chunks;
   region.fn = &fn;
-  region.unfinished.store(num_chunks);
+  // Regions are serialized: a second top-level submitter blocks here until
+  // the first region fully drains instead of tripping the single-region
+  // invariant below. (Chunk bodies never reach this point — nested calls
+  // took the inline fast path above — so this cannot self-deadlock.)
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     IMR_CHECK(active_region_ == nullptr);
@@ -138,8 +151,14 @@ void ThreadPool::ParallelForChunks(
   wake_.notify_all();
   RunRegion(&region);  // the caller is a full participant
   {
+    // All chunks were claimed either by this thread (done: RunRegion
+    // returned) or by a checked-in worker, so checked_out == checked_in
+    // implies both "every chunk finished" and "no worker still holds the
+    // region pointer". Workers can only check in while active_region_ is
+    // set, and we clear it in the same critical section that observes the
+    // final count, so no worker checks in afterwards.
     std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return region.unfinished.load() == 0; });
+    done_.wait(lock, [&] { return region.checked_out == region.checked_in; });
     active_region_ = nullptr;
   }
   if (region.first_exception) std::rethrow_exception(region.first_exception);

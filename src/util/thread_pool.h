@@ -50,6 +50,9 @@ class ThreadPool {
   /// chunk finished. Throws std::invalid_argument when grain <= 0.
   /// Rethrows the first exception a chunk body threw. Safe to call from
   /// inside a chunk body: nested calls run inline on the current thread.
+  /// Also safe to call from several non-worker threads at once: the pool
+  /// runs one region at a time and later submitters block until the
+  /// current region drains.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
 
@@ -75,6 +78,9 @@ class ThreadPool {
 
   int threads_;
   std::vector<std::thread> workers_;
+  // Held for the full lifetime of a top-level region so concurrent
+  // submitters serialize instead of violating the one-region invariant.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
@@ -92,8 +98,11 @@ void TreeReduce(ThreadPool* pool, std::vector<std::vector<float>>* parts);
 
 // ---- process-wide pool ----
 
-/// Sets the size of the global pool; <= 0 restores the default
-/// (hardware concurrency). Not safe to call while a region is running.
+/// Sets the size of the global pool; <= 0 restores the default (hardware
+/// concurrency). Resizing destroys the previous pool, so any reference an
+/// earlier GlobalPool() call returned is invalidated. Call this only from
+/// the single orchestrating thread — in practice right after flag parsing,
+/// before any other thread has obtained or used GlobalPool().
 void SetGlobalThreads(int threads);
 
 /// Current global thread count (>= 1).

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "util/flags.h"
 #include "util/rng.h"
@@ -317,6 +318,37 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   });
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
   EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, RegionTeardownStress) {
+  // Regression test: a worker's final (failed) chunk claim, or a
+  // late-waking worker that grabbed the region pointer, must not touch the
+  // caller's stack-allocated region after ParallelFor returned. Many short
+  // regions maximize the window; run under IMR_SANITIZE=thread|address to
+  // catch regressions.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 8, 1, [&](int64_t, int64_t) { count++; });
+    ASSERT_EQ(count.load(), 8) << "iter " << iter;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerialize) {
+  // Two non-worker threads submitting to the same pool must queue up, not
+  // crash on the single-region invariant.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  auto submit = [&] {
+    for (int iter = 0; iter < 100; ++iter) {
+      pool.ParallelFor(0, 64, 4,
+                       [&](int64_t lo, int64_t hi) { total += hi - lo; });
+    }
+  };
+  std::thread a(submit), b(submit);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 100 * 64);
 }
 
 TEST(ThreadPoolTest, TreeReduceIsDeterministicAcrossPools) {
