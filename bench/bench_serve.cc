@@ -1,0 +1,216 @@
+// Serving benchmark: trains a small PA-TMR pipeline, snapshots it, reloads
+// it through serve::InferenceEngine, and measures request throughput and
+// latency percentiles under three calling conventions:
+//
+//   sync         one Predict() at a time (single-client latency floor)
+//   batch        one PredictBatch() over the whole request stream
+//   async        SubmitAsync() + micro-batching dispatcher
+//
+// Each scenario also reports the mutual-relation cache hit rate (requests
+// replay entity pairs with the skew real query streams show). Results are
+// printed and recorded in bench_results/BENCH_serve.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "imr.h"
+
+namespace imr {
+namespace {
+
+void CheckOk(const util::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_serve: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct ScenarioResult {
+  std::string scenario;
+  int threads = 0;
+  serve::EngineStats stats;
+  double cache_hit_rate = 0.0;
+};
+
+serve::Query BagToQuery(const re::Bag& bag,
+                        const std::vector<text::LabeledSentence>& corpus) {
+  serve::Query query;
+  query.head = bag.head;
+  query.tail = bag.tail;
+  query.head_types = bag.head_types;
+  query.tail_types = bag.tail_types;
+  for (const text::LabeledSentence& labeled : corpus) {
+    if (labeled.sentence.head_entity == bag.head &&
+        labeled.sentence.tail_entity == bag.tail) {
+      query.sentences.push_back(labeled.sentence);
+      if (query.sentences.size() >= 4) break;  // cap bag size for latency
+    }
+  }
+  return query;
+}
+
+ScenarioResult RunScenario(const std::string& scenario, int threads,
+                           const std::string& snapshot_path,
+                           const std::vector<serve::Query>& requests) {
+  serve::EngineOptions options;
+  options.threads = threads;
+  options.top_k = 1;
+  auto engine = serve::InferenceEngine::Open(snapshot_path, options);
+  CheckOk(engine.status());
+
+  if (scenario == "sync") {
+    for (const serve::Query& query : requests) {
+      auto prediction = (*engine)->Predict(query);
+      CheckOk(prediction.status());
+    }
+  } else if (scenario == "batch") {
+    auto predictions = (*engine)->PredictBatch(requests);
+    for (const auto& prediction : predictions) CheckOk(prediction.status());
+  } else {  // async
+    std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+    futures.reserve(requests.size());
+    for (const serve::Query& query : requests)
+      futures.push_back((*engine)->SubmitAsync(query));
+    for (auto& future : futures) {
+      CheckOk(future.get().status());
+    }
+  }
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.threads = threads;
+  result.stats = (*engine)->Stats();
+  const uint64_t lookups =
+      result.stats.mr_cache_hits + result.stats.mr_cache_misses;
+  result.cache_hit_rate =
+      lookups > 0
+          ? static_cast<double>(result.stats.mr_cache_hits) / lookups
+          : 0.0;
+  return result;
+}
+
+int Run() {
+  // --- train a small pipeline and snapshot it ----------------------------
+  datagen::PresetOptions preset_options;
+  preset_options.scale = 0.5;
+  preset_options.seed = 13;
+  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(preset_options);
+
+  re::BagDatasetOptions bag_options;
+  bag_options.max_sentence_length = 40;
+  bag_options.max_position = 20;
+  re::BagDataset bags = re::BagDataset::Build(
+      dataset.world.graph, dataset.corpus.train, dataset.corpus.test,
+      bag_options);
+
+  graph::ProximityGraph proximity(dataset.world.graph.num_entities());
+  proximity.AddCorpus(dataset.unlabeled.sentences);
+  proximity.Finalize(2);
+  graph::LineConfig line_config;
+  line_config.dim = 32;
+  line_config.samples_per_edge = 100;
+  graph::EmbeddingStore embeddings = graph::TrainLine(proximity, line_config);
+  CheckOk(bags.AttachMutualRelations(embeddings));
+
+  re::PaModelConfig config;
+  config.num_relations = bags.num_relations();
+  config.encoder = "pcnn";
+  config.aggregation = re::Aggregation::kAttention;
+  config.use_mutual_relation = true;
+  config.use_entity_type = true;
+  config.mutual_relation_dim = embeddings.dim();
+  config.type_dim = 8;
+  config.encoder_config.vocab_size = bags.vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = bag_options.max_position;
+  config.encoder_config.filters = 32;
+
+  util::Rng rng(preset_options.seed);
+  re::PaModel model(config, &rng);
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = 6;
+  trainer_config.batch_size = 32;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+  re::Trainer trainer(&model, trainer_config);
+  trainer.Train(bags.train_bags());
+
+  CheckOk(util::MakeDirectories("bench_results"));
+  const std::string snapshot_path = "bench_results/serve_model.imrs";
+  CheckOk(serve::SaveSnapshot(model, bags.vocabulary(), embeddings,
+                              dataset.world.graph, bag_options,
+                              trainer_config.epochs, "bench_serve",
+                              snapshot_path));
+
+  // --- request stream: held-out bags, replayed with pair-frequency skew --
+  std::vector<serve::Query> unique_queries;
+  for (const re::Bag& bag : bags.test_bags()) {
+    serve::Query query = BagToQuery(bag, dataset.corpus.test);
+    if (!query.sentences.empty()) unique_queries.push_back(std::move(query));
+    if (unique_queries.size() >= 128) break;
+  }
+  IMR_CHECK(!unique_queries.empty());
+  // Zipf-ish replay: pair k is queried roughly proportional to 1/(k+1),
+  // mirroring the long-tailed pair frequencies the paper measures.
+  std::vector<serve::Query> requests;
+  util::Rng replay_rng(99);
+  while (requests.size() < 768) {
+    const size_t k = static_cast<size_t>(
+        static_cast<double>(unique_queries.size()) *
+        replay_rng.Uniform() * replay_rng.Uniform());
+    requests.push_back(unique_queries[std::min(k, unique_queries.size() - 1)]);
+  }
+
+  std::printf("bench_serve: %zu unique pairs, %zu requests, %d relations\n",
+              unique_queries.size(), requests.size(), config.num_relations);
+
+  // --- scenarios ---------------------------------------------------------
+  std::vector<ScenarioResult> results;
+  results.push_back(RunScenario("sync", 1, snapshot_path, requests));
+  results.push_back(RunScenario("batch", 1, snapshot_path, requests));
+  results.push_back(RunScenario("batch", 4, snapshot_path, requests));
+  results.push_back(RunScenario("async", 4, snapshot_path, requests));
+
+  std::printf("%-8s %-8s %10s %10s %10s %10s %8s\n", "scenario", "threads",
+              "qps", "p50_us", "p99_us", "mean_us", "mr_hit%");
+  for (const ScenarioResult& r : results) {
+    std::printf("%-8s %-8d %10.0f %10.0f %10.0f %10.0f %7.1f%%\n",
+                r.scenario.c_str(), r.threads, r.stats.qps,
+                r.stats.p50_latency_us, r.stats.p99_latency_us,
+                r.stats.mean_latency_us, 100.0 * r.cache_hit_rate);
+  }
+
+  std::FILE* out = std::fopen("bench_results/BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"requests\": %zu,\n  \"unique_pairs\": %zu,\n",
+               requests.size(), unique_queries.size());
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"scenario\": \"%s\", \"threads\": %d, "
+                 "\"qps\": %.2f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"mean_us\": %.2f, \"max_us\": %.2f, "
+                 "\"batches\": %llu, \"mr_cache_hit_rate\": %.4f}%s\n",
+                 r.scenario.c_str(), r.threads, r.stats.qps,
+                 r.stats.p50_latency_us, r.stats.p99_latency_us,
+                 r.stats.mean_latency_us, r.stats.max_latency_us,
+                 static_cast<unsigned long long>(r.stats.batches),
+                 r.cache_hit_rate, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr,
+               "[bench_serve] written to bench_results/BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace imr
+
+int main() { return imr::Run(); }

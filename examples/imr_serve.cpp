@@ -1,0 +1,276 @@
+// imr_serve — the serving side of the library: package a trained pipeline
+// into a single snapshot file, then answer relation queries from it in a
+// fresh process with no training machinery loaded.
+//
+//   imr_serve train-demo --workdir DIR [--preset gds --scale 0.6
+//                         --epochs 12 --seed 7]
+//       synthesizes a corpus, trains PA-TMR end to end, writes
+//       DIR/model.imrs (the snapshot) and DIR/queries.tsv (sample queries
+//       drawn from the held-out split).
+//
+//   imr_serve query --workdir DIR [--queries FILE.tsv] [--top_k 3]
+//                   [--threads 0] [--async] [--max_batch 32]
+//                   [--batch_delay_us 200] [--cache 4096]
+//       loads DIR/model.imrs, answers every query in the TSV, prints the
+//       top-k relations per entity pair and the engine's latency counters.
+//
+// Query TSV format (one sentence per line; consecutive lines with the same
+// entity pair form one bag):
+//   head_name <TAB> tail_name <TAB> head_index <TAB> tail_index <TAB> tokens
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "imr.h"
+#include "util/string_util.h"
+
+using namespace imr;  // example code; library code never does this
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: imr_serve <train-demo|query> [flags]\n"
+    "  train-demo --workdir DIR [--preset nyt|gds] [--scale S]\n"
+    "             [--epochs N] [--seed S]\n"
+    "  query      --workdir DIR [--queries FILE.tsv] [--top_k K]\n"
+    "             [--threads N] [--async] [--max_batch B]\n"
+    "             [--batch_delay_us U] [--cache C]\n";
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+re::BagDatasetOptions DemoBagOptions() {
+  re::BagDatasetOptions options;
+  options.max_sentence_length = 40;
+  options.max_position = 20;
+  return options;
+}
+
+int TrainDemo(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  auto made = util::MakeDirectories(dir);
+  if (!made.ok()) return Fail(made);
+
+  datagen::PresetOptions preset_options;
+  preset_options.scale = flags.GetDouble("scale");
+  preset_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  datagen::SyntheticDataset dataset =
+      datagen::MakeDataset(flags.GetString("preset"), preset_options);
+
+  const re::BagDatasetOptions bag_options = DemoBagOptions();
+  re::BagDataset bags = re::BagDataset::Build(
+      dataset.world.graph, dataset.corpus.train, dataset.corpus.test,
+      bag_options);
+
+  graph::ProximityGraph proximity(dataset.world.graph.num_entities());
+  proximity.AddCorpus(dataset.unlabeled.sentences);
+  proximity.Finalize(2);
+  graph::LineConfig line_config;
+  line_config.dim = 32;
+  line_config.samples_per_edge = 150;
+  graph::EmbeddingStore embeddings = graph::TrainLine(proximity, line_config);
+  auto attached = bags.AttachMutualRelations(embeddings);
+  if (!attached.ok()) return Fail(attached);
+
+  re::PaModelConfig config;
+  config.num_relations = bags.num_relations();
+  config.encoder = "pcnn";
+  config.aggregation = re::Aggregation::kAttention;
+  config.use_mutual_relation = true;
+  config.use_entity_type = true;
+  config.mutual_relation_dim = embeddings.dim();
+  config.type_dim = 8;
+  config.encoder_config.vocab_size = bags.vocabulary().size();
+  config.encoder_config.word_dim = 16;
+  config.encoder_config.position_dim = 3;
+  config.encoder_config.max_position = bag_options.max_position;
+  config.encoder_config.filters = 32;
+  config.encoder_config.word_dropout = 0.25f;
+
+  util::Rng rng(preset_options.seed);
+  re::PaModel model(config, &rng);
+  re::TrainerConfig trainer_config;
+  trainer_config.epochs = static_cast<int>(flags.GetInt("epochs"));
+  trainer_config.batch_size = 32;
+  trainer_config.optimizer = "adam";
+  trainer_config.learning_rate = 0.01f;
+  re::Trainer trainer(&model, trainer_config);
+  trainer.Train(bags.train_bags());
+
+  const std::string snapshot_path = dir + "/model.imrs";
+  auto saved = serve::SaveSnapshot(
+      model, bags.vocabulary(), embeddings, dataset.world.graph, bag_options,
+      static_cast<uint64_t>(trainer_config.epochs),
+      "imr_serve train-demo (" + flags.GetString("preset") + ")",
+      snapshot_path);
+  if (!saved.ok()) return Fail(saved);
+
+  // Sample queries: held-out sentences, one line each; the query command
+  // groups consecutive lines with the same entity pair into one bag.
+  const std::string queries_path = dir + "/queries.tsv";
+  std::ofstream queries(queries_path);
+  if (!queries) return Fail(util::IoError("cannot write " + queries_path));
+  size_t written = 0;
+  for (const text::LabeledSentence& labeled : dataset.corpus.test) {
+    if (written >= 200) break;
+    const text::Sentence& sentence = labeled.sentence;
+    queries << dataset.world.graph.entity(sentence.head_entity).name << '\t'
+            << dataset.world.graph.entity(sentence.tail_entity).name << '\t'
+            << sentence.head_index << '\t' << sentence.tail_index << '\t'
+            << util::Join(sentence.tokens, " ") << '\n';
+    ++written;
+  }
+  queries.close();
+
+  std::printf("trained %d-relation PA-TMR for %d epochs\n",
+              config.num_relations, trainer_config.epochs);
+  std::printf("snapshot: %s\nqueries:  %s (%zu sentences)\n",
+              snapshot_path.c_str(), queries_path.c_str(), written);
+  return 0;
+}
+
+struct QueryLine {
+  std::string head;
+  std::string tail;
+  text::Sentence sentence;
+};
+
+util::StatusOr<std::vector<QueryLine>> ReadQueryFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open query file " + path);
+  std::vector<QueryLine> lines;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 5) {
+      return util::InvalidArgument(util::StrFormat(
+          "%s:%d: expected 5 tab-separated fields, got %zu", path.c_str(),
+          lineno, fields.size()));
+    }
+    QueryLine parsed;
+    parsed.head = fields[0];
+    parsed.tail = fields[1];
+    parsed.sentence.head_index = std::atoi(fields[2].c_str());
+    parsed.sentence.tail_index = std::atoi(fields[3].c_str());
+    parsed.sentence.tokens = util::SplitWhitespace(fields[4]);
+    lines.push_back(std::move(parsed));
+  }
+  return lines;
+}
+
+int Query(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  std::string queries_path = flags.GetString("queries");
+  if (queries_path.empty()) queries_path = dir + "/queries.tsv";
+
+  serve::EngineOptions options;
+  options.top_k = static_cast<int>(flags.GetInt("top_k"));
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.max_batch = static_cast<int>(flags.GetInt("max_batch"));
+  options.batch_delay_us = static_cast<int>(flags.GetInt("batch_delay_us"));
+  options.mr_cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
+  auto engine = serve::InferenceEngine::Open(dir + "/model.imrs", options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  auto lines = ReadQueryFile(queries_path);
+  if (!lines.ok()) return Fail(lines.status());
+
+  // Group consecutive lines with the same entity pair into one bag.
+  std::vector<serve::Query> queries;
+  std::vector<std::pair<std::string, std::string>> pair_names;
+  for (const QueryLine& parsed : *lines) {
+    if (pair_names.empty() || pair_names.back().first != parsed.head ||
+        pair_names.back().second != parsed.tail) {
+      auto query =
+          (*engine)->MakeQuery(parsed.head, parsed.tail, {parsed.sentence});
+      if (!query.ok()) return Fail(query.status());
+      queries.push_back(std::move(*query));
+      pair_names.emplace_back(parsed.head, parsed.tail);
+    } else {
+      text::Sentence sentence = parsed.sentence;
+      sentence.head_entity = queries.back().head;
+      sentence.tail_entity = queries.back().tail;
+      queries.back().sentences.push_back(std::move(sentence));
+    }
+  }
+
+  const bool use_async = flags.GetBool("async");
+  std::vector<util::StatusOr<serve::Prediction>> results;
+  if (use_async) {
+    std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+    futures.reserve(queries.size());
+    for (serve::Query& query : queries) {
+      futures.push_back((*engine)->SubmitAsync(std::move(query)));
+    }
+    for (auto& future : futures) results.push_back(future.get());
+  } else {
+    results = (*engine)->PredictBatch(queries);
+  }
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("(%s, %s)", pair_names[i].first.c_str(),
+                pair_names[i].second.c_str());
+    if (!results[i].ok()) {
+      std::printf("  error: %s\n", results[i].status().ToString().c_str());
+      continue;
+    }
+    for (const serve::ScoredRelation& scored : results[i]->top) {
+      std::printf("  %s=%.3f", scored.name.c_str(), scored.probability);
+    }
+    std::printf("\n");
+  }
+
+  const serve::EngineStats stats = (*engine)->Stats();
+  std::printf(
+      "\n%llu requests in %llu batches (%s); mr-cache %llu hit / %llu miss\n"
+      "latency us: mean=%.0f p50=%.0f p99=%.0f max=%.0f; qps=%.0f\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.batches),
+      use_async ? "async micro-batched" : "one PredictBatch",
+      static_cast<unsigned long long>(stats.mr_cache_hits),
+      static_cast<unsigned long long>(stats.mr_cache_misses),
+      stats.mean_latency_us, stats.p50_latency_us, stats.p99_latency_us,
+      stats.max_latency_us, stats.qps);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  util::FlagParser flags;
+  flags.AddString("workdir", "imr_serve_demo", "working directory");
+  flags.AddString("preset", "gds", "nyt | gds (train-demo)");
+  flags.AddDouble("scale", 0.6, "dataset size multiplier (train-demo)");
+  flags.AddInt("seed", 7, "generator + init seed (train-demo)");
+  flags.AddInt("epochs", 12, "training epochs (train-demo)");
+  flags.AddString("queries", "", "query TSV (default workdir/queries.tsv)");
+  flags.AddInt("top_k", 3, "relations printed per pair (query)");
+  flags.AddInt("threads", 0, "engine threads; 0 = shared global pool");
+  flags.AddBool("async", false, "use SubmitAsync micro-batching (query)");
+  flags.AddInt("max_batch", 32, "micro-batch flush size (query --async)");
+  flags.AddInt("batch_delay_us", 200, "micro-batch linger (query --async)");
+  flags.AddInt("cache", 4096, "mutual-relation LRU capacity (query)");
+  util::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    if (status.code() == util::StatusCode::kNotFound) return 0;
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(), kUsage);
+    return 1;
+  }
+  if (command == "train-demo") return TrainDemo(flags);
+  if (command == "query") return Query(flags);
+  std::fputs(kUsage, stderr);
+  return 1;
+}

@@ -103,22 +103,32 @@ void EmbeddingStore::NormalizeRows() {
 util::Status EmbeddingStore::Save(const std::string& path) const {
   util::BinaryWriter writer(path, kEmbeddingMagic, kEmbeddingVersion);
   IMR_RETURN_IF_ERROR(writer.status());
-  writer.WriteU32(static_cast<uint32_t>(num_vertices_));
-  writer.WriteU32(static_cast<uint32_t>(dim_));
-  writer.WriteFloatVector(data_);
+  WriteTo(&writer);
   return writer.Close();
 }
 
 util::StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   util::BinaryReader reader(path, kEmbeddingMagic, kEmbeddingVersion);
   IMR_RETURN_IF_ERROR(reader.status());
-  const int num_vertices = static_cast<int>(reader.ReadU32());
-  const int dim = static_cast<int>(reader.ReadU32());
-  std::vector<float> data = reader.ReadFloatVector();
-  IMR_RETURN_IF_ERROR(reader.status());
+  return ReadFrom(&reader);
+}
+
+void EmbeddingStore::WriteTo(util::BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(num_vertices_));
+  writer->WriteU32(static_cast<uint32_t>(dim_));
+  writer->WriteFloatVector(data_);
+}
+
+util::StatusOr<EmbeddingStore> EmbeddingStore::ReadFrom(
+    util::BinaryReader* reader) {
+  const int num_vertices = static_cast<int>(reader->ReadU32());
+  const int dim = static_cast<int>(reader->ReadU32());
+  std::vector<float> data = reader->ReadFloatVector();
+  IMR_RETURN_IF_ERROR(reader->status());
   if (num_vertices <= 0 || dim <= 0 ||
       data.size() != static_cast<size_t>(num_vertices) * dim) {
-    return util::InvalidArgument("corrupt embedding file: " + path);
+    return util::InvalidArgument("corrupt embedding section in '" +
+                                 reader->path() + "'");
   }
   EmbeddingStore store(num_vertices, dim);
   store.data_ = std::move(data);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace imr::graph {
@@ -47,6 +48,13 @@ class EmbeddingStore {
 
   util::Status Save(const std::string& path) const;
   static util::StatusOr<EmbeddingStore> Load(const std::string& path);
+
+  /// Streams the store into an already-open writer / restores it from one —
+  /// used by composite formats (model snapshots) that carry the entity
+  /// embeddings as one section of a larger file. Values round-trip
+  /// bit-exactly.
+  void WriteTo(util::BinaryWriter* writer) const;
+  static util::StatusOr<EmbeddingStore> ReadFrom(util::BinaryReader* reader);
 
  private:
   int num_vertices_ = 0;

@@ -47,6 +47,9 @@
 #include "re/multir.h"                     // IWYU pragma: export
 #include "re/pa_model.h"                   // IWYU pragma: export
 #include "re/trainer.h"                    // IWYU pragma: export
+#include "serve/inference_engine.h"        // IWYU pragma: export
+#include "serve/lru_cache.h"               // IWYU pragma: export
+#include "serve/snapshot.h"                // IWYU pragma: export
 #include "tensor/ops.h"                    // IWYU pragma: export
 #include "tensor/tensor.h"                 // IWYU pragma: export
 #include "text/corpus_io.h"                // IWYU pragma: export

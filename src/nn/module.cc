@@ -52,37 +52,57 @@ void Module::RegisterChild(const std::string& name, Module* child) {
 util::Status Module::SaveParameters(const std::string& path) const {
   util::BinaryWriter writer(path, kParamsMagic, kParamsVersion);
   IMR_RETURN_IF_ERROR(writer.status());
-  const auto params = Parameters();
-  writer.WriteU64(params.size());
-  for (const NamedParameter& p : params) {
-    writer.WriteString(p.name);
-    writer.WriteFloatVector(p.tensor.data());
-  }
+  WriteParameters(&writer);
   return writer.Close();
 }
 
 util::Status Module::LoadParameters(const std::string& path) {
   util::BinaryReader reader(path, kParamsMagic, kParamsVersion);
   IMR_RETURN_IF_ERROR(reader.status());
-  auto params = Parameters();
-  const uint64_t count = reader.ReadU64();
-  if (count != params.size()) {
-    return util::InvalidArgument("parameter count mismatch: file has " +
-                                 std::to_string(count) + ", model has " +
-                                 std::to_string(params.size()));
+  return ReadParameters(&reader);
+}
+
+void Module::WriteParameters(util::BinaryWriter* writer) const {
+  const auto params = Parameters();
+  writer->WriteU64(params.size());
+  for (const NamedParameter& p : params) {
+    writer->WriteString(p.name);
+    writer->WriteFloatVector(p.tensor.data());
   }
-  for (NamedParameter& p : params) {
-    const std::string name = reader.ReadString();
-    std::vector<float> values = reader.ReadFloatVector();
-    IMR_RETURN_IF_ERROR(reader.status());
-    if (name != p.name) {
-      return util::InvalidArgument("parameter name mismatch: expected " +
-                                   p.name + ", file has " + name);
+}
+
+util::Status Module::ReadParameters(util::BinaryReader* reader) {
+  auto params = Parameters();
+  const uint64_t count = reader->ReadU64();
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (count != params.size()) {
+    return util::InvalidArgument(
+        "parameter count mismatch in '" + reader->path() + "': file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(params.size()));
+  }
+  // Validate everything before mutating the model: a corrupt file must not
+  // leave a half-loaded parameter set behind.
+  std::vector<std::vector<float>> values(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const std::string name = reader->ReadString();
+    values[i] = reader->ReadFloatVector();
+    IMR_RETURN_IF_ERROR(reader->status());
+    if (name != params[i].name) {
+      return util::InvalidArgument(
+          "parameter name mismatch in '" + reader->path() + "': expected " +
+          params[i].name + ", file has " + name);
     }
-    if (values.size() != p.tensor.size()) {
-      return util::InvalidArgument("parameter size mismatch for " + p.name);
+    if (values[i].size() != params[i].tensor.size()) {
+      return util::InvalidArgument(
+          "parameter size mismatch for " + params[i].name + " in '" +
+          reader->path() + "': file has " +
+          std::to_string(values[i].size()) + " values, model needs " +
+          std::to_string(params[i].tensor.size()));
     }
-    p.tensor.mutable_data() = std::move(values);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].tensor.mutable_data() = std::move(values[i]);
   }
   return util::OkStatus();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace imr::nn {
@@ -44,6 +45,15 @@ class Module {
   util::Status SaveParameters(const std::string& path) const;
   util::Status LoadParameters(const std::string& path);
 
+  /// Streams all parameters (count, then name + values per parameter) into
+  /// an already-open writer — used by composite on-disk formats (model
+  /// snapshots) that pack parameters alongside vocab/embedding sections.
+  void WriteParameters(util::BinaryWriter* writer) const;
+  /// Restores parameters from an already-open reader; validates the count,
+  /// every name, and every shape against the live registry before touching
+  /// any tensor data.
+  util::Status ReadParameters(util::BinaryReader* reader);
+
  protected:
   /// Registers a parameter; the returned tensor has requires_grad set.
   tensor::Tensor RegisterParameter(const std::string& name,
@@ -55,6 +65,26 @@ class Module {
   std::vector<NamedParameter> params_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
+};
+
+/// RAII eval-mode switch: puts a module (and its children) into inference
+/// mode for the guard's lifetime and restores the previous mode on exit.
+/// Dropout layers are identity in eval mode, so guarded forward passes are
+/// deterministic and need no Rng.
+class EvalModeGuard {
+ public:
+  explicit EvalModeGuard(Module* module)
+      : module_(module), previous_(module->training()) {
+    module_->SetTraining(false);
+  }
+  ~EvalModeGuard() { module_->SetTraining(previous_); }
+
+  EvalModeGuard(const EvalModeGuard&) = delete;
+  EvalModeGuard& operator=(const EvalModeGuard&) = delete;
+
+ private:
+  Module* module_;
+  bool previous_;
 };
 
 }  // namespace imr::nn

@@ -144,6 +144,18 @@ Tensor PaModel::BatchLoss(const std::vector<const Bag*>& batch,
 }
 
 std::vector<float> PaModel::Predict(const Bag& bag, util::Rng* rng) const {
+  return PredictImpl(bag, rng);
+}
+
+std::vector<float> PaModel::Predict(const Bag& bag) const {
+  // Without an rng there is nothing to drive dropout, so a training-mode
+  // forward pass would be silently wrong — refuse it.
+  IMR_CHECK(!training());
+  return PredictImpl(bag, /*rng=*/nullptr);
+}
+
+std::vector<float> PaModel::PredictImpl(const Bag& bag,
+                                        util::Rng* rng) const {
   tensor::NoGradGuard no_grad;
   Tensor encodings = EncodeBag(bag, rng);
   std::vector<float> probabilities(

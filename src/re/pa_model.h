@@ -50,7 +50,14 @@ class PaModel : public nn::Module {
   /// Inference: probability of every relation for a bag. With selective
   /// attention each relation r is scored under its own query (the standard
   /// "diagonal" evaluation); with avg/max one forward pass suffices.
+  /// `rng` only drives dropout and is untouched (may be null) unless the
+  /// model is in training mode.
   std::vector<float> Predict(const Bag& bag, util::Rng* rng) const;
+
+  /// Deterministic, Rng-free inference: the same probabilities with dropout
+  /// guaranteed off. Requires the model to be in eval mode
+  /// (SetTraining(false) or nn::EvalModeGuard); checked loudly.
+  std::vector<float> Predict(const Bag& bag) const;
 
   const PaModelConfig& config() const { return config_; }
   int num_relations() const { return config_.num_relations; }
@@ -62,6 +69,8 @@ class PaModel : public nn::Module {
   float gamma() const;
 
  private:
+  // Shared inference path behind both Predict overloads.
+  std::vector<float> PredictImpl(const Bag& bag, util::Rng* rng) const;
   // Encodes all sentences of a bag into [N x C].
   tensor::Tensor EncodeBag(const Bag& bag, util::Rng* rng) const;
   tensor::Tensor Aggregate(const tensor::Tensor& encodings,

@@ -1,0 +1,377 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+#include <utility>
+
+#include "re/bag_dataset.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::serve {
+
+namespace {
+
+uint64_t PairKey(int64_t head, int64_t tail) {
+  return (static_cast<uint64_t>(head) << 32) ^
+         static_cast<uint64_t>(tail & 0xffffffff);
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point begin,
+                     std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
+/// Percentile of a sorted sample set (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(Snapshot snapshot,
+                                 const EngineOptions& options)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      mr_cache_(options.mr_cache_capacity) {
+  IMR_CHECK(snapshot_.model != nullptr);
+  snapshot_.model->SetTraining(false);  // serving is always deterministic
+  if (options_.threads > 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+  entity_by_name_.reserve(snapshot_.entities.size());
+  for (size_t i = 0; i < snapshot_.entities.size(); ++i) {
+    entity_by_name_.emplace(snapshot_.entities[i].name,
+                            static_cast<int64_t>(i));
+  }
+  if (options_.latency_samples > 0) {
+    latency_ring_.reserve(options_.latency_samples);
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_started_) dispatcher_.join();
+}
+
+util::StatusOr<std::unique_ptr<InferenceEngine>> InferenceEngine::Open(
+    const std::string& snapshot_path, const EngineOptions& options) {
+  auto snapshot = LoadSnapshot(snapshot_path);
+  IMR_RETURN_IF_ERROR(snapshot.status());
+  return std::make_unique<InferenceEngine>(std::move(*snapshot), options);
+}
+
+util::ThreadPool& InferenceEngine::pool() {
+  return own_pool_ ? *own_pool_ : util::GlobalPool();
+}
+
+util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
+                                                  bool* cache_hit) {
+  *cache_hit = false;
+  if (query.head < 0 || query.tail < 0) {
+    return util::InvalidArgument("query entity ids must be >= 0");
+  }
+  if (query.sentences.empty()) {
+    return util::InvalidArgument("query has no sentences");
+  }
+  for (const text::Sentence& sentence : query.sentences) {
+    const int tokens = static_cast<int>(sentence.tokens.size());
+    if (tokens == 0) return util::InvalidArgument("query sentence is empty");
+    if (sentence.head_index < 0 || sentence.head_index >= tokens ||
+        sentence.tail_index < 0 || sentence.tail_index >= tokens) {
+      return util::InvalidArgument(util::StrFormat(
+          "query mention index out of range (head %d, tail %d, %d tokens)",
+          sentence.head_index, sentence.tail_index, tokens));
+    }
+  }
+  const re::PaModelConfig& config = snapshot_.manifest.model_config;
+
+  re::Bag bag;
+  bag.head = query.head;
+  bag.tail = query.tail;
+  bag.sentences.reserve(query.sentences.size());
+  for (const text::Sentence& sentence : query.sentences) {
+    bag.sentences.push_back(re::MakeEncoderInput(
+        sentence, snapshot_.vocab, snapshot_.manifest.bag_options));
+  }
+
+  if (config.use_entity_type) {
+    bag.head_types = query.head_types;
+    bag.tail_types = query.tail_types;
+    const auto table_types = [this](int64_t id) -> const std::vector<int>* {
+      if (id < 0 || id >= static_cast<int64_t>(snapshot_.entities.size()))
+        return nullptr;
+      return &snapshot_.entities[static_cast<size_t>(id)].type_ids;
+    };
+    if (bag.head_types.empty()) {
+      if (const auto* types = table_types(query.head)) bag.head_types = *types;
+    }
+    if (bag.tail_types.empty()) {
+      if (const auto* types = table_types(query.tail)) bag.tail_types = *types;
+    }
+    if (bag.head_types.empty() || bag.tail_types.empty()) {
+      return util::InvalidArgument(
+          "model uses entity types but the query has none and the snapshot "
+          "entity table cannot supply them");
+    }
+  }
+
+  if (config.use_mutual_relation) {
+    if (query.head >= snapshot_.embeddings.num_vertices() ||
+        query.tail >= snapshot_.embeddings.num_vertices()) {
+      return util::InvalidArgument(util::StrFormat(
+          "query entity pair (%lld, %lld) outside the embedding store (%d "
+          "vertices)",
+          static_cast<long long>(query.head),
+          static_cast<long long>(query.tail),
+          snapshot_.embeddings.num_vertices()));
+    }
+    const uint64_t key = PairKey(query.head, query.tail);
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (auto cached = mr_cache_.Get(key)) {
+        bag.mutual_relation = std::move(*cached);
+        hit = true;
+      }
+    }
+    if (!hit) {
+      // Computed outside the lock: the vector is a pure function of the
+      // (immutable) embedding rows, so concurrent misses on the same pair
+      // compute identical values.
+      bag.mutual_relation = snapshot_.embeddings.MutualRelation(
+          static_cast<int>(query.head), static_cast<int>(query.tail));
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      mr_cache_.Put(key, bag.mutual_relation);
+    }
+    *cache_hit = hit;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (hit) {
+        ++cache_hits_;
+      } else {
+        ++cache_misses_;
+      }
+    }
+  }
+  return bag;
+}
+
+util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
+  const auto start = std::chrono::steady_clock::now();
+  bool cache_hit = false;
+  auto bag = BuildBag(query, &cache_hit);
+  IMR_RETURN_IF_ERROR(bag.status());
+
+  Prediction prediction;
+  prediction.probabilities = snapshot_.model->Predict(*bag);
+  const auto end = std::chrono::steady_clock::now();
+  prediction.latency_us = MicrosBetween(start, end);
+  prediction.mr_cache_hit = cache_hit;
+
+  const int num_relations = static_cast<int>(prediction.probabilities.size());
+  const int k = std::min(std::max(options_.top_k, 1), num_relations);
+  std::vector<int> order(static_cast<size_t>(num_relations));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int a, int b) {
+                      const float pa = prediction.probabilities[a];
+                      const float pb = prediction.probabilities[b];
+                      if (pa != pb) return pa > pb;
+                      return a < b;  // deterministic tie-break
+                    });
+  prediction.top.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int relation = order[static_cast<size_t>(i)];
+    ScoredRelation scored;
+    scored.relation = relation;
+    if (static_cast<size_t>(relation) < snapshot_.relation_names.size()) {
+      scored.name = snapshot_.relation_names[static_cast<size_t>(relation)];
+    }
+    scored.probability =
+        prediction.probabilities[static_cast<size_t>(relation)];
+    prediction.top.push_back(std::move(scored));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++requests_;
+    latency_sum_us_ += prediction.latency_us;
+    latency_max_us_ = std::max(latency_max_us_, prediction.latency_us);
+    if (options_.latency_samples > 0) {
+      if (latency_ring_.size() < options_.latency_samples) {
+        latency_ring_.push_back(prediction.latency_us);
+      } else {
+        latency_ring_[latency_next_] = prediction.latency_us;
+        latency_next_ = (latency_next_ + 1) % options_.latency_samples;
+      }
+    }
+    if (!first_request_seen_) {
+      first_request_seen_ = true;
+      first_request_time_ = start;
+    }
+    last_completion_time_ = end;
+  }
+  return prediction;
+}
+
+util::StatusOr<Prediction> InferenceEngine::Predict(const Query& query) {
+  return PredictOne(query);
+}
+
+std::vector<util::StatusOr<Prediction>> InferenceEngine::PredictBatch(
+    const std::vector<Query>& queries) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  std::vector<util::StatusOr<Prediction>> results(
+      queries.size(),
+      util::StatusOr<Prediction>(util::Internal("query not executed")));
+  if (n == 0) return results;
+  util::ThreadPool& workers = pool();
+  if (workers.threads() <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      results[static_cast<size_t>(i)] =
+          PredictOne(queries[static_cast<size_t>(i)]);
+    }
+    return results;
+  }
+  workers.ParallelFor(0, n, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      results[static_cast<size_t>(i)] =
+          PredictOne(queries[static_cast<size_t>(i)]);
+    }
+  });
+  return results;
+}
+
+std::future<util::StatusOr<Prediction>> InferenceEngine::SubmitAsync(
+    Query query) {
+  std::future<util::StatusOr<Prediction>> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    IMR_CHECK(!stop_);
+    EnsureDispatcherLocked();
+    queue_.push_back(PendingRequest{std::move(query), {}});
+    future = queue_.back().promise.get_future();
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void InferenceEngine::EnsureDispatcherLocked() {
+  if (dispatcher_started_) return;
+  dispatcher_started_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void InferenceEngine::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Micro-batch window: linger briefly for more requests so bursts
+    // coalesce into one parallel pass, but never past the flush deadline.
+    if (!stop_ && options_.batch_delay_us > 0 &&
+        static_cast<int>(queue_.size()) < options_.max_batch) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.batch_delay_us);
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stop_ || static_cast<int>(queue_.size()) >= options_.max_batch;
+      });
+    }
+    const size_t take = std::min(
+        queue_.size(), static_cast<size_t>(std::max(options_.max_batch, 1)));
+    std::vector<PendingRequest> batch;
+    batch.reserve(take);
+    std::move(queue_.begin(), queue_.begin() + static_cast<long>(take),
+              std::back_inserter(batch));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    lock.unlock();
+
+    std::vector<Query> queries;
+    queries.reserve(batch.size());
+    for (PendingRequest& request : batch) {
+      queries.push_back(std::move(request.query));
+    }
+    std::vector<util::StatusOr<Prediction>> results = PredictBatch(queries);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++batches_;
+    }
+    lock.lock();
+  }
+}
+
+util::StatusOr<Query> InferenceEngine::MakeQuery(
+    const std::string& head_name, const std::string& tail_name,
+    std::vector<text::Sentence> sentences) const {
+  const auto head = entity_by_name_.find(head_name);
+  if (head == entity_by_name_.end()) {
+    return util::NotFound("unknown entity '" + head_name + "'");
+  }
+  const auto tail = entity_by_name_.find(tail_name);
+  if (tail == entity_by_name_.end()) {
+    return util::NotFound("unknown entity '" + tail_name + "'");
+  }
+  Query query;
+  query.head = head->second;
+  query.tail = tail->second;
+  for (text::Sentence& sentence : sentences) {
+    const auto locate = [&sentence](const std::string& name) -> int {
+      for (size_t t = 0; t < sentence.tokens.size(); ++t) {
+        if (sentence.tokens[t] == name) return static_cast<int>(t);
+      }
+      return -1;
+    };
+    if (sentence.head_index < 0) sentence.head_index = locate(head_name);
+    if (sentence.tail_index < 0) sentence.tail_index = locate(tail_name);
+    if (sentence.head_index < 0 || sentence.tail_index < 0) {
+      return util::InvalidArgument(
+          "sentence does not mention both query entities");
+    }
+    sentence.head_entity = query.head;
+    sentence.tail_entity = query.tail;
+  }
+  query.sentences = std::move(sentences);
+  return query;
+}
+
+EngineStats InferenceEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  EngineStats stats;
+  stats.requests = requests_;
+  stats.batches = batches_;
+  stats.mr_cache_hits = cache_hits_;
+  stats.mr_cache_misses = cache_misses_;
+  if (requests_ > 0) {
+    stats.mean_latency_us = latency_sum_us_ / static_cast<double>(requests_);
+    stats.max_latency_us = latency_max_us_;
+    std::vector<double> sorted = latency_ring_;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_latency_us = Percentile(sorted, 0.50);
+    stats.p99_latency_us = Percentile(sorted, 0.99);
+    const double window_s =
+        std::chrono::duration<double>(last_completion_time_ -
+                                      first_request_time_)
+            .count();
+    stats.qps = window_s > 0.0
+                    ? static_cast<double>(requests_) / window_s
+                    : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace imr::serve

@@ -1,0 +1,177 @@
+// Batched inference serving over a loaded model snapshot — the paper's
+// pipeline with all training machinery stripped away. The engine owns the
+// snapshot (model in eval mode, dropout off, no Rng anywhere on the hot
+// path), featurizes queries exactly as BagDataset did at training time, and
+// offers three calling conventions:
+//
+//   Predict(query)        synchronous, single request
+//   PredictBatch(queries) one parallel pass over util::ThreadPool
+//   SubmitAsync(query)    enqueue; a dispatcher thread coalesces queued
+//                         requests into micro-batches (flushed at
+//                         max_batch or after batch_delay_us) and executes
+//                         them as one PredictBatch
+//
+// Mutual-relation vectors are served through a per-pair LRU cache: the
+// Zipf-skewed pair popularity the paper measures (Fig. 1(a)) makes a small
+// cache absorb most traffic. Cached and uncached paths are bit-identical
+// (the MR vector is a pure function of the embedding rows), and prediction
+// itself is deterministic at any thread count — each query is scored
+// independently.
+#ifndef IMR_SERVE_INFERENCE_ENGINE_H_
+#define IMR_SERVE_INFERENCE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "text/sentence.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace imr::serve {
+
+struct EngineOptions {
+  /// Micro-batch flush size for SubmitAsync; PredictBatch is unaffected.
+  int max_batch = 32;
+  /// How long the dispatcher waits for more requests before flushing a
+  /// partial micro-batch. 0 flushes immediately (no coalescing).
+  int batch_delay_us = 200;
+  /// Worker threads for batch execution. 0 uses the process-global pool
+  /// (util::GlobalThreads); > 0 gives the engine a private pool.
+  int threads = 0;
+  /// Entity-pair mutual-relation cache capacity; 0 disables caching.
+  size_t mr_cache_capacity = 4096;
+  /// Ring-buffer size for latency percentile estimates.
+  size_t latency_samples = 4096;
+  /// Relations returned in Prediction::top.
+  int top_k = 3;
+};
+
+/// One inference request: an entity pair plus the sentences mentioning it
+/// (the bag). Types may be left empty when the snapshot carries an entity
+/// table — they are then filled from it.
+struct Query {
+  int64_t head = -1;
+  int64_t tail = -1;
+  std::vector<int> head_types;
+  std::vector<int> tail_types;
+  std::vector<text::Sentence> sentences;
+};
+
+struct ScoredRelation {
+  int relation = 0;
+  std::string name;
+  float probability = 0.0f;
+};
+
+struct Prediction {
+  std::vector<float> probabilities;  // all relations, index == relation id
+  std::vector<ScoredRelation> top;   // top_k by probability, descending
+  double latency_us = 0.0;           // model forward time for this request
+  bool mr_cache_hit = false;
+};
+
+struct EngineStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;  // micro-batches executed by the dispatcher
+  uint64_t mr_cache_hits = 0;
+  uint64_t mr_cache_misses = 0;
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Completed requests divided by the wall time between the first request
+  /// and the most recent completion.
+  double qps = 0.0;
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(Snapshot snapshot, const EngineOptions& options);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Loads a snapshot from disk and wraps it in an engine.
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> Open(
+      const std::string& snapshot_path, const EngineOptions& options = {});
+
+  /// Scores one query synchronously.
+  util::StatusOr<Prediction> Predict(const Query& query);
+
+  /// Scores a batch of queries, parallelized over the thread pool. Results
+  /// align with the input order and are bit-identical at any thread count.
+  std::vector<util::StatusOr<Prediction>> PredictBatch(
+      const std::vector<Query>& queries);
+
+  /// Enqueues a query for micro-batched execution; the future resolves
+  /// once the dispatcher has run its batch.
+  std::future<util::StatusOr<Prediction>> SubmitAsync(Query query);
+
+  /// Resolves entity names against the snapshot's entity table and builds
+  /// a query. Sentences with head_index/tail_index < 0 get their mention
+  /// indices located by token match against the entity names.
+  util::StatusOr<Query> MakeQuery(
+      const std::string& head_name, const std::string& tail_name,
+      std::vector<text::Sentence> sentences) const;
+
+  EngineStats Stats() const;
+  const Snapshot& snapshot() const { return snapshot_; }
+  int num_relations() const {
+    return snapshot_.manifest.model_config.num_relations;
+  }
+
+ private:
+  struct PendingRequest {
+    Query query;
+    std::promise<util::StatusOr<Prediction>> promise;
+  };
+
+  util::StatusOr<re::Bag> BuildBag(const Query& query, bool* cache_hit);
+  util::StatusOr<Prediction> PredictOne(const Query& query);
+  util::ThreadPool& pool();
+  void EnsureDispatcherLocked();
+  void DispatchLoop();
+
+  Snapshot snapshot_;
+  EngineOptions options_;
+  std::unique_ptr<util::ThreadPool> own_pool_;  // only when options_.threads > 0
+  std::unordered_map<std::string, int64_t> entity_by_name_;
+
+  mutable std::mutex cache_mutex_;
+  LruCache<uint64_t, std::vector<float>> mr_cache_;
+
+  mutable std::mutex stats_mutex_;
+  uint64_t requests_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  double latency_sum_us_ = 0.0;
+  double latency_max_us_ = 0.0;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  bool first_request_seen_ = false;
+  std::chrono::steady_clock::time_point first_request_time_;
+  std::chrono::steady_clock::time_point last_completion_time_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<PendingRequest> queue_;
+  bool stop_ = false;
+  bool dispatcher_started_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace imr::serve
+
+#endif  // IMR_SERVE_INFERENCE_ENGINE_H_

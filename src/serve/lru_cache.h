@@ -1,0 +1,68 @@
+// Fixed-capacity least-recently-used cache, used by the inference engine to
+// hold entity-pair mutual-relation vectors. The Zipf skew of entity-pair
+// queries (paper Fig. 1(a)) means a small cache absorbs most lookups.
+//
+// Not thread-safe: callers (the engine) wrap accesses in their own mutex.
+#ifndef IMR_SERVE_LRU_CACHE_H_
+#define IMR_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace imr::serve {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// capacity 0 disables the cache entirely (every Get misses, Put drops).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Returns a copy of the cached value and marks it most-recently-used.
+  std::optional<Value> Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().second;
+  }
+
+  /// Inserts (or refreshes) a value, evicting the least-recently-used entry
+  /// when full.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) > 0; }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<Key, Value>> entries_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+}  // namespace imr::serve
+
+#endif  // IMR_SERVE_LRU_CACHE_H_

@@ -1,0 +1,333 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "util/rng.h"
+#include "util/serialization.h"
+#include "util/string_util.h"
+
+namespace imr::serve {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x494D5253;  // "IMRS"
+constexpr uint32_t kSnapshotVersion = 1;
+
+// Section tags, written before each section so a reader that drifts out of
+// sync (or a file truncated on a boundary) fails on the next tag instead of
+// interpreting unrelated bytes as lengths.
+constexpr uint32_t kTagManifest = 0x4D414E49;    // "MANI"
+constexpr uint32_t kTagVocabulary = 0x564F4342;  // "VOCB"
+constexpr uint32_t kTagRelations = 0x52454C53;   // "RELS"
+constexpr uint32_t kTagEntities = 0x454E5453;    // "ENTS"
+constexpr uint32_t kTagEmbeddings = 0x454D4244;  // "EMBD"
+constexpr uint32_t kTagParameters = 0x5041524D;  // "PARM"
+constexpr uint32_t kTagEnd = 0x53454E44;         // "SEND"
+
+bool ValidEncoder(const std::string& kind) {
+  return kind == "pcnn" || kind == "cnn" || kind == "gru" || kind == "bgwa";
+}
+
+util::Status ExpectTag(util::BinaryReader* reader, uint32_t tag,
+                       const char* section) {
+  const uint64_t at = reader->offset();
+  const uint32_t found = reader->ReadU32();
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (found != tag) {
+    return util::InvalidArgument(util::StrFormat(
+        "snapshot '%s': expected %s section tag at byte offset %llu, found "
+        "0x%08x",
+        reader->path().c_str(), section,
+        static_cast<unsigned long long>(at), found));
+  }
+  return util::OkStatus();
+}
+
+void WriteManifest(util::BinaryWriter* writer,
+                   const SnapshotManifest& manifest) {
+  const re::PaModelConfig& m = manifest.model_config;
+  writer->WriteU32(static_cast<uint32_t>(m.num_relations));
+  writer->WriteString(m.encoder);
+  writer->WriteU32(static_cast<uint32_t>(m.aggregation));
+  writer->WriteU32(m.use_mutual_relation ? 1 : 0);
+  writer->WriteU32(m.use_entity_type ? 1 : 0);
+  writer->WriteU32(static_cast<uint32_t>(m.type_dim));
+  writer->WriteU32(static_cast<uint32_t>(m.mutual_relation_dim));
+  writer->WriteFloat(m.auxiliary_re_loss);
+  const nn::EncoderConfig& e = m.encoder_config;
+  writer->WriteU32(static_cast<uint32_t>(e.vocab_size));
+  writer->WriteU32(static_cast<uint32_t>(e.word_dim));
+  writer->WriteU32(static_cast<uint32_t>(e.position_dim));
+  writer->WriteU32(static_cast<uint32_t>(e.max_position));
+  writer->WriteU32(static_cast<uint32_t>(e.window));
+  writer->WriteU32(static_cast<uint32_t>(e.filters));
+  writer->WriteFloat(e.dropout);
+  writer->WriteFloat(e.word_dropout);
+  const re::BagDatasetOptions& b = manifest.bag_options;
+  writer->WriteU32(static_cast<uint32_t>(b.max_sentence_length));
+  writer->WriteU32(static_cast<uint32_t>(b.max_position));
+  writer->WriteU32(static_cast<uint32_t>(b.vocab_min_count));
+  writer->WriteU32(b.blind_entities ? 1 : 0);
+  writer->WriteU64(manifest.trained_steps);
+  writer->WriteString(manifest.notes);
+}
+
+util::StatusOr<SnapshotManifest> ReadManifest(util::BinaryReader* reader) {
+  SnapshotManifest manifest;
+  re::PaModelConfig& m = manifest.model_config;
+  m.num_relations = static_cast<int>(reader->ReadU32());
+  m.encoder = reader->ReadString();
+  const uint32_t aggregation = reader->ReadU32();
+  m.use_mutual_relation = reader->ReadU32() != 0;
+  m.use_entity_type = reader->ReadU32() != 0;
+  m.type_dim = static_cast<int>(reader->ReadU32());
+  m.mutual_relation_dim = static_cast<int>(reader->ReadU32());
+  m.auxiliary_re_loss = reader->ReadFloat();
+  nn::EncoderConfig& e = m.encoder_config;
+  e.vocab_size = static_cast<int>(reader->ReadU32());
+  e.word_dim = static_cast<int>(reader->ReadU32());
+  e.position_dim = static_cast<int>(reader->ReadU32());
+  e.max_position = static_cast<int>(reader->ReadU32());
+  e.window = static_cast<int>(reader->ReadU32());
+  e.filters = static_cast<int>(reader->ReadU32());
+  e.dropout = reader->ReadFloat();
+  e.word_dropout = reader->ReadFloat();
+  re::BagDatasetOptions& b = manifest.bag_options;
+  b.max_sentence_length = static_cast<int>(reader->ReadU32());
+  b.max_position = static_cast<int>(reader->ReadU32());
+  b.vocab_min_count = static_cast<int>(reader->ReadU32());
+  b.blind_entities = reader->ReadU32() != 0;
+  manifest.trained_steps = reader->ReadU64();
+  manifest.notes = reader->ReadString();
+  IMR_RETURN_IF_ERROR(reader->status());
+
+  // Reject anything the model constructor would IMR_CHECK-crash on: the
+  // whole point of the manifest is that corrupt input fails with a Status.
+  const std::string& path = reader->path();
+  if (m.num_relations < 2) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': manifest num_relations < 2");
+  }
+  if (!ValidEncoder(m.encoder)) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': unknown encoder '" + m.encoder + "'");
+  }
+  if (aggregation > static_cast<uint32_t>(re::Aggregation::kMax)) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': invalid aggregation id");
+  }
+  m.aggregation = static_cast<re::Aggregation>(aggregation);
+  if (e.vocab_size <= 0 || e.word_dim <= 0 || e.position_dim <= 0 ||
+      e.max_position <= 0 || e.window <= 0 || e.filters <= 0) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': non-positive encoder dimension");
+  }
+  if (!(e.dropout >= 0.0f && e.dropout < 1.0f) ||
+      !(e.word_dropout >= 0.0f && e.word_dropout < 1.0f)) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': dropout outside [0, 1)");
+  }
+  if (m.use_mutual_relation && m.mutual_relation_dim <= 0) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': non-positive mutual_relation_dim");
+  }
+  if (m.use_entity_type && m.type_dim <= 0) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': non-positive type_dim");
+  }
+  if (b.max_sentence_length <= 0 || b.max_position <= 0) {
+    return util::InvalidArgument("snapshot '" + path +
+                                 "': non-positive bag option");
+  }
+  return manifest;
+}
+
+}  // namespace
+
+util::Status SaveSnapshot(const re::PaModel& model,
+                          const text::Vocabulary& vocab,
+                          const graph::EmbeddingStore& embeddings,
+                          const std::vector<std::string>& relation_names,
+                          const std::vector<EntityRecord>& entities,
+                          const re::BagDatasetOptions& bag_options,
+                          uint64_t trained_steps, const std::string& notes,
+                          const std::string& path) {
+  const re::PaModelConfig& config = model.config();
+  // Catch inconsistent bundles at save time: a snapshot that cannot pass
+  // its own load-time validation must never reach disk.
+  if (!vocab.frozen() || vocab.size() != config.encoder_config.vocab_size) {
+    return util::InvalidArgument(
+        "snapshot: vocabulary does not match the model's vocab_size");
+  }
+  if (static_cast<int>(relation_names.size()) != config.num_relations) {
+    return util::InvalidArgument(
+        "snapshot: relation name count != num_relations");
+  }
+  if (config.use_mutual_relation &&
+      embeddings.dim() != config.mutual_relation_dim) {
+    return util::InvalidArgument(
+        "snapshot: embedding dim != mutual_relation_dim");
+  }
+  if (!entities.empty() &&
+      static_cast<int>(entities.size()) != embeddings.num_vertices()) {
+    return util::InvalidArgument(
+        "snapshot: entity table size != embedding vertex count");
+  }
+
+  util::BinaryWriter writer(path, kSnapshotMagic, kSnapshotVersion);
+  IMR_RETURN_IF_ERROR(writer.status());
+
+  writer.WriteU32(kTagManifest);
+  SnapshotManifest manifest;
+  manifest.model_config = config;
+  manifest.bag_options = bag_options;
+  manifest.trained_steps = trained_steps;
+  manifest.notes = notes;
+  WriteManifest(&writer, manifest);
+
+  writer.WriteU32(kTagVocabulary);
+  IMR_RETURN_IF_ERROR(vocab.WriteTo(&writer));
+
+  writer.WriteU32(kTagRelations);
+  writer.WriteU64(relation_names.size());
+  for (const std::string& name : relation_names) writer.WriteString(name);
+
+  writer.WriteU32(kTagEntities);
+  writer.WriteU64(entities.size());
+  for (const EntityRecord& entity : entities) {
+    writer.WriteString(entity.name);
+    writer.WriteIntVector(entity.type_ids);
+  }
+
+  writer.WriteU32(kTagEmbeddings);
+  embeddings.WriteTo(&writer);
+
+  writer.WriteU32(kTagParameters);
+  model.WriteParameters(&writer);
+
+  writer.WriteU32(kTagEnd);
+  return writer.Close();
+}
+
+util::Status SaveSnapshot(const re::PaModel& model,
+                          const text::Vocabulary& vocab,
+                          const graph::EmbeddingStore& embeddings,
+                          const kg::KnowledgeGraph& graph,
+                          const re::BagDatasetOptions& bag_options,
+                          uint64_t trained_steps, const std::string& notes,
+                          const std::string& path) {
+  std::vector<std::string> relation_names;
+  relation_names.reserve(static_cast<size_t>(graph.num_relations()));
+  for (const kg::RelationSchema& schema : graph.relations())
+    relation_names.push_back(schema.name);
+  std::vector<EntityRecord> entities;
+  entities.reserve(static_cast<size_t>(graph.num_entities()));
+  for (const kg::Entity& entity : graph.entities())
+    entities.push_back({entity.name, entity.type_ids});
+  return SaveSnapshot(model, vocab, embeddings, relation_names, entities,
+                      bag_options, trained_steps, notes, path);
+}
+
+util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
+  util::BinaryReader reader(path, kSnapshotMagic, kSnapshotVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+
+  Snapshot snapshot;
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagManifest, "manifest"));
+  {
+    auto manifest = ReadManifest(&reader);
+    IMR_RETURN_IF_ERROR(manifest.status());
+    snapshot.manifest = std::move(*manifest);
+  }
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagVocabulary, "vocabulary"));
+  {
+    auto vocab = text::Vocabulary::ReadFrom(&reader);
+    IMR_RETURN_IF_ERROR(vocab.status());
+    snapshot.vocab = std::move(*vocab);
+  }
+  if (snapshot.vocab.size() !=
+      snapshot.manifest.model_config.encoder_config.vocab_size) {
+    return util::InvalidArgument(util::StrFormat(
+        "snapshot '%s': vocabulary has %d words, manifest declares %d",
+        path.c_str(), snapshot.vocab.size(),
+        snapshot.manifest.model_config.encoder_config.vocab_size));
+  }
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagRelations, "relations"));
+  {
+    const uint64_t count = reader.ReadU64();
+    IMR_RETURN_IF_ERROR(reader.status());
+    if (count !=
+        static_cast<uint64_t>(snapshot.manifest.model_config.num_relations)) {
+      return util::InvalidArgument(util::StrFormat(
+          "snapshot '%s': %llu relation names, manifest declares %d",
+          path.c_str(), static_cast<unsigned long long>(count),
+          snapshot.manifest.model_config.num_relations));
+    }
+    snapshot.relation_names.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      snapshot.relation_names.push_back(reader.ReadString());
+      IMR_RETURN_IF_ERROR(reader.status());
+    }
+  }
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEntities, "entities"));
+  {
+    const uint64_t count = reader.ReadU64();
+    IMR_RETURN_IF_ERROR(reader.status());
+    if (count > (1ULL << 32)) {
+      return util::InvalidArgument("snapshot '" + path +
+                                   "': entity table too large");
+    }
+    snapshot.entities.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      EntityRecord entity;
+      entity.name = reader.ReadString();
+      entity.type_ids = reader.ReadIntVector();
+      IMR_RETURN_IF_ERROR(reader.status());
+      snapshot.entities.push_back(std::move(entity));
+    }
+  }
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEmbeddings, "embeddings"));
+  {
+    auto embeddings = graph::EmbeddingStore::ReadFrom(&reader);
+    IMR_RETURN_IF_ERROR(embeddings.status());
+    snapshot.embeddings = std::move(*embeddings);
+  }
+  if (snapshot.manifest.model_config.use_mutual_relation &&
+      snapshot.embeddings.dim() !=
+          snapshot.manifest.model_config.mutual_relation_dim) {
+    return util::InvalidArgument(util::StrFormat(
+        "snapshot '%s': embedding dim %d != mutual_relation_dim %d",
+        path.c_str(), snapshot.embeddings.dim(),
+        snapshot.manifest.model_config.mutual_relation_dim));
+  }
+  if (!snapshot.entities.empty() &&
+      static_cast<int>(snapshot.entities.size()) !=
+          snapshot.embeddings.num_vertices()) {
+    return util::InvalidArgument(util::StrFormat(
+        "snapshot '%s': entity table has %zu rows, embeddings have %d "
+        "vertices",
+        path.c_str(), snapshot.entities.size(),
+        snapshot.embeddings.num_vertices()));
+  }
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagParameters, "parameters"));
+  {
+    // The initializer draws are overwritten entirely by ReadParameters, so
+    // the seed is arbitrary; validation happens against the registry the
+    // manifest-built skeleton produces.
+    util::Rng init_rng(0x5EED);
+    snapshot.model = std::make_unique<re::PaModel>(
+        snapshot.manifest.model_config, &init_rng);
+    IMR_RETURN_IF_ERROR(snapshot.model->ReadParameters(&reader));
+  }
+  snapshot.model->SetTraining(false);
+
+  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEnd, "end sentinel"));
+  return snapshot;
+}
+
+}  // namespace imr::serve

@@ -1,0 +1,93 @@
+// Versioned on-disk model snapshots: everything needed to stand a trained
+// PA-* pipeline back up in a fresh process, in one file.
+//
+// A snapshot is a single magic+version-headed binary (util::BinaryWriter
+// framing) with tagged sections in fixed order:
+//
+//   MANI  manifest: PaModelConfig (incl. EncoderConfig), BagDatasetOptions,
+//         trained-step count, free-form notes
+//   VOCB  frozen word vocabulary (ids preserved exactly)
+//   RELS  relation names, index == relation id (0 = NA)
+//   ENTS  entity table: name + FIGER type ids per entity, index == graph
+//         vertex id (may be empty when serving by raw ids only)
+//   EMBD  graph::EmbeddingStore (the mutual-relation source)
+//   PARM  model parameters (name + values, registry order)
+//   SEND  end sentinel — detects files truncated on a section boundary
+//
+// Every section is validated on load (tag, counts, cross-section shape
+// consistency, parameter names/shapes); any mismatch returns a non-OK
+// Status naming the file and byte offset instead of crashing or silently
+// loading garbage. The format version bumps on any layout change; readers
+// reject other versions outright (no silent migration).
+#ifndef IMR_SERVE_SNAPSHOT_H_
+#define IMR_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/embedding_store.h"
+#include "kg/knowledge_graph.h"
+#include "re/bag_dataset.h"
+#include "re/config.h"
+#include "re/pa_model.h"
+#include "text/vocab.h"
+#include "util/status.h"
+
+namespace imr::serve {
+
+/// Everything about a snapshot except the tensors: enough to rebuild the
+/// model skeleton and the input featurization exactly as trained.
+struct SnapshotManifest {
+  re::PaModelConfig model_config;
+  re::BagDatasetOptions bag_options;
+  uint64_t trained_steps = 0;  // informational (optimizer steps or epochs)
+  std::string notes;
+};
+
+/// One row of the entity table; index in the table == embedding vertex id.
+struct EntityRecord {
+  std::string name;
+  std::vector<int> type_ids;
+};
+
+/// A fully materialized snapshot: the model is constructed, loaded, and
+/// switched to eval mode.
+struct Snapshot {
+  SnapshotManifest manifest;
+  text::Vocabulary vocab;
+  std::vector<std::string> relation_names;
+  std::vector<EntityRecord> entities;
+  graph::EmbeddingStore embeddings;
+  std::unique_ptr<re::PaModel> model;
+};
+
+/// Writes a snapshot of `model` plus its featurization state. `entities`
+/// may be empty (serving then requires raw entity ids and explicit types);
+/// when non-empty its size must equal embeddings.num_vertices().
+util::Status SaveSnapshot(const re::PaModel& model,
+                          const text::Vocabulary& vocab,
+                          const graph::EmbeddingStore& embeddings,
+                          const std::vector<std::string>& relation_names,
+                          const std::vector<EntityRecord>& entities,
+                          const re::BagDatasetOptions& bag_options,
+                          uint64_t trained_steps, const std::string& notes,
+                          const std::string& path);
+
+/// Convenience overload that pulls relation names and the entity table
+/// (names + type ids) from a knowledge graph.
+util::Status SaveSnapshot(const re::PaModel& model,
+                          const text::Vocabulary& vocab,
+                          const graph::EmbeddingStore& embeddings,
+                          const kg::KnowledgeGraph& graph,
+                          const re::BagDatasetOptions& bag_options,
+                          uint64_t trained_steps, const std::string& notes,
+                          const std::string& path);
+
+/// Loads and validates a snapshot; the returned model reproduces the saved
+/// model's inference outputs bit-for-bit.
+util::StatusOr<Snapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace imr::serve
+
+#endif  // IMR_SERVE_SNAPSHOT_H_

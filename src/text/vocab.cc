@@ -70,29 +70,42 @@ util::Status Vocabulary::Save(const std::string& path) const {
   if (!frozen_) return util::FailedPrecondition("vocabulary not frozen");
   util::BinaryWriter writer(path, kVocabMagic, kVocabVersion);
   IMR_RETURN_IF_ERROR(writer.status());
-  writer.WriteU64(words_.size());
-  for (const std::string& word : words_) writer.WriteString(word);
+  IMR_RETURN_IF_ERROR(WriteTo(&writer));
   return writer.Close();
 }
 
-util::StatusOr<Vocabulary> Vocabulary::Load(const std::string& path) {
-  util::BinaryReader reader(path, kVocabMagic, kVocabVersion);
-  IMR_RETURN_IF_ERROR(reader.status());
-  const uint64_t count = reader.ReadU64();
+util::Status Vocabulary::WriteTo(util::BinaryWriter* writer) const {
+  if (!frozen_) return util::FailedPrecondition("vocabulary not frozen");
+  writer->WriteU64(words_.size());
+  for (const std::string& word : words_) writer->WriteString(word);
+  return writer->status();
+}
+
+util::StatusOr<Vocabulary> Vocabulary::ReadFrom(util::BinaryReader* reader) {
+  const uint64_t count = reader->ReadU64();
+  IMR_RETURN_IF_ERROR(reader->status());
   Vocabulary vocab;
   vocab.words_.clear();
+  vocab.words_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    vocab.words_.push_back(reader.ReadString());
-    IMR_RETURN_IF_ERROR(reader.status());
+    vocab.words_.push_back(reader->ReadString());
+    IMR_RETURN_IF_ERROR(reader->status());
   }
   if (vocab.words_.size() < 2 || vocab.words_[0] != "<pad>" ||
       vocab.words_[1] != "<unk>") {
-    return util::InvalidArgument("corrupt vocabulary file: " + path);
+    return util::InvalidArgument("corrupt vocabulary section in '" +
+                                 reader->path() + "'");
   }
   for (size_t i = 2; i < vocab.words_.size(); ++i)
     vocab.ids_.emplace(vocab.words_[i], static_cast<int>(i));
   vocab.frozen_ = true;
   return vocab;
+}
+
+util::StatusOr<Vocabulary> Vocabulary::Load(const std::string& path) {
+  util::BinaryReader reader(path, kVocabMagic, kVocabVersion);
+  IMR_RETURN_IF_ERROR(reader.status());
+  return ReadFrom(&reader);
 }
 
 }  // namespace imr::text

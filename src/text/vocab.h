@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace imr::text {
@@ -40,6 +41,12 @@ class Vocabulary {
 
   util::Status Save(const std::string& path) const;
   static util::StatusOr<Vocabulary> Load(const std::string& path);
+
+  /// Streams the frozen word list into an already-open writer / restores it
+  /// from one — used by composite formats (model snapshots) that embed the
+  /// vocabulary as one section of a larger file. Ids are preserved exactly.
+  util::Status WriteTo(util::BinaryWriter* writer) const;
+  static util::StatusOr<Vocabulary> ReadFrom(util::BinaryReader* reader);
 
  private:
   bool frozen_ = false;

@@ -1,10 +1,12 @@
 #include "util/serialization.h"
 
+#include "util/string_util.h"
+
 namespace imr::util {
 
 BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
                            uint32_t version)
-    : out_(path, std::ios::binary) {
+    : out_(path, std::ios::binary), path_(path) {
   if (!out_.is_open()) {
     status_ = IoError("cannot open for write: " + path);
     return;
@@ -17,7 +19,13 @@ void BinaryWriter::WriteRaw(const void* data, size_t size) {
   if (!status_.ok()) return;
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(size));
-  if (!out_.good()) status_ = IoError("write failed");
+  if (!out_.good()) {
+    status_ = IoError(StrFormat("write failed in '%s' at byte offset %llu",
+                                path_.c_str(),
+                                static_cast<unsigned long long>(offset_)));
+    return;
+  }
+  offset_ += size;
 }
 
 void BinaryWriter::WriteU32(uint32_t value) { WriteRaw(&value, sizeof value); }
@@ -38,10 +46,15 @@ void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
   WriteRaw(values.data(), values.size() * sizeof(float));
 }
 
+void BinaryWriter::WriteIntVector(const std::vector<int>& values) {
+  WriteU64(values.size());
+  for (int value : values) WriteI64(value);
+}
+
 Status BinaryWriter::Close() {
   if (status_.ok()) {
     out_.flush();
-    if (!out_.good()) status_ = IoError("flush failed");
+    if (!out_.good()) status_ = IoError("flush failed for '" + path_ + "'");
   }
   out_.close();
   return status_;
@@ -49,7 +62,7 @@ Status BinaryWriter::Close() {
 
 BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
                            uint32_t version)
-    : in_(path, std::ios::binary) {
+    : in_(path, std::ios::binary), path_(path) {
   if (!in_.is_open()) {
     status_ = IoError("cannot open for read: " + path);
     return;
@@ -58,18 +71,29 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
   const uint32_t file_version = ReadU32();
   if (!status_.ok()) return;
   if (file_magic != magic) {
-    status_ = InvalidArgument("bad magic in " + path);
+    status_ = InvalidArgument(
+        StrFormat("bad magic in '%s': file has 0x%08x, expected 0x%08x",
+                  path.c_str(), file_magic, magic));
   } else if (file_version != version) {
-    status_ = InvalidArgument("unsupported version in " + path);
+    status_ = InvalidArgument(
+        StrFormat("unsupported version in '%s': file has %u, expected %u",
+                  path.c_str(), file_version, version));
   }
 }
 
 void BinaryReader::ReadRaw(void* data, size_t size) {
   if (!status_.ok()) return;
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  if (in_.gcount() != static_cast<std::streamsize>(size)) {
-    status_ = IoError("unexpected end of file");
+  const auto got = in_.gcount();
+  if (got != static_cast<std::streamsize>(size)) {
+    status_ = IoError(StrFormat(
+        "unexpected end of file in '%s' at byte offset %llu (wanted %zu "
+        "bytes, got %zu)",
+        path_.c_str(), static_cast<unsigned long long>(offset_), size,
+        static_cast<size_t>(got)));
+    return;
   }
+  offset_ += size;
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -106,7 +130,9 @@ std::string BinaryReader::ReadString() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
   if (size > (1ULL << 32)) {
-    status_ = InvalidArgument("string too large; corrupt file?");
+    status_ = InvalidArgument(StrFormat(
+        "string too large in '%s' at byte offset %llu; corrupt file?",
+        path_.c_str(), static_cast<unsigned long long>(offset_)));
     return {};
   }
   std::string value(size, '\0');
@@ -118,11 +144,30 @@ std::vector<float> BinaryReader::ReadFloatVector() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
   if (size > (1ULL << 32)) {
-    status_ = InvalidArgument("vector too large; corrupt file?");
+    status_ = InvalidArgument(StrFormat(
+        "vector too large in '%s' at byte offset %llu; corrupt file?",
+        path_.c_str(), static_cast<unsigned long long>(offset_)));
     return {};
   }
   std::vector<float> values(size);
   ReadRaw(values.data(), size * sizeof(float));
+  return values;
+}
+
+std::vector<int> BinaryReader::ReadIntVector() {
+  const uint64_t size = ReadU64();
+  if (!status_.ok()) return {};
+  if (size > (1ULL << 24)) {
+    status_ = InvalidArgument(StrFormat(
+        "int vector too large in '%s' at byte offset %llu; corrupt file?",
+        path_.c_str(), static_cast<unsigned long long>(offset_)));
+    return {};
+  }
+  std::vector<int> values(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    values[i] = static_cast<int>(ReadI64());
+    if (!status_.ok()) return {};
+  }
   return values;
 }
 

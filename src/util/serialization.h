@@ -1,6 +1,8 @@
 // Binary (little-endian) serialization helpers for corpora, vocabularies and
 // embedding matrices. All readers validate a magic+version header so stale
-// files fail loudly rather than producing garbage models.
+// files fail loudly rather than producing garbage models, and every error
+// message names the file and the byte offset where the failure happened so a
+// corrupt snapshot is diagnosable without a hex dump.
 #ifndef IMR_UTIL_SERIALIZATION_H_
 #define IMR_UTIL_SERIALIZATION_H_
 
@@ -20,6 +22,9 @@ class BinaryWriter {
   BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
 
   const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+  /// Bytes written so far (including the 8-byte header).
+  uint64_t offset() const { return offset_; }
 
   void WriteU32(uint32_t value);
   void WriteU64(uint64_t value);
@@ -28,6 +33,9 @@ class BinaryWriter {
   void WriteDouble(double value);
   void WriteString(const std::string& value);
   void WriteFloatVector(const std::vector<float>& values);
+  /// Length-prefixed vector of ints (stored as i64 each; meant for small
+  /// id lists like entity types, not bulk data).
+  void WriteIntVector(const std::vector<int>& values);
 
   /// Flushes and closes; returns the final status.
   Status Close();
@@ -36,6 +44,8 @@ class BinaryWriter {
   void WriteRaw(const void* data, size_t size);
 
   std::ofstream out_;
+  std::string path_;
+  uint64_t offset_ = 0;
   Status status_;
 };
 
@@ -45,6 +55,9 @@ class BinaryReader {
   BinaryReader(const std::string& path, uint32_t magic, uint32_t version);
 
   const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+  /// Bytes consumed so far (including the 8-byte header).
+  uint64_t offset() const { return offset_; }
 
   uint32_t ReadU32();
   uint64_t ReadU64();
@@ -53,11 +66,14 @@ class BinaryReader {
   double ReadDouble();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
+  std::vector<int> ReadIntVector();
 
  private:
   void ReadRaw(void* data, size_t size);
 
   std::ifstream in_;
+  std::string path_;
+  uint64_t offset_ = 0;
   Status status_;
 };
 

@@ -1,0 +1,493 @@
+// serve:: subsystem tests — snapshot round trips (bit-identical logits,
+// loud failure on corruption), the LRU cache, and the inference engine's
+// determinism across caching, thread counts, and the async micro-batcher.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "graph/line.h"
+#include "graph/proximity_graph.h"
+#include "nn/module.h"
+#include "re/bag_dataset.h"
+#include "re/pa_model.h"
+#include "re/trainer.h"
+#include "serve/inference_engine.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr {
+namespace {
+
+// One trained pipeline + saved snapshot shared across tests (training is
+// the expensive part; every test reads, none mutates).
+struct ServeFixture {
+  ServeFixture() {
+    datagen::PresetOptions options;
+    options.scale = 0.5;
+    options.seed = 7;
+    dataset = std::make_unique<datagen::SyntheticDataset>(
+        datagen::MakeGdsLike(options));
+    bag_options.max_sentence_length = 40;
+    bag_options.max_position = 20;
+    bags = std::make_unique<re::BagDataset>(re::BagDataset::Build(
+        dataset->world.graph, dataset->corpus.train, dataset->corpus.test,
+        bag_options));
+    graph::ProximityGraph proximity(dataset->world.graph.num_entities());
+    proximity.AddCorpus(dataset->unlabeled.sentences);
+    proximity.Finalize(2);
+    graph::LineConfig line;
+    line.dim = 32;
+    line.samples_per_edge = 150;
+    embeddings = graph::TrainLine(proximity, line);
+    IMR_CHECK(bags->AttachMutualRelations(embeddings).ok());
+
+    re::PaModelConfig config;
+    config.num_relations = bags->num_relations();
+    config.encoder = "pcnn";
+    config.aggregation = re::Aggregation::kAttention;
+    config.use_mutual_relation = true;
+    config.use_entity_type = true;
+    config.mutual_relation_dim = embeddings.dim();
+    config.type_dim = 6;
+    config.encoder_config.vocab_size = bags->vocabulary().size();
+    config.encoder_config.word_dim = 12;
+    config.encoder_config.position_dim = 3;
+    config.encoder_config.max_position = 20;
+    config.encoder_config.filters = 16;
+    config.encoder_config.word_dropout = 0.25f;
+
+    util::Rng rng(1);
+    model = std::make_unique<re::PaModel>(config, &rng);
+    re::TrainerConfig trainer_config;
+    trainer_config.epochs = 8;
+    trainer_config.batch_size = 32;
+    trainer_config.optimizer = "adam";
+    trainer_config.learning_rate = 0.01f;
+    trainer_config.seed = 3;
+    re::Trainer trainer(model.get(), trainer_config);
+    trainer.Train(bags->train_bags());
+    model->SetTraining(false);
+
+    snapshot_path = testing::TempDir() + "/imr_serve_test.imrs";
+    IMR_CHECK(serve::SaveSnapshot(*model, bags->vocabulary(), embeddings,
+                                  dataset->world.graph, bag_options,
+                                  /*trained_steps=*/8, "serve_test",
+                                  snapshot_path)
+                  .ok());
+  }
+
+  /// Sentences of the held-out corpus mentioning the bag's entity pair.
+  std::vector<text::Sentence> PairSentences(const re::Bag& bag,
+                                            size_t limit = 4) const {
+    std::vector<text::Sentence> sentences;
+    for (const text::LabeledSentence& labeled : dataset->corpus.test) {
+      if (labeled.sentence.head_entity == bag.head &&
+          labeled.sentence.tail_entity == bag.tail) {
+        sentences.push_back(labeled.sentence);
+        if (sentences.size() >= limit) break;
+      }
+    }
+    return sentences;
+  }
+
+  /// Engine-style queries derived from held-out bags.
+  std::vector<serve::Query> SampleQueries(size_t count) const {
+    std::vector<serve::Query> queries;
+    for (const re::Bag& bag : bags->test_bags()) {
+      serve::Query query;
+      query.head = bag.head;
+      query.tail = bag.tail;
+      query.sentences = PairSentences(bag);
+      if (query.sentences.empty()) continue;
+      queries.push_back(std::move(query));
+      if (queries.size() >= count) break;
+    }
+    IMR_CHECK(!queries.empty());
+    return queries;
+  }
+
+  std::unique_ptr<datagen::SyntheticDataset> dataset;
+  std::unique_ptr<re::BagDataset> bags;
+  re::BagDatasetOptions bag_options;
+  graph::EmbeddingStore embeddings;
+  std::unique_ptr<re::PaModel> model;
+  std::string snapshot_path;
+};
+
+ServeFixture& Shared() {
+  static ServeFixture* fixture = new ServeFixture();
+  return *fixture;
+}
+
+// ---- LRU cache ------------------------------------------------------------
+
+TEST(LruCacheTest, PutGetAndEvictionOrder) {
+  serve::LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Get(1).value(), 10);  // 1 becomes most-recent
+  cache.Put(3, 30);                     // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1).value(), 10);
+  EXPECT_EQ(cache.Get(3).value(), 30);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  serve::LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh, not insert
+  cache.Put(3, 30);  // evicts 2 (1 was refreshed)
+  EXPECT_EQ(cache.Get(1).value(), 11);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  serve::LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- snapshot round trip --------------------------------------------------
+
+TEST(SnapshotTest, RoundTripLogitsBitIdentical) {
+  ServeFixture& f = Shared();
+  auto snapshot = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_NE(snapshot->model, nullptr);
+  EXPECT_FALSE(snapshot->model->training());
+
+  int checked = 0;
+  for (const re::Bag& bag : f.bags->test_bags()) {
+    const std::vector<float> expected = f.model->Predict(bag);
+    const std::vector<float> actual = snapshot->model->Predict(bag);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_EQ(expected[r], actual[r]) << "relation " << r;  // bit-exact
+    }
+    if (++checked >= 25) break;
+  }
+}
+
+TEST(SnapshotTest, PreservesManifestAndTables) {
+  ServeFixture& f = Shared();
+  auto snapshot = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  EXPECT_EQ(snapshot->manifest.model_config.num_relations,
+            f.bags->num_relations());
+  EXPECT_EQ(snapshot->manifest.model_config.encoder, "pcnn");
+  EXPECT_TRUE(snapshot->manifest.model_config.use_mutual_relation);
+  EXPECT_EQ(snapshot->manifest.bag_options.max_sentence_length,
+            f.bag_options.max_sentence_length);
+  EXPECT_EQ(snapshot->manifest.bag_options.max_position,
+            f.bag_options.max_position);
+  EXPECT_EQ(snapshot->manifest.trained_steps, 8u);
+  EXPECT_EQ(snapshot->manifest.notes, "serve_test");
+
+  EXPECT_EQ(snapshot->vocab.size(), f.bags->vocabulary().size());
+  ASSERT_EQ(static_cast<int>(snapshot->relation_names.size()),
+            f.bags->num_relations());
+  EXPECT_EQ(snapshot->relation_names[0],
+            f.dataset->world.graph.relation(0).name);
+  ASSERT_EQ(static_cast<int>(snapshot->entities.size()),
+            f.dataset->world.graph.num_entities());
+  EXPECT_EQ(snapshot->entities[0].name,
+            f.dataset->world.graph.entity(0).name);
+  EXPECT_EQ(snapshot->embeddings.num_vertices(),
+            f.embeddings.num_vertices());
+  EXPECT_EQ(snapshot->embeddings.dim(), f.embeddings.dim());
+}
+
+TEST(SnapshotTest, SaveRejectsInconsistentBundle) {
+  ServeFixture& f = Shared();
+  const std::string path = testing::TempDir() + "/imr_serve_bad_save.imrs";
+  // Wrong relation-name count.
+  auto status = serve::SaveSnapshot(
+      *f.model, f.bags->vocabulary(), f.embeddings, {"only-one"}, {},
+      f.bag_options, 0, "", path);
+  EXPECT_FALSE(status.ok());
+  // Entity table sized unlike the embedding store.
+  std::vector<std::string> names;
+  for (const auto& schema : f.dataset->world.graph.relations())
+    names.push_back(schema.name);
+  status = serve::SaveSnapshot(*f.model, f.bags->vocabulary(), f.embeddings,
+                               names, {{"lonely", {0}}}, f.bag_options, 0, "",
+                               path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+// ---- corruption -----------------------------------------------------------
+
+std::string SlurpSnapshot() {
+  std::ifstream in(Shared().snapshot_path, std::ios::binary);
+  IMR_CHECK(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+util::Status LoadMutated(const std::string& bytes, const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  util::Status status = serve::LoadSnapshot(path).status();
+  std::remove(path.c_str());
+  return status;
+}
+
+TEST(SnapshotTest, RejectsWrongMagic) {
+  std::string bytes = SlurpSnapshot();
+  bytes[0] = static_cast<char>(bytes[0] ^ 0xFF);
+  util::Status status = LoadMutated(bytes, "bad_magic.imrs");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsWrongVersion) {
+  std::string bytes = SlurpSnapshot();
+  bytes[4] = static_cast<char>(bytes[4] + 1);
+  util::Status status = LoadMutated(bytes, "bad_version.imrs");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("version"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsGarbageSectionTag) {
+  std::string bytes = SlurpSnapshot();
+  bytes[8] = static_cast<char>(bytes[8] ^ 0xFF);  // first section tag
+  EXPECT_FALSE(LoadMutated(bytes, "bad_tag.imrs").ok());
+}
+
+TEST(SnapshotTest, RejectsTruncatedFiles) {
+  const std::string bytes = SlurpSnapshot();
+  // Header only, mid-section, and just shy of the end sentinel: every
+  // truncation point must fail loudly, never half-load.
+  for (size_t size : {size_t{12}, bytes.size() / 2, bytes.size() - 6}) {
+    util::Status status =
+        LoadMutated(bytes.substr(0, size), "truncated.imrs");
+    EXPECT_FALSE(status.ok()) << "truncated to " << size << " bytes";
+  }
+}
+
+// ---- Rng-free inference overload -----------------------------------------
+
+TEST(PaModelTest, RngFreePredictMatchesRngOverload) {
+  ServeFixture& f = Shared();
+  util::Rng rng(123);
+  int checked = 0;
+  for (const re::Bag& bag : f.bags->test_bags()) {
+    const std::vector<float> with_rng = f.model->Predict(bag, &rng);
+    const std::vector<float> without = f.model->Predict(bag);
+    ASSERT_EQ(with_rng.size(), without.size());
+    for (size_t r = 0; r < without.size(); ++r)
+      ASSERT_EQ(with_rng[r], without[r]);
+    if (++checked >= 10) break;
+  }
+}
+
+TEST(PaModelTest, EvalModeGuardRestoresTrainingMode) {
+  ServeFixture& f = Shared();
+  f.model->SetTraining(true);
+  {
+    nn::EvalModeGuard guard(f.model.get());
+    EXPECT_FALSE(f.model->training());
+  }
+  EXPECT_TRUE(f.model->training());
+  f.model->SetTraining(false);  // restore fixture invariant
+}
+
+// ---- inference engine -----------------------------------------------------
+
+TEST(InferenceEngineTest, MatchesInProcessModel) {
+  ServeFixture& f = Shared();
+  auto engine = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  int checked = 0;
+  for (const re::Bag& bag : f.bags->test_bags()) {
+    serve::Query query;
+    query.head = bag.head;
+    query.tail = bag.tail;
+    query.sentences = f.PairSentences(bag);
+    if (query.sentences.empty()) continue;
+
+    // The same bag, featurized in-process the way BagDataset does it.
+    re::Bag manual;
+    manual.head = bag.head;
+    manual.tail = bag.tail;
+    for (const text::Sentence& sentence : query.sentences) {
+      manual.sentences.push_back(re::MakeEncoderInput(
+          sentence, f.bags->vocabulary(), f.bag_options));
+    }
+    manual.head_types = f.dataset->world.graph.entity(bag.head).type_ids;
+    manual.tail_types = f.dataset->world.graph.entity(bag.tail).type_ids;
+    manual.mutual_relation = f.embeddings.MutualRelation(
+        static_cast<int>(bag.head), static_cast<int>(bag.tail));
+
+    const std::vector<float> expected = f.model->Predict(manual);
+    auto prediction = (*engine)->Predict(query);
+    ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+    ASSERT_EQ(prediction->probabilities.size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r)
+      ASSERT_EQ(prediction->probabilities[r], expected[r]);
+    ASSERT_FALSE(prediction->top.empty());
+    EXPECT_EQ(prediction->top[0].name,
+              (*engine)->snapshot().relation_names[prediction->top[0].relation]);
+    if (++checked >= 8) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(InferenceEngineTest, CachedUncachedAndThreadedBitIdentical) {
+  ServeFixture& f = Shared();
+  serve::EngineOptions no_cache;
+  no_cache.mr_cache_capacity = 0;
+  serve::EngineOptions cached;
+  cached.mr_cache_capacity = 256;
+  serve::EngineOptions threaded;
+  threaded.mr_cache_capacity = 256;
+  threaded.threads = 4;
+
+  auto engine_no_cache = serve::InferenceEngine::Open(f.snapshot_path, no_cache);
+  auto engine_cached = serve::InferenceEngine::Open(f.snapshot_path, cached);
+  auto engine_threaded =
+      serve::InferenceEngine::Open(f.snapshot_path, threaded);
+  ASSERT_TRUE(engine_no_cache.ok());
+  ASSERT_TRUE(engine_cached.ok());
+  ASSERT_TRUE(engine_threaded.ok());
+
+  // Replay unique pairs three times so the cache actually gets hits.
+  std::vector<serve::Query> queries = f.SampleQueries(12);
+  std::vector<serve::Query> stream;
+  for (int repeat = 0; repeat < 3; ++repeat)
+    stream.insert(stream.end(), queries.begin(), queries.end());
+
+  auto results_no_cache = (*engine_no_cache)->PredictBatch(stream);
+  auto results_cached = (*engine_cached)->PredictBatch(stream);
+  auto results_threaded = (*engine_threaded)->PredictBatch(stream);
+  ASSERT_EQ(results_no_cache.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(results_no_cache[i].ok());
+    ASSERT_TRUE(results_cached[i].ok());
+    ASSERT_TRUE(results_threaded[i].ok());
+    const auto& baseline = results_no_cache[i]->probabilities;
+    ASSERT_EQ(results_cached[i]->probabilities.size(), baseline.size());
+    for (size_t r = 0; r < baseline.size(); ++r) {
+      ASSERT_EQ(results_cached[i]->probabilities[r], baseline[r]);
+      ASSERT_EQ(results_threaded[i]->probabilities[r], baseline[r]);
+    }
+  }
+
+  const serve::EngineStats stats = (*engine_cached)->Stats();
+  EXPECT_EQ(stats.requests, stream.size());
+  EXPECT_GT(stats.mr_cache_hits, 0u);  // repeats hit the pair cache
+  EXPECT_EQ(stats.mr_cache_hits + stats.mr_cache_misses, stream.size());
+  const serve::EngineStats uncached_stats = (*engine_no_cache)->Stats();
+  EXPECT_EQ(uncached_stats.mr_cache_hits, 0u);
+}
+
+TEST(InferenceEngineTest, AsyncMicroBatchingMatchesSync) {
+  ServeFixture& f = Shared();
+  serve::EngineOptions options;
+  options.max_batch = 8;
+  options.batch_delay_us = 500;
+  auto engine = serve::InferenceEngine::Open(f.snapshot_path, options);
+  ASSERT_TRUE(engine.ok());
+  auto reference = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<serve::Query> queries = f.SampleQueries(10);
+  std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+  futures.reserve(queries.size() * 2);
+  for (int repeat = 0; repeat < 2; ++repeat)
+    for (const serve::Query& query : queries)
+      futures.push_back((*engine)->SubmitAsync(query));
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto expected = (*reference)->Predict(queries[i % queries.size()]);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(result->probabilities.size(), expected->probabilities.size());
+    for (size_t r = 0; r < expected->probabilities.size(); ++r)
+      ASSERT_EQ(result->probabilities[r], expected->probabilities[r]);
+  }
+  const serve::EngineStats stats = (*engine)->Stats();
+  EXPECT_EQ(stats.requests, futures.size());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.p99_latency_us, 0.0);
+}
+
+TEST(InferenceEngineTest, MakeQueryResolvesNamesAndMentions) {
+  ServeFixture& f = Shared();
+  auto engine = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(engine.ok());
+
+  // A held-out sentence whose tokens contain both entity names.
+  const text::Sentence* found = nullptr;
+  for (const text::LabeledSentence& labeled : f.dataset->corpus.test) {
+    if (labeled.sentence.head_entity >= 0 &&
+        labeled.sentence.tail_entity >= 0) {
+      found = &labeled.sentence;
+      break;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  const std::string head_name =
+      f.dataset->world.graph.entity(found->head_entity).name;
+  const std::string tail_name =
+      f.dataset->world.graph.entity(found->tail_entity).name;
+
+  text::Sentence unlocated = *found;
+  unlocated.head_index = -1;
+  unlocated.tail_index = -1;
+  auto query = (*engine)->MakeQuery(head_name, tail_name, {unlocated});
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->head, found->head_entity);
+  EXPECT_EQ(query->tail, found->tail_entity);
+  ASSERT_EQ(query->sentences.size(), 1u);
+  EXPECT_EQ(query->sentences[0].head_index, found->head_index);
+  EXPECT_EQ(query->sentences[0].tail_index, found->tail_index);
+  EXPECT_TRUE((*engine)->Predict(*query).ok());
+
+  EXPECT_FALSE((*engine)->MakeQuery("no_such_entity", tail_name, {}).ok());
+}
+
+TEST(InferenceEngineTest, RejectsMalformedQueries) {
+  ServeFixture& f = Shared();
+  auto engine = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(engine.ok());
+
+  serve::Query no_sentences;
+  no_sentences.head = 0;
+  no_sentences.tail = 1;
+  EXPECT_FALSE((*engine)->Predict(no_sentences).ok());
+
+  std::vector<serve::Query> queries = f.SampleQueries(1);
+  serve::Query out_of_range = queries[0];
+  out_of_range.head = f.embeddings.num_vertices() + 5;
+  EXPECT_FALSE((*engine)->Predict(out_of_range).ok());
+
+  serve::Query negative = queries[0];
+  negative.tail = -2;
+  EXPECT_FALSE((*engine)->Predict(negative).ok());
+
+  serve::Query bad_mention = queries[0];
+  bad_mention.sentences[0].head_index = 10'000;
+  EXPECT_FALSE((*engine)->Predict(bad_mention).ok());
+}
+
+}  // namespace
+}  // namespace imr

@@ -252,6 +252,79 @@ TEST(SerializationTest, RejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
+TEST(SerializationTest, RejectsWrongVersion) {
+  const std::string path = "/tmp/imr_serialization_version.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 3);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path, 0x1111u, 2);
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().ToString().find(path), std::string::npos);
+  EXPECT_NE(reader.status().ToString().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ErrorsNameFileAndByteOffset) {
+  const std::string path = "/tmp/imr_serialization_offset.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    writer.WriteU32(9);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    BinaryReader reader(path, 0x2222u, 1);
+    ASSERT_FALSE(reader.status().ok());
+    EXPECT_NE(reader.status().ToString().find(path), std::string::npos);
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.offset(), 8u);  // magic + version header
+  reader.ReadU32();
+  EXPECT_EQ(reader.offset(), 12u);
+  reader.ReadU64();  // truncated: only 4 payload bytes existed
+  ASSERT_FALSE(reader.status().ok());
+  const std::string message = reader.status().ToString();
+  EXPECT_NE(message.find(path), std::string::npos);
+  EXPECT_NE(message.find("offset 12"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyStringAndVectorsRoundTrip) {
+  const std::string path = "/tmp/imr_serialization_empty.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    writer.WriteString("");
+    writer.WriteFloatVector({});
+    writer.WriteIntVector({});
+    writer.WriteString("tail");
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_TRUE(reader.ReadIntVector().empty());
+  EXPECT_EQ(reader.ReadString(), "tail");
+  EXPECT_TRUE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, IntVectorRoundTrip) {
+  const std::string path = "/tmp/imr_serialization_ints.bin";
+  const std::vector<int> values = {-3, 0, 7, 1 << 20};
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    writer.WriteIntVector(values);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.ReadIntVector(), values);
+  EXPECT_TRUE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
 TEST(ThreadPoolTest, ParallelForVisitsEachIndexOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> visits(100);
