@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Full verification matrix: plain build + ctest, ThreadSanitizer,
+# AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
+# analysis build, and the project linter. Each stage reports pass/fail/skip
+# and the script exits nonzero if anything failed.
+#
+# Usage: scripts/check.sh [-jN]   (run from the repo root)
+set -u
+
+JOBS="${1:--j$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+declare -a STAGE_NAMES=()
+declare -a STAGE_RESULTS=()
+FAILED=0
+
+record() {  # name result
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  if [ "$2" = FAIL ]; then FAILED=1; fi
+}
+
+run_stage() {  # name command...
+  local name="$1"
+  shift
+  echo
+  echo "==== $name ===="
+  if "$@"; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+  fi
+}
+
+build_and_test() {  # builddir cmake-extra-args... -- ctest-extra-args...
+  local dir="$1"
+  shift
+  local cmake_args=()
+  while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+    cmake_args+=("$1")
+    shift
+  done
+  [ $# -gt 0 ] && shift  # drop --
+  cmake -B "$dir" -S . "${cmake_args[@]}" >/dev/null \
+    && cmake --build "$dir" "$JOBS" \
+    && ctest --test-dir "$dir" --output-on-failure "$JOBS" "$@"
+}
+
+# 1. Plain release build, full test suite (includes the imr_lint ctest).
+run_stage "build+ctest" build_and_test build -DCMAKE_BUILD_TYPE=Release --
+
+# 2-4. Sanitizers, each in its own build tree, selecting its label so a
+# sanitizer tree only runs the suite it instruments.
+run_stage "tsan" build_and_test build-tsan -DIMR_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -- -L tsan
+run_stage "asan" build_and_test build-asan -DIMR_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -- -L asan
+run_stage "ubsan" build_and_test build-ubsan -DIMR_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -- -L ubsan
+
+# 5. Clang thread-safety analysis (compile-only gate; -Werror=thread-safety
+# makes any violation a build failure). Skipped when clang is unavailable.
+if command -v clang++ >/dev/null 2>&1; then
+  echo
+  echo "==== thread-safety ===="
+  if cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+       -DIMR_THREAD_SAFETY=ON >/dev/null \
+     && cmake --build build-tsa "$JOBS"; then
+    record "thread-safety" PASS
+  else
+    record "thread-safety" FAIL
+  fi
+else
+  echo
+  echo "==== thread-safety ==== (skipped: clang++ not found)"
+  record "thread-safety" SKIP
+fi
+
+# 6. Linter, standalone (also already ran inside stage 1's ctest; running
+# it again here keeps the stage table complete even if stage 1 failed to
+# build).
+if [ -x build/tools/imr_lint ]; then
+  run_stage "imr_lint" build/tools/imr_lint "$ROOT"
+else
+  record "imr_lint" SKIP
+fi
+
+echo
+echo "==== summary ===="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-16s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+exit "$FAILED"

@@ -46,15 +46,15 @@ class EmbeddingStore {
   /// Flat [num_vertices x dim] view, row-major.
   const std::vector<float>& flat() const { return data_; }
 
-  util::Status Save(const std::string& path) const;
-  static util::StatusOr<EmbeddingStore> Load(const std::string& path);
+  [[nodiscard]] util::Status Save(const std::string& path) const;
+  [[nodiscard]] static util::StatusOr<EmbeddingStore> Load(const std::string& path);
 
   /// Streams the store into an already-open writer / restores it from one —
   /// used by composite formats (model snapshots) that carry the entity
   /// embeddings as one section of a larger file. Values round-trip
   /// bit-exactly.
   void WriteTo(util::BinaryWriter* writer) const;
-  static util::StatusOr<EmbeddingStore> ReadFrom(util::BinaryReader* reader);
+  [[nodiscard]] static util::StatusOr<EmbeddingStore> ReadFrom(util::BinaryReader* reader);
 
  private:
   int num_vertices_ = 0;

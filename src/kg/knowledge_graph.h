@@ -62,8 +62,8 @@ class KnowledgeGraph {
 
   const Entity& entity(EntityId id) const;
   const RelationSchema& relation(int id) const;
-  util::StatusOr<EntityId> FindEntity(const std::string& name) const;
-  util::StatusOr<int> FindRelation(const std::string& name) const;
+  [[nodiscard]] util::StatusOr<EntityId> FindEntity(const std::string& name) const;
+  [[nodiscard]] util::StatusOr<int> FindRelation(const std::string& name) const;
 
   /// Relation between a pair; kNaRelation when no fact exists.
   int PairRelation(EntityId head, EntityId tail) const;

@@ -8,8 +8,7 @@ namespace imr::kg {
 
 const std::vector<std::string>& CoarseTypeNames() {
   // FIGER first-level types (Ling & Weld 2012, Figure 1).
-  static const std::vector<std::string>& kNames =
-      *new std::vector<std::string>{
+  static const std::vector<std::string> kNames{
           "person",        "organization", "location",   "product",
           "art",           "event",        "building",   "people",
           "internet",      "time",         "law",        "game",
@@ -25,12 +24,12 @@ const std::vector<std::string>& CoarseTypeNames() {
 }
 
 int CoarseTypeId(const std::string& name) {
-  static const std::unordered_map<std::string, int>& kIndex = [] {
-    auto* index = new std::unordered_map<std::string, int>();
+  static const std::unordered_map<std::string, int> kIndex = [] {
+    std::unordered_map<std::string, int> index;
     const auto& names = CoarseTypeNames();
     for (size_t i = 0; i < names.size(); ++i)
-      index->emplace(names[i], static_cast<int>(i));
-    return *index;
+      index.emplace(names[i], static_cast<int>(i));
+    return index;
   }();
   auto it = kIndex.find(name);
   return it == kIndex.end() ? -1 : it->second;

@@ -40,7 +40,7 @@ class Embedding : public Module {
 
   /// Overwrites the table rows with pre-trained values [vocab x dim];
   /// used to load LINE entity embeddings.
-  util::Status SetWeights(const std::vector<float>& values);
+  [[nodiscard]] util::Status SetWeights(const std::vector<float>& values);
 
   int vocab_size() const { return vocab_size_; }
   int dim() const { return dim_; }

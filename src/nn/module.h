@@ -42,8 +42,8 @@ class Module {
   bool training() const { return training_; }
 
   /// Serializes / restores all parameter values (by registry order).
-  util::Status SaveParameters(const std::string& path) const;
-  util::Status LoadParameters(const std::string& path);
+  [[nodiscard]] util::Status SaveParameters(const std::string& path) const;
+  [[nodiscard]] util::Status LoadParameters(const std::string& path);
 
   /// Streams all parameters (count, then name + values per parameter) into
   /// an already-open writer — used by composite on-disk formats (model
@@ -52,7 +52,7 @@ class Module {
   /// Restores parameters from an already-open reader; validates the count,
   /// every name, and every shape against the live registry before touching
   /// any tensor data.
-  util::Status ReadParameters(util::BinaryReader* reader);
+  [[nodiscard]] util::Status ReadParameters(util::BinaryReader* reader);
 
  protected:
   /// Registers a parameter; the returned tensor has requires_grad set.

@@ -59,7 +59,7 @@ class BagDataset {
   int num_relations() const { return num_relations_; }
 
   /// Copies MR vectors out of `store` into every bag (entity id == vertex).
-  util::Status AttachMutualRelations(const graph::EmbeddingStore& store);
+  [[nodiscard]] util::Status AttachMutualRelations(const graph::EmbeddingStore& store);
 
  private:
   text::Vocabulary vocab_;

@@ -53,12 +53,14 @@ InferenceEngine::InferenceEngine(Snapshot snapshot,
 }
 
 InferenceEngine::~InferenceEngine() {
+  bool join_dispatcher = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     stop_ = true;
+    join_dispatcher = dispatcher_started_;
   }
-  queue_cv_.notify_all();
-  if (dispatcher_started_) dispatcher_.join();
+  queue_cv_.NotifyAll();
+  if (join_dispatcher) dispatcher_.join();
 }
 
 util::StatusOr<std::unique_ptr<InferenceEngine>> InferenceEngine::Open(
@@ -136,7 +138,7 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
     const uint64_t key = PairKey(query.head, query.tail);
     bool hit = false;
     {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      util::MutexLock lock(cache_mutex_);
       if (auto cached = mr_cache_.Get(key)) {
         bag.mutual_relation = std::move(*cached);
         hit = true;
@@ -148,12 +150,12 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
       // compute identical values.
       bag.mutual_relation = snapshot_.embeddings.MutualRelation(
           static_cast<int>(query.head), static_cast<int>(query.tail));
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      util::MutexLock lock(cache_mutex_);
       mr_cache_.Put(key, bag.mutual_relation);
     }
     *cache_hit = hit;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       if (hit) {
         ++cache_hits_;
       } else {
@@ -201,7 +203,7 @@ util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++requests_;
     latency_sum_us_ += prediction.latency_us;
     latency_max_us_ = std::max(latency_max_us_, prediction.latency_us);
@@ -254,13 +256,13 @@ std::future<util::StatusOr<Prediction>> InferenceEngine::SubmitAsync(
     Query query) {
   std::future<util::StatusOr<Prediction>> future;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     IMR_CHECK(!stop_);
     EnsureDispatcherLocked();
     queue_.push_back(PendingRequest{std::move(query), {}});
     future = queue_.back().promise.get_future();
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   return future;
 }
 
@@ -271,12 +273,16 @@ void InferenceEngine::EnsureDispatcherLocked() {
 }
 
 void InferenceEngine::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
+  // Explicit Lock/Unlock rather than RAII: the lock is dropped across batch
+  // execution in the middle of the loop body, which a scoped lock cannot
+  // express (and which keeps the thread-safety analysis loop-consistent:
+  // queue_mutex_ is held at the top of every iteration).
+  queue_mutex_.Lock();
   while (true) {
-    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
+    while (!stop_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
+    if (queue_.empty()) {  // stop requested and nothing left to flush
+      queue_mutex_.Unlock();
+      return;
     }
     // Micro-batch window: linger briefly for more requests so bursts
     // coalesce into one parallel pass, but never past the flush deadline.
@@ -285,9 +291,10 @@ void InferenceEngine::DispatchLoop() {
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::microseconds(options_.batch_delay_us);
-      queue_cv_.wait_until(lock, deadline, [&] {
-        return stop_ || static_cast<int>(queue_.size()) >= options_.max_batch;
-      });
+      while (!stop_ &&
+             static_cast<int>(queue_.size()) < options_.max_batch) {
+        if (!queue_cv_.WaitUntil(queue_mutex_, deadline)) break;  // timed out
+      }
     }
     const size_t take = std::min(
         queue_.size(), static_cast<size_t>(std::max(options_.max_batch, 1)));
@@ -296,7 +303,7 @@ void InferenceEngine::DispatchLoop() {
     std::move(queue_.begin(), queue_.begin() + static_cast<long>(take),
               std::back_inserter(batch));
     queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
-    lock.unlock();
+    queue_mutex_.Unlock();
 
     std::vector<Query> queries;
     queries.reserve(batch.size());
@@ -308,10 +315,10 @@ void InferenceEngine::DispatchLoop() {
       batch[i].promise.set_value(std::move(results[i]));
     }
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      util::MutexLock stats_lock(stats_mutex_);
       ++batches_;
     }
-    lock.lock();
+    queue_mutex_.Lock();
   }
 }
 
@@ -350,7 +357,7 @@ util::StatusOr<Query> InferenceEngine::MakeQuery(
 }
 
 EngineStats InferenceEngine::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   EngineStats stats;
   stats.requests = requests_;
   stats.batches = batches_;

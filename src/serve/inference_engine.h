@@ -21,11 +21,9 @@
 #define IMR_SERVE_INFERENCE_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -34,7 +32,9 @@
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 #include "text/sentence.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace imr::serve {
@@ -103,11 +103,11 @@ class InferenceEngine {
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Loads a snapshot from disk and wraps it in an engine.
-  static util::StatusOr<std::unique_ptr<InferenceEngine>> Open(
+  [[nodiscard]] static util::StatusOr<std::unique_ptr<InferenceEngine>> Open(
       const std::string& snapshot_path, const EngineOptions& options = {});
 
   /// Scores one query synchronously.
-  util::StatusOr<Prediction> Predict(const Query& query);
+  [[nodiscard]] util::StatusOr<Prediction> Predict(const Query& query);
 
   /// Scores a batch of queries, parallelized over the thread pool. Results
   /// align with the input order and are bit-identical at any thread count.
@@ -121,11 +121,11 @@ class InferenceEngine {
   /// Resolves entity names against the snapshot's entity table and builds
   /// a query. Sentences with head_index/tail_index < 0 get their mention
   /// indices located by token match against the entity names.
-  util::StatusOr<Query> MakeQuery(
+  [[nodiscard]] util::StatusOr<Query> MakeQuery(
       const std::string& head_name, const std::string& tail_name,
       std::vector<text::Sentence> sentences) const;
 
-  EngineStats Stats() const;
+  EngineStats Stats() const IMR_EXCLUDES(stats_mutex_);
   const Snapshot& snapshot() const { return snapshot_; }
   int num_relations() const {
     return snapshot_.manifest.model_config.num_relations;
@@ -137,38 +137,45 @@ class InferenceEngine {
     std::promise<util::StatusOr<Prediction>> promise;
   };
 
-  util::StatusOr<re::Bag> BuildBag(const Query& query, bool* cache_hit);
-  util::StatusOr<Prediction> PredictOne(const Query& query);
+  util::StatusOr<re::Bag> BuildBag(const Query& query, bool* cache_hit)
+      IMR_EXCLUDES(cache_mutex_, stats_mutex_);
+  util::StatusOr<Prediction> PredictOne(const Query& query)
+      IMR_EXCLUDES(cache_mutex_, stats_mutex_);
   util::ThreadPool& pool();
-  void EnsureDispatcherLocked();
-  void DispatchLoop();
+  void EnsureDispatcherLocked() IMR_REQUIRES(queue_mutex_);
+  void DispatchLoop() IMR_EXCLUDES(queue_mutex_, stats_mutex_);
 
   Snapshot snapshot_;
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> own_pool_;  // only when options_.threads > 0
   std::unordered_map<std::string, int64_t> entity_by_name_;
 
-  mutable std::mutex cache_mutex_;
-  LruCache<uint64_t, std::vector<float>> mr_cache_;
+  mutable util::Mutex cache_mutex_;
+  LruCache<uint64_t, std::vector<float>> mr_cache_ IMR_GUARDED_BY(cache_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  uint64_t requests_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  double latency_sum_us_ = 0.0;
-  double latency_max_us_ = 0.0;
-  std::vector<double> latency_ring_;
-  size_t latency_next_ = 0;
-  bool first_request_seen_ = false;
-  std::chrono::steady_clock::time_point first_request_time_;
-  std::chrono::steady_clock::time_point last_completion_time_;
+  mutable util::Mutex stats_mutex_;
+  uint64_t requests_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t batches_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t cache_hits_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t cache_misses_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  double latency_sum_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;
+  double latency_max_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;
+  std::vector<double> latency_ring_ IMR_GUARDED_BY(stats_mutex_);
+  size_t latency_next_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  bool first_request_seen_ IMR_GUARDED_BY(stats_mutex_) = false;
+  std::chrono::steady_clock::time_point first_request_time_
+      IMR_GUARDED_BY(stats_mutex_);
+  std::chrono::steady_clock::time_point last_completion_time_
+      IMR_GUARDED_BY(stats_mutex_);
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::vector<PendingRequest> queue_;
-  bool stop_ = false;
-  bool dispatcher_started_ = false;
+  util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  std::vector<PendingRequest> queue_ IMR_GUARDED_BY(queue_mutex_);
+  bool stop_ IMR_GUARDED_BY(queue_mutex_) = false;
+  bool dispatcher_started_ IMR_GUARDED_BY(queue_mutex_) = false;
+  // Written once under queue_mutex_ (EnsureDispatcherLocked) and joined in
+  // the destructor after the dispatcher was told to stop; not annotated
+  // because std::thread::join must run unlocked.
   std::thread dispatcher_;
 };
 

@@ -2,7 +2,11 @@
 // hold entity-pair mutual-relation vectors. The Zipf skew of entity-pair
 // queries (paper Fig. 1(a)) means a small cache absorbs most lookups.
 //
-// Not thread-safe: callers (the engine) wrap accesses in their own mutex.
+// Not thread-safe by itself: the cache carries no lock so single-threaded
+// users pay nothing. Concurrent owners must guard the instance with a
+// util::Mutex and annotate the member IMR_GUARDED_BY(that_mutex) — see
+// InferenceEngine::mr_cache_ — so a clang IMR_THREAD_SAFETY build proves
+// every access is locked.
 #ifndef IMR_SERVE_LRU_CACHE_H_
 #define IMR_SERVE_LRU_CACHE_H_
 

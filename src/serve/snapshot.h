@@ -65,7 +65,7 @@ struct Snapshot {
 /// Writes a snapshot of `model` plus its featurization state. `entities`
 /// may be empty (serving then requires raw entity ids and explicit types);
 /// when non-empty its size must equal embeddings.num_vertices().
-util::Status SaveSnapshot(const re::PaModel& model,
+[[nodiscard]] util::Status SaveSnapshot(const re::PaModel& model,
                           const text::Vocabulary& vocab,
                           const graph::EmbeddingStore& embeddings,
                           const std::vector<std::string>& relation_names,
@@ -76,7 +76,7 @@ util::Status SaveSnapshot(const re::PaModel& model,
 
 /// Convenience overload that pulls relation names and the entity table
 /// (names + type ids) from a knowledge graph.
-util::Status SaveSnapshot(const re::PaModel& model,
+[[nodiscard]] util::Status SaveSnapshot(const re::PaModel& model,
                           const text::Vocabulary& vocab,
                           const graph::EmbeddingStore& embeddings,
                           const kg::KnowledgeGraph& graph,
@@ -86,7 +86,7 @@ util::Status SaveSnapshot(const re::PaModel& model,
 
 /// Loads and validates a snapshot; the returned model reproduces the saved
 /// model's inference outputs bit-for-bit.
-util::StatusOr<Snapshot> LoadSnapshot(const std::string& path);
+[[nodiscard]] util::StatusOr<Snapshot> LoadSnapshot(const std::string& path);
 
 }  // namespace imr::serve
 

@@ -13,12 +13,12 @@
 
 namespace imr::text {
 
-util::Status SaveLabeledCorpus(const std::vector<LabeledSentence>& corpus,
+[[nodiscard]] util::Status SaveLabeledCorpus(const std::vector<LabeledSentence>& corpus,
                                const std::string& path);
 util::StatusOr<std::vector<LabeledSentence>> LoadLabeledCorpus(
     const std::string& path);
 
-util::Status SaveUnlabeledCorpus(const std::vector<Sentence>& corpus,
+[[nodiscard]] util::Status SaveUnlabeledCorpus(const std::vector<Sentence>& corpus,
                                  const std::string& path);
 util::StatusOr<std::vector<Sentence>> LoadUnlabeledCorpus(
     const std::string& path);

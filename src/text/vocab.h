@@ -39,14 +39,14 @@ class Vocabulary {
   /// Convenience: ids for a token sequence.
   std::vector<int> Ids(const std::vector<std::string>& tokens) const;
 
-  util::Status Save(const std::string& path) const;
-  static util::StatusOr<Vocabulary> Load(const std::string& path);
+  [[nodiscard]] util::Status Save(const std::string& path) const;
+  [[nodiscard]] static util::StatusOr<Vocabulary> Load(const std::string& path);
 
   /// Streams the frozen word list into an already-open writer / restores it
   /// from one — used by composite formats (model snapshots) that embed the
   /// vocabulary as one section of a larger file. Ids are preserved exactly.
-  util::Status WriteTo(util::BinaryWriter* writer) const;
-  static util::StatusOr<Vocabulary> ReadFrom(util::BinaryReader* reader);
+  [[nodiscard]] util::Status WriteTo(util::BinaryWriter* writer) const;
+  [[nodiscard]] static util::StatusOr<Vocabulary> ReadFrom(util::BinaryReader* reader);
 
  private:
   bool frozen_ = false;

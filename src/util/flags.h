@@ -28,7 +28,7 @@ class FlagParser {
 
   /// Parses argv. On "--help" prints usage and returns a NotFound status the
   /// caller should treat as "exit 0".
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
@@ -44,7 +44,7 @@ class FlagParser {
     std::string value;  // textual representation
     std::string help;
   };
-  Status SetValue(const std::string& name, const std::string& text);
+  [[nodiscard]] Status SetValue(const std::string& name, const std::string& text);
 
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;

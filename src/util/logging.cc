@@ -2,10 +2,17 @@
 
 #include <atomic>
 
+#include "util/mutex.h"
+
 namespace imr::util {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes the final stderr write so concurrent IMR_LOG lines never
+// interleave mid-line. Each message is formatted into a private
+// ostringstream first; only the flush takes the lock.
+Mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -49,6 +56,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
+    MutexLock lock(g_emit_mutex);
     std::cerr << stream_.str() << "\n";
   }
 }
@@ -60,7 +68,10 @@ FatalMessage::FatalMessage(const char* file, int line,
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  {
+    MutexLock lock(g_emit_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
   std::abort();
 }
 

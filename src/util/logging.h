@@ -1,6 +1,8 @@
 // Minimal leveled logging plus CHECK macros. Logging goes to stderr; the
 // level can be lowered globally (benches use kWarning to keep stdout clean
-// for the reported tables).
+// for the reported tables). Thread-safe: each message is formatted into a
+// private buffer and the final stderr write is serialized by an internal
+// util::Mutex, so concurrent log lines never interleave mid-line.
 #ifndef IMR_UTIL_LOGGING_H_
 #define IMR_UTIL_LOGGING_H_
 

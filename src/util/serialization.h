@@ -38,7 +38,7 @@ class BinaryWriter {
   void WriteIntVector(const std::vector<int>& values);
 
   /// Flushes and closes; returns the final status.
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   void WriteRaw(const void* data, size_t size);

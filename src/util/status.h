@@ -26,7 +26,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result. Cheap to copy on the OK path.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning a Status by
+/// value inherits the must-use obligation, and the build promotes the
+/// warning to an error (-Werror=unused-result). Call sites that genuinely
+/// cannot propagate must either log the error or spell out the discard
+/// with a `(void)` cast next to a justification.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -50,19 +56,20 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
-Status OkStatus();
-Status InvalidArgument(std::string message);
-Status NotFound(std::string message);
-Status OutOfRange(std::string message);
-Status FailedPrecondition(std::string message);
-Status Internal(std::string message);
-Status Unimplemented(std::string message);
-Status IoError(std::string message);
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgument(std::string message);
+[[nodiscard]] Status NotFound(std::string message);
+[[nodiscard]] Status OutOfRange(std::string message);
+[[nodiscard]] Status FailedPrecondition(std::string message);
+[[nodiscard]] Status Internal(std::string message);
+[[nodiscard]] Status Unimplemented(std::string message);
+[[nodiscard]] Status IoError(std::string message);
 
 /// Either a value of type T or an error Status. Dereferencing a non-OK
-/// StatusOr is a programming error (asserts in debug builds).
+/// StatusOr is a programming error (asserts in debug builds). [[nodiscard]]
+/// for the same reason as Status: dropping one silently drops an error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "OK status requires a value");

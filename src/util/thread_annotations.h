@@ -1,0 +1,45 @@
+// Clang thread-safety-analysis macros (https://clang.llvm.org/docs/
+// ThreadSafetyAnalysis.html), following the LevelDB/abseil convention: under
+// clang they expand to the corresponding attributes so `-Wthread-safety` can
+// prove lock discipline at compile time; under every other compiler they
+// expand to nothing. Pair them with util::Mutex / util::MutexLock from
+// util/mutex.h — plain std::mutex is invisible to the analysis because
+// libstdc++ carries no capability attributes.
+//
+// Usage summary:
+//   IMR_GUARDED_BY(mu)     on a data member: reads/writes require `mu` held
+//   IMR_PT_GUARDED_BY(mu)  on a pointer member: the pointee requires `mu`
+//   IMR_REQUIRES(mu)       on a function: caller must already hold `mu`
+//   IMR_EXCLUDES(mu)       on a function: caller must NOT hold `mu`
+//   IMR_ACQUIRE(mu) / IMR_RELEASE(mu)  on lock/unlock-shaped functions
+//   IMR_CAPABILITY("mutex")            on a lockable class
+//   IMR_SCOPED_CAPABILITY              on an RAII lock class
+//   IMR_NO_THREAD_SAFETY_ANALYSIS      opt a function out of the analysis
+#ifndef IMR_UTIL_THREAD_ANNOTATIONS_H_
+#define IMR_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define IMR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IMR_THREAD_ANNOTATION
+#define IMR_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+#define IMR_CAPABILITY(name) IMR_THREAD_ANNOTATION(capability(name))
+#define IMR_SCOPED_CAPABILITY IMR_THREAD_ANNOTATION(scoped_lockable)
+#define IMR_GUARDED_BY(mu) IMR_THREAD_ANNOTATION(guarded_by(mu))
+#define IMR_PT_GUARDED_BY(mu) IMR_THREAD_ANNOTATION(pt_guarded_by(mu))
+#define IMR_REQUIRES(...) \
+  IMR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IMR_ACQUIRE(...) \
+  IMR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IMR_RELEASE(...) \
+  IMR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IMR_EXCLUDES(...) IMR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IMR_RETURN_CAPABILITY(x) IMR_THREAD_ANNOTATION(lock_returned(x))
+#define IMR_NO_THREAD_SAFETY_ANALYSIS \
+  IMR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IMR_UTIL_THREAD_ANNOTATIONS_H_

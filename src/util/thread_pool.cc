@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace imr::util {
 
@@ -28,10 +29,13 @@ struct ThreadPool::Region {
   int64_t end = 0;
   const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
   std::atomic<int64_t> next_chunk{0};
-  int64_t checked_in = 0;   // guarded by the pool's mutex_
-  int64_t checked_out = 0;  // guarded by the pool's mutex_
-  std::exception_ptr first_exception;  // guarded by exception_mutex
-  std::mutex exception_mutex;
+  // checked_in/checked_out are guarded by the owning pool's mutex_; that
+  // guard is not expressible as an annotation from this struct, so the
+  // invariant is enforced by review (and by TSan) rather than by clang.
+  int64_t checked_in = 0;
+  int64_t checked_out = 0;
+  Mutex exception_mutex;
+  std::exception_ptr first_exception IMR_GUARDED_BY(exception_mutex);
 };
 
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
@@ -43,16 +47,20 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 int64_t ThreadPool::NumChunks(int64_t begin, int64_t end, int64_t grain) {
   if (grain <= 0) {
-    throw std::invalid_argument("ParallelFor grain must be positive");
+    // The one deliberate exception to the Status-only error model: grain is
+    // a compile-time-ish programming error, and ParallelFor's return value
+    // is reserved for chunk-body exceptions.
+    throw std::invalid_argument(  // imr-lint: allow(no-throw)
+        "ParallelFor grain must be positive");
   }
   if (end <= begin) return 0;
   return (end - begin + grain - 1) / grain;
@@ -70,7 +78,7 @@ void ThreadPool::RunRegion(Region* region) {
     try {
       (*region->fn)(lo, hi, chunk);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region->exception_mutex);
+      MutexLock lock(region->exception_mutex);
       if (!region->first_exception) {
         region->first_exception = std::current_exception();
       }
@@ -84,11 +92,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     Region* region = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return shutdown_ || (active_region_ != nullptr &&
-                             region_epoch_ != seen_epoch);
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ &&
+             (active_region_ == nullptr || region_epoch_ == seen_epoch)) {
+        wake_.Wait(mutex_);
+      }
       if (shutdown_) return;
       seen_epoch = region_epoch_;
       region = active_region_;
@@ -96,12 +104,12 @@ void ThreadPool::WorkerLoop() {
     }
     RunRegion(region);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++region->checked_out;
     }
     // After the check-out above this thread never touches `region` again,
     // so the caller is free to destroy it once it observes the count.
-    done_.notify_all();
+    done_.NotifyAll();
   }
 }
 
@@ -141,14 +149,14 @@ void ThreadPool::ParallelForChunks(
   // the first region fully drains instead of tripping the single-region
   // invariant below. (Chunk bodies never reach this point — nested calls
   // took the inline fast path above — so this cannot self-deadlock.)
-  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  MutexLock submit_lock(submit_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     IMR_CHECK(active_region_ == nullptr);
     active_region_ = &region;
     ++region_epoch_;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   RunRegion(&region);  // the caller is a full participant
   {
     // All chunks were claimed either by this thread (done: RunRegion
@@ -157,11 +165,18 @@ void ThreadPool::ParallelForChunks(
     // region pointer". Workers can only check in while active_region_ is
     // set, and we clear it in the same critical section that observes the
     // final count, so no worker checks in afterwards.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return region.checked_out == region.checked_in; });
+    MutexLock lock(mutex_);
+    while (region.checked_out != region.checked_in) {
+      done_.Wait(mutex_);
+    }
     active_region_ = nullptr;
   }
-  if (region.first_exception) std::rethrow_exception(region.first_exception);
+  std::exception_ptr first;
+  {
+    MutexLock lock(region.exception_mutex);
+    first = region.first_exception;
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
@@ -201,9 +216,9 @@ void TreeReduce(ThreadPool* pool, std::vector<std::vector<float>>* parts) {
 
 namespace {
 
-std::mutex g_pool_mutex;
-int g_requested_threads = 0;  // 0 = hardware concurrency
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mutex;
+int g_requested_threads IMR_GUARDED_BY(g_pool_mutex) = 0;  // 0 = hw conc.
+std::unique_ptr<ThreadPool> g_pool IMR_GUARDED_BY(g_pool_mutex);
 
 int ResolveThreads(int requested) {
   if (requested > 0) return requested;
@@ -214,19 +229,19 @@ int ResolveThreads(int requested) {
 }  // namespace
 
 void SetGlobalThreads(int threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   g_requested_threads = threads > 0 ? threads : 0;
   const int resolved = ResolveThreads(g_requested_threads);
   if (g_pool != nullptr && g_pool->threads() != resolved) g_pool.reset();
 }
 
 int GlobalThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   return ResolveThreads(g_requested_threads);
 }
 
 ThreadPool& GlobalPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (g_pool == nullptr) {
     g_pool = std::make_unique<ThreadPool>(ResolveThreads(g_requested_threads));
   }

@@ -18,16 +18,22 @@
 // --imr_threads flag in benches and the CLI). Thread count 1 bypasses the
 // pool entirely and reproduces the pre-threading scalar code paths
 // bit-exactly.
+//
+// Lock discipline is machine-checked: every mutex-protected member carries
+// an IMR_GUARDED_BY annotation and the pool locks through util::Mutex, so a
+// clang build with IMR_THREAD_SAFETY=ON proves the invariants at compile
+// time.
 #ifndef IMR_UTIL_THREAD_POOL_H_
 #define IMR_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace imr::util {
 
@@ -54,14 +60,16 @@ class ThreadPool {
   /// runs one region at a time and later submitters block until the
   /// current region drains.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+                   const std::function<void(int64_t, int64_t)>& fn)
+      IMR_EXCLUDES(submit_mutex_, mutex_);
 
   /// As above but fn also receives the zero-based chunk index, for kernels
   /// that keep per-chunk scratch (partial gradient buffers, shard rngs).
   /// Chunk indices are assigned in ascending range order.
   void ParallelForChunks(
       int64_t begin, int64_t end, int64_t grain,
-      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+      const std::function<void(int64_t, int64_t, int64_t)>& fn)
+      IMR_EXCLUDES(submit_mutex_, mutex_);
 
   /// Number of chunks ParallelFor would create — callers pre-size
   /// per-chunk scratch with this.
@@ -73,20 +81,20 @@ class ThreadPool {
 
  private:
   struct Region;
-  void WorkerLoop();
+  void WorkerLoop() IMR_EXCLUDES(mutex_);
   void RunRegion(Region* region);
 
   int threads_;
   std::vector<std::thread> workers_;
   // Held for the full lifetime of a top-level region so concurrent
   // submitters serialize instead of violating the one-region invariant.
-  std::mutex submit_mutex_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  Region* active_region_ = nullptr;  // guarded by mutex_
-  uint64_t region_epoch_ = 0;        // guarded by mutex_
-  bool shutdown_ = false;            // guarded by mutex_
+  Mutex submit_mutex_;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
+  Region* active_region_ IMR_GUARDED_BY(mutex_) = nullptr;
+  uint64_t region_epoch_ IMR_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ IMR_GUARDED_BY(mutex_) = false;
 };
 
 /// Deterministic tree reduction: pairwise-merges `parts` (in index order,

@@ -21,7 +21,7 @@ class TsvWriter {
   /// Writes one row; cells are escaped minimally (tabs/newlines -> spaces).
   void WriteRow(const std::vector<std::string>& cells);
 
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   std::ofstream out_;
@@ -29,7 +29,7 @@ class TsvWriter {
 };
 
 /// mkdir -p equivalent; returns OK if the directory already exists.
-Status MakeDirectories(const std::string& path);
+[[nodiscard]] Status MakeDirectories(const std::string& path);
 
 }  // namespace imr::util
 

@@ -1,0 +1,218 @@
+// Fixture coverage for tools/imr_lint: every rule is proven live by a
+// minimal source with exactly one known violation, a clean file yields no
+// findings, and the `// imr-lint: allow(...)` escape hatch suppresses both
+// same-line and previous-line.
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace imr::lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+TEST(LintTest, CleanLibraryFileHasNoFindings) {
+  const std::string source = R"cc(
+#include <memory>
+
+#include "util/status.h"
+
+namespace imr::util {
+std::unique_ptr<int> MakeBox(int v) { return std::make_unique<int>(v); }
+}  // namespace imr::util
+)cc";
+  EXPECT_TRUE(LintSource("src/util/box.cc", source).empty());
+}
+
+TEST(LintTest, NoRawRandomFiresOnRandomDevice) {
+  const std::string source =
+      "#include <random>\n"
+      "int Seed() {\n"
+      "  std::random_device rd;\n"
+      "  return static_cast<int>(rd());\n"
+      "}\n";
+  const auto findings = LintSource("src/util/seed.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-random");
+  EXPECT_EQ(findings[0].file, "src/util/seed.cc");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, NoRawRandomFiresOnTimeNull) {
+  const auto findings =
+      LintSource("src/re/trainer.cc", "long Now() { return time(nullptr); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-random");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintTest, NoRawRandomExemptsRngImplementation) {
+  const std::string source = "unsigned Entropy() { return std::random_device{}(); }\n";
+  EXPECT_TRUE(LintSource("src/util/rng.cc", source).empty());
+  // ...but only that one file.
+  EXPECT_FALSE(LintSource("src/util/rng2.cc", source).empty());
+}
+
+TEST(LintTest, NoNakedNewFiresOnNewAndDelete) {
+  const std::string source =
+      "void Leak() {\n"
+      "  int* p = new int(3);\n"
+      "  delete p;\n"
+      "}\n";
+  const auto findings = LintSource("src/util/leak.cc", source);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "no-naked-new");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].rule, "no-naked-new");
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(LintTest, NoNakedNewIgnoresDeletedMembers) {
+  const std::string source =
+      "class Pool {\n"
+      " public:\n"
+      "  Pool(const Pool&) = delete;\n"
+      "  Pool& operator=(const Pool&) = delete;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("src/util/pool.h", source).empty());
+}
+
+TEST(LintTest, NoThrowFiresInLibraryButNotInTests) {
+  const std::string source = "void F() { throw 42; }\n";
+  const auto findings = LintSource("src/nn/f.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-throw");
+  EXPECT_EQ(findings[0].line, 1);
+  // Library-only rule: test code may exercise exceptions freely.
+  EXPECT_TRUE(LintSource("tests/f_test.cc", source).empty());
+}
+
+TEST(LintTest, NoIostreamFiresOutsideLogging) {
+  const std::string source =
+      "#include <iostream>\n"
+      "void Print() { std::cout << 1; }\n";
+  const auto findings = LintSource("src/eval/print.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-iostream");
+  EXPECT_EQ(findings[0].line, 2);
+  // The logging implementation is the one sanctioned stderr writer.
+  EXPECT_TRUE(LintSource("src/util/logging.cc",
+                         "void Emit() { std::cerr << 1; }\n")
+                  .empty());
+}
+
+TEST(LintTest, MutexGuardFiresOnUnannotatedMutexMember) {
+  const std::string source =
+      "#include <mutex>\n"
+      "class Counter {\n"
+      " private:\n"
+      "  std::mutex mutex_;\n"
+      "  int count_ = 0;\n"
+      "};\n";
+  const auto findings = LintSource("src/util/counter.h", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "mutex-guard");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, MutexGuardSatisfiedByAnnotation) {
+  const std::string source =
+      "#include \"util/mutex.h\"\n"
+      "#include \"util/thread_annotations.h\"\n"
+      "class Counter {\n"
+      " private:\n"
+      "  util::Mutex mutex_;\n"
+      "  int count_ IMR_GUARDED_BY(mutex_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("src/util/counter.h", source).empty());
+}
+
+TEST(LintTest, MutexGuardIgnoresNamespaceScopeMutex) {
+  const std::string source =
+      "#include <mutex>\n"
+      "namespace imr {\n"
+      "std::mutex g_mutex;\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/util/global.cc", source).empty());
+}
+
+TEST(LintTest, IncludeHygieneFiresOnParentRelativeAndSrcPrefixed) {
+  const std::string source =
+      "#include \"../util/status.h\"\n"
+      "#include \"src/util/logging.h\"\n"
+      "#include <util/rng.h>\n"
+      "#include <vector>\n"
+      "#include \"util/flags.h\"\n";
+  const auto findings = LintSource("tests/hygiene_test.cc", source);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "include-hygiene");
+  }
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+}
+
+TEST(LintTest, AllowSuppressesOnSameLine) {
+  const std::string source =
+      "void F() { throw 42; }  // imr-lint: allow(no-throw)\n";
+  EXPECT_TRUE(LintSource("src/nn/f.cc", source).empty());
+}
+
+TEST(LintTest, AllowSuppressesFromPrecedingLine) {
+  const std::string source =
+      "// Rethrow is deliberate here: imr-lint: allow(no-throw)\n"
+      "void F() { throw 42; }\n";
+  EXPECT_TRUE(LintSource("src/nn/f.cc", source).empty());
+}
+
+TEST(LintTest, AllowIsRuleSpecific) {
+  // Suppressing one rule must not blanket-suppress others on the line.
+  const std::string source =
+      "void F() { throw new int(7); }  // imr-lint: allow(no-throw)\n";
+  const auto findings = LintSource("src/nn/f.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-naked-new");
+}
+
+TEST(LintTest, AllowListSuppressesMultipleRules) {
+  const std::string source =
+      "void F() { throw new int(7); }"
+      "  // imr-lint: allow(no-throw, no-naked-new)\n";
+  EXPECT_TRUE(LintSource("src/nn/f.cc", source).empty());
+}
+
+TEST(LintTest, ViolationsInCommentsAndStringsAreIgnored) {
+  const std::string source =
+      "// don't use std::cout or throw or new in library code\n"
+      "/* std::random_device is banned */\n"
+      "const char* kDoc = \"never call rand() or time(nullptr)\";\n";
+  EXPECT_TRUE(LintSource("src/util/doc.cc", source).empty());
+}
+
+TEST(LintTest, FormatFindingIsFileLineRule) {
+  const auto findings =
+      LintSource("src/nn/f.cc", "void F() { throw 42; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string formatted = FormatFinding(findings[0]);
+  EXPECT_EQ(formatted.rfind("src/nn/f.cc:1: [no-throw]", 0), 0u) << formatted;
+}
+
+TEST(LintTest, RuleIdsAreStable) {
+  const std::vector<std::string> expected = {
+      "no-raw-random", "no-naked-new", "no-throw",
+      "no-iostream",   "mutex-guard",  "include-hygiene"};
+  EXPECT_EQ(RuleIds(), expected);
+}
+
+}  // namespace
+}  // namespace imr::lint

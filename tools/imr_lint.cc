@@ -1,0 +1,33 @@
+// Standalone linter binary: `imr_lint [project-root]` lints src/, tests/,
+// bench/, examples/, and tools/ under the root (default: cwd) and exits
+// nonzero if any rule fired. Registered as a ctest so every `ctest` run
+// lints the tree. `imr_lint --list-rules` prints the rule ids.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& rule : imr::lint::RuleIds()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    root = argv[i];
+  }
+  const std::vector<imr::lint::Finding> findings = imr::lint::LintTree(root);
+  for (const imr::lint::Finding& finding : findings) {
+    std::fprintf(stderr, "%s\n", imr::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "imr_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("imr_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,410 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace imr::lint {
+
+namespace {
+
+// ---- source scanning -----------------------------------------------------
+
+/// The file split into per-line blanked code (comments and string/char
+/// literals replaced by spaces, so rule regexes only ever see real tokens)
+/// plus per-line comment text (so `imr-lint: allow(...)` still parses).
+struct ScannedFile {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+ScannedFile Scan(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  ScannedFile out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kCode;
+  char prev_code = '\0';  // last code char, for digit-separator detection
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      out.code.push_back(code_line);
+      out.comments.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'' &&
+                   !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
+                     prev_code == '_')) {
+          // A quote directly after an identifier/number char is a C++14
+          // digit separator (1'000'000), not a char literal.
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+          prev_code = c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          code_line += ' ';
+          prev_code = '\0';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  out.code.push_back(code_line);
+  out.comments.push_back(comment_line);
+  return out;
+}
+
+/// Rules suppressed on each line via `imr-lint: allow(rule-a, rule-b)`.
+std::vector<std::set<std::string>> ParseAllows(
+    const std::vector<std::string>& comments) {
+  static const std::regex kAllow(R"(imr-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+  std::vector<std::set<std::string>> allows(comments.size());
+  for (size_t i = 0; i < comments.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(comments[i], match, kAllow)) continue;
+    std::stringstream rules(match[1].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const size_t first = rule.find_first_not_of(' ');
+      const size_t last = rule.find_last_not_of(' ');
+      if (first == std::string::npos) continue;
+      allows[i].insert(rule.substr(first, last - first + 1));
+    }
+  }
+  return allows;
+}
+
+class Linter {
+ public:
+  Linter(std::string relpath, const std::string& content)
+      : relpath_(std::move(relpath)),
+        scan_(Scan(content)),
+        allows_(ParseAllows(scan_.comments)) {}
+
+  std::vector<Finding> Run() {
+    const bool in_src = relpath_.rfind("src/", 0) == 0;
+    const bool is_rng = relpath_ == "src/util/rng.cc";
+    const bool is_logging = relpath_ == "src/util/logging.cc" ||
+                            relpath_ == "src/util/logging.h";
+    if (!is_rng) CheckRawRandom();
+    if (in_src) {
+      CheckNakedNewDelete();
+      CheckThrow();
+      if (!is_logging) CheckIostream();
+      CheckMutexGuard();
+    }
+    CheckIncludeHygiene();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    return std::move(findings_);
+  }
+
+  /// Include-hygiene needs the raw line: the include path is a string
+  /// literal, which Scan() blanks.
+  void set_raw_lines(std::vector<std::string> raw) { raw_ = std::move(raw); }
+
+ private:
+  void Add(const std::string& rule, size_t line_index, std::string message) {
+    // `allow` on the offending line or the line directly above suppresses.
+    if (line_index < allows_.size() && allows_[line_index].count(rule) > 0)
+      return;
+    if (line_index > 0 && allows_[line_index - 1].count(rule) > 0) return;
+    findings_.push_back(Finding{rule, relpath_,
+                                static_cast<int>(line_index) + 1,
+                                std::move(message)});
+  }
+
+  void CheckRawRandom() {
+    static const std::regex kPattern(
+        R"(std::random_device|\brand\s*\(|\bsrand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(scan_.code[i], match, kPattern)) {
+        Add("no-raw-random", i,
+            "'" + match[0].str() +
+                "' breaks run-to-run determinism; draw randomness from "
+                "util::Rng (seeded) instead");
+      }
+    }
+  }
+
+  void CheckNakedNewDelete() {
+    static const std::regex kPattern(R"(\b(new|delete)\b)");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      const std::string& line = scan_.code[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kPattern);
+           it != std::sregex_iterator(); ++it) {
+        if ((*it)[1].str() == "delete") {
+          // `= delete;` (deleted member) is a declaration, not ownership.
+          const std::string before = line.substr(0, it->position());
+          const size_t last = before.find_last_not_of(' ');
+          if (last != std::string::npos && before[last] == '=') continue;
+        }
+        Add("no-naked-new", i,
+            "naked '" + (*it)[1].str() +
+                "' in library code; use std::make_unique / containers so "
+                "ownership is explicit");
+      }
+    }
+  }
+
+  void CheckThrow() {
+    static const std::regex kPattern(R"(\bthrow\b)");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      if (std::regex_search(scan_.code[i], kPattern)) {
+        Add("no-throw", i,
+            "library code reports errors through util::Status, not "
+            "exceptions");
+      }
+    }
+  }
+
+  void CheckIostream() {
+    static const std::regex kPattern(R"(std::(cout|cerr)\b)");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(scan_.code[i], match, kPattern)) {
+        Add("no-iostream", i,
+            "'" + match[0].str() +
+                "' in library code; log through IMR_LOG so output honors "
+                "the global log level");
+      }
+    }
+  }
+
+  void CheckIncludeHygiene() {
+    static const std::regex kInclude(
+        R"re(^\s*#\s*include\s+(?:<([^>]+)>|"([^"]+)"))re");
+    // First path segment of every project include root.
+    static const std::set<std::string> kProjectDirs = {
+        "datagen", "eval", "graph", "kg",   "nn",    "re",
+        "serve",   "tensor", "text", "util", "tools"};
+    for (size_t i = 0; i < raw_.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(raw_[i], match, kInclude)) continue;
+      const bool angle = match[1].matched;
+      const std::string path = angle ? match[1].str() : match[2].str();
+      if (path.find("..") != std::string::npos) {
+        Add("include-hygiene", i,
+            "relative include '" + path +
+                "'; use the project-relative path (e.g. \"util/foo.h\")");
+        continue;
+      }
+      if (!angle && path.rfind("src/", 0) == 0) {
+        Add("include-hygiene", i,
+            "include '" + path + "' spells out src/; the build adds src/ "
+                                 "to the include path, write \"" +
+                path.substr(4) + "\"");
+        continue;
+      }
+      const size_t slash = path.find('/');
+      if (angle && slash != std::string::npos &&
+          kProjectDirs.count(path.substr(0, slash)) > 0) {
+        Add("include-hygiene", i,
+            "project header <" + path + "> included with angle brackets; "
+                                        "use quotes");
+      }
+    }
+  }
+
+  // A mutex member in a class with no IMR_GUARDED_BY anywhere in the class
+  // body means the lock protects... nothing the analysis can see. Either
+  // annotate what it guards or document why not (allow).
+  void CheckMutexGuard() {
+    static const std::regex kMutexMember(
+        R"(^\s*(?:mutable\s+)?(?:std::mutex|util::Mutex|Mutex)\s+[A-Za-z_]\w*\s*;)");
+    std::string flat;
+    std::vector<size_t> line_offset(scan_.code.size() + 1, 0);
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      flat += scan_.code[i];
+      flat += '\n';
+      line_offset[i + 1] = flat.size();
+    }
+
+    struct Region {
+      size_t open;
+      size_t close;
+    };
+    std::vector<Region> regions;
+    static const std::regex kClassKeyword(R"(\b(class|struct)\b)");
+    for (auto it = std::sregex_iterator(flat.begin(), flat.end(),
+                                        kClassKeyword);
+         it != std::sregex_iterator(); ++it) {
+      const size_t keyword_pos = static_cast<size_t>(it->position());
+      // `enum class` / `enum struct` define enumerations, not classes.
+      size_t back = keyword_pos;
+      while (back > 0 && std::isspace(static_cast<unsigned char>(
+                             flat[back - 1]))) {
+        --back;
+      }
+      size_t word_begin = back;
+      while (word_begin > 0 &&
+             (std::isalnum(static_cast<unsigned char>(flat[word_begin - 1])) ||
+              flat[word_begin - 1] == '_')) {
+        --word_begin;
+      }
+      if (flat.compare(word_begin, back - word_begin, "enum") == 0) continue;
+      // Find the body: the first '{' before any ';' (a ';' first means a
+      // forward declaration or friend declaration — no body to scan).
+      size_t pos = keyword_pos + it->length();
+      while (pos < flat.size() && flat[pos] != '{' && flat[pos] != ';') ++pos;
+      if (pos >= flat.size() || flat[pos] == ';') continue;
+      size_t depth = 1;
+      size_t close = pos + 1;
+      while (close < flat.size() && depth > 0) {
+        if (flat[close] == '{') ++depth;
+        if (flat[close] == '}') --depth;
+        ++close;
+      }
+      regions.push_back(Region{pos, close});
+    }
+
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      if (!std::regex_search(scan_.code[i], kMutexMember)) continue;
+      const size_t member_pos = line_offset[i];
+      const Region* innermost = nullptr;
+      for (const Region& region : regions) {
+        if (region.open < member_pos && member_pos < region.close &&
+            (innermost == nullptr || region.open > innermost->open)) {
+          innermost = &region;
+        }
+      }
+      if (innermost == nullptr) continue;  // namespace-scope mutex
+      const std::string body =
+          flat.substr(innermost->open, innermost->close - innermost->open);
+      if (body.find("IMR_GUARDED_BY") != std::string::npos ||
+          body.find("IMR_PT_GUARDED_BY") != std::string::npos) {
+        continue;
+      }
+      Add("mutex-guard", i,
+          "mutex member in a class with no IMR_GUARDED_BY-annotated field; "
+          "annotate what it protects (util/thread_annotations.h)");
+    }
+  }
+
+  std::string relpath_;
+  ScannedFile scan_;
+  std::vector<std::set<std::string>> allows_;
+  std::vector<std::string> raw_;
+  std::vector<Finding> findings_;
+};
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() {
+  static const std::vector<std::string> kRules = {
+      "no-raw-random", "no-naked-new",      "no-throw",
+      "no-iostream",   "mutex-guard",       "include-hygiene"};
+  return kRules;
+}
+
+std::vector<Finding> LintSource(const std::string& relpath,
+                                const std::string& content) {
+  Linter linter(relpath, content);
+  linter.set_raw_lines(SplitLines(content));
+  return linter.Run();
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    const std::string relpath =
+        fs::relative(path, root).generic_string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{"read-error", relpath, 0, "cannot open"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = LintSource(relpath, buffer.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace imr::lint

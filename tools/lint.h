@@ -1,0 +1,62 @@
+// imr_lint: project-specific static analysis, token/regex based (no
+// libclang). The linter enforces conventions the compiler cannot:
+//
+//   no-raw-random     std::random_device / rand() / srand() / time(nullptr)
+//                     anywhere outside src/util/rng.cc — every source of
+//                     nondeterminism must flow through util::Rng so runs
+//                     are reproducible at any thread count
+//   no-naked-new      `new` / `delete` expressions in src/ — ownership goes
+//                     through std::unique_ptr / containers
+//   no-throw          `throw` in src/ — the library reports errors through
+//                     util::Status, never exceptions
+//   no-iostream       std::cout / std::cerr in src/ outside util/logging —
+//                     library code logs through IMR_LOG
+//   mutex-guard       a mutex member (std::mutex, util::Mutex) in a class
+//                     with no IMR_GUARDED_BY-annotated field — lock
+//                     discipline must be machine-checkable
+//   include-hygiene   project headers included as "util/foo.h" style
+//                     project-relative paths: no "../" segments, no "src/"
+//                     prefix, no <angle> includes of project directories
+//
+// Suppression: append `// imr-lint: allow(rule-id)` (comma-separated for
+// several rules) on the offending line or on the line directly above it.
+//
+// Comments, string literals, and char literals are blanked before rule
+// matching, so prose and test fixtures never trip the rules
+// (include-hygiene runs on the raw line because the include path *is* a
+// string literal).
+#ifndef IMR_TOOLS_LINT_H_
+#define IMR_TOOLS_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace imr::lint {
+
+struct Finding {
+  std::string rule;     // rule id, e.g. "no-throw"
+  std::string file;     // project-relative path as passed in
+  int line = 0;         // 1-based
+  std::string message;  // human-readable explanation
+};
+
+/// All rule ids the linter knows, in reporting order.
+const std::vector<std::string>& RuleIds();
+
+/// Lints one translation unit. `relpath` is the project-relative path
+/// (e.g. "src/util/foo.cc"); it decides which rules apply (library-only
+/// rules fire only under src/). `content` is the full file text.
+std::vector<Finding> LintSource(const std::string& relpath,
+                                const std::string& content);
+
+/// Walks root/{src,tests,bench,examples,tools} for .h/.cc/.cpp files (in
+/// sorted order, so output is deterministic) and lints each. Files that
+/// cannot be read produce a "read-error" finding.
+std::vector<Finding> LintTree(const std::string& root);
+
+/// "file:line: [rule-id] message" — the one-line form tests and CI parse.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace imr::lint
+
+#endif  // IMR_TOOLS_LINT_H_
