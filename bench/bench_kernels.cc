@@ -1,0 +1,402 @@
+// Kernel-level benchmark for the allocation-free hot path: per-op
+// ns/element, buffer-pool acquisitions per step, fused-vs-unfused kernel
+// times, and pooled-vs-unpooled training-step times. Results go to
+// bench_results/BENCH_kernels.json (and a human-readable table on stdout).
+//
+// Modes:
+//   bench_kernels            full sizes, writes BENCH_kernels.json
+//   bench_kernels --smoke    tiny sizes, no JSON; exits non-zero when the
+//                            warmed-up training step reports any pool miss.
+//                            scripts/check.sh runs this as its bench-smoke
+//                            stage, so an allocation regression on the hot
+//                            path fails CI even without running the full
+//                            benchmark.
+//
+// Everything runs at threads = 1: these are single-kernel measurements, and
+// a single thread makes the steady-state pool-counter assertions exact.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/tsv_writer.h"
+#include "util/thread_pool.h"
+
+namespace imr {
+namespace {
+
+using tensor::Tensor;
+
+// Keeps results alive past the optimiser without google-benchmark.
+volatile float g_sink = 0.0f;
+
+struct Timed {
+  double ns_per_call = 0.0;
+  int64_t calls = 0;
+  // Pool traffic per call during the timed region (warmup excluded).
+  double acquires_per_call = 0.0;
+  uint64_t misses = 0;  // total steady-state misses, expected 0
+};
+
+// One timed segment: calls `body` until min_seconds elapse, returns ns/call.
+template <typename Body>
+double TimeSegment(const Body& body, double min_seconds,
+                   int64_t* calls_out) {
+  using clock = std::chrono::steady_clock;
+  int64_t calls = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds || calls < 3);
+  *calls_out = calls;
+  return elapsed * 1e9 / static_cast<double>(calls);
+}
+
+// Folds one segment's timing and pool traffic into `t`. Keeping the fastest
+// segment rejects interference from other load on the machine; pool traffic
+// accumulates over every timed call.
+void FoldSegment(double ns, int64_t calls, uint64_t* acquires, Timed* t) {
+  const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
+  if (t->calls == 0 || ns < t->ns_per_call) t->ns_per_call = ns;
+  t->calls += calls;
+  *acquires += pool.total_hits() + pool.total_misses();
+  t->misses += pool.total_misses();
+}
+
+// Times two bodies by alternating short segments — both variants sample the
+// same load profile, so their ratio is meaningful even on a busy machine.
+// Each Timed keeps its own fastest segment and aggregate pool traffic.
+template <typename BodyA, typename BodyB>
+void RunPair(const BodyA& a, const BodyB& b, int warmup_calls,
+             double min_seconds, Timed* ta, Timed* tb, int repeats = 7) {
+  for (int i = 0; i < warmup_calls; ++i) a();
+  for (int i = 0; i < warmup_calls; ++i) b();
+  *ta = Timed{};
+  *tb = Timed{};
+  uint64_t acquires_a = 0, acquires_b = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    int64_t calls = 0;
+    tensor::ResetPoolStats();
+    double ns = TimeSegment(a, min_seconds, &calls);
+    FoldSegment(ns, calls, &acquires_a, ta);
+    tensor::ResetPoolStats();
+    ns = TimeSegment(b, min_seconds, &calls);
+    FoldSegment(ns, calls, &acquires_b, tb);
+  }
+  ta->acquires_per_call =
+      static_cast<double>(acquires_a) / static_cast<double>(ta->calls);
+  tb->acquires_per_call =
+      static_cast<double>(acquires_b) / static_cast<double>(tb->calls);
+}
+
+// Single-variant measurement with the same fastest-segment policy.
+template <typename Body>
+Timed Run(const Body& body, int warmup_calls, double min_seconds,
+          int repeats = 5) {
+  for (int i = 0; i < warmup_calls; ++i) body();
+  Timed t;
+  uint64_t acquires = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    int64_t calls = 0;
+    tensor::ResetPoolStats();
+    const double ns = TimeSegment(body, min_seconds, &calls);
+    FoldSegment(ns, calls, &acquires, &t);
+  }
+  t.acquires_per_call =
+      static_cast<double>(acquires) / static_cast<double>(t.calls);
+  return t;
+}
+
+struct OpRow {
+  std::string name;
+  double elements_per_call = 0.0;
+  Timed timed;           // pool enabled (the default, "after")
+  Timed timed_unpooled;  // PoolDisabledGuard (fresh heap per call, "before")
+
+  double ns_per_element() const {
+    return elements_per_call > 0 ? timed.ns_per_call / elements_per_call
+                                 : 0.0;
+  }
+  double pooled_speedup() const {
+    return timed.ns_per_call > 0
+               ? timed_unpooled.ns_per_call / timed.ns_per_call
+               : 0.0;
+  }
+};
+
+struct Report {
+  bool smoke = false;
+  std::vector<OpRow> ops;
+  // Warmed-up TinyModel training step, pooled vs pool-disabled.
+  Timed step_pooled;
+  Timed step_unpooled;
+  // Fused AffineTanh vs the MatMul+AddRowVector+Tanh composition.
+  Timed affine_fused;
+  Timed affine_unfused;
+};
+
+// The same representative model the buffer-pool tests train: embedding
+// lookup, fused affine+tanh, dropout, linear head, fused cross-entropy.
+struct StepModel : nn::Module {
+  StepModel(int vocab, int dim, int hidden, int classes, util::Rng* rng)
+      : embed(vocab, dim, rng),
+        proj(dim, hidden, rng),
+        out(hidden, classes, rng) {
+    RegisterChild("embed", &embed);
+    RegisterChild("proj", &proj);
+    RegisterChild("out", &out);
+  }
+  nn::Embedding embed;
+  nn::Linear proj;
+  nn::Linear out;
+};
+
+Report RunAll(bool smoke) {
+  Report report;
+  report.smoke = smoke;
+  const double min_seconds = smoke ? 0.002 : 0.15;
+  const int warmup = smoke ? 3 : 10;
+  // Smoke keeps every size tiny so check.sh stays fast.
+  const int elt_n = smoke ? 1024 : 1 << 18;    // elementwise ops
+  const int mm = smoke ? 16 : 128;             // square matmul side
+  // Affine shape: a small inner dimension keeps the (identical) MatMul from
+  // drowning out the passes the fusion actually removes.
+  const int ar = smoke ? 12 : 128;             // affine rows
+  const int ai = smoke ? 8 : 16;               // affine inner dim
+  const int ad = smoke ? 16 : 128;             // affine out dim
+  const int ce_rows = smoke ? 8 : 160;         // cross-entropy batch
+  const int ce_cols = smoke ? 5 : 53;          // relations (NYT has 53)
+
+  util::Rng rng(19);
+  auto bench_op = [&](const std::string& name, double elements, auto body) {
+    OpRow row;
+    row.name = name;
+    row.elements_per_call = elements;
+    auto unpooled = [&body] {
+      tensor::PoolDisabledGuard guard;
+      body();
+    };
+    RunPair(body, unpooled, warmup, min_seconds, &row.timed,
+            &row.timed_unpooled);
+    report.ops.push_back(std::move(row));
+  };
+
+  {
+    Tensor a = nn::NormalInit({elt_n}, 1.0f, &rng);
+    Tensor b = nn::NormalInit({elt_n}, 1.0f, &rng);
+    tensor::NoGradGuard no_grad;
+    bench_op("add", elt_n, [&] { g_sink = g_sink + tensor::Add(a, b).data()[0]; });
+    bench_op("mul", elt_n, [&] { g_sink = g_sink + tensor::Mul(a, b).data()[0]; });
+    bench_op("tanh", elt_n, [&] { g_sink = g_sink + tensor::Tanh(a).data()[0]; });
+  }
+  {
+    Tensor a = nn::NormalInit({mm, mm}, 1.0f, &rng);
+    Tensor b = nn::NormalInit({mm, mm}, 1.0f, &rng);
+    tensor::NoGradGuard no_grad;
+    bench_op("matmul_forward", static_cast<double>(mm) * mm,
+             [&] { g_sink = g_sink + tensor::MatMul(a, b).data()[0]; });
+  }
+  {
+    Tensor x = nn::NormalInit({ce_rows, ce_cols}, 1.0f, &rng);
+    x.set_requires_grad(true);
+    std::vector<int> labels(static_cast<size_t>(ce_rows), 1);
+    bench_op("cross_entropy_step",
+             static_cast<double>(ce_rows) * ce_cols, [&] {
+               x.ZeroGrad();
+               tensor::Tensor loss = tensor::CrossEntropyLoss(x, labels);
+               loss.Backward();
+               g_sink = g_sink + loss.item();
+             });
+  }
+
+  // Fused vs unfused affine+tanh, full forward+backward in both shapes.
+  {
+    Tensor x = nn::NormalInit({ar, ai}, 1.0f, &rng);
+    Tensor w = nn::NormalInit({ai, ad}, 0.5f, &rng);
+    Tensor b = nn::NormalInit({ad}, 0.5f, &rng);
+    x.set_requires_grad(true);
+    w.set_requires_grad(true);
+    b.set_requires_grad(true);
+    auto clear = [&] {
+      x.ZeroGrad();
+      w.ZeroGrad();
+      b.ZeroGrad();
+    };
+    RunPair(
+        [&] {
+          clear();
+          tensor::Sum(tensor::AffineTanh(x, w, b)).Backward();
+        },
+        [&] {
+          clear();
+          tensor::Sum(tensor::Tanh(
+                          tensor::AddRowVector(tensor::MatMul(x, w), b)))
+              .Backward();
+        },
+        warmup, min_seconds, &report.affine_fused, &report.affine_unfused);
+  }
+
+  // Full training step — forward, backward, fused SGD update — pooled and
+  // with the pool bypassed. The steady-state miss count of the pooled run
+  // is the smoke gate: after warmup it must be exactly zero.
+  {
+    const int vocab = smoke ? 50 : 2000;
+    const int dim = smoke ? 8 : 50;
+    const int hidden = smoke ? 8 : 64;
+    const int classes = smoke ? 4 : 53;
+    const int batch = smoke ? 4 : 32;
+    StepModel model(vocab, dim, hidden, classes, &rng);
+    nn::Sgd opt(&model, 0.01f);
+    util::Rng dropout_rng(23);
+    std::vector<int> indices(static_cast<size_t>(batch));
+    std::vector<int> labels(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      indices[static_cast<size_t>(i)] =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+      labels[static_cast<size_t>(i)] =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(classes)));
+    }
+    auto step = [&] {
+      Tensor emb = model.embed.Forward(indices);
+      Tensor h = model.proj.ForwardTanh(emb);
+      Tensor d = tensor::Dropout(h, 0.5f, &dropout_rng, /*training=*/true);
+      Tensor logits = model.out.Forward(d);
+      Tensor loss = tensor::CrossEntropyLoss(logits, labels);
+      loss.Backward();
+      opt.Step();
+      g_sink = g_sink + loss.item();
+    };
+    auto step_unpooled = [&step] {
+      tensor::PoolDisabledGuard guard;
+      step();
+    };
+    RunPair(step, step_unpooled, warmup, min_seconds, &report.step_pooled,
+            &report.step_unpooled);
+  }
+  return report;
+}
+
+double Speedup(const Timed& baseline, const Timed& fast) {
+  return fast.ns_per_call > 0 ? baseline.ns_per_call / fast.ns_per_call
+                              : 0.0;
+}
+
+void PrintReport(const Report& r) {
+  std::printf("%-24s %12s %12s %12s %8s %8s %8s\n", "op", "ns/element",
+              "ns/call", "unpooled", "speedup", "acq/call", "misses");
+  for (const OpRow& op : r.ops) {
+    std::printf("%-24s %12.3f %12.0f %12.0f %8.2f %8.2f %8llu\n",
+                op.name.c_str(), op.ns_per_element(), op.timed.ns_per_call,
+                op.timed_unpooled.ns_per_call, op.pooled_speedup(),
+                op.timed.acquires_per_call,
+                static_cast<unsigned long long>(op.timed.misses));
+  }
+  std::printf("\naffine_tanh fused   %12.0f ns/call (%.2fx vs unfused "
+              "%12.0f ns/call)\n",
+              r.affine_fused.ns_per_call,
+              Speedup(r.affine_unfused, r.affine_fused),
+              r.affine_unfused.ns_per_call);
+  std::printf("train step  pooled  %12.0f ns/step (%.2fx vs unpooled "
+              "%12.0f ns/step), %.1f acquires/step, %llu steady misses\n",
+              r.step_pooled.ns_per_call,
+              Speedup(r.step_unpooled, r.step_pooled),
+              r.step_unpooled.ns_per_call,
+              r.step_pooled.acquires_per_call,
+              static_cast<unsigned long long>(r.step_pooled.misses));
+}
+
+void WriteTimedJson(std::FILE* out, const char* name, const Timed& t,
+                    const char* suffix) {
+  std::fprintf(out,
+               "    \"%s\": {\"ns_per_call\": %.1f, \"calls\": %lld, "
+               "\"acquires_per_call\": %.2f, \"steady_misses\": %llu}%s\n",
+               name, t.ns_per_call, static_cast<long long>(t.calls),
+               t.acquires_per_call,
+               static_cast<unsigned long long>(t.misses), suffix);
+}
+
+bool WriteJson(const Report& r, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"threads\": 1,\n  \"ops\": [\n");
+  for (size_t i = 0; i < r.ops.size(); ++i) {
+    const OpRow& op = r.ops[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ns_per_element\": %.4f, "
+                 "\"ns_per_call\": %.1f, \"unpooled_ns_per_call\": %.1f, "
+                 "\"pooled_speedup\": %.4f, \"elements_per_call\": %.0f, "
+                 "\"acquires_per_call\": %.2f, \"steady_misses\": %llu}%s\n",
+                 op.name.c_str(), op.ns_per_element(), op.timed.ns_per_call,
+                 op.timed_unpooled.ns_per_call, op.pooled_speedup(),
+                 op.elements_per_call, op.timed.acquires_per_call,
+                 static_cast<unsigned long long>(op.timed.misses),
+                 i + 1 < r.ops.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"affine_tanh\": {\n");
+  WriteTimedJson(out, "fused", r.affine_fused, ",");
+  WriteTimedJson(out, "unfused", r.affine_unfused, ",");
+  std::fprintf(out, "    \"fused_speedup\": %.4f\n  },\n",
+               Speedup(r.affine_unfused, r.affine_fused));
+  std::fprintf(out, "  \"train_step\": {\n");
+  WriteTimedJson(out, "pooled", r.step_pooled, ",");
+  WriteTimedJson(out, "unpooled", r.step_unpooled, ",");
+  std::fprintf(out, "    \"pooled_speedup\": %.4f\n  }\n}\n",
+               Speedup(r.step_unpooled, r.step_pooled));
+  std::fclose(out);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  util::SetGlobalThreads(1);
+  const Report report = RunAll(smoke);
+  PrintReport(report);
+
+  if (smoke) {
+    // The gate: a warmed-up training step may not touch the heap. Any miss
+    // means an op on the hot path stopped recycling its storage.
+    if (report.step_pooled.misses != 0) {
+      std::fprintf(stderr,
+                   "[bench_kernels] FAIL: warmed-up training step reported "
+                   "%llu pool misses (expected 0)\n",
+                   static_cast<unsigned long long>(
+                       report.step_pooled.misses));
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_kernels] smoke OK: steady-state training step ran "
+                 "with zero pool misses\n");
+    return 0;
+  }
+
+  (void)util::MakeDirectories("bench_results");
+  const std::string path = "bench_results/BENCH_kernels.json";
+  if (!WriteJson(report, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_kernels] results written to %s\n",
+               path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imr
+
+int main(int argc, char** argv) { return imr::Main(argc, argv); }

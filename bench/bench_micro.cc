@@ -8,12 +8,16 @@
 // (MatMul forward/backward, Conv1dSame, LINE SGNS) and records ops/sec and
 // speedup-vs-1-thread in bench_results/micro_scaling.tsv plus the
 // machine-readable bench_results/BENCH_parallel.json, so every later PR has
-// a perf trajectory to compare against. Pass --skip_scaling to go straight
-// to google-benchmark, or --scaling_only to stop after the sweep.
+// a perf trajectory to compare against. Each row also records the tensor
+// buffer-pool hit/miss counts for its timed region (warmup excluded), so a
+// steady-state allocation regression shows up as pool_misses > 0. Pass
+// --skip_scaling to go straight to google-benchmark, --scaling_only to stop
+// after the sweep, or --warmup_iters=N to grow the untimed warmup.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +29,7 @@
 #include "nn/encoders.h"
 #include "nn/init.h"
 #include "re/bag_dataset.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -180,15 +185,28 @@ struct ScalingRow {
   int threads = 1;
   double ops_per_sec = 0.0;
   double speedup = 1.0;  // vs the 1-thread row of the same bench
+  // Buffer-pool traffic during the timed region (warmup excluded). A warm
+  // steady state shows pool_misses == 0; a nonzero value flags an
+  // allocation regression on that path.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
 };
 
+// Warmup calls before the timed region; --warmup_iters=N overrides. More
+// warmup stabilises paths that lazily grow state (thread pools, the tensor
+// buffer pool) before the steady state is measured.
+int g_warmup_iters = 1;
+
 // Calls `body` (which performs `ops_per_call` units of work) repeatedly for
-// at least `min_seconds` of wall clock and returns ops/sec.
+// at least `min_seconds` of wall clock and returns ops/sec. Pool counters
+// are reset after warmup so the caller can read the timed region's traffic
+// from tensor::PoolStats().
 template <typename Body>
 double MeasureOpsPerSec(const Body& body, double ops_per_call,
                         double min_seconds = 0.2) {
   using clock = std::chrono::steady_clock;
-  body();  // warm-up (first call pays pool spin-up / page faults)
+  for (int i = 0; i < g_warmup_iters; ++i) body();
+  tensor::ResetPoolStats();
   int64_t calls = 0;
   const auto start = clock::now();
   double elapsed = 0.0;
@@ -231,49 +249,53 @@ void RunScalingSweep() {
   for (int threads : thread_counts) {
     util::SetGlobalThreads(threads);
 
-    rows.push_back({"matmul256_forward", threads,
-                    MeasureOpsPerSec(
-                        [&] {
-                          tensor::NoGradGuard no_grad;
-                          benchmark::DoNotOptimize(tensor::MatMul(a, b));
-                        },
-                        2.0 * n * n * n),
-                    1.0});
+    // MeasureOpsPerSec resets the pool counters after warmup, so the
+    // snapshot taken here covers exactly the timed region.
+    auto add_row = [&rows, threads](const std::string& name,
+                                    double ops_per_sec) {
+      const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
+      rows.push_back({name, threads, ops_per_sec, 1.0, pool.total_hits(),
+                      pool.total_misses()});
+    };
 
-    rows.push_back({"matmul256_train_step", threads,
-                    MeasureOpsPerSec(
-                        [&] {
-                          ag.ZeroGrad();
-                          bg.ZeroGrad();
-                          tensor::Sum(tensor::MatMul(ag, bg)).Backward();
-                        },
-                        // forward + dA + dB
-                        3.0 * 2.0 * n * n * n),
-                    1.0});
+    add_row("matmul256_forward",
+            MeasureOpsPerSec(
+                [&] {
+                  tensor::NoGradGuard no_grad;
+                  benchmark::DoNotOptimize(tensor::MatMul(a, b));
+                },
+                2.0 * n * n * n));
 
-    rows.push_back(
-        {"conv1d_forward", threads,
-         MeasureOpsPerSec(
-             [&] {
-               tensor::NoGradGuard no_grad;
-               benchmark::DoNotOptimize(
-                   tensor::Conv1dSame(cx, cw, cb, window));
-             },
-             2.0 * time * filters * window * dim),
-         1.0});
+    add_row("matmul256_train_step",
+            MeasureOpsPerSec(
+                [&] {
+                  ag.ZeroGrad();
+                  bg.ZeroGrad();
+                  tensor::Sum(tensor::MatMul(ag, bg)).Backward();
+                },
+                // forward + dA + dB
+                3.0 * 2.0 * n * n * n));
 
-    rows.push_back({"line_sgns", threads,
-                    MeasureOpsPerSec(
-                        [&] {
-                          graph::LineConfig config;
-                          config.dim = 64;
-                          config.samples_per_edge = line_samples_per_edge;
-                          config.threads = threads;
-                          benchmark::DoNotOptimize(
-                              graph::TrainLine(graph, config));
-                        },
-                        line_ops, /*min_seconds=*/0.5),
-                    1.0});
+    add_row("conv1d_forward",
+            MeasureOpsPerSec(
+                [&] {
+                  tensor::NoGradGuard no_grad;
+                  benchmark::DoNotOptimize(
+                      tensor::Conv1dSame(cx, cw, cb, window));
+                },
+                2.0 * time * filters * window * dim));
+
+    add_row("line_sgns",
+            MeasureOpsPerSec(
+                [&] {
+                  graph::LineConfig config;
+                  config.dim = 64;
+                  config.samples_per_edge = line_samples_per_edge;
+                  config.threads = threads;
+                  benchmark::DoNotOptimize(
+                      graph::TrainLine(graph, config));
+                },
+                line_ops, /*min_seconds=*/0.5));
   }
   util::SetGlobalThreads(0);  // restore default for the benchmark suite
 
@@ -291,13 +313,15 @@ void RunScalingSweep() {
   (void)util::MakeDirectories("bench_results");
   {
     util::TsvWriter writer("bench_results/micro_scaling.tsv");
-    writer.WriteRow({"bench", "threads", "ops_per_sec", "speedup_vs_1"});
+    writer.WriteRow({"bench", "threads", "ops_per_sec", "speedup_vs_1",
+                     "pool_hits", "pool_misses"});
     for (const ScalingRow& row : rows) {
       char ops[64], speedup[64];
       std::snprintf(ops, sizeof(ops), "%.3e", row.ops_per_sec);
       std::snprintf(speedup, sizeof(speedup), "%.3f", row.speedup);
-      writer.WriteRow(
-          {row.bench, std::to_string(row.threads), ops, speedup});
+      writer.WriteRow({row.bench, std::to_string(row.threads), ops, speedup,
+                       std::to_string(row.pool_hits),
+                       std::to_string(row.pool_misses)});
     }
     util::Status status = writer.Close();
     if (!status.ok())
@@ -316,9 +340,13 @@ void RunScalingSweep() {
       const ScalingRow& row = rows[i];
       std::fprintf(out,
                    "    {\"bench\": \"%s\", \"threads\": %d, "
-                   "\"ops_per_sec\": %.6e, \"speedup_vs_1\": %.4f}%s\n",
+                   "\"ops_per_sec\": %.6e, \"speedup_vs_1\": %.4f, "
+                   "\"pool_hits\": %llu, \"pool_misses\": %llu}%s\n",
                    row.bench.c_str(), row.threads, row.ops_per_sec,
-                   row.speedup, i + 1 < rows.size() ? "," : "");
+                   row.speedup,
+                   static_cast<unsigned long long>(row.pool_hits),
+                   static_cast<unsigned long long>(row.pool_misses),
+                   i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
@@ -341,6 +369,9 @@ int main(int argc, char** argv) {
       skip_scaling = true;
     } else if (std::strcmp(argv[i], "--scaling_only") == 0) {
       scaling_only = true;
+    } else if (std::strncmp(argv[i], "--warmup_iters=", 15) == 0) {
+      const int warmup = std::atoi(argv[i] + 15);
+      if (warmup >= 0) imr::g_warmup_iters = warmup;
     } else {
       argv[out_argc++] = argv[i];
     }

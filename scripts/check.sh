@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification matrix: plain build + ctest, ThreadSanitizer,
+# Full verification matrix: plain build + ctest, the kernel-benchmark smoke
+# gate (zero pool misses in a warmed-up training step), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
 # analysis build, and the project linter. Each stage reports pass/fail/skip
 # and the script exits nonzero if anything failed.
@@ -49,6 +50,15 @@ build_and_test() {  # builddir cmake-extra-args... -- ctest-extra-args...
 
 # 1. Plain release build, full test suite (includes the imr_lint ctest).
 run_stage "build+ctest" build_and_test build -DCMAKE_BUILD_TYPE=Release --
+
+# 1b. Kernel benchmark smoke: tiny sizes, exits nonzero if a warmed-up
+# training step reports any buffer-pool miss (an allocation crept back onto
+# the hot path).
+if [ -x build/bench/bench_kernels ]; then
+  run_stage "bench-smoke" build/bench/bench_kernels --smoke
+else
+  record "bench-smoke" SKIP
+fi
 
 # 2-4. Sanitizers, each in its own build tree, selecting its label so a
 # sanitizer tree only runs the suite it instruments.

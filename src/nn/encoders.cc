@@ -175,7 +175,8 @@ Tensor GruEncoder::Encode(const EncoderInput& input, util::Rng* rng) const {
   Tensor hidden = tensor::ConcatCols({fwd, bwd});
   Tensor repr;
   if (word_attention_) {
-    Tensor proj = tensor::Tanh(attn_proj_->Forward(hidden));
+    // Fused MatMul+bias+Tanh (bit-identical to the composition it replaces).
+    Tensor proj = attn_proj_->ForwardTanh(hidden);
     Tensor scores = tensor::RowwiseDot(proj, attn_query_);
     Tensor alpha = tensor::Softmax(scores);
     repr = tensor::WeightedSumRows(hidden, alpha);

@@ -22,6 +22,10 @@ tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
   return tensor::AddRowVector(y, bias_);
 }
 
+tensor::Tensor Linear::ForwardTanh(const tensor::Tensor& x) const {
+  return tensor::AffineTanh(x, weight_, bias_);
+}
+
 Embedding::Embedding(int vocab_size, int dim, util::Rng* rng,
                      float init_bound)
     : vocab_size_(vocab_size), dim_(dim) {

@@ -1,5 +1,6 @@
 #include "re/trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -62,12 +63,16 @@ std::vector<EpochStats> Trainer::Train(
     rng_.Shuffle(&order);
     double loss_sum = 0.0;
     int batches = 0;
+    // Reused across batches: assign() reuses capacity, so the steady-state
+    // epoch loop does not allocate for batch bookkeeping.
+    std::vector<const Bag*> batch;
+    batch.reserve(static_cast<size_t>(config_.batch_size));
     for (size_t begin = 0; begin < order.size();
          begin += static_cast<size_t>(config_.batch_size)) {
       const size_t end = std::min(
           order.size(), begin + static_cast<size_t>(config_.batch_size));
-      std::vector<const Bag*> batch(order.begin() + static_cast<long>(begin),
-                                    order.begin() + static_cast<long>(end));
+      batch.assign(order.begin() + static_cast<long>(begin),
+                   order.begin() + static_cast<long>(end));
       model_->ZeroGrad();
       const int threads =
           config_.threads > 0 ? config_.threads : util::GlobalThreads();
@@ -95,7 +100,10 @@ std::vector<EpochStats> Trainer::Train(
           }
           model_->BatchLoss(batch, &rng_).Backward();
           for (size_t t = 0; t < adversarial_targets.size(); ++t) {
-            adversarial_targets[t].mutable_data() = std::move(saved[t]);
+            // Copy back in place: keeps the parameter's (pooled) storage
+            // stable instead of swapping in the snapshot's allocation.
+            auto& values = adversarial_targets[t].mutable_data();
+            std::copy(saved[t].begin(), saved[t].end(), values.begin());
           }
         }
         loss_sum += loss.item();
@@ -188,7 +196,8 @@ double Trainer::ParallelBatchStep(
     }
     run_pass();
     for (size_t t = 0; t < adversarial_targets->size(); ++t) {
-      (*adversarial_targets)[t].mutable_data() = std::move(saved[t]);
+      auto& values = (*adversarial_targets)[t].mutable_data();
+      std::copy(saved[t].begin(), saved[t].end(), values.begin());
     }
   }
   return mean_loss;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "re/bag_dataset.h"
+#include "tensor/buffer_pool.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -378,6 +379,9 @@ EngineStats InferenceEngine::Stats() const {
                     ? static_cast<double>(requests_) / window_s
                     : 0.0;
   }
+  const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
+  stats.pool_hits = pool.total_hits();
+  stats.pool_misses = pool.total_misses();
   return stats;
 }
 

@@ -92,6 +92,11 @@ struct EngineStats {
   /// Completed requests divided by the wall time between the first request
   /// and the most recent completion.
   double qps = 0.0;
+  /// Tensor buffer-pool traffic, process-wide (tensor::PoolStats()). A
+  /// warmed-up engine serves cache-hit predictions with zero new pool
+  /// misses, so a rising miss count flags an allocation regression.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
 };
 
 class InferenceEngine {

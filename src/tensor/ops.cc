@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/buffer_pool.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -11,7 +12,10 @@ namespace imr::tensor {
 
 namespace {
 
+using internal::AcquireBuffer;
+using internal::AcquireBufferFill;
 using internal::MakeResult;
+using internal::PooledFloats;
 using internal::TensorImpl;
 
 // Accumulates `delta` into the grad of `parent` if it requires grad.
@@ -102,11 +106,117 @@ void MatMulPanelDot(const float* av, const float* bt, float* out, int64_t row_lo
   }
 }
 
+// ---- shared MatMul kernel entry points ------------------------------------
+//
+// MatMul and the fused AffineTanh drive these identical kernels (same path
+// selection thresholds, same per-element accumulation order), which is what
+// makes the fused op bit-identical to its unfused composition at threads=1
+// and at any thread count.
+
+// out must be zero-initialised ([rows x cols]); computes out = a @ b.
+void MatMulForwardInto(const float* av, const float* bv, float* out, int rows,
+                       int inner, int cols) {
+  const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
+  if (rows >= kMatMulMinRowsForPack && flops >= kMatMulParallelFlops) {
+    // Blocked kernel: pack B^T once, then compute row panels of dots. The
+    // packed panel streams contiguously for every output row.
+    util::ThreadPool& pool = util::GlobalPool();
+    PooledFloats bt(AcquireBuffer(static_cast<size_t>(cols) * inner));
+    PackTranspose(bv, inner, cols, bt.data(), &pool);
+    const float* btv = bt.data();
+    pool.ParallelFor(0, rows, RowGrain(static_cast<int64_t>(inner) * cols),
+                     [&](int64_t lo, int64_t hi) {
+                       MatMulPanelDot(av, btv, out, lo, hi, inner, cols);
+                     });
+  } else {
+    // ikj ordering: streams through b row-wise, vectorises well.
+    for (int i = 0; i < rows; ++i) {
+      const float* __restrict arow = av + static_cast<size_t>(i) * inner;
+      float* __restrict orow = out + static_cast<size_t>(i) * cols;
+      for (int k = 0; k < inner; ++k) {
+        const float aval = arow[k];
+        if (aval == 0.0f) continue;
+        const float* __restrict brow = bv + static_cast<size_t>(k) * cols;
+        for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+// gav += gout @ b^T : [rows x cols] x [cols x inner]. Each dA[i,k] is a
+// fresh dot over j added once into the existing grad — b is streamed
+// row-contiguously, and the form is kept exactly as the scalar kernel so
+// in-place accumulation stays bit-identical.
+void MatMulAccumGradA(const float* gout, const float* bv, float* gav,
+                      int rows, int inner, int cols) {
+  const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
+  auto da_rows = [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* __restrict grow = gout + static_cast<size_t>(i) * cols;
+      float* __restrict garow = gav + static_cast<size_t>(i) * inner;
+      for (int k = 0; k < inner; ++k) {
+        const float* __restrict brow = bv + static_cast<size_t>(k) * cols;
+        float acc = 0.0f;
+        for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+        garow[k] += acc;
+      }
+    }
+  };
+  if (flops >= kMatMulParallelFlops && rows >= 2) {
+    util::GlobalPool().ParallelFor(
+        0, rows, RowGrain(static_cast<int64_t>(inner) * cols), da_rows);
+  } else {
+    da_rows(0, rows);
+  }
+}
+
+// gbv += a^T @ gout : [inner x rows] x [rows x cols]. Restructured k-outer
+// over a packed A^T so each dB row is produced by exactly one chunk and gb
+// is streamed once instead of once per i. Per (k,j) the accumulation stays
+// i-ascending with the same zero-skip, so bits match the i-outer scalar
+// kernel exactly.
+void MatMulAccumGradB(const float* gout, const float* av, float* gbv,
+                      int rows, int inner, int cols) {
+  const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
+  if (flops >= kMatMulParallelFlops && rows >= kMatMulMinRowsForPack) {
+    util::ThreadPool& pool = util::GlobalPool();
+    PooledFloats at(AcquireBuffer(static_cast<size_t>(inner) * rows));
+    PackTranspose(av, rows, inner, at.data(), &pool);
+    const float* atv = at.data();
+    pool.ParallelFor(
+        0, inner, RowGrain(static_cast<int64_t>(rows) * cols),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t k = lo; k < hi; ++k) {
+            const float* __restrict atrow = atv + static_cast<size_t>(k) * rows;
+            float* __restrict gbrow = gbv + static_cast<size_t>(k) * cols;
+            for (int i = 0; i < rows; ++i) {
+              const float aval = atrow[i];
+              if (aval == 0.0f) continue;
+              const float* __restrict grow =
+                  gout + static_cast<size_t>(i) * cols;
+              for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+            }
+          }
+        });
+  } else {
+    for (int i = 0; i < rows; ++i) {
+      const float* __restrict arow = av + static_cast<size_t>(i) * inner;
+      const float* __restrict grow = gout + static_cast<size_t>(i) * cols;
+      for (int k = 0; k < inner; ++k) {
+        const float aval = arow[k];
+        if (aval == 0.0f) continue;
+        float* __restrict gbrow = gbv + static_cast<size_t>(k) * cols;
+        for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   const auto& bv = b.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + bv[i];
@@ -127,7 +237,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   const auto& bv = b.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] - bv[i];
@@ -148,7 +258,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   const auto& bv = b.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * bv[i];
@@ -170,7 +280,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * s;
   return MakeResult(a.shape(), std::move(out), {a},
@@ -185,7 +295,7 @@ Tensor Scale(const Tensor& a, float s) {
 Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& s) {
   IMR_CHECK_EQ(s.size(), 1u);
   const float sv = s.data()[0];
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * sv;
   return MakeResult(a.shape(), std::move(out), {a, s},
@@ -208,7 +318,7 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& s) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + s;
   return MakeResult(a.shape(), std::move(out), {a},
@@ -221,7 +331,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
   return MakeResult(a.shape(), std::move(out), {a},
@@ -236,7 +346,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i)
     out[i] = 1.0f / (1.0f + std::exp(-av[i]));
@@ -252,7 +362,7 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
-  std::vector<float> out(a.size());
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] > 0 ? av[i] : 0.0f;
   return MakeResult(a.shape(), std::move(out), {a},
@@ -270,8 +380,10 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   IMR_CHECK(rng != nullptr);
   IMR_CHECK_LT(p, 1.0f);
   const float keep_scale = 1.0f / (1.0f - p);
-  std::vector<float> mask(a.size());
-  std::vector<float> out(a.size());
+  // The mask rides along in the backward closure; PooledFloats returns its
+  // storage to the pool when the graph node dies.
+  PooledFloats mask(AcquireBuffer(a.size()));
+  std::vector<float> out = AcquireBuffer(a.size());
   const auto& av = a.data();
   for (size_t i = 0; i < out.size(); ++i) {
     mask[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
@@ -294,112 +406,81 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   IMR_CHECK_EQ(b.shape()[0], inner);
   const int cols = b.shape()[1];
 
-  std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
-  const float* av = a.data().data();
-  const float* bv = b.data().data();
-  const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
-  if (rows >= kMatMulMinRowsForPack && flops >= kMatMulParallelFlops) {
-    // Blocked kernel: pack B^T once, then compute row panels of dots. The
-    // packed panel streams contiguously for every output row.
-    util::ThreadPool& pool = util::GlobalPool();
-    std::vector<float> bt(static_cast<size_t>(cols) * inner);
-    PackTranspose(bv, inner, cols, bt.data(), &pool);
-    pool.ParallelFor(0, rows,
-                     RowGrain(static_cast<int64_t>(inner) * cols),
-                     [&](int64_t lo, int64_t hi) {
-                       MatMulPanelDot(av, bt.data(), out.data(), lo, hi,
-                                      inner, cols);
-                     });
-  } else {
-    // ikj ordering: streams through b row-wise, vectorises well.
-    for (int i = 0; i < rows; ++i) {
-      const float* arow = av + static_cast<size_t>(i) * inner;
-      float* orow = out.data() + static_cast<size_t>(i) * cols;
-      for (int k = 0; k < inner; ++k) {
-        const float aval = arow[k];
-        if (aval == 0.0f) continue;
-        const float* brow = bv + static_cast<size_t>(k) * cols;
-        for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
-      }
-    }
-  }
+  std::vector<float> out =
+      AcquireBufferFill(static_cast<size_t>(rows) * cols, 0.0f);
+  MatMulForwardInto(a.data().data(), b.data().data(), out.data(), rows, inner,
+                    cols);
   std::vector<int> out_shape =
       lhs_vector ? std::vector<int>{cols} : std::vector<int>{rows, cols};
   return MakeResult(
       std::move(out_shape), std::move(out), {a, b},
       [a, b, rows, inner, cols](TensorImpl& self) {
         const float* gout = self.grad.data();
-        const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
-        const bool parallel = flops >= kMatMulParallelFlops;
         if (WantsGrad(a)) {
-          // dA = dOut * B^T : [rows x cols] x [cols x inner]. Each dA[i,k]
-          // is a fresh dot over j added once into the existing grad — b is
-          // streamed row-contiguously, and the form is kept exactly as the
-          // scalar kernel so in-place accumulation stays bit-identical.
-          auto* ga = GradOf(a);
-          float* gav = ga->data();
-          const float* bv = b.data().data();
-          auto da_rows = [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) {
-              const float* grow = gout + static_cast<size_t>(i) * cols;
-              float* garow = gav + static_cast<size_t>(i) * inner;
-              for (int k = 0; k < inner; ++k) {
-                const float* brow = bv + static_cast<size_t>(k) * cols;
-                float acc = 0.0f;
-                for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
-                garow[k] += acc;
-              }
-            }
-          };
-          if (parallel && rows >= 2) {
-            util::GlobalPool().ParallelFor(
-                0, rows, RowGrain(static_cast<int64_t>(inner) * cols),
-                da_rows);
-          } else {
-            da_rows(0, rows);
-          }
+          MatMulAccumGradA(gout, b.data().data(), GradOf(a)->data(), rows,
+                           inner, cols);
         }
         if (WantsGrad(b)) {
-          // dB = A^T * dOut : [inner x rows] x [rows x cols]. Restructured
-          // k-outer over a packed A^T so each dB row is produced by exactly
-          // one chunk and gb is streamed once instead of once per i (the
-          // old i-outer loop re-streamed the whole gb matrix `rows` times
-          // and read `a` column-wise from the k loop's perspective).
-          // Per (k,j) the accumulation stays i-ascending with the same
-          // zero-skip, so bits match the old kernel exactly.
-          auto* gb = GradOf(b);
-          float* gbv = gb->data();
-          const float* av = a.data().data();
-          if (parallel && rows >= kMatMulMinRowsForPack) {
-            util::ThreadPool& pool = util::GlobalPool();
-            std::vector<float> at(static_cast<size_t>(inner) * rows);
-            PackTranspose(av, rows, inner, at.data(), &pool);
-            pool.ParallelFor(
-                0, inner, RowGrain(static_cast<int64_t>(rows) * cols),
-                [&](int64_t lo, int64_t hi) {
-                  for (int64_t k = lo; k < hi; ++k) {
-                    const float* atrow = at.data() + static_cast<size_t>(k) * rows;
-                    float* gbrow = gbv + static_cast<size_t>(k) * cols;
-                    for (int i = 0; i < rows; ++i) {
-                      const float aval = atrow[i];
-                      if (aval == 0.0f) continue;
-                      const float* grow = gout + static_cast<size_t>(i) * cols;
-                      for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
-                    }
-                  }
-                });
-          } else {
-            for (int i = 0; i < rows; ++i) {
-              const float* arow = av + static_cast<size_t>(i) * inner;
-              const float* grow = gout + static_cast<size_t>(i) * cols;
-              for (int k = 0; k < inner; ++k) {
-                const float aval = arow[k];
-                if (aval == 0.0f) continue;
-                float* gbrow = gbv + static_cast<size_t>(k) * cols;
-                for (int j = 0; j < cols; ++j) gbrow[j] += aval * grow[j];
-              }
-            }
+          MatMulAccumGradB(gout, a.data().data(), GradOf(b)->data(), rows,
+                           inner, cols);
+        }
+      });
+}
+
+Tensor AffineTanh(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  const bool lhs_vector = (x.rank() == 1);
+  const int rows = lhs_vector ? 1 : x.shape()[0];
+  const int inner = lhs_vector ? x.shape()[0] : x.shape()[1];
+  IMR_CHECK_EQ(weight.rank(), 2);
+  IMR_CHECK_EQ(weight.shape()[0], inner);
+  const int cols = weight.shape()[1];
+  IMR_CHECK_EQ(static_cast<int>(bias.size()), cols);
+
+  // Same MatMul kernel (and path selection) as the unfused composition; the
+  // bias add and tanh fuse into one pass over the hot output instead of two
+  // extra node allocations and three extra sweeps.
+  std::vector<float> out =
+      AcquireBufferFill(static_cast<size_t>(rows) * cols, 0.0f);
+  MatMulForwardInto(x.data().data(), weight.data().data(), out.data(), rows,
+                    inner, cols);
+  const float* __restrict bv = bias.data().data();
+  for (int r = 0; r < rows; ++r) {
+    float* __restrict orow = out.data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] = std::tanh(orow[c] + bv[c]);
+  }
+  std::vector<int> out_shape =
+      lhs_vector ? std::vector<int>{cols} : std::vector<int>{rows, cols};
+  return MakeResult(
+      std::move(out_shape), std::move(out), {x, weight, bias},
+      [x, weight, bias, rows, inner, cols](TensorImpl& self) {
+        // d(pre-tanh) = gy * (1 - y^2). The leading `0.0f +` reproduces the
+        // unfused composition exactly: there Tanh's backward accumulates
+        // into the Add node's zero-initialised grad, which washes any -0.0f
+        // to +0.0f before it reaches the bias/matmul backward kernels.
+        const size_t n = self.grad.size();
+        PooledFloats g2(AcquireBuffer(n));
+        const float* __restrict gy = self.grad.data();
+        const float* __restrict y = self.value.data();
+        float* __restrict g2v = g2.data();
+        for (size_t i = 0; i < n; ++i) {
+          g2v[i] = 0.0f + gy[i] * (1.0f - y[i] * y[i]);
+        }
+        if (WantsGrad(bias)) {
+          // Row-sum in r-ascending order, exactly as AddRowVector's (or,
+          // for rank-1 x, Add's) backward accumulates into the bias.
+          float* __restrict gbv = GradOf(bias)->data();
+          for (int r = 0; r < rows; ++r) {
+            const float* __restrict grow = g2v + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) gbv[c] += grow[c];
           }
+        }
+        if (WantsGrad(x)) {
+          MatMulAccumGradA(g2v, weight.data().data(), GradOf(x)->data(), rows,
+                           inner, cols);
+        }
+        if (WantsGrad(weight)) {
+          MatMulAccumGradB(g2v, x.data().data(), GradOf(weight)->data(), rows,
+                           inner, cols);
         }
       });
 }
@@ -408,7 +489,7 @@ Tensor AddRowVector(const Tensor& m, const Tensor& v) {
   const int rows = m.rows();
   const int cols = m.cols();
   IMR_CHECK_EQ(static_cast<int>(v.size()), cols);
-  std::vector<float> out(m.size());
+  std::vector<float> out = AcquireBuffer(m.size());
   const auto& mv = m.data();
   const auto& vv = v.data();
   for (int r = 0; r < rows; ++r) {
@@ -439,7 +520,7 @@ Tensor RowwiseDot(const Tensor& x, const Tensor& q) {
   const int rows = x.shape()[0];
   const int cols = x.shape()[1];
   IMR_CHECK_EQ(static_cast<int>(q.size()), cols);
-  std::vector<float> out(rows, 0.0f);
+  std::vector<float> out = AcquireBuffer(rows);  // every out[r] is assigned
   const auto& xv = x.data();
   const auto& qv = q.data();
   for (int r = 0; r < rows; ++r) {
@@ -475,7 +556,7 @@ Tensor WeightedSumRows(const Tensor& x, const Tensor& w) {
   const int rows = x.shape()[0];
   const int cols = x.shape()[1];
   IMR_CHECK_EQ(static_cast<int>(w.size()), rows);
-  std::vector<float> out(cols, 0.0f);
+  std::vector<float> out = AcquireBufferFill(cols, 0.0f);
   const auto& xv = x.data();
   const auto& wv = w.data();
   for (int r = 0; r < rows; ++r)
@@ -509,7 +590,8 @@ Tensor Reshape(const Tensor& a, std::vector<int> shape) {
   size_t n = 1;
   for (int d : shape) n *= static_cast<size_t>(d);
   IMR_CHECK_EQ(n, a.size());
-  std::vector<float> out = a.data();
+  std::vector<float> out = AcquireBuffer(a.size());
+  std::copy(a.data().begin(), a.data().end(), out.begin());
   return MakeResult(std::move(shape), std::move(out), {a},
                     [a](TensorImpl& self) {
                       if (!WantsGrad(a)) return;
@@ -527,10 +609,13 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     IMR_CHECK_EQ(p.cols(), cols);
     total_rows += p.rows();
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(total_rows) * cols);
-  for (const Tensor& p : parts)
-    out.insert(out.end(), p.data().begin(), p.data().end());
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(total_rows) * cols);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out.begin() + offset);
+    offset += p.size();
+  }
   return MakeResult({total_rows, cols}, std::move(out),
                     std::vector<Tensor>(parts), [parts](TensorImpl& self) {
                       size_t offset = 0;
@@ -547,12 +632,16 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 
 Tensor ConcatVec(const std::vector<Tensor>& parts) {
   IMR_CHECK(!parts.empty());
-  std::vector<float> out;
   int total = 0;
   for (const Tensor& p : parts) {
     IMR_CHECK_EQ(p.rank(), 1);
     total += p.shape()[0];
-    out.insert(out.end(), p.data().begin(), p.data().end());
+  }
+  std::vector<float> out = AcquireBuffer(static_cast<size_t>(total));
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out.begin() + offset);
+    offset += p.size();
   }
   return MakeResult({total}, std::move(out), std::vector<Tensor>(parts),
                     [parts](TensorImpl& self) {
@@ -577,7 +666,8 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     IMR_CHECK_EQ(p.rows(), rows);
     total_cols += p.cols();
   }
-  std::vector<float> out(static_cast<size_t>(rows) * total_cols);
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(rows) * total_cols);
   int col_offset = 0;
   for (const Tensor& p : parts) {
     const int cols = p.cols();
@@ -615,9 +705,10 @@ Tensor Row(const Tensor& x, int r) {
   IMR_CHECK_GE(r, 0);
   IMR_CHECK_LT(r, x.shape()[0]);
   const int cols = x.shape()[1];
-  std::vector<float> out(
-      x.data().begin() + static_cast<size_t>(r) * cols,
-      x.data().begin() + static_cast<size_t>(r + 1) * cols);
+  std::vector<float> out = AcquireBuffer(static_cast<size_t>(cols));
+  std::copy(x.data().begin() + static_cast<size_t>(r) * cols,
+            x.data().begin() + static_cast<size_t>(r + 1) * cols,
+            out.begin());
   return MakeResult({cols}, std::move(out), {x},
                     [x, r, cols](TensorImpl& self) {
                       if (!WantsGrad(x)) return;
@@ -633,8 +724,9 @@ Tensor Slice(const Tensor& v, int start, int len) {
   IMR_CHECK_GE(start, 0);
   IMR_CHECK_GE(len, 0);
   IMR_CHECK_LE(start + len, v.shape()[0]);
-  std::vector<float> out(v.data().begin() + start,
-                         v.data().begin() + start + len);
+  std::vector<float> out = AcquireBuffer(static_cast<size_t>(len));
+  std::copy(v.data().begin() + start, v.data().begin() + start + len,
+            out.begin());
   return MakeResult({len}, std::move(out), {v},
                     [v, start, len](TensorImpl& self) {
                       if (!WantsGrad(v)) return;
@@ -648,7 +740,8 @@ Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
   IMR_CHECK_EQ(table.rank(), 2);
   const int vocab = table.shape()[0];
   const int dim = table.shape()[1];
-  std::vector<float> out(indices.size() * static_cast<size_t>(dim));
+  std::vector<float> out =
+      AcquireBuffer(indices.size() * static_cast<size_t>(dim));
   const auto& tv = table.data();
   for (size_t n = 0; n < indices.size(); ++n) {
     const int idx = indices[n];
@@ -674,7 +767,9 @@ Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
 Tensor Sum(const Tensor& a) {
   float acc = 0.0f;
   for (float v : a.data()) acc += v;
-  return MakeResult({1}, {acc}, {a}, [a](TensorImpl& self) {
+  std::vector<float> out = AcquireBuffer(1);
+  out[0] = acc;
+  return MakeResult({1}, std::move(out), {a}, [a](TensorImpl& self) {
     if (!WantsGrad(a)) return;
     auto* ga = GradOf(a);
     for (size_t i = 0; i < ga->size(); ++i) (*ga)[i] += self.grad[0];
@@ -686,7 +781,9 @@ Tensor Mean(const Tensor& a) {
   float acc = 0.0f;
   for (float v : a.data()) acc += v;
   const float inv = 1.0f / static_cast<float>(a.size());
-  return MakeResult({1}, {acc * inv}, {a}, [a, inv](TensorImpl& self) {
+  std::vector<float> out = AcquireBuffer(1);
+  out[0] = acc * inv;
+  return MakeResult({1}, std::move(out), {a}, [a, inv](TensorImpl& self) {
     if (!WantsGrad(a)) return;
     auto* ga = GradOf(a);
     for (size_t i = 0; i < ga->size(); ++i) (*ga)[i] += self.grad[0] * inv;
@@ -697,7 +794,7 @@ Tensor SumRows(const Tensor& x) {
   IMR_CHECK_EQ(x.rank(), 2);
   const int rows = x.shape()[0];
   const int cols = x.shape()[1];
-  std::vector<float> out(cols, 0.0f);
+  std::vector<float> out = AcquireBufferFill(cols, 0.0f);
   const auto& xv = x.data();
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c)
@@ -724,7 +821,8 @@ Tensor MaxOverRows(const Tensor& x) {
   const int rows = x.shape()[0];
   const int cols = x.shape()[1];
   IMR_CHECK_GT(rows, 0);
-  std::vector<float> out(cols, -std::numeric_limits<float>::infinity());
+  std::vector<float> out =
+      AcquireBufferFill(cols, -std::numeric_limits<float>::infinity());
   std::vector<int> argmax(cols, 0);
   const auto& xv = x.data();
   for (int r = 0; r < rows; ++r) {
@@ -753,7 +851,8 @@ Tensor PiecewiseMaxOverRows(const Tensor& x, int b1, int b2) {
   IMR_CHECK_GE(b1, 0);
   IMR_CHECK_LE(b1, b2);
   IMR_CHECK_LE(b2, rows);
-  std::vector<float> out(3 * static_cast<size_t>(cols), 0.0f);
+  std::vector<float> out =
+      AcquireBufferFill(3 * static_cast<size_t>(cols), 0.0f);
   // argmax = -1 marks an empty segment (output stays 0, no gradient).
   std::vector<int> argmax(3 * static_cast<size_t>(cols), -1);
   const auto& xv = x.data();
@@ -812,7 +911,7 @@ void SoftmaxRows(const float* in, float* out, int rows, int cols) {
 Tensor Softmax(const Tensor& x) {
   const int rows = x.rows();
   const int cols = x.cols();
-  std::vector<float> out(x.size());
+  std::vector<float> out = AcquireBuffer(x.size());
   SoftmaxRows(x.data().data(), out.data(), rows, cols);
   return MakeResult(
       x.shape(), std::move(out), {x}, [x, rows, cols](TensorImpl& self) {
@@ -832,7 +931,7 @@ Tensor Softmax(const Tensor& x) {
 Tensor LogSoftmax(const Tensor& x) {
   const int rows = x.rows();
   const int cols = x.cols();
-  std::vector<float> out(x.size());
+  std::vector<float> out = AcquireBuffer(x.size());
   const auto& xv = x.data();
   for (int r = 0; r < rows; ++r) {
     const float* irow = xv.data() + static_cast<size_t>(r) * cols;
@@ -865,8 +964,11 @@ Tensor CrossEntropyLoss(const Tensor& logits,
   const int rows = logits.rows();
   const int cols = logits.cols();
   IMR_CHECK_EQ(static_cast<size_t>(rows), labels.size());
-  // Forward: mean of -log softmax(logits)[r, labels[r]].
-  std::vector<float> probs(logits.size());
+  // Fused log-softmax + NLL: one softmax pass produces the probabilities the
+  // backward needs, and the loss reads only the label entries — no LogSoftmax
+  // node, no Gather node, no second pass over the logits. The probabilities
+  // ride along in the closure as pooled scratch.
+  PooledFloats probs(AcquireBuffer(logits.size()));
   SoftmaxRows(logits.data().data(), probs.data(), rows, cols);
   float loss = 0.0f;
   for (int r = 0; r < rows; ++r) {
@@ -877,16 +979,19 @@ Tensor CrossEntropyLoss(const Tensor& logits,
     loss -= std::log(std::max(p, 1e-12f));
   }
   loss /= static_cast<float>(rows);
+  std::vector<float> out = AcquireBuffer(1);
+  out[0] = loss;
   return MakeResult(
-      {1}, {loss}, {logits},
+      {1}, std::move(out), {logits},
       [logits, labels, probs = std::move(probs), rows,
        cols](TensorImpl& self) {
         if (!WantsGrad(logits)) return;
         auto* gx = GradOf(logits);
         const float scale = self.grad[0] / static_cast<float>(rows);
         for (int r = 0; r < rows; ++r) {
-          const float* prow = probs.data() + static_cast<size_t>(r) * cols;
-          float* grow = gx->data() + static_cast<size_t>(r) * cols;
+          const float* __restrict prow =
+              probs.data() + static_cast<size_t>(r) * cols;
+          float* __restrict grow = gx->data() + static_cast<size_t>(r) * cols;
           for (int c = 0; c < cols; ++c) grow[c] += scale * prow[c];
           grow[labels[r]] -= scale;
         }
@@ -905,7 +1010,8 @@ Tensor Conv1dSame(const Tensor& x, const Tensor& weight, const Tensor& bias,
   IMR_CHECK_EQ(static_cast<int>(bias.size()), filters);
   const int half = window / 2;
 
-  std::vector<float> out(static_cast<size_t>(time) * filters);
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(time) * filters);
   const float* xv = x.data().data();
   const float* wv = weight.data().data();
   const float* bv = bias.data().data();

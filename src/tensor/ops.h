@@ -46,6 +46,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// Adds a row vector v [C] (or [1 x C]) to every row of m [R x C].
 Tensor AddRowVector(const Tensor& m, const Tensor& v);
 
+/// Fused Tanh(x @ weight + bias): one kernel, one output node, no
+/// intermediate MatMul/Add tensors. Drives the same MatMul kernels as the
+/// unfused composition, so forward and backward are bit-identical to
+/// Tanh(AddRowVector(MatMul(x, weight), bias)) (or the Add form for rank-1
+/// x) at any thread count. x: [R x K] or rank-1 [K]; weight: [K x C];
+/// bias: [C].
+Tensor AffineTanh(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
 /// Dot product of each row of x [N x C] with q [C] -> [N].
 Tensor RowwiseDot(const Tensor& x, const Tensor& q);
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/buffer_pool.h"
 #include "util/logging.h"
 
 namespace imr::tensor {
@@ -19,6 +20,13 @@ size_t ShapeSize(const std::vector<int>& shape) {
   }
   return n;
 }
+
+// Nodes come from the byte pool (block + control block in one recycled
+// allocation) so steady-state graph construction never hits the heap.
+std::shared_ptr<internal::TensorImpl> NewImpl() {
+  return std::allocate_shared<internal::TensorImpl>(
+      internal::PoolAllocator<internal::TensorImpl>());
+}
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
@@ -31,8 +39,8 @@ Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(std::vector<int> shape, float fill, bool requires_grad) {
-  auto impl = std::make_shared<internal::TensorImpl>();
-  impl->value.assign(ShapeSize(shape), fill);
+  auto impl = NewImpl();
+  impl->value = internal::AcquireBufferFill(ShapeSize(shape), fill);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
@@ -41,7 +49,7 @@ Tensor Tensor::Full(std::vector<int> shape, float fill, bool requires_grad) {
 Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data,
                         bool requires_grad) {
   IMR_CHECK_EQ(ShapeSize(shape), data.size());
-  auto impl = std::make_shared<internal::TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = std::move(shape);
   impl->value = std::move(data);
   impl->requires_grad = requires_grad;
@@ -197,6 +205,23 @@ std::string Tensor::DebugString() const {
 
 namespace internal {
 
+TensorImpl::~TensorImpl() {
+  ReleaseBuffer(std::move(value));
+  ReleaseBuffer(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  const size_t n = value.size();
+  if (grad.size() == n) return;
+  if (grad.capacity() >= n) {
+    grad.resize(n);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+  } else {
+    ReleaseBuffer(std::move(grad));
+    grad = AcquireBufferFill(n, 0.0f);
+  }
+}
+
 namespace {
 thread_local ScopedGradSink* g_active_sink = nullptr;
 }  // namespace
@@ -205,7 +230,12 @@ ScopedGradSink::ScopedGradSink() : previous_(g_active_sink) {
   g_active_sink = this;
 }
 
-ScopedGradSink::~ScopedGradSink() { Deactivate(); }
+ScopedGradSink::~ScopedGradSink() {
+  Deactivate();
+  // Buffers return to the destroying thread's pool (typically the merging
+  // thread), keeping the steady-state parallel step allocation-free.
+  for (Entry& entry : entries_) ReleaseBuffer(std::move(entry.grad));
+}
 
 void ScopedGradSink::Deactivate() {
   if (active_) {
@@ -219,7 +249,7 @@ std::vector<float>* ScopedGradSink::BufferFor(
   auto it = index_.find(impl.get());
   if (it == index_.end()) {
     it = index_.emplace(impl.get(), entries_.size()).first;
-    entries_.push_back({impl, std::vector<float>(impl->value.size(), 0.0f)});
+    entries_.push_back({impl, AcquireBufferFill(impl->value.size(), 0.0f)});
   }
   return &entries_[it->second].grad;
 }
@@ -247,7 +277,7 @@ std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>& impl) {
 Tensor MakeResult(std::vector<int> shape, std::vector<float> value,
                   std::vector<Tensor> parents,
                   std::function<void(TensorImpl&)> backward) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = std::move(shape);
   impl->value = std::move(value);
   bool any_grad = false;

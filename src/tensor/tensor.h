@@ -31,10 +31,14 @@ struct TensorImpl {
   // Reads this->grad, accumulates into parents' grads. Null for leaves.
   std::function<void(TensorImpl&)> backward_fn;
 
+  TensorImpl() = default;
+  // Returns value/grad storage to the destroying thread's buffer pool.
+  ~TensorImpl();
+
   size_t size() const { return value.size(); }
-  void EnsureGrad() {
-    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
-  }
+  // Makes grad a zeroed buffer the length of value, reusing existing
+  // capacity when possible (no-op when the length already matches).
+  void EnsureGrad();
 };
 
 }  // namespace internal

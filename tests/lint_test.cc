@@ -207,10 +207,57 @@ TEST(LintTest, FormatFindingIsFileLineRule) {
   EXPECT_EQ(formatted.rfind("src/nn/f.cc:1: [no-throw]", 0), 0u) << formatted;
 }
 
+TEST(LintTest, KernelAllocFiresOnNakedVectorInOpsCc) {
+  const std::string source =
+      "namespace imr::tensor {\n"
+      "void Kernel(int n) {\n"
+      "  std::vector<float> scratch(static_cast<size_t>(n));\n"
+      "  (void)scratch;\n"
+      "}\n"
+      "}  // namespace imr::tensor\n";
+  const auto findings = LintSource("src/tensor/ops.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "kernel-alloc");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, KernelAllocFiresOnBraceInitAndTemporary) {
+  const std::string source =
+      "void A() { std::vector<float> buf{1.0f, 2.0f}; (void)buf; }\n"
+      "void B(std::vector<float>* out) { *out = std::vector<float>(8); }\n";
+  const auto findings = LintSource("src/tensor/ops.cc", source);
+  EXPECT_EQ(Rules(findings),
+            (std::vector<std::string>{"kernel-alloc", "kernel-alloc"}));
+}
+
+TEST(LintTest, KernelAllocIgnoresPoolAcquiresAndReferences) {
+  const std::string source =
+      "std::vector<float> out = AcquireBuffer(n);\n"
+      "const std::vector<float>& view = out;\n"
+      "std::vector<float>* GradOf();\n"
+      "std::vector<std::vector<float>> buckets;\n";
+  EXPECT_TRUE(LintSource("src/tensor/ops.cc", source).empty());
+}
+
+TEST(LintTest, KernelAllocOnlyAppliesToOpsCc) {
+  const std::string source =
+      "void Helper() { std::vector<float> tmp(4); (void)tmp; }\n";
+  EXPECT_TRUE(LintSource("src/tensor/tensor.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/nn/layers.cc", source).empty());
+}
+
+TEST(LintTest, KernelAllocHonorsAllowEscape) {
+  const std::string source =
+      "// imr-lint: allow(kernel-alloc)\n"
+      "std::vector<float> tmp(4);\n";
+  EXPECT_TRUE(LintSource("src/tensor/ops.cc", source).empty());
+}
+
 TEST(LintTest, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
       "no-raw-random", "no-naked-new", "no-throw",
-      "no-iostream",   "mutex-guard",  "include-hygiene"};
+      "no-iostream",   "mutex-guard",  "include-hygiene",
+      "kernel-alloc"};
   EXPECT_EQ(RuleIds(), expected);
 }
 

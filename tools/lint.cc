@@ -138,6 +138,7 @@ class Linter {
       if (!is_logging) CheckIostream();
       CheckMutexGuard();
     }
+    if (relpath_ == "src/tensor/ops.cc") CheckKernelAlloc();
     CheckIncludeHygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -254,6 +255,27 @@ class Linter {
     }
   }
 
+  // The tensor kernels promise an allocation-free steady state: every
+  // buffer comes from tensor/buffer_pool.h. A naked std::vector<float>
+  // constructed in src/tensor/ops.cc bypasses the pool and reintroduces a
+  // heap allocation on the hot path. Matches `std::vector<float> name(...)`,
+  // `std::vector<float> name{...}` and `std::vector<float>(...)`
+  // temporaries; declarations initialised from a pool call
+  // (`std::vector<float> out = AcquireBuffer(n)`), references, pointers and
+  // nested vector types don't construct a fresh buffer and are left alone.
+  void CheckKernelAlloc() {
+    static const std::regex kPattern(
+        R"(std::vector<float>\s*(?:[A-Za-z_]\w*\s*)?[({])");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      if (std::regex_search(scan_.code[i], kPattern)) {
+        Add("kernel-alloc", i,
+            "naked std::vector<float> construction on the kernel hot path; "
+            "acquire storage from tensor/buffer_pool.h (AcquireBuffer / "
+            "AcquireBufferFill) so steady-state steps stay allocation-free");
+      }
+    }
+  }
+
   // A mutex member in a class with no IMR_GUARDED_BY anywhere in the class
   // body means the lock protects... nothing the analysis can see. Either
   // annotate what it guards or document why not (allow).
@@ -356,7 +378,8 @@ std::vector<std::string> SplitLines(const std::string& content) {
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
       "no-raw-random", "no-naked-new",      "no-throw",
-      "no-iostream",   "mutex-guard",       "include-hygiene"};
+      "no-iostream",   "mutex-guard",       "include-hygiene",
+      "kernel-alloc"};
   return kRules;
 }
 
