@@ -1,16 +1,23 @@
 // Kernel-level benchmark for the allocation-free hot path: per-op
 // ns/element, buffer-pool acquisitions per step, fused-vs-unfused kernel
-// times, and pooled-vs-unpooled training-step times. Results go to
-// bench_results/BENCH_kernels.json (and a human-readable table on stdout).
+// times, pooled-vs-unpooled training-step times, and row-sparse vs dense
+// embedding-step times over NYT-preset vocab sizes. Results go to
+// bench_results/BENCH_kernels.json + bench_results/BENCH_sparse.json (and a
+// human-readable table on stdout).
 //
 // Modes:
-//   bench_kernels            full sizes, writes BENCH_kernels.json
+//   bench_kernels            full sizes, writes BENCH_kernels.json and
+//                            BENCH_sparse.json
 //   bench_kernels --smoke    tiny sizes, no JSON; exits non-zero when the
-//                            warmed-up training step reports any pool miss.
+//                            warmed-up training step reports any pool miss
+//                            or the embedding step performs a dense
+//                            full-table gradient scan (SparseGradStats
+//                            dense_fallbacks != 0 or the touched-row count
+//                            is not a strict subset of the table).
 //                            scripts/check.sh runs this as its bench-smoke
-//                            stage, so an allocation regression on the hot
-//                            path fails CI even without running the full
-//                            benchmark.
+//                            stage, so an allocation or sparsity regression
+//                            on the hot path fails CI even without running
+//                            the full benchmark.
 //
 // Everything runs at threads = 1: these are single-kernel measurements, and
 // a single thread makes the steady-state pool-counter assertions exact.
@@ -137,6 +144,28 @@ struct OpRow {
   }
 };
 
+// One row-sparse vs dense A/B at a fixed vocab size: the same
+// embedding-dominated training step run on two identically-initialized
+// models, one with the table's row-sparse gradient path (the default), one
+// with it disabled. `rows_*` / `fallbacks` are exact per-5-step counters
+// sampled after warmup.
+struct SparseRow {
+  int vocab = 0;
+  int dim = 0;
+  int batch = 0;
+  Timed sparse;
+  Timed dense;
+  uint64_t rows_touched = 0;  // over the 5 sampled steady-state steps
+  uint64_t rows_total = 0;
+  uint64_t dense_fallbacks = 0;
+
+  double speedup() const {
+    return sparse.ns_per_call > 0
+               ? dense.ns_per_call / sparse.ns_per_call
+               : 0.0;
+  }
+};
+
 struct Report {
   bool smoke = false;
   std::vector<OpRow> ops;
@@ -146,6 +175,8 @@ struct Report {
   // Fused AffineTanh vs the MatMul+AddRowVector+Tanh composition.
   Timed affine_fused;
   Timed affine_unfused;
+  // Row-sparse vs dense embedding steps, one row per vocab size.
+  std::vector<SparseRow> sparse_steps;
 };
 
 // The same representative model the buffer-pool tests train: embedding
@@ -286,6 +317,71 @@ Report RunAll(bool smoke) {
     RunPair(step, step_unpooled, warmup, min_seconds, &report.step_pooled,
             &report.step_unpooled);
   }
+
+  // Row-sparse vs dense embedding steps over the NYT-preset vocab sizes
+  // (114042 is the NYT-10 word vocabulary; dim 50 the paper's word dim).
+  // Both models start from identical weights; the dense twin has the
+  // table's row-sparse gradient path switched off, so its clip-norm
+  // reduction, update and ZeroGrad all walk the full vocab × dim table
+  // while the sparse run walks only the rows the batch gathered.
+  {
+    const std::vector<int> vocabs =
+        smoke ? std::vector<int>{64} : std::vector<int>{2000, 20000, 114042};
+    const int dim = smoke ? 8 : 50;
+    const int hidden = smoke ? 8 : 32;
+    const int classes = smoke ? 4 : 53;
+    const int batch = smoke ? 8 : 256;  // batch-typical touched rows
+    for (int vocab : vocabs) {
+      SparseRow row;
+      row.vocab = vocab;
+      row.dim = dim;
+      row.batch = batch;
+      util::Rng sparse_init(101);
+      util::Rng dense_init(101);
+      StepModel sparse_model(vocab, dim, hidden, classes, &sparse_init);
+      StepModel dense_model(vocab, dim, hidden, classes, &dense_init);
+      for (nn::NamedParameter& p : dense_model.Parameters())
+        p.tensor.set_row_sparse_grad(false);
+      nn::Sgd sparse_opt(&sparse_model, 0.3f, 0.0f, /*clip_norm=*/1.0f);
+      nn::Sgd dense_opt(&dense_model, 0.3f, 0.0f, /*clip_norm=*/1.0f);
+      std::vector<int> indices(static_cast<size_t>(batch));
+      std::vector<int> labels(static_cast<size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        indices[static_cast<size_t>(i)] =
+            static_cast<int>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+        labels[static_cast<size_t>(i)] =
+            static_cast<int>(rng.UniformInt(static_cast<uint64_t>(classes)));
+      }
+      auto make_step = [&indices, &labels](StepModel* model, nn::Sgd* opt) {
+        return [model, opt, &indices, &labels] {
+          Tensor emb = model->embed.Forward(indices);
+          Tensor h = model->proj.ForwardTanh(emb);
+          Tensor logits = model->out.Forward(h);
+          Tensor loss = tensor::CrossEntropyLoss(logits, labels);
+          loss.Backward();
+          opt->Step();
+          g_sink = g_sink + loss.item();
+        };
+      };
+      auto sparse_step = make_step(&sparse_model, &sparse_opt);
+      auto dense_step = make_step(&dense_model, &dense_opt);
+      RunPair(sparse_step, dense_step, warmup, min_seconds, &row.sparse,
+              &row.dense);
+      // Exact steady-state sparsity counters over 5 post-warmup steps. The
+      // dense twin's table is not sparse-capable, so it contributes nothing
+      // here; any dense fallback therefore means the sparse model's own
+      // step scanned the full table.
+      tensor::ResetSparseGradStats();
+      for (int i = 0; i < 5; ++i) sparse_step();
+      const tensor::SparseGradStatsSnapshot stats =
+          tensor::SparseGradStats();
+      row.rows_touched = stats.rows_touched;
+      row.rows_total = stats.rows_total;
+      row.dense_fallbacks = stats.dense_fallbacks;
+      report.sparse_steps.push_back(row);
+    }
+    tensor::ResetSparseGradStats();
+  }
   return report;
 }
 
@@ -316,6 +412,16 @@ void PrintReport(const Report& r) {
               r.step_unpooled.ns_per_call,
               r.step_pooled.acquires_per_call,
               static_cast<unsigned long long>(r.step_pooled.misses));
+  for (const SparseRow& s : r.sparse_steps) {
+    std::printf("embed step  vocab=%-7d sparse %12.0f ns/step (%.2fx vs "
+                "dense %12.0f ns/step), touched %llu/%llu rows over 5 "
+                "steps, %llu dense fallbacks\n",
+                s.vocab, s.sparse.ns_per_call, s.speedup(),
+                s.dense.ns_per_call,
+                static_cast<unsigned long long>(s.rows_touched),
+                static_cast<unsigned long long>(s.rows_total),
+                static_cast<unsigned long long>(s.dense_fallbacks));
+  }
 }
 
 void WriteTimedJson(std::FILE* out, const char* name, const Timed& t,
@@ -359,6 +465,33 @@ bool WriteJson(const Report& r, const std::string& path) {
   return true;
 }
 
+// The sparse-vs-dense A/B gets its own file so the README can cite it and
+// downstream tooling can diff embedding-step numbers without parsing the
+// kernel table.
+bool WriteSparseJson(const Report& r, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"threads\": 1,\n  \"optimizer\": \"sgd\",\n"
+                    "  \"clip_norm\": 1.0,\n  \"sparse_steps\": [\n");
+  for (size_t i = 0; i < r.sparse_steps.size(); ++i) {
+    const SparseRow& s = r.sparse_steps[i];
+    std::fprintf(
+        out,
+        "    {\"vocab\": %d, \"dim\": %d, \"batch\": %d, "
+        "\"sparse_ns_per_step\": %.1f, \"dense_ns_per_step\": %.1f, "
+        "\"sparse_speedup\": %.4f, \"rows_touched\": %llu, "
+        "\"rows_total\": %llu, \"dense_fallbacks\": %llu}%s\n",
+        s.vocab, s.dim, s.batch, s.sparse.ns_per_call, s.dense.ns_per_call,
+        s.speedup(), static_cast<unsigned long long>(s.rows_touched),
+        static_cast<unsigned long long>(s.rows_total),
+        static_cast<unsigned long long>(s.dense_fallbacks),
+        i + 1 < r.sparse_steps.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -379,9 +512,28 @@ int Main(int argc, char** argv) {
                        report.step_pooled.misses));
       return 1;
     }
+    // Second gate: a steady-state embedding step must stay row-sparse — no
+    // dense full-table gradient scan, and the touched-row count must be a
+    // non-empty strict subset of the table.
+    for (const SparseRow& s : report.sparse_steps) {
+      if (s.dense_fallbacks != 0 || s.rows_touched == 0 ||
+          s.rows_touched >= s.rows_total) {
+        std::fprintf(stderr,
+                     "[bench_kernels] FAIL: embedding step at vocab=%d lost "
+                     "row sparsity (touched %llu/%llu rows, %llu dense "
+                     "fallbacks; expected 0 fallbacks and 0 < touched < "
+                     "total)\n",
+                     s.vocab,
+                     static_cast<unsigned long long>(s.rows_touched),
+                     static_cast<unsigned long long>(s.rows_total),
+                     static_cast<unsigned long long>(s.dense_fallbacks));
+        return 1;
+      }
+    }
     std::fprintf(stderr,
                  "[bench_kernels] smoke OK: steady-state training step ran "
-                 "with zero pool misses\n");
+                 "with zero pool misses and zero dense full-table gradient "
+                 "scans\n");
     return 0;
   }
 
@@ -391,8 +543,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "[bench_kernels] results written to %s\n",
-               path.c_str());
+  const std::string sparse_path = "bench_results/BENCH_sparse.json";
+  if (!WriteSparseJson(report, sparse_path)) {
+    std::fprintf(stderr, "cannot write %s\n", sparse_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_kernels] results written to %s and %s\n",
+               path.c_str(), sparse_path.c_str());
   return 0;
 }
 

@@ -10,7 +10,11 @@
 // machine-readable bench_results/BENCH_parallel.json, so every later PR has
 // a perf trajectory to compare against. Each row also records the tensor
 // buffer-pool hit/miss counts for its timed region (warmup excluded), so a
-// steady-state allocation regression shows up as pool_misses > 0. Pass
+// steady-state allocation regression shows up as pool_misses > 0, and the
+// row-sparse gradient counters (rows_touched / rows_total), so a sweep row
+// whose touch rate creeps toward 1.0 flags a sparsity regression. The sweep
+// includes embedding-dominated train steps over a vocab sweep up to the
+// NYT-10 word vocabulary, where those columns are the interesting ones. Pass
 // --skip_scaling to go straight to google-benchmark, --scaling_only to stop
 // after the sweep, or --warmup_iters=N to grow the untimed warmup.
 #include <benchmark/benchmark.h>
@@ -28,6 +32,9 @@
 #include "graph/proximity_graph.h"
 #include "nn/encoders.h"
 #include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
 #include "re/bag_dataset.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
@@ -190,6 +197,26 @@ struct ScalingRow {
   // allocation regression on that path.
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  // Row-sparse gradient traffic during the timed region: rows the
+  // optimizer walked vs rows a dense pass would have walked. 0/0 for
+  // benches with no row-sparse parameters; for the embed_step sweep a
+  // touch rate near 1.0 (or rows_total inflated by dense fallbacks) flags
+  // a sparsity regression.
+  uint64_t rows_touched = 0;
+  uint64_t rows_total = 0;
+};
+
+// Embedding-dominated training step for the vocab sweep: table lookup,
+// linear head, cross-entropy, fused SGD update. Dominated by the gradient
+// path of the `vocab × dim` table, which is the point.
+struct EmbedStepModel : nn::Module {
+  EmbedStepModel(int vocab, int dim, int classes, util::Rng* rng)
+      : embed(vocab, dim, rng), out(dim, classes, rng) {
+    RegisterChild("embed", &embed);
+    RegisterChild("out", &out);
+  }
+  nn::Embedding embed;
+  nn::Linear out;
 };
 
 // Warmup calls before the timed region; --warmup_iters=N overrides. More
@@ -198,15 +225,17 @@ struct ScalingRow {
 int g_warmup_iters = 1;
 
 // Calls `body` (which performs `ops_per_call` units of work) repeatedly for
-// at least `min_seconds` of wall clock and returns ops/sec. Pool counters
-// are reset after warmup so the caller can read the timed region's traffic
-// from tensor::PoolStats().
+// at least `min_seconds` of wall clock and returns ops/sec. Pool and
+// sparse-gradient counters are reset after warmup so the caller can read
+// the timed region's traffic from tensor::PoolStats() /
+// tensor::SparseGradStats().
 template <typename Body>
 double MeasureOpsPerSec(const Body& body, double ops_per_call,
                         double min_seconds = 0.2) {
   using clock = std::chrono::steady_clock;
   for (int i = 0; i < g_warmup_iters; ++i) body();
   tensor::ResetPoolStats();
+  tensor::ResetSparseGradStats();
   int64_t calls = 0;
   const auto start = clock::now();
   double elapsed = 0.0;
@@ -246,16 +275,45 @@ void RunScalingSweep() {
   const double line_ops = static_cast<double>(graph.edges().size()) *
                           static_cast<double>(line_samples_per_edge);
 
+  // Vocab sweep for the embedding step, up to the NYT-10 word vocabulary.
+  // The models persist across thread counts (training just keeps going);
+  // what the sweep measures is steady-state step throughput and the
+  // touched-row fraction, neither of which cares about the weights.
+  const std::vector<int> embed_vocabs = {2000, 20000, 114042};
+  const int embed_dim = 50, embed_classes = 53, embed_batch = 128;
+  std::vector<std::unique_ptr<EmbedStepModel>> embed_models;
+  std::vector<std::unique_ptr<nn::Sgd>> embed_opts;
+  std::vector<std::vector<int>> embed_indices, embed_labels;
+  for (int vocab : embed_vocabs) {
+    embed_models.push_back(std::make_unique<EmbedStepModel>(
+        vocab, embed_dim, embed_classes, &rng));
+    embed_opts.push_back(std::make_unique<nn::Sgd>(
+        embed_models.back().get(), 0.3f, 0.0f, /*clip_norm=*/1.0f));
+    std::vector<int> indices(static_cast<size_t>(embed_batch));
+    std::vector<int> labels(static_cast<size_t>(embed_batch));
+    for (int i = 0; i < embed_batch; ++i) {
+      indices[static_cast<size_t>(i)] =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+      labels[static_cast<size_t>(i)] = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(embed_classes)));
+    }
+    embed_indices.push_back(std::move(indices));
+    embed_labels.push_back(std::move(labels));
+  }
+
   for (int threads : thread_counts) {
     util::SetGlobalThreads(threads);
 
-    // MeasureOpsPerSec resets the pool counters after warmup, so the
-    // snapshot taken here covers exactly the timed region.
+    // MeasureOpsPerSec resets the pool and sparse-gradient counters after
+    // warmup, so the snapshots taken here cover exactly the timed region.
     auto add_row = [&rows, threads](const std::string& name,
                                     double ops_per_sec) {
       const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
+      const tensor::SparseGradStatsSnapshot sparse =
+          tensor::SparseGradStats();
       rows.push_back({name, threads, ops_per_sec, 1.0, pool.total_hits(),
-                      pool.total_misses()});
+                      pool.total_misses(), sparse.rows_touched,
+                      sparse.rows_total});
     };
 
     add_row("matmul256_forward",
@@ -296,6 +354,22 @@ void RunScalingSweep() {
                       graph::TrainLine(graph, config));
                 },
                 line_ops, /*min_seconds=*/0.5));
+
+    for (size_t vi = 0; vi < embed_vocabs.size(); ++vi) {
+      EmbedStepModel& model = *embed_models[vi];
+      nn::Sgd& opt = *embed_opts[vi];
+      const std::vector<int>& indices = embed_indices[vi];
+      const std::vector<int>& labels = embed_labels[vi];
+      add_row("embed_step_v" + std::to_string(embed_vocabs[vi]),
+              MeasureOpsPerSec(
+                  [&] {
+                    tensor::Tensor e = model.embed.Forward(indices);
+                    tensor::Tensor logits = model.out.Forward(e);
+                    tensor::CrossEntropyLoss(logits, labels).Backward();
+                    opt.Step();
+                  },
+                  static_cast<double>(embed_batch)));
+    }
   }
   util::SetGlobalThreads(0);  // restore default for the benchmark suite
 
@@ -314,14 +388,17 @@ void RunScalingSweep() {
   {
     util::TsvWriter writer("bench_results/micro_scaling.tsv");
     writer.WriteRow({"bench", "threads", "ops_per_sec", "speedup_vs_1",
-                     "pool_hits", "pool_misses"});
+                     "pool_hits", "pool_misses", "rows_touched",
+                     "rows_total"});
     for (const ScalingRow& row : rows) {
       char ops[64], speedup[64];
       std::snprintf(ops, sizeof(ops), "%.3e", row.ops_per_sec);
       std::snprintf(speedup, sizeof(speedup), "%.3f", row.speedup);
       writer.WriteRow({row.bench, std::to_string(row.threads), ops, speedup,
                        std::to_string(row.pool_hits),
-                       std::to_string(row.pool_misses)});
+                       std::to_string(row.pool_misses),
+                       std::to_string(row.rows_touched),
+                       std::to_string(row.rows_total)});
     }
     util::Status status = writer.Close();
     if (!status.ok())
@@ -341,11 +418,14 @@ void RunScalingSweep() {
       std::fprintf(out,
                    "    {\"bench\": \"%s\", \"threads\": %d, "
                    "\"ops_per_sec\": %.6e, \"speedup_vs_1\": %.4f, "
-                   "\"pool_hits\": %llu, \"pool_misses\": %llu}%s\n",
+                   "\"pool_hits\": %llu, \"pool_misses\": %llu, "
+                   "\"rows_touched\": %llu, \"rows_total\": %llu}%s\n",
                    row.bench.c_str(), row.threads, row.ops_per_sec,
                    row.speedup,
                    static_cast<unsigned long long>(row.pool_hits),
                    static_cast<unsigned long long>(row.pool_misses),
+                   static_cast<unsigned long long>(row.rows_touched),
+                   static_cast<unsigned long long>(row.rows_total),
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification matrix: plain build + ctest, the kernel-benchmark smoke
-# gate (zero pool misses in a warmed-up training step), ThreadSanitizer,
+# gate (zero pool misses and zero dense full-table gradient scans in a
+# warmed-up training step), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
 # analysis build, and the project linter. Each stage reports pass/fail/skip
 # and the script exits nonzero if anything failed.
@@ -53,7 +54,8 @@ run_stage "build+ctest" build_and_test build -DCMAKE_BUILD_TYPE=Release --
 
 # 1b. Kernel benchmark smoke: tiny sizes, exits nonzero if a warmed-up
 # training step reports any buffer-pool miss (an allocation crept back onto
-# the hot path).
+# the hot path) or if the steady-state embedding step loses row sparsity
+# (SparseGradStats reports a dense full-table gradient scan).
 if [ -x build/bench/bench_kernels ]; then
   run_stage "bench-smoke" build/bench/bench_kernels --smoke
 else

@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/init.h"
@@ -36,6 +37,10 @@ Embedding::Embedding(int vocab_size, int dim, util::Rng* rng,
                         : std::sqrt(6.0f / static_cast<float>(dim));
   table_ =
       RegisterParameter("table", UniformInit({vocab_size, dim}, bound, rng));
+  // Gradients only ever arrive through GatherRows' backward, so the table
+  // qualifies for row-sparse gradient handling (optimizers and ZeroGrad
+  // walk touched rows only; see tensor.h).
+  table_.set_row_sparse_grad(true);
 }
 
 tensor::Tensor Embedding::Forward(const std::vector<int>& indices) const {
@@ -49,7 +54,11 @@ util::Status Embedding::SetWeights(const std::vector<float>& values) {
         std::to_string(table_.size()) + ", got " +
         std::to_string(values.size()));
   }
-  table_.mutable_data() = values;
+  // Copy element-wise into the existing storage: vector assignment would
+  // reallocate, dropping the pooled buffer's capacity and invalidating the
+  // data-pointer stability a warmed-up training step relies on.
+  auto& data = table_.mutable_data();
+  std::copy(values.begin(), values.end(), data.begin());
   return util::OkStatus();
 }
 

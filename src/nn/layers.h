@@ -43,7 +43,8 @@ class Embedding : public Module {
   tensor::Tensor Forward(const std::vector<int>& indices) const;
 
   /// Overwrites the table rows with pre-trained values [vocab x dim];
-  /// used to load LINE entity embeddings.
+  /// used to load LINE entity embeddings. Copies element-wise into the
+  /// existing storage so the pooled buffer and its data pointer survive.
   [[nodiscard]] util::Status SetWeights(const std::vector<float>& values);
 
   int vocab_size() const { return vocab_size_; }

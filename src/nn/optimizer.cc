@@ -1,6 +1,9 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <cstddef>
+
+#include "tensor/tensor.h"
 
 namespace imr::nn {
 
@@ -9,7 +12,9 @@ namespace {
 // In-place AXPY-style parameter updates. Raw __restrict pointer loops the
 // compiler can vectorise; the float expressions keep the exact association
 // and operation order of the original element loops, so the fused updates
-// are bit-identical to the code they replace.
+// are bit-identical to the code they replace. The row-sparse paths below
+// call the same kernels on row slices, which keeps per-element arithmetic
+// (and therefore the result bits) identical to a full dense pass.
 
 void SgdUpdateInPlace(float* __restrict v, const float* __restrict g,
                       size_t n, float lr, float scale, float weight_decay) {
@@ -47,12 +52,54 @@ void AdamUpdateInPlace(float* __restrict v, float* __restrict m,
   }
 }
 
+// Sanctioned gradient readers. These are the only places optimizers walk a
+// gradient buffer, so the row-sparse/dense split lives here; the imr_lint
+// rule `optimizer-dense-grad` flags ad-hoc full-gradient loops added
+// elsewhere in this file.
+
+// Sum of squared gradient elements. Walks only touched rows when the
+// gradient is row-sparse — untouched rows are all-zero and a square is
+// never -0.0, so skipping them adds exactly 0.0 and the double total is
+// bit-identical to the dense scan.
+double GradSquaredSum(const tensor::Tensor& p) {
+  const auto& g = p.grad();
+  if (g.empty()) return 0.0;
+  double total = 0.0;
+  if (p.grad_is_row_sparse()) {
+    const size_t cols = static_cast<size_t>(p.cols());
+    for (int r : p.grad_touched_rows()) {
+      const float* row = g.data() + static_cast<size_t>(r) * cols;
+      for (size_t c = 0; c < cols; ++c)
+        total += static_cast<double>(row[c]) * row[c];
+    }
+    return total;
+  }
+  const float* gp = g.data();
+  const size_t n = g.size();
+  for (size_t i = 0; i < n; ++i)
+    total += static_cast<double>(gp[i]) * gp[i];
+  return total;
+}
+
+// Books one optimizer consumption of parameter p's gradient into
+// tensor::SparseGradStats. Only row-sparse-capable parameters are counted;
+// `walked_rows` is the number of rows the update actually visited.
+void NoteConsumption(const tensor::Tensor& p, bool capable,
+                     size_t walked_rows, bool dense_fallback) {
+  if (!capable) return;
+  tensor::internal::NoteSparseRowsConsumed(
+      static_cast<uint64_t>(walked_rows), static_cast<uint64_t>(p.rows()));
+  if (dense_fallback) tensor::internal::NoteDenseFallback();
+}
+
 }  // namespace
 
 Optimizer::Optimizer(Module* module, float learning_rate)
     : learning_rate_(learning_rate) {
-  for (NamedParameter& p : module->Parameters())
+  for (NamedParameter& p : module->Parameters()) {
     params_.push_back(p.tensor);
+    sparse_capable_.push_back(p.tensor.row_sparse_grad());
+  }
 }
 
 Sgd::Sgd(Module* module, float learning_rate, float weight_decay,
@@ -65,19 +112,32 @@ void Sgd::Step() {
   float scale = 1.0f;
   if (clip_norm_ > 0.0f) {
     double total = 0.0;
-    for (auto& p : params_) {
-      const auto& g = p.grad();
-      for (float gv : g) total += static_cast<double>(gv) * gv;
-    }
+    for (auto& p : params_) total += GradSquaredSum(p);
     const double norm = std::sqrt(total);
     if (norm > clip_norm_) scale = static_cast<float>(clip_norm_ / norm);
   }
-  for (auto& p : params_) {
-    auto& values = p.mutable_data();
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
     const auto& g = p.grad();
     if (g.empty()) continue;
-    SgdUpdateInPlace(values.data(), g.data(), values.size(), learning_rate_,
-                     scale, weight_decay_);
+    auto& values = p.mutable_data();
+    // Weight decay reads every parameter element, so it is dense-only.
+    if (weight_decay_ == 0.0f && p.grad_is_row_sparse()) {
+      const size_t cols = static_cast<size_t>(p.cols());
+      const auto& touched = p.grad_touched_rows();
+      for (int r : touched) {
+        const size_t off = static_cast<size_t>(r) * cols;
+        SgdUpdateInPlace(values.data() + off, g.data() + off, cols,
+                         learning_rate_, scale, 0.0f);
+      }
+      NoteConsumption(p, sparse_capable_[i], touched.size(),
+                      /*dense_fallback=*/false);
+    } else {
+      SgdUpdateInPlace(values.data(), g.data(), values.size(),
+                       learning_rate_, scale, weight_decay_);
+      NoteConsumption(p, sparse_capable_[i],
+                      static_cast<size_t>(p.rows()), /*dense_fallback=*/true);
+    }
     p.ZeroGrad();
   }
 }
@@ -92,11 +152,28 @@ Adagrad::Adagrad(Module* module, float learning_rate, float epsilon)
 void Adagrad::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    auto& values = p.mutable_data();
     const auto& g = p.grad();
     if (g.empty()) continue;
-    AdagradUpdateInPlace(values.data(), accum_[i].data(), g.data(),
-                         values.size(), learning_rate_, epsilon_);
+    auto& values = p.mutable_data();
+    // A zero-gradient Adagrad element update is an exact no-op (the
+    // accumulator gains +0.0 and the write-back subtracts 0.0), so walking
+    // only touched rows is bit-identical to the dense pass.
+    if (p.grad_is_row_sparse()) {
+      const size_t cols = static_cast<size_t>(p.cols());
+      const auto& touched = p.grad_touched_rows();
+      for (int r : touched) {
+        const size_t off = static_cast<size_t>(r) * cols;
+        AdagradUpdateInPlace(values.data() + off, accum_[i].data() + off,
+                             g.data() + off, cols, learning_rate_, epsilon_);
+      }
+      NoteConsumption(p, sparse_capable_[i], touched.size(),
+                      /*dense_fallback=*/false);
+    } else {
+      AdagradUpdateInPlace(values.data(), accum_[i].data(), g.data(),
+                           values.size(), learning_rate_, epsilon_);
+      NoteConsumption(p, sparse_capable_[i],
+                      static_cast<size_t>(p.rows()), /*dense_fallback=*/true);
+    }
     p.ZeroGrad();
   }
 }
@@ -109,25 +186,115 @@ Adam::Adam(Module* module, float learning_rate, float beta1, float beta2,
       epsilon_(epsilon) {
   m_.resize(params_.size());
   v_.resize(params_.size());
+  hist_.resize(params_.size());
+  row_done_.resize(params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
     m_[i].assign(params_[i].size(), 0.0f);
     v_[i].assign(params_[i].size(), 0.0f);
+    if (sparse_capable_[i]) {
+      row_done_[i].assign(static_cast<size_t>(params_[i].rows()), 0);
+      if (zero_row_.size() < static_cast<size_t>(params_[i].cols()))
+        zero_row_.assign(static_cast<size_t>(params_[i].cols()), 0.0f);
+      // Replay deferred updates for a stale row before GatherRows reads
+      // its value — required for sparse == dense trajectory bit-identity.
+      params_[i].set_row_materializer([this, i](const std::vector<int>& rows) {
+        MaterializeRows(i, rows);
+      });
+    }
   }
+}
+
+Adam::~Adam() {
+  // The hooks capture `this`; detach them before it dies.
+  for (size_t i = 0; i < params_.size(); ++i)
+    if (sparse_capable_[i]) params_[i].set_row_materializer(nullptr);
+}
+
+void Adam::MaterializeRows(size_t i, const std::vector<int>& rows) {
+  util::MutexLock lock(mu_);
+  const size_t upto = hist_[i].size();
+  if (upto == 0) return;
+  for (int r : rows) CatchUpRow(i, r, upto);
+}
+
+void Adam::CatchUpRow(size_t i, int row, size_t upto) {
+  const size_t cols = static_cast<size_t>(params_[i].cols());
+  const size_t off = static_cast<size_t>(row) * cols;
+  float* values = params_[i].mutable_data().data() + off;
+  float* m = m_[i].data() + off;
+  float* s = v_[i].data() + off;
+  for (size_t t = row_done_[i][static_cast<size_t>(row)]; t < upto; ++t) {
+    const StepRecord& h = hist_[i][t];
+    AdamUpdateInPlace(values, m, s, zero_row_.data(), cols, h.lr, beta1_,
+                      beta2_, h.bias1, h.bias2, epsilon_);
+  }
+  row_done_[i][static_cast<size_t>(row)] = static_cast<uint32_t>(upto);
 }
 
 void Adam::Step() {
   ++step_;
-  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
-  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  beta1_pow_ *= static_cast<double>(beta1_);
+  beta2_pow_ *= static_cast<double>(beta2_);
+  const float bias1 = static_cast<float>(1.0 - beta1_pow_);
+  const float bias2 = static_cast<float>(1.0 - beta2_pow_);
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    auto& values = p.mutable_data();
     const auto& g = p.grad();
     if (g.empty()) continue;
-    AdamUpdateInPlace(values.data(), m_[i].data(), v_[i].data(), g.data(),
-                      values.size(), learning_rate_, beta1_, beta2_, bias1,
-                      bias2, epsilon_);
+    auto& values = p.mutable_data();
+    if (!sparse_capable_[i]) {
+      AdamUpdateInPlace(values.data(), m_[i].data(), v_[i].data(), g.data(),
+                        values.size(), learning_rate_, beta1_, beta2_, bias1,
+                        bias2, epsilon_);
+      p.ZeroGrad();
+      continue;
+    }
+    // Row-sparse-capable parameter: record this step so rows skipped now
+    // can replay the m/v decay later, then update each gradient-bearing
+    // row after first catching it up on everything it missed. A dense
+    // gradient (fallback) still goes row-by-row so per-row bookkeeping
+    // stays exact; the arithmetic per element is unchanged either way.
+    util::MutexLock lock(mu_);
+    hist_[i].push_back({learning_rate_, bias1, bias2});
+    const size_t upto = hist_[i].size();
+    const size_t cols = static_cast<size_t>(p.cols());
+    const int rows = p.rows();
+    const bool sparse = p.grad_is_row_sparse();
+    if (sparse) {
+      const auto& touched = p.grad_touched_rows();
+      for (int r : touched) {
+        CatchUpRow(i, r, upto - 1);
+        const size_t off = static_cast<size_t>(r) * cols;
+        AdamUpdateInPlace(values.data() + off, m_[i].data() + off,
+                          v_[i].data() + off, g.data() + off, cols,
+                          learning_rate_, beta1_, beta2_, bias1, bias2,
+                          epsilon_);
+        row_done_[i][static_cast<size_t>(r)] = static_cast<uint32_t>(upto);
+      }
+      NoteConsumption(p, true, touched.size(), /*dense_fallback=*/false);
+    } else {
+      for (int r = 0; r < rows; ++r) {
+        CatchUpRow(i, r, upto - 1);
+        const size_t off = static_cast<size_t>(r) * cols;
+        AdamUpdateInPlace(values.data() + off, m_[i].data() + off,
+                          v_[i].data() + off, g.data() + off, cols,
+                          learning_rate_, beta1_, beta2_, bias1, bias2,
+                          epsilon_);
+        row_done_[i][static_cast<size_t>(r)] = static_cast<uint32_t>(upto);
+      }
+      NoteConsumption(p, true, static_cast<size_t>(rows),
+                      /*dense_fallback=*/true);
+    }
     p.ZeroGrad();
+  }
+}
+
+void Adam::Finalize() {
+  util::MutexLock lock(mu_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!sparse_capable_[i] || hist_[i].empty()) continue;
+    const int rows = params_[i].rows();
+    for (int r = 0; r < rows; ++r) CatchUpRow(i, r, hist_[i].size());
   }
 }
 

@@ -85,26 +85,9 @@ std::vector<EpochStats> Trainer::Train(
           // FGSM: perturb the embedding tables along the loss gradient,
           // accumulate the adversarial gradients, then restore the tables
           // so the optimizer steps from the clean point.
-          std::vector<std::vector<float>> saved;
-          saved.reserve(adversarial_targets.size());
-          for (tensor::Tensor& table : adversarial_targets) {
-            saved.push_back(table.data());
-            const auto& grad = table.grad();
-            if (grad.empty()) continue;
-            auto& values = table.mutable_data();
-            for (size_t i = 0; i < values.size(); ++i) {
-              const float sign =
-                  grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
-              values[i] += config_.adversarial_epsilon * sign;
-            }
-          }
+          PerturbAdversarial(&adversarial_targets);
           model_->BatchLoss(batch, &rng_).Backward();
-          for (size_t t = 0; t < adversarial_targets.size(); ++t) {
-            // Copy back in place: keeps the parameter's (pooled) storage
-            // stable instead of swapping in the snapshot's allocation.
-            auto& values = adversarial_targets[t].mutable_data();
-            std::copy(saved[t].begin(), saved[t].end(), values.begin());
-          }
+          RestoreAdversarial(&adversarial_targets);
         }
         loss_sum += loss.item();
       }
@@ -127,6 +110,9 @@ std::vector<EpochStats> Trainer::Train(
     history.push_back(stats);
     if (on_epoch && !on_epoch(stats)) break;
   }
+  // Bring lazily-updated optimizer state (Adam's deferred row decay for
+  // row-sparse embedding tables) fully up to date before the model is read.
+  optimizer.Finalize();
   model_->SetTraining(false);
   return history;
 }
@@ -182,25 +168,77 @@ double Trainer::ParallelBatchStep(
     // FGSM on the merged full-batch gradients, mirroring the sequential
     // path: perturb, run a second (parallel) pass that accumulates the
     // adversarial gradients on top, then restore the clean tables.
-    std::vector<std::vector<float>> saved;
-    saved.reserve(adversarial_targets->size());
-    for (tensor::Tensor& table : *adversarial_targets) {
-      saved.push_back(table.data());
-      const auto& grad = table.grad();
-      if (grad.empty()) continue;
-      auto& values = table.mutable_data();
-      for (size_t i = 0; i < values.size(); ++i) {
-        const float sign = grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
-        values[i] += config_.adversarial_epsilon * sign;
-      }
-    }
+    PerturbAdversarial(adversarial_targets);
     run_pass();
-    for (size_t t = 0; t < adversarial_targets->size(); ++t) {
-      auto& values = (*adversarial_targets)[t].mutable_data();
-      std::copy(saved[t].begin(), saved[t].end(), values.begin());
-    }
+    RestoreAdversarial(adversarial_targets);
   }
   return mean_loss;
+}
+
+void Trainer::PerturbAdversarial(std::vector<tensor::Tensor>* targets) {
+  fgsm_saved_.resize(targets->size());
+  for (size_t t = 0; t < targets->size(); ++t) {
+    tensor::Tensor& table = (*targets)[t];
+    FgsmSnapshot& snap = fgsm_saved_[t];
+    const auto& grad = table.grad();
+    if (grad.empty()) {
+      snap.sparse = false;
+      snap.rows.clear();
+      snap.values.clear();
+      continue;
+    }
+    auto& values = table.mutable_data();
+    if (table.grad_is_row_sparse()) {
+      // Snapshot and perturb only the touched rows. Rows with zero
+      // gradient would receive sign(0) * eps == +0.0f, and the
+      // adversarial pass gathers the same batch, so untouched rows are
+      // never read while perturbed: skipping them is exact.
+      const auto& rows = table.grad_touched_rows();
+      const size_t cols = static_cast<size_t>(table.cols());
+      snap.sparse = true;
+      snap.rows.assign(rows.begin(), rows.end());
+      snap.values.resize(rows.size() * cols);
+      float* dst = snap.values.data();
+      for (int r : rows) {
+        const size_t off = static_cast<size_t>(r) * cols;
+        std::copy_n(values.data() + off, cols, dst);
+        dst += cols;
+        for (size_t c = 0; c < cols; ++c) {
+          const float gv = grad[off + c];
+          const float sign = gv > 0 ? 1.0f : (gv < 0 ? -1.0f : 0.0f);
+          values[off + c] += config_.adversarial_epsilon * sign;
+        }
+      }
+      continue;
+    }
+    snap.sparse = false;
+    snap.rows.clear();
+    snap.values.assign(values.begin(), values.end());
+    for (size_t i = 0; i < values.size(); ++i) {
+      const float sign = grad[i] > 0 ? 1.0f : (grad[i] < 0 ? -1.0f : 0.0f);
+      values[i] += config_.adversarial_epsilon * sign;
+    }
+  }
+}
+
+void Trainer::RestoreAdversarial(std::vector<tensor::Tensor>* targets) {
+  for (size_t t = 0; t < targets->size(); ++t) {
+    const FgsmSnapshot& snap = fgsm_saved_[t];
+    if (snap.values.empty()) continue;
+    // Copy back in place: keeps the parameter's (pooled) storage stable
+    // instead of swapping in the snapshot's allocation.
+    auto& values = (*targets)[t].mutable_data();
+    if (snap.sparse) {
+      const size_t cols = static_cast<size_t>((*targets)[t].cols());
+      const float* src = snap.values.data();
+      for (int r : snap.rows) {
+        std::copy_n(src, cols, values.data() + static_cast<size_t>(r) * cols);
+        src += cols;
+      }
+    } else {
+      std::copy(snap.values.begin(), snap.values.end(), values.begin());
+    }
+  }
 }
 
 eval::HeldOutResult Trainer::Evaluate(const std::vector<Bag>& test_bags) {

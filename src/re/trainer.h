@@ -42,9 +42,28 @@ class Trainer {
   double ParallelBatchStep(const std::vector<const Bag*>& batch,
                            std::vector<tensor::Tensor>* adversarial_targets);
 
+  /// FGSM helpers shared by the sequential and data-parallel paths:
+  /// snapshot the targeted embedding tables and nudge them along the sign
+  /// of the accumulated gradient, then (after the adversarial pass) copy
+  /// the snapshots back in place. Tables with a row-sparse gradient save,
+  /// perturb and restore only the touched rows — exact, because rows with
+  /// zero gradient receive a zero perturbation and the adversarial pass
+  /// re-gathers the same batch, so untouched rows are never read while
+  /// perturbed. Snapshot storage is a reused member, so steady-state FGSM
+  /// steps stop allocating O(vocab x dim) copies.
+  void PerturbAdversarial(std::vector<tensor::Tensor>* targets);
+  void RestoreAdversarial(std::vector<tensor::Tensor>* targets);
+
   PaModel* model_;
   TrainerConfig config_;
   util::Rng rng_;
+
+  struct FgsmSnapshot {
+    bool sparse = false;
+    std::vector<int> rows;      // touched rows when sparse
+    std::vector<float> values;  // row slices when sparse, whole table dense
+  };
+  std::vector<FgsmSnapshot> fgsm_saved_;
 };
 
 /// One-call helper used by benches: train a model, return the held-out

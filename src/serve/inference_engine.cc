@@ -382,6 +382,10 @@ EngineStats InferenceEngine::Stats() const {
   const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
   stats.pool_hits = pool.total_hits();
   stats.pool_misses = pool.total_misses();
+  const tensor::SparseGradStatsSnapshot sparse = tensor::SparseGradStats();
+  stats.sparse_rows_touched = sparse.rows_touched;
+  stats.sparse_rows_total = sparse.rows_total;
+  stats.sparse_dense_fallbacks = sparse.dense_fallbacks;
   return stats;
 }
 

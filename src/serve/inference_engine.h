@@ -97,6 +97,13 @@ struct EngineStats {
   /// misses, so a rising miss count flags an allocation regression.
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Row-sparse gradient traffic, process-wide (tensor::SparseGradStats()).
+  /// Inference itself takes no gradients, so for a pure serving process
+  /// these stay 0; a co-located trainer (train-demo, online fine-tuning)
+  /// surfaces its embedding-row touch rate and any dense fallbacks here.
+  uint64_t sparse_rows_touched = 0;
+  uint64_t sparse_rows_total = 0;
+  uint64_t sparse_dense_fallbacks = 0;
 };
 
 class InferenceEngine {

@@ -740,6 +740,9 @@ Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
   IMR_CHECK_EQ(table.rank(), 2);
   const int vocab = table.shape()[0];
   const int dim = table.shape()[1];
+  // Let a lazily-updating optimizer replay deferred updates for these rows
+  // before their values are read (keeps sparse == dense bit-identical).
+  if (table.impl()->row_materializer) table.impl()->row_materializer(indices);
   std::vector<float> out =
       AcquireBuffer(indices.size() * static_cast<size_t>(dim));
   const auto& tv = table.data();
@@ -754,7 +757,12 @@ Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
   return MakeResult({static_cast<int>(indices.size()), dim}, std::move(out),
                     {table}, [table, indices, dim](TensorImpl& self) {
                       if (!WantsGrad(table)) return;
-                      auto* gt = GradOf(table);
+                      // Row-tracked accumulation: a row-sparse table (see
+                      // Tensor::set_row_sparse_grad) records exactly these
+                      // rows so ZeroGrad / merge / optimizers never walk
+                      // the untouched remainder of the vocab.
+                      auto* gt = internal::GradTargetRows(table.impl(),
+                                                          indices);
                       for (size_t n = 0; n < indices.size(); ++n) {
                         const size_t dst =
                             static_cast<size_t>(indices[n]) * dim;

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
@@ -11,6 +12,36 @@ namespace imr::tensor {
 
 namespace {
 thread_local bool g_grad_mode = true;
+
+std::atomic<uint64_t> g_sparse_rows_touched{0};
+std::atomic<uint64_t> g_sparse_rows_total{0};
+std::atomic<uint64_t> g_sparse_dense_fallbacks{0};
+
+// Inserts `rows` (unsorted, duplicates allowed) into the sorted-unique
+// `set`. When `buffer` is non-null, a newly inserted row r has its
+// [r*cols, (r+1)*cols) span zeroed — used by sink entries whose storage is
+// handed over dirty. O(k log t) searches plus O(t) per actual insert; both
+// t and k are batch-touch-rate sized, never vocab sized.
+void RecordRows(std::vector<int>* set, const std::vector<int>& rows,
+                float* buffer, int cols) {
+  for (int row : rows) {
+    auto it = std::lower_bound(set->begin(), set->end(), row);
+    if (it != set->end() && *it == row) continue;
+    if (buffer != nullptr) {
+      std::fill_n(buffer + static_cast<size_t>(row) * cols, cols, 0.0f);
+    }
+    set->insert(it, row);
+  }
+}
+
+// Flips a row-sparse-capable leaf's gradient to dense for the current step
+// (a non-row-tracked op wrote into it). Counted once per transition.
+void MarkGradDense(internal::TensorImpl* impl) {
+  if (impl->row_sparse && !impl->grad_dense) {
+    impl->grad_dense = true;
+    internal::NoteDenseFallback();
+  }
+}
 
 size_t ShapeSize(const std::vector<int>& shape) {
   size_t n = 1;
@@ -30,6 +61,21 @@ std::shared_ptr<internal::TensorImpl> NewImpl() {
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
+
+SparseGradStatsSnapshot SparseGradStats() {
+  SparseGradStatsSnapshot out;
+  out.rows_touched = g_sparse_rows_touched.load(std::memory_order_relaxed);
+  out.rows_total = g_sparse_rows_total.load(std::memory_order_relaxed);
+  out.dense_fallbacks =
+      g_sparse_dense_fallbacks.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetSparseGradStats() {
+  g_sparse_rows_touched.store(0, std::memory_order_relaxed);
+  g_sparse_rows_total.store(0, std::memory_order_relaxed);
+  g_sparse_dense_fallbacks.store(0, std::memory_order_relaxed);
+}
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
@@ -114,7 +160,35 @@ const std::vector<float>& Tensor::grad() const {
 std::vector<float>& Tensor::mutable_grad() {
   IMR_CHECK(impl_ != nullptr);
   impl_->EnsureGrad();
+  MarkGradDense(impl_.get());
   return impl_->grad;
+}
+
+void Tensor::set_row_sparse_grad(bool row_sparse) {
+  IMR_CHECK(impl_ != nullptr);
+  if (row_sparse) IMR_CHECK_EQ(rank(), 2);
+  impl_->row_sparse = row_sparse;
+}
+
+bool Tensor::row_sparse_grad() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->row_sparse;
+}
+
+bool Tensor::grad_is_row_sparse() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->row_sparse && !impl_->grad_dense;
+}
+
+const std::vector<int>& Tensor::grad_touched_rows() const {
+  IMR_CHECK(impl_ != nullptr);
+  return impl_->touched_rows;
+}
+
+void Tensor::set_row_materializer(
+    std::function<void(const std::vector<int>&)> fn) {
+  IMR_CHECK(impl_ != nullptr);
+  impl_->row_materializer = std::move(fn);
 }
 
 float Tensor::item() const {
@@ -141,8 +215,21 @@ float Tensor::at(int r, int c) const {
 void Tensor::ZeroGrad() {
   IMR_CHECK(impl_ != nullptr);
   if (!impl_->grad.empty()) {
-    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+    if (impl_->row_sparse && !impl_->grad_dense) {
+      // Rows outside touched_rows are already zero (the buffer was fully
+      // zeroed when allocated and sparse clears maintain that), so only
+      // the touched rows need wiping: O(touched x dim), not O(vocab x dim).
+      const int cols = impl_->shape[1];
+      float* g = impl_->grad.data();
+      for (int row : impl_->touched_rows) {
+        std::fill_n(g + static_cast<size_t>(row) * cols, cols, 0.0f);
+      }
+    } else {
+      std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+    }
   }
+  impl_->grad_dense = false;
+  impl_->touched_rows.clear();
 }
 
 void Tensor::Backward() {
@@ -244,14 +331,57 @@ void ScopedGradSink::Deactivate() {
   }
 }
 
-std::vector<float>* ScopedGradSink::BufferFor(
-    const std::shared_ptr<TensorImpl>& impl) {
+ScopedGradSink::Entry& ScopedGradSink::EntryFor(
+    const std::shared_ptr<TensorImpl>& impl, bool row_sparse) {
   auto it = index_.find(impl.get());
   if (it == index_.end()) {
     it = index_.emplace(impl.get(), entries_.size()).first;
-    entries_.push_back({impl, AcquireBufferFill(impl->value.size(), 0.0f)});
+    Entry entry;
+    entry.impl = impl;
+    if (row_sparse) {
+      // The buffer stays dirty; each row is zeroed on first touch
+      // (RecordRows), keeping entry setup O(touched rows).
+      entry.row_sparse = true;
+      entry.grad = AcquireBuffer(impl->value.size());
+    } else {
+      entry.grad = AcquireBufferFill(impl->value.size(), 0.0f);
+      if (impl->row_sparse) NoteDenseFallback();
+    }
+    entries_.push_back(std::move(entry));
   }
-  return &entries_[it->second].grad;
+  return entries_[it->second];
+}
+
+std::vector<float>* ScopedGradSink::BufferFor(
+    const std::shared_ptr<TensorImpl>& impl) {
+  Entry& entry = EntryFor(impl, /*row_sparse=*/false);
+  if (entry.row_sparse) {
+    // A dense op joined a row-sparse entry: zero the rows no closure has
+    // touched yet (they are still pool garbage), then treat it as dense.
+    const int cols = impl->shape[1];
+    const int rows = impl->shape[0];
+    float* g = entry.grad.data();
+    auto touched = entry.touched_rows.begin();
+    for (int row = 0; row < rows; ++row) {
+      if (touched != entry.touched_rows.end() && *touched == row) {
+        ++touched;
+        continue;
+      }
+      std::fill_n(g + static_cast<size_t>(row) * cols, cols, 0.0f);
+    }
+    entry.row_sparse = false;
+    NoteDenseFallback();
+  }
+  return &entry.grad;
+}
+
+std::vector<float>* ScopedGradSink::BufferForRows(
+    const std::shared_ptr<TensorImpl>& impl, const std::vector<int>& rows) {
+  Entry& entry = EntryFor(impl, /*row_sparse=*/true);
+  if (entry.row_sparse) {
+    RecordRows(&entry.touched_rows, rows, entry.grad.data(), impl->shape[1]);
+  }
+  return &entry.grad;
 }
 
 void ScopedGradSink::MergeIntoShared() {
@@ -259,8 +389,25 @@ void ScopedGradSink::MergeIntoShared() {
     entry.impl->EnsureGrad();
     float* dst = entry.impl->grad.data();
     const float* src = entry.grad.data();
-    const size_t n = entry.grad.size();
-    for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+    if (entry.row_sparse) {
+      // Touched rows merge in ascending order. Each element still receives
+      // its per-sink contributions in the same ascending-chunk order as a
+      // dense merge — the skipped rows would only have added +0.0f — so
+      // the merged floats are bit-identical at any thread count.
+      const int cols = entry.impl->shape[1];
+      for (int row : entry.touched_rows) {
+        const size_t off = static_cast<size_t>(row) * cols;
+        for (int c = 0; c < cols; ++c) dst[off + c] += src[off + c];
+      }
+      if (!entry.impl->grad_dense) {
+        RecordRows(&entry.impl->touched_rows, entry.touched_rows,
+                   /*buffer=*/nullptr, /*cols=*/0);
+      }
+    } else {
+      const size_t n = entry.grad.size();
+      for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+      MarkGradDense(entry.impl.get());
+    }
   }
 }
 
@@ -271,7 +418,32 @@ std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>& impl) {
     return g_active_sink->BufferFor(impl);
   }
   impl->EnsureGrad();
+  MarkGradDense(impl.get());
   return &impl->grad;
+}
+
+std::vector<float>* GradTargetRows(const std::shared_ptr<TensorImpl>& impl,
+                                   const std::vector<int>& rows) {
+  if (!impl->row_sparse) return GradTarget(impl);
+  if (g_active_sink != nullptr && !impl->backward_fn) {
+    return g_active_sink->BufferForRows(impl, rows);
+  }
+  impl->EnsureGrad();
+  if (!impl->grad_dense) {
+    // The shared grad buffer is maintained all-zero outside touched rows,
+    // so recording needs no zeroing here.
+    RecordRows(&impl->touched_rows, rows, /*buffer=*/nullptr, /*cols=*/0);
+  }
+  return &impl->grad;
+}
+
+void NoteSparseRowsConsumed(uint64_t rows_touched, uint64_t rows_total) {
+  g_sparse_rows_touched.fetch_add(rows_touched, std::memory_order_relaxed);
+  g_sparse_rows_total.fetch_add(rows_total, std::memory_order_relaxed);
+}
+
+void NoteDenseFallback() {
+  g_sparse_dense_fallbacks.fetch_add(1, std::memory_order_relaxed);
 }
 
 Tensor MakeResult(std::vector<int> shape, std::vector<float> value,

@@ -31,6 +31,26 @@ struct TensorImpl {
   // Reads this->grad, accumulates into parents' grads. Null for leaves.
   std::function<void(TensorImpl&)> backward_fn;
 
+  // Row-sparse gradient tracking for rank-2 leaves that receive gradients
+  // only through GatherRows (embedding tables; see Tensor::
+  // set_row_sparse_grad). `grad` stays a dense buffer whose rows outside
+  // `touched_rows` are all-zero, so every dense reader (gradcheck, FGSM,
+  // serialization) keeps working unchanged — but ZeroGrad, the gradient
+  // merge, and the optimizers only walk the touched rows. `touched_rows`
+  // is kept sorted and duplicate-free. `grad_dense` flips when any op
+  // other than GatherRows accumulates into the grad; consumers then fall
+  // back to full dense scans until the next ZeroGrad.
+  bool row_sparse = false;
+  bool grad_dense = false;
+  std::vector<int> touched_rows;
+  // Called by GatherRows' forward with the rows about to be read, before
+  // any value is loaded. Lazily-updating optimizers (Adam) install this to
+  // replay deferred per-row updates exactly when a stale row becomes
+  // visible again, which keeps sparse training trajectories bit-identical
+  // to dense ones. Must be idempotent and safe to call concurrently from
+  // data-parallel forward passes (the installer provides its own locking).
+  std::function<void(const std::vector<int>&)> row_materializer;
+
   TensorImpl() = default;
   // Returns value/grad storage to the destroying thread's buffer pool.
   ~TensorImpl();
@@ -45,6 +65,27 @@ struct TensorImpl {
 
 /// Returns true when ops should record the autograd graph. Defaults to true.
 bool GradModeEnabled();
+
+/// Process-wide row-sparse gradient counters (relaxed atomics, PoolStats
+/// style: safe to snapshot from any thread; each counter is individually
+/// exact). One optimizer consumption of a row-sparse-capable parameter adds
+/// its table's row count to rows_total and the rows it actually walked to
+/// rows_touched, so rows_touched/rows_total is the fraction of embedding
+/// rows a step really paid for. dense_fallbacks counts gradients of
+/// row-sparse-capable parameters that degraded to a dense full-table scan
+/// (a non-GatherRows op wrote into the grad, or a dense-only optimizer
+/// feature like SGD weight decay was active).
+struct SparseGradStatsSnapshot {
+  uint64_t rows_touched = 0;
+  uint64_t rows_total = 0;
+  uint64_t dense_fallbacks = 0;
+};
+
+/// Snapshot of the row-sparse gradient counters.
+SparseGradStatsSnapshot SparseGradStats();
+
+/// Zeroes the row-sparse gradient counters. Call from a quiescent point.
+void ResetSparseGradStats();
 
 /// RAII guard that disables graph recording (used during evaluation).
 class NoGradGuard {
@@ -89,7 +130,33 @@ class Tensor {
   std::vector<float>& mutable_data();
   /// Gradient buffer; empty until backward touched this node.
   const std::vector<float>& grad() const;
+  /// Mutable gradient buffer. Direct writes cannot be row-tracked, so this
+  /// marks a row-sparse-capable tensor's gradient dense for the step.
   std::vector<float>& mutable_grad();
+
+  /// Opts a rank-2 leaf into row-sparse gradient tracking: GatherRows'
+  /// backward records which rows it touched, and ZeroGrad / the gradient
+  /// merge / the optimizers walk only those rows instead of the whole
+  /// vocab x dim table. Any other op accumulating into the grad falls back
+  /// to dense for that step (see grad_is_row_sparse). The grad buffer
+  /// itself stays dense with untouched rows all-zero, so reads need no
+  /// special casing. Enabled by nn::Embedding for its table.
+  void set_row_sparse_grad(bool row_sparse);
+  bool row_sparse_grad() const;
+  /// True when the accumulated gradient of this step is fully described by
+  /// grad_touched_rows(): the tensor is row-sparse-capable and no dense op
+  /// wrote into the grad since the last ZeroGrad.
+  bool grad_is_row_sparse() const;
+  /// Rows with possibly-nonzero gradient, ascending and duplicate-free.
+  /// Meaningful only while grad_is_row_sparse() is true.
+  const std::vector<int>& grad_touched_rows() const;
+
+  /// Installs (or clears, with nullptr) the hook GatherRows' forward calls
+  /// with the rows it is about to read. Used by Adam to replay deferred
+  /// row updates before a stale row's value becomes visible; the installer
+  /// must clear the hook before being destroyed and handle concurrent
+  /// calls. Last installer wins.
+  void set_row_materializer(std::function<void(const std::vector<int>&)> fn);
 
   float item() const;           // requires size()==1
   float at(int i) const;        // rank-1 access
@@ -112,6 +179,12 @@ class Tensor {
 };
 
 namespace internal {
+
+/// Counter hooks for SparseGradStats (relaxed atomics; see the snapshot
+/// struct for semantics). Called by the optimizers when they consume a
+/// row-sparse-capable gradient and by the fallback transition points.
+void NoteSparseRowsConsumed(uint64_t rows_touched, uint64_t rows_total);
+void NoteDenseFallback();
 
 /// Creates a result node wired to its parents; `backward` may be null when
 /// grad mode is off or no parent requires grad.
@@ -146,6 +219,12 @@ class ScopedGradSink {
   struct Entry {
     std::shared_ptr<TensorImpl> impl;
     std::vector<float> grad;  // same length as impl->value
+    // Row-sparse entries hand their buffer over dirty and zero each row on
+    // first touch, so a data-parallel chunk's bookkeeping stays O(touched
+    // rows); touched_rows is sorted-unique. Dense entries are zero-filled
+    // as before.
+    bool row_sparse = false;
+    std::vector<int> touched_rows;
   };
 
   /// Leaves this sink captured, in first-touch order.
@@ -154,11 +233,21 @@ class ScopedGradSink {
   /// Adds the buffered gradients into the shared impl->grad fields. Call
   /// after the sink is deactivated (destructor ran) or from the owning
   /// thread outside any backward pass; not thread-safe across sinks.
+  /// Row-sparse entries merge (and record into the shared tensor's
+  /// touched-row set) only their touched rows, in ascending row order;
+  /// because each element still receives its per-sink contributions in the
+  /// same ascending-chunk merge order as the dense path, data-parallel
+  /// training stays bit-identical at any thread count.
   void MergeIntoShared();
 
  private:
   friend std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>&);
+  friend std::vector<float>* GradTargetRows(
+      const std::shared_ptr<TensorImpl>&, const std::vector<int>&);
   std::vector<float>* BufferFor(const std::shared_ptr<TensorImpl>& impl);
+  std::vector<float>* BufferForRows(const std::shared_ptr<TensorImpl>& impl,
+                                    const std::vector<int>& rows);
+  Entry& EntryFor(const std::shared_ptr<TensorImpl>& impl, bool row_sparse);
 
   std::vector<Entry> entries_;
   std::unordered_map<TensorImpl*, size_t> index_;
@@ -168,8 +257,17 @@ class ScopedGradSink {
 
 /// The buffer a backward closure should accumulate `impl`'s gradient into:
 /// the active sink's private buffer for leaves when a sink is installed on
-/// this thread, the node's own grad otherwise.
+/// this thread, the node's own grad otherwise. Writing through this target
+/// is a dense write: a row-sparse-capable leaf falls back to dense
+/// gradient handling for the step (counted in SparseGradStats).
 std::vector<float>* GradTarget(const std::shared_ptr<TensorImpl>& impl);
+
+/// Row-sparse variant used by GatherRows' backward: same target selection
+/// as GradTarget, but records `rows` (unsorted, duplicates allowed) in the
+/// destination's touched-row set instead of going dense. For targets that
+/// are not row-sparse-capable this is exactly GradTarget.
+std::vector<float>* GradTargetRows(const std::shared_ptr<TensorImpl>& impl,
+                                   const std::vector<int>& rows);
 
 }  // namespace internal
 

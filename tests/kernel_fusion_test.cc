@@ -287,11 +287,17 @@ TEST(OptimizerFusionTest, AdamMatchesReferenceLoops) {
     m.emplace_back(p.tensor.size(), 0.0f);
     s.emplace_back(p.tensor.size(), 0.0f);
   }
+  // Bias correction via running double beta-power products, matching the
+  // optimizer (float std::pow drifts; see AdamBiasCorrection* in
+  // sparse_grad_test.cc for the large-step regression).
+  double beta1_pow = 1.0, beta2_pow = 1.0;
   for (int step = 1; step <= 2; ++step) {
     PopulateGrads(&layer, x, c);
     ParamSnapshot snap = Snapshot(&layer);
-    const float bias1 = 1.0f - std::pow(beta1, static_cast<float>(step));
-    const float bias2 = 1.0f - std::pow(beta2, static_cast<float>(step));
+    beta1_pow *= static_cast<double>(beta1);
+    beta2_pow *= static_cast<double>(beta2);
+    const float bias1 = static_cast<float>(1.0 - beta1_pow);
+    const float bias2 = static_cast<float>(1.0 - beta2_pow);
     for (size_t p = 0; p < snap.values.size(); ++p) {
       auto& v = snap.values[p];
       const auto& g = snap.grads[p];

@@ -253,11 +253,59 @@ TEST(LintTest, KernelAllocHonorsAllowEscape) {
   EXPECT_TRUE(LintSource("src/tensor/ops.cc", source).empty());
 }
 
+TEST(LintTest, OptimizerDenseGradFiresOnRangeForOverGrad) {
+  const std::string source =
+      "void Sgd::Step() {\n"
+      "  for (auto& p : params_) {\n"
+      "    for (float gv : p.grad()) total += gv * gv;\n"
+      "  }\n"
+      "}\n";
+  const auto findings = LintSource("src/nn/optimizer.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "optimizer-dense-grad");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, OptimizerDenseGradFiresOnGradSizeLoopBound) {
+  const std::string source =
+      "void Step() {\n"
+      "  for (size_t i = 0; i < p.grad().size(); ++i) v[i] -= g[i];\n"
+      "}\n";
+  const auto findings = LintSource("src/nn/optimizer.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "optimizer-dense-grad");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintTest, OptimizerDenseGradIgnoresSparseHelpers) {
+  const std::string source =
+      "double GradSquaredSum(const tensor::Tensor& p) {\n"
+      "  const auto& g = p.grad();\n"
+      "  for (int r : p.grad_touched_rows()) Walk(g, r);\n"
+      "  return 0.0;\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/nn/optimizer.cc", source).empty());
+}
+
+TEST(LintTest, OptimizerDenseGradOnlyAppliesToOptimizerCc) {
+  const std::string source =
+      "void F() { for (float gv : p.grad()) total += gv; }\n";
+  EXPECT_TRUE(LintSource("src/nn/module.cc", source).empty());
+  EXPECT_TRUE(LintSource("tests/optimizer_test.cc", source).empty());
+}
+
+TEST(LintTest, OptimizerDenseGradHonorsAllowEscape) {
+  const std::string source =
+      "// imr-lint: allow(optimizer-dense-grad)\n"
+      "for (float gv : p.grad()) total += gv * gv;\n";
+  EXPECT_TRUE(LintSource("src/nn/optimizer.cc", source).empty());
+}
+
 TEST(LintTest, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
       "no-raw-random", "no-naked-new", "no-throw",
       "no-iostream",   "mutex-guard",  "include-hygiene",
-      "kernel-alloc"};
+      "kernel-alloc",  "optimizer-dense-grad"};
   EXPECT_EQ(RuleIds(), expected);
 }
 

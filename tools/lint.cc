@@ -139,6 +139,7 @@ class Linter {
       CheckMutexGuard();
     }
     if (relpath_ == "src/tensor/ops.cc") CheckKernelAlloc();
+    if (relpath_ == "src/nn/optimizer.cc") CheckOptimizerDenseGrad();
     CheckIncludeHygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -276,6 +277,30 @@ class Linter {
     }
   }
 
+  // The optimizers promise O(touched rows) updates for row-sparse
+  // parameters, so src/nn/optimizer.cc must route every gradient walk
+  // through the sanctioned sparse helpers (GradSquaredSum and the
+  // grad_is_row_sparse() row loops). A range-for directly over a
+  // `.grad()` expression or a `.grad().size()` loop bound is the classic
+  // way a dense full-table scan sneaks back in; flag both. A genuinely
+  // dense loop belongs in a helper with an
+  // `// imr-lint: allow(optimizer-dense-grad)` justification.
+  void CheckOptimizerDenseGrad() {
+    static const std::regex kRangeFor(
+        R"(for\s*\([^;)]*:[^;)]*\.grad\(\))");
+    static const std::regex kSizeLoop(R"(\.grad\(\)\s*\.\s*size\s*\()");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      if (std::regex_search(scan_.code[i], kRangeFor) ||
+          std::regex_search(scan_.code[i], kSizeLoop)) {
+        Add("optimizer-dense-grad", i,
+            "dense full-gradient iteration in the optimizer; row-sparse "
+            "parameters must go through the sanctioned sparse helpers "
+            "(GradSquaredSum / grad_touched_rows row loops) so embedding "
+            "steps stay O(touched rows)");
+      }
+    }
+  }
+
   // A mutex member in a class with no IMR_GUARDED_BY anywhere in the class
   // body means the lock protects... nothing the analysis can see. Either
   // annotate what it guards or document why not (allow).
@@ -379,7 +404,7 @@ const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
       "no-raw-random", "no-naked-new",      "no-throw",
       "no-iostream",   "mutex-guard",       "include-hygiene",
-      "kernel-alloc"};
+      "kernel-alloc",  "optimizer-dense-grad"};
   return kRules;
 }
 

@@ -17,6 +17,15 @@
 //   include-hygiene   project headers included as "util/foo.h" style
 //                     project-relative paths: no "../" segments, no "src/"
 //                     prefix, no <angle> includes of project directories
+//   kernel-alloc      naked std::vector<float> construction in
+//                     src/tensor/ops.cc — kernel storage comes from
+//                     tensor/buffer_pool.h so steady-state steps stay
+//                     allocation-free
+//   optimizer-dense-grad
+//                     range-for over a `.grad()` expression or a
+//                     `.grad().size()` loop bound in src/nn/optimizer.cc —
+//                     gradient walks go through the sanctioned row-sparse
+//                     helpers so embedding updates stay O(touched rows)
 //
 // Suppression: append `// imr-lint: allow(rule-id)` (comma-separated for
 // several rules) on the offending line or on the line directly above it.
