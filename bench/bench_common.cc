@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "re/multir.h"
 #include "re/pa_model.h"
 #include "re/trainer.h"
+#include "tensor/simd/dispatch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -40,6 +42,12 @@ void RegisterCommonFlags(util::FlagParser* flags) {
   flags->AddInt("imr_threads", 0,
                 "worker threads for kernels/graph/trainer "
                 "(0 = hardware concurrency, 1 = sequential bit-exact)");
+  flags->AddString("imr_kernel_backend", "",
+                   "pin the eval kernel backend: scalar|sse2|avx2|neon "
+                   "(empty or auto = fastest the host supports)");
+  flags->AddBool("imr_vectorized_training", false,
+                 "let gradient-mode ops use the vectorized backend too "
+                 "(default keeps training on the bit-exact scalar kernels)");
 }
 
 BenchContext ContextFromFlags(const util::FlagParser& flags) {
@@ -54,6 +62,16 @@ BenchContext ContextFromFlags(const util::FlagParser& flags) {
   context.no_cache = flags.GetBool("no_cache");
   context.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   util::SetGlobalThreads(static_cast<int>(flags.GetInt("imr_threads")));
+  const std::string backend = flags.GetString("imr_kernel_backend");
+  if (!backend.empty()) {
+    const util::Status status = tensor::simd::SetBackendByName(backend);
+    if (!status.ok()) {
+      IMR_LOG(Error) << "--imr_kernel_backend: " << status.ToString();
+      std::abort();
+    }
+  }
+  tensor::simd::SetVectorizedTraining(
+      flags.GetBool("imr_vectorized_training"));
   return context;
 }
 

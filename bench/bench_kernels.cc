@@ -5,19 +5,34 @@
 // bench_results/BENCH_kernels.json + bench_results/BENCH_sparse.json (and a
 // human-readable table on stdout).
 //
+// It also runs the interleaved simd-vs-scalar A/B: every compiled vector
+// backend is pinned via ScopedEvalBackend and timed against the scalar
+// reference on the same bodies (tanh, add, mul, matmul forward,
+// log-softmax), alternating short segments so both variants sample the
+// same machine load. Results go to bench_results/BENCH_simd.json; on a
+// host with no vector ISA the A/B runs scalar-vs-scalar and records
+// parity instead of failing.
+//
 // Modes:
-//   bench_kernels            full sizes, writes BENCH_kernels.json and
-//                            BENCH_sparse.json
+//   bench_kernels            full sizes, writes BENCH_kernels.json,
+//                            BENCH_sparse.json and BENCH_simd.json
 //   bench_kernels --smoke    tiny sizes, no JSON; exits non-zero when the
 //                            warmed-up training step reports any pool miss
 //                            or the embedding step performs a dense
 //                            full-table gradient scan (SparseGradStats
 //                            dense_fallbacks != 0 or the touched-row count
-//                            is not a strict subset of the table).
+//                            is not a strict subset of the table), or when
+//                            kernel dispatch silently falls back to scalar
+//                            even though a vector ISA was detected and no
+//                            explicit pin asked for scalar.
 //                            scripts/check.sh runs this as its bench-smoke
-//                            stage, so an allocation or sparsity regression
-//                            on the hot path fails CI even without running
-//                            the full benchmark.
+//                            stage, so an allocation, sparsity or dispatch
+//                            regression on the hot path fails CI even
+//                            without running the full benchmark.
+//   bench_kernels --list_backends
+//                            prints one supported backend name per line
+//                            (scalar first) and exits; scripts/check.sh
+//                            iterates this list for its `simd` stage.
 //
 // Everything runs at threads = 1: these are single-kernel measurements, and
 // a single thread makes the steady-state pool-counter assertions exact.
@@ -34,6 +49,7 @@
 #include "nn/optimizer.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd/dispatch.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/tsv_writer.h"
@@ -166,9 +182,36 @@ struct SparseRow {
   }
 };
 
+// One interleaved vector-vs-scalar measurement: the same body timed with
+// the eval backend pinned to `backend` and pinned to scalar, in
+// alternating segments.
+struct SimdRow {
+  std::string backend;
+  std::string op;
+  double elements_per_call = 0.0;
+  Timed vector;
+  Timed scalar;
+
+  double speedup() const {
+    return vector.ns_per_call > 0
+               ? scalar.ns_per_call / vector.ns_per_call
+               : 0.0;
+  }
+  double vector_ns_per_element() const {
+    return elements_per_call > 0 ? vector.ns_per_call / elements_per_call
+                                 : 0.0;
+  }
+  double scalar_ns_per_element() const {
+    return elements_per_call > 0 ? scalar.ns_per_call / elements_per_call
+                                 : 0.0;
+  }
+};
+
 struct Report {
   bool smoke = false;
   std::vector<OpRow> ops;
+  // Interleaved simd-vs-scalar A/B, one row per (backend, op).
+  std::vector<SimdRow> simd;
   // Warmed-up TinyModel training step, pooled vs pool-disabled.
   Timed step_pooled;
   Timed step_unpooled;
@@ -251,6 +294,56 @@ Report RunAll(bool smoke) {
                loss.Backward();
                g_sink = g_sink + loss.item();
              });
+  }
+
+  // Interleaved simd-vs-scalar A/B. All bodies run under NoGradGuard so
+  // the eval table (and with it the ScopedEvalBackend pin) applies; the
+  // pin sits inside the body because RunPair alternates segments of both
+  // variants. On a scalar-only host the list below degenerates to
+  // scalar-vs-scalar, recording parity rather than failing.
+  {
+    std::vector<tensor::simd::Backend> vector_backends;
+    for (tensor::simd::Backend backend :
+         tensor::simd::SupportedBackends()) {
+      if (backend != tensor::simd::Backend::kScalar)
+        vector_backends.push_back(backend);
+    }
+    if (vector_backends.empty())
+      vector_backends.push_back(tensor::simd::Backend::kScalar);
+
+    Tensor a = nn::NormalInit({elt_n}, 1.0f, &rng);
+    Tensor b = nn::NormalInit({elt_n}, 1.0f, &rng);
+    Tensor ma = nn::NormalInit({mm, mm}, 1.0f, &rng);
+    Tensor mb = nn::NormalInit({mm, mm}, 1.0f, &rng);
+    Tensor sx = nn::NormalInit({ce_rows, ce_cols}, 1.0f, &rng);
+    tensor::NoGradGuard no_grad;
+    for (tensor::simd::Backend backend : vector_backends) {
+      auto ab = [&](const std::string& op, double elements, auto body) {
+        SimdRow row;
+        row.backend = tensor::simd::BackendName(backend);
+        row.op = op;
+        row.elements_per_call = elements;
+        auto vectorized = [&body, backend] {
+          tensor::simd::ScopedEvalBackend pin(backend);
+          body();
+        };
+        auto scalar = [&body] {
+          tensor::simd::ScopedEvalBackend pin(
+              tensor::simd::Backend::kScalar);
+          body();
+        };
+        RunPair(vectorized, scalar, warmup, min_seconds, &row.vector,
+                &row.scalar);
+        report.simd.push_back(std::move(row));
+      };
+      ab("tanh", elt_n, [&] { g_sink = g_sink + tensor::Tanh(a).data()[0]; });
+      ab("add", elt_n, [&] { g_sink = g_sink + tensor::Add(a, b).data()[0]; });
+      ab("mul", elt_n, [&] { g_sink = g_sink + tensor::Mul(a, b).data()[0]; });
+      ab("matmul_forward", static_cast<double>(mm) * mm,
+         [&] { g_sink = g_sink + tensor::MatMul(ma, mb).data()[0]; });
+      ab("log_softmax", static_cast<double>(ce_rows) * ce_cols,
+         [&] { g_sink = g_sink + tensor::LogSoftmax(sx).data()[0]; });
+    }
   }
 
   // Fused vs unfused affine+tanh, full forward+backward in both shapes.
@@ -400,6 +493,15 @@ void PrintReport(const Report& r) {
                 op.timed.acquires_per_call,
                 static_cast<unsigned long long>(op.timed.misses));
   }
+  if (!r.simd.empty()) {
+    std::printf("\n%-10s %-16s %14s %14s %8s\n", "backend", "op",
+                "vec ns/elt", "scalar ns/elt", "speedup");
+    for (const SimdRow& s : r.simd) {
+      std::printf("%-10s %-16s %14.4f %14.4f %8.2f\n", s.backend.c_str(),
+                  s.op.c_str(), s.vector_ns_per_element(),
+                  s.scalar_ns_per_element(), s.speedup());
+    }
+  }
   std::printf("\naffine_tanh fused   %12.0f ns/call (%.2fx vs unfused "
               "%12.0f ns/call)\n",
               r.affine_fused.ns_per_call,
@@ -465,6 +567,54 @@ bool WriteJson(const Report& r, const std::string& path) {
   return true;
 }
 
+// The simd A/B gets its own file: per-(backend, op) ns/element for the
+// vectorized and scalar variants, plus the best vector backend's tanh and
+// matmul-forward speedups, which are this PR's acceptance numbers.
+bool WriteSimdJson(const Report& r, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const tensor::simd::Backend best = tensor::simd::DetectBestBackend();
+  const char* best_name = tensor::simd::BackendName(best);
+  std::fprintf(out, "{\n  \"threads\": 1,\n  \"detected_best\": \"%s\",\n",
+               best_name);
+  std::fprintf(out, "  \"backends\": [");
+  const std::vector<tensor::simd::Backend> supported =
+      tensor::simd::SupportedBackends();
+  for (size_t i = 0; i < supported.size(); ++i) {
+    std::fprintf(out, "\"%s\"%s", tensor::simd::BackendName(supported[i]),
+                 i + 1 < supported.size() ? ", " : "");
+  }
+  std::fprintf(out, "],\n  \"results\": [\n");
+  for (size_t i = 0; i < r.simd.size(); ++i) {
+    const SimdRow& s = r.simd[i];
+    std::fprintf(
+        out,
+        "    {\"backend\": \"%s\", \"op\": \"%s\", "
+        "\"elements_per_call\": %.0f, \"vector_ns_per_call\": %.1f, "
+        "\"scalar_ns_per_call\": %.1f, \"vector_ns_per_element\": %.4f, "
+        "\"scalar_ns_per_element\": %.4f, \"speedup\": %.4f}%s\n",
+        s.backend.c_str(), s.op.c_str(), s.elements_per_call,
+        s.vector.ns_per_call, s.scalar.ns_per_call,
+        s.vector_ns_per_element(), s.scalar_ns_per_element(), s.speedup(),
+        i + 1 < r.simd.size() ? "," : "");
+  }
+  // Acceptance summary: the detected-best backend's rows (parity rows on a
+  // scalar-only host, where detected_best itself is scalar).
+  double tanh_speedup = 0.0, matmul_speedup = 0.0;
+  for (const SimdRow& s : r.simd) {
+    if (s.backend != best_name) continue;
+    if (s.op == "tanh") tanh_speedup = s.speedup();
+    if (s.op == "matmul_forward") matmul_speedup = s.speedup();
+  }
+  std::fprintf(out,
+               "  ],\n  \"best_vector\": {\"backend\": \"%s\", "
+               "\"tanh_speedup\": %.4f, \"matmul_forward_speedup\": "
+               "%.4f}\n}\n",
+               best_name, tanh_speedup, matmul_speedup);
+  std::fclose(out);
+  return true;
+}
+
 // The sparse-vs-dense A/B gets its own file so the README can cite it and
 // downstream tooling can diff embedding-step numbers without parsing the
 // kernel table.
@@ -496,6 +646,13 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--list_backends") == 0) {
+      for (tensor::simd::Backend backend :
+           tensor::simd::SupportedBackends()) {
+        std::printf("%s\n", tensor::simd::BackendName(backend));
+      }
+      return 0;
+    }
   }
   util::SetGlobalThreads(1);
   const Report report = RunAll(smoke);
@@ -530,10 +687,31 @@ int Main(int argc, char** argv) {
         return 1;
       }
     }
+    // Third gate: no silent scalar fallback. When the host has a vector
+    // ISA and nothing pinned the backend (a pinned scalar is an explicit
+    // choice, e.g. check.sh's per-backend runs), eval dispatch must
+    // resolve to the detected-best table.
+    const tensor::simd::Backend best = tensor::simd::DetectBestBackend();
+    if (best != tensor::simd::Backend::kScalar &&
+        !tensor::simd::EvalBackendPinned() &&
+        tensor::simd::ActiveEvalBackend() != best) {
+      std::fprintf(stderr,
+                   "[bench_kernels] FAIL: host supports %s but eval "
+                   "dispatch resolved to %s without an explicit pin "
+                   "(silent scalar fallback)\n",
+                   tensor::simd::BackendName(best),
+                   tensor::simd::BackendName(
+                       tensor::simd::ActiveEvalBackend()));
+      return 1;
+    }
     std::fprintf(stderr,
                  "[bench_kernels] smoke OK: steady-state training step ran "
-                 "with zero pool misses and zero dense full-table gradient "
-                 "scans\n");
+                 "with zero pool misses, zero dense full-table gradient "
+                 "scans, and no silent scalar fallback (eval backend: "
+                 "%s%s)\n",
+                 tensor::simd::BackendName(
+                     tensor::simd::ActiveEvalBackend()),
+                 tensor::simd::EvalBackendPinned() ? ", pinned" : "");
     return 0;
   }
 
@@ -548,8 +726,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", sparse_path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "[bench_kernels] results written to %s and %s\n",
-               path.c_str(), sparse_path.c_str());
+  const std::string simd_path = "bench_results/BENCH_simd.json";
+  if (!WriteSimdJson(report, simd_path)) {
+    std::fprintf(stderr, "cannot write %s\n", simd_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_kernels] results written to %s, %s and %s\n",
+               path.c_str(), sparse_path.c_str(), simd_path.c_str());
   return 0;
 }
 

@@ -7,8 +7,14 @@
 //   async        SubmitAsync() + micro-batching dispatcher
 //
 // Each scenario also reports the mutual-relation cache hit rate (requests
-// replay entity pairs with the skew real query streams show). Results are
-// printed and recorded in bench_results/BENCH_serve.json.
+// replay entity pairs with the skew real query streams show). The sync and
+// batch scenarios are additionally run with the int8-quantized engine
+// (EngineOptions::quantized), and the quantized path must pass an accuracy
+// gate against fp32 on the same NYT-preset replay: top-1 prediction
+// agreement >= 99.5% and max |probability delta| <= 0.05, or the bench
+// exits non-zero. Results are printed and recorded in
+// bench_results/BENCH_serve.json.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -52,10 +58,12 @@ serve::Query BagToQuery(const re::Bag& bag,
 
 ScenarioResult RunScenario(const std::string& scenario, int threads,
                            const std::string& snapshot_path,
-                           const std::vector<serve::Query>& requests) {
+                           const std::vector<serve::Query>& requests,
+                           bool quantized = false) {
   serve::EngineOptions options;
   options.threads = threads;
   options.top_k = 1;
+  options.quantized = quantized;
   auto engine = serve::InferenceEngine::Open(snapshot_path, options);
   CheckOk(engine.status());
 
@@ -78,7 +86,7 @@ ScenarioResult RunScenario(const std::string& scenario, int threads,
   }
 
   ScenarioResult result;
-  result.scenario = scenario;
+  result.scenario = quantized ? "q-" + scenario : scenario;
   result.threads = threads;
   result.stats = (*engine)->Stats();
   const uint64_t lookups =
@@ -90,12 +98,67 @@ ScenarioResult RunScenario(const std::string& scenario, int threads,
   return result;
 }
 
+// fp32-vs-quantized accuracy on one replay stream.
+struct QuantizedGate {
+  double top1_agreement = 0.0;
+  double max_abs_prob_delta = 0.0;
+  size_t requests = 0;
+  bool pass = false;
+};
+
+// Scores every request through a fp32 engine and a quantized engine over
+// the same snapshot and compares the full probability vectors. The gate is
+// the PR's acceptance bar for int8 serving: top-1 agreement >= 99.5% and
+// max |probability delta| <= 0.05 on the NYT-preset replay.
+QuantizedGate RunQuantizedGate(const std::string& snapshot_path,
+                               const std::vector<serve::Query>& requests) {
+  serve::EngineOptions fp32_options;
+  fp32_options.threads = 1;
+  auto fp32_engine = serve::InferenceEngine::Open(snapshot_path, fp32_options);
+  CheckOk(fp32_engine.status());
+  serve::EngineOptions quant_options = fp32_options;
+  quant_options.quantized = true;
+  auto quant_engine =
+      serve::InferenceEngine::Open(snapshot_path, quant_options);
+  CheckOk(quant_engine.status());
+
+  QuantizedGate gate;
+  gate.requests = requests.size();
+  size_t agree = 0;
+  for (const serve::Query& query : requests) {
+    auto fp32 = (*fp32_engine)->Predict(query);
+    auto quant = (*quant_engine)->Predict(query);
+    CheckOk(fp32.status());
+    CheckOk(quant.status());
+    const std::vector<float>& p = fp32->probabilities;
+    const std::vector<float>& q = quant->probabilities;
+    IMR_CHECK(p.size() == q.size());
+    size_t p_top = 0, q_top = 0;
+    for (size_t i = 1; i < p.size(); ++i) {
+      if (p[i] > p[p_top]) p_top = i;
+      if (q[i] > q[q_top]) q_top = i;
+    }
+    if (p_top == q_top) ++agree;
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double delta = std::fabs(static_cast<double>(p[i]) - q[i]);
+      if (delta > gate.max_abs_prob_delta) gate.max_abs_prob_delta = delta;
+    }
+  }
+  gate.top1_agreement =
+      requests.empty() ? 0.0
+                       : static_cast<double>(agree) /
+                             static_cast<double>(requests.size());
+  gate.pass =
+      gate.top1_agreement >= 0.995 && gate.max_abs_prob_delta <= 0.05;
+  return gate;
+}
+
 int Run() {
-  // --- train a small pipeline and snapshot it ----------------------------
+  // --- train a small pipeline on the NYT preset and snapshot it ----------
   datagen::PresetOptions preset_options;
   preset_options.scale = 0.5;
   preset_options.seed = 13;
-  datagen::SyntheticDataset dataset = datagen::MakeGdsLike(preset_options);
+  datagen::SyntheticDataset dataset = datagen::MakeNytLike(preset_options);
 
   re::BagDatasetOptions bag_options;
   bag_options.max_sentence_length = 40;
@@ -172,6 +235,17 @@ int Run() {
   results.push_back(RunScenario("batch", 1, snapshot_path, requests));
   results.push_back(RunScenario("batch", 4, snapshot_path, requests));
   results.push_back(RunScenario("async", 4, snapshot_path, requests));
+  results.push_back(
+      RunScenario("sync", 1, snapshot_path, requests, /*quantized=*/true));
+  results.push_back(
+      RunScenario("batch", 4, snapshot_path, requests, /*quantized=*/true));
+
+  const QuantizedGate gate = RunQuantizedGate(snapshot_path, requests);
+  std::printf(
+      "quantized accuracy: top-1 agreement %.4f (gate >= 0.995), "
+      "max |prob delta| %.5f (gate <= 0.05) over %zu requests -> %s\n",
+      gate.top1_agreement, gate.max_abs_prob_delta, gate.requests,
+      gate.pass ? "PASS" : "FAIL");
 
   std::printf("%-8s %-8s %10s %10s %10s %10s %8s\n", "scenario", "threads",
               "qps", "p50_us", "p99_us", "mean_us", "mr_hit%");
@@ -203,10 +277,26 @@ int Run() {
                  static_cast<unsigned long long>(r.stats.batches),
                  r.cache_hit_rate, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"quantized_gate\": {\"top1_agreement\": %.4f, "
+               "\"max_abs_prob_delta\": %.5f, \"requests\": %zu, "
+               "\"top1_agreement_min\": 0.995, "
+               "\"max_abs_prob_delta_max\": 0.05, \"pass\": %s}\n",
+               gate.top1_agreement, gate.max_abs_prob_delta, gate.requests,
+               gate.pass ? "true" : "false");
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::fprintf(stderr,
                "[bench_serve] written to bench_results/BENCH_serve.json\n");
+  if (!gate.pass) {
+    std::fprintf(stderr,
+                 "[bench_serve] FAIL: quantized serving missed the "
+                 "accuracy gate (top-1 agreement %.4f, max |prob delta| "
+                 "%.5f)\n",
+                 gate.top1_agreement, gate.max_abs_prob_delta);
+    return 1;
+  }
   return 0;
 }
 

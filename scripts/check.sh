@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification matrix: plain build + ctest, the kernel-benchmark smoke
-# gate (zero pool misses and zero dense full-table gradient scans in a
-# warmed-up training step), ThreadSanitizer,
+# gate (zero pool misses, zero dense full-table gradient scans in a
+# warmed-up training step, no silent scalar kernel fallback), the SIMD
+# backend matrix (full ctest under every compiled backend), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
 # analysis build, and the project linter. Each stage reports pass/fail/skip
 # and the script exits nonzero if anything failed.
@@ -54,12 +55,34 @@ run_stage "build+ctest" build_and_test build -DCMAKE_BUILD_TYPE=Release --
 
 # 1b. Kernel benchmark smoke: tiny sizes, exits nonzero if a warmed-up
 # training step reports any buffer-pool miss (an allocation crept back onto
-# the hot path) or if the steady-state embedding step loses row sparsity
-# (SparseGradStats reports a dense full-table gradient scan).
+# the hot path), if the steady-state embedding step loses row sparsity
+# (SparseGradStats reports a dense full-table gradient scan), or if kernel
+# dispatch silently falls back to scalar on a vector-capable host.
 if [ -x build/bench/bench_kernels ]; then
   run_stage "bench-smoke" build/bench/bench_kernels --smoke
 else
   record "bench-smoke" SKIP
+fi
+
+# 1c. SIMD backend matrix: force every backend this build+host supports
+# (bench_kernels --list_backends; scalar is always in the list) through the
+# full test suite via the IMR_KERNEL_BACKEND pin, so a kernel that only
+# breaks under one ISA — or a dispatch bug that ignores the pin — fails CI.
+if [ -x build/bench/bench_kernels ]; then
+  simd_matrix() {
+    local backend ok=0
+    for backend in $(build/bench/bench_kernels --list_backends); do
+      echo "---- IMR_KERNEL_BACKEND=$backend ----"
+      if ! IMR_KERNEL_BACKEND="$backend" \
+           ctest --test-dir build --output-on-failure "$JOBS"; then
+        ok=1
+      fi
+    done
+    return "$ok"
+  }
+  run_stage "simd" simd_matrix
+else
+  record "simd" SKIP
 fi
 
 # 2-4. Sanitizers, each in its own build tree, selecting its label so a

@@ -135,4 +135,114 @@ util::StatusOr<EmbeddingStore> EmbeddingStore::ReadFrom(
   return store;
 }
 
+QuantizedEmbeddingStore QuantizedEmbeddingStore::Quantize(
+    const EmbeddingStore& source) {
+  QuantizedEmbeddingStore store;
+  store.num_vertices_ = source.num_vertices();
+  store.dim_ = source.dim();
+  store.data_.resize(static_cast<size_t>(store.num_vertices_) * store.dim_);
+  store.scales_.resize(static_cast<size_t>(store.num_vertices_));
+  for (int v = 0; v < store.num_vertices_; ++v) {
+    const float* row = source.Vector(v);
+    float maxabs = 0.0f;
+    for (int d = 0; d < store.dim_; ++d) {
+      maxabs = std::max(maxabs, std::fabs(row[d]));
+    }
+    const float scale = maxabs / 127.0f;
+    store.scales_[static_cast<size_t>(v)] = scale;
+    int8_t* qrow = store.data_.data() + static_cast<size_t>(v) * store.dim_;
+    if (scale <= 0.0f) {
+      std::fill(qrow, qrow + store.dim_, static_cast<int8_t>(0));
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    for (int d = 0; d < store.dim_; ++d) {
+      const long q = std::lrintf(row[d] * inv);
+      qrow[d] = static_cast<int8_t>(std::clamp(q, -127L, 127L));
+    }
+  }
+  return store;
+}
+
+const int8_t* QuantizedEmbeddingStore::Row(int vertex) const {
+  IMR_CHECK_GE(vertex, 0);
+  IMR_CHECK_LT(vertex, num_vertices_);
+  return data_.data() + static_cast<size_t>(vertex) * dim_;
+}
+
+float QuantizedEmbeddingStore::scale(int vertex) const {
+  IMR_CHECK_GE(vertex, 0);
+  IMR_CHECK_LT(vertex, num_vertices_);
+  return scales_[static_cast<size_t>(vertex)];
+}
+
+std::vector<float> QuantizedEmbeddingStore::Dequantize(int vertex) const {
+  const int8_t* row = Row(vertex);
+  const float s = scales_[static_cast<size_t>(vertex)];
+  std::vector<float> out(static_cast<size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) {
+    out[static_cast<size_t>(d)] = static_cast<float>(row[d]) * s;
+  }
+  return out;
+}
+
+std::vector<float> QuantizedEmbeddingStore::MutualRelation(int i,
+                                                           int j) const {
+  const int8_t* qi = Row(i);
+  const int8_t* qj = Row(j);
+  const float si = scales_[static_cast<size_t>(i)];
+  const float sj = scales_[static_cast<size_t>(j)];
+  std::vector<float> mr(static_cast<size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) {
+    mr[static_cast<size_t>(d)] =
+        static_cast<float>(qj[d]) * sj - static_cast<float>(qi[d]) * si;
+  }
+  return mr;
+}
+
+double QuantizedEmbeddingStore::MaxAbsError(
+    const EmbeddingStore& reference) const {
+  IMR_CHECK_EQ(num_vertices_, reference.num_vertices());
+  IMR_CHECK_EQ(dim_, reference.dim());
+  double worst = 0.0;
+  for (int v = 0; v < num_vertices_; ++v) {
+    const float* row = reference.Vector(v);
+    const int8_t* qrow = Row(v);
+    const float s = scales_[static_cast<size_t>(v)];
+    for (int d = 0; d < dim_; ++d) {
+      worst = std::max(
+          worst, std::fabs(static_cast<double>(qrow[d]) * s - row[d]));
+    }
+  }
+  return worst;
+}
+
+void QuantizedEmbeddingStore::WriteTo(util::BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(num_vertices_));
+  writer->WriteU32(static_cast<uint32_t>(dim_));
+  writer->WriteFloatVector(scales_);
+  writer->WriteByteVector(data_);
+}
+
+util::StatusOr<QuantizedEmbeddingStore> QuantizedEmbeddingStore::ReadFrom(
+    util::BinaryReader* reader) {
+  const int num_vertices = static_cast<int>(reader->ReadU32());
+  const int dim = static_cast<int>(reader->ReadU32());
+  std::vector<float> scales = reader->ReadFloatVector();
+  std::vector<int8_t> data = reader->ReadByteVector();
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (num_vertices <= 0 || dim <= 0 ||
+      scales.size() != static_cast<size_t>(num_vertices) ||
+      data.size() != static_cast<size_t>(num_vertices) * dim) {
+    return util::InvalidArgument("corrupt quantized embedding section in '" +
+                                 reader->path() + "'");
+  }
+  QuantizedEmbeddingStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  store.scales_ = std::move(scales);
+  store.data_ = std::move(data);
+  return store;
+}
+
 }  // namespace imr::graph

@@ -62,6 +62,51 @@ class EmbeddingStore {
   std::vector<float> data_;
 };
 
+/// Int8 companion of EmbeddingStore for the serving path: every row is
+/// quantized with its own symmetric scale (scale_v = maxabs(row)/127, zero
+/// rows get scale 0), so dequantization is q[d] * scale and the worst-case
+/// row error is scale/2 ≈ maxabs/254. MR vectors computed from the
+/// quantized rows therefore differ from fp32 MR by at most
+/// (scale_i + scale_j)/2 per element — small enough for the serve-time
+/// accuracy gate in bench_serve, at a quarter of the memory traffic.
+class QuantizedEmbeddingStore {
+ public:
+  QuantizedEmbeddingStore() = default;
+
+  /// Quantizes every row of `source` (round-to-nearest, saturating).
+  static QuantizedEmbeddingStore Quantize(const EmbeddingStore& source);
+
+  int num_vertices() const { return num_vertices_; }
+  int dim() const { return dim_; }
+  bool empty() const { return num_vertices_ == 0; }
+
+  const int8_t* Row(int vertex) const;
+  float scale(int vertex) const;
+
+  /// Reconstructed fp32 row: q[d] * scale.
+  std::vector<float> Dequantize(int vertex) const;
+
+  /// MR(i, j) = U_j - U_i over the dequantized rows — the quantized
+  /// serving analogue of EmbeddingStore::MutualRelation.
+  std::vector<float> MutualRelation(int i, int j) const;
+
+  /// Largest |dequantized - reference| over all elements; the round-trip
+  /// test asserts this stays within the per-row scale/2 bound.
+  double MaxAbsError(const EmbeddingStore& reference) const;
+
+  /// Streams the store into / out of an already-open writer (the QEMB
+  /// snapshot section). Values round-trip bit-exactly.
+  void WriteTo(util::BinaryWriter* writer) const;
+  [[nodiscard]] static util::StatusOr<QuantizedEmbeddingStore> ReadFrom(
+      util::BinaryReader* reader);
+
+ private:
+  int num_vertices_ = 0;
+  int dim_ = 0;
+  std::vector<int8_t> data_;    // [num_vertices x dim], row-major
+  std::vector<float> scales_;   // [num_vertices]
+};
+
 }  // namespace imr::graph
 
 #endif  // IMR_GRAPH_EMBEDDING_STORE_H_

@@ -2,6 +2,7 @@
 #ifndef IMR_NN_LAYERS_H_
 #define IMR_NN_LAYERS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/module.h"
@@ -32,6 +33,32 @@ class Linear : public Module {
   int out_features_;
   tensor::Tensor weight_;
   tensor::Tensor bias_;
+};
+
+/// Serving-only int8 shadow of a Linear: weights are quantized once per
+/// OUTPUT channel (symmetric scale maxabs/127 over W[:, out]) and packed
+/// transposed ([out x in]) for the dispatch table's gemm_s8s32 kernel.
+/// Forward quantizes each activation row with its own symmetric scale,
+/// runs the int8 GEMM accumulating in int32 (bit-identical across SIMD
+/// backends — pure integer arithmetic), and dequantizes with
+/// acc * s_x * s_w + bias at the output. No autograd node is created;
+/// construction from a Linear under training is the caller's bug.
+class QuantizedLinear {
+ public:
+  explicit QuantizedLinear(const Linear& source);
+
+  /// x: [N x in] or rank-1 [in]; returns [N x out] or rank-1 [out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  std::vector<int8_t> weight_t_;    // [out x in], W^T packed row-major
+  std::vector<float> weight_scales_;  // per output channel
+  std::vector<float> bias_;
 };
 
 /// Trainable lookup table [vocab x dim].

@@ -51,6 +51,25 @@ PaModel::PaModel(const PaModelConfig& config, util::Rng* rng)
   }
 }
 
+void PaModel::EnableQuantizedInference() {
+  quantized_re_head_ = std::make_unique<nn::QuantizedLinear>(*re_head_);
+  if (mr_head_ != nullptr) {
+    quantized_mr_head_ = std::make_unique<nn::QuantizedLinear>(*mr_head_);
+  }
+  if (type_head_ != nullptr) {
+    quantized_type_head_ = std::make_unique<nn::QuantizedLinear>(*type_head_);
+  }
+}
+
+Tensor PaModel::HeadForward(const nn::Linear& head,
+                            const nn::QuantizedLinear* quantized,
+                            const Tensor& x) const {
+  if (quantized != nullptr && !tensor::GradModeEnabled()) {
+    return quantized->Forward(x);
+  }
+  return head.Forward(x);
+}
+
 float PaModel::alpha() const { return alpha_.defined() ? alpha_.item() : 0; }
 float PaModel::beta() const { return beta_.defined() ? beta_.item() : 0; }
 float PaModel::gamma() const { return gamma_.defined() ? gamma_.item() : 0; }
@@ -90,13 +109,15 @@ Tensor PaModel::FuseLogits(const Bag& bag, const Tensor& re_logits) const {
                  config_.mutual_relation_dim);
     Tensor mr_input = Tensor::FromData({config_.mutual_relation_dim},
                                        bag.mutual_relation);
-    Tensor c_mr = tensor::Softmax(mr_head_->Forward(mr_input));
+    Tensor c_mr = tensor::Softmax(
+        HeadForward(*mr_head_, quantized_mr_head_.get(), mr_input));
     mixture = tensor::Add(mixture, tensor::ScaleByScalarTensor(c_mr, alpha_));
   }
   if (config_.use_entity_type) {
     Tensor t_input =
         type_embedding_->PairVector(bag.head_types, bag.tail_types);
-    Tensor c_t = tensor::Softmax(type_head_->Forward(t_input));
+    Tensor c_t = tensor::Softmax(
+        HeadForward(*type_head_, quantized_type_head_.get(), t_input));
     mixture = tensor::Add(mixture, tensor::ScaleByScalarTensor(c_t, beta_));
   }
   return tensor::Add(tensor::ScaleByScalarTensor(mixture, fuse_scale_),
@@ -164,14 +185,15 @@ std::vector<float> PaModel::PredictImpl(const Bag& bag,
     // Diagonal evaluation: relation r is scored under its own query.
     for (int r = 0; r < config_.num_relations; ++r) {
       Tensor bag_repr = Aggregate(encodings, r);
-      Tensor logits = FuseLogits(bag, re_head_->Forward(bag_repr));
+      Tensor logits = FuseLogits(
+          bag, HeadForward(*re_head_, quantized_re_head_.get(), bag_repr));
       Tensor probs = tensor::Softmax(logits);
       probabilities[static_cast<size_t>(r)] = probs.at(r);
     }
   } else {
     Tensor bag_repr = Aggregate(encodings, /*query_relation=*/0);
-    Tensor probs =
-        tensor::Softmax(FuseLogits(bag, re_head_->Forward(bag_repr)));
+    Tensor probs = tensor::Softmax(FuseLogits(
+        bag, HeadForward(*re_head_, quantized_re_head_.get(), bag_repr)));
     for (int r = 0; r < config_.num_relations; ++r)
       probabilities[static_cast<size_t>(r)] = probs.at(r);
   }

@@ -68,6 +68,15 @@ class PaModel : public nn::Module {
   float beta() const;
   float gamma() const;
 
+  /// Builds int8 shadows of the RE/MR/type heads from the current fp32
+  /// weights. Afterwards every no-grad forward (Predict, serving) routes
+  /// those heads through the quantized int8 GEMM; training-mode forwards
+  /// (gradients recording) still use the fp32 parameters, so a co-located
+  /// fine-tuning loop keeps exact gradients. Call again after a weight
+  /// update to refresh the shadows.
+  void EnableQuantizedInference();
+  bool quantized_inference() const { return quantized_re_head_ != nullptr; }
+
  private:
   // Shared inference path behind both Predict overloads.
   std::vector<float> PredictImpl(const Bag& bag, util::Rng* rng) const;
@@ -78,6 +87,11 @@ class PaModel : public nn::Module {
   // Fuses RE logits with the MR / Type confidences for one bag.
   tensor::Tensor FuseLogits(const Bag& bag,
                             const tensor::Tensor& re_logits) const;
+  // Head forward that honors quantized inference: the int8 shadow when one
+  // exists and no gradients are recording, the fp32 layer otherwise.
+  tensor::Tensor HeadForward(const nn::Linear& head,
+                             const nn::QuantizedLinear* quantized,
+                             const tensor::Tensor& x) const;
 
   PaModelConfig config_;
   std::unique_ptr<nn::SentenceEncoder> encoder_;
@@ -86,6 +100,10 @@ class PaModel : public nn::Module {
   std::unique_ptr<nn::Linear> mr_head_;
   std::unique_ptr<TypeEmbedding> type_embedding_;
   std::unique_ptr<nn::Linear> type_head_;
+  // Int8 serving shadows (EnableQuantizedInference); null until enabled.
+  std::unique_ptr<nn::QuantizedLinear> quantized_re_head_;
+  std::unique_ptr<nn::QuantizedLinear> quantized_mr_head_;
+  std::unique_ptr<nn::QuantizedLinear> quantized_type_head_;
   // Fusion parameters.
   tensor::Tensor alpha_, beta_, gamma_, fuse_scale_, fuse_bias_;
 };

@@ -40,6 +40,16 @@ InferenceEngine::InferenceEngine(Snapshot snapshot,
       mr_cache_(options.mr_cache_capacity) {
   IMR_CHECK(snapshot_.model != nullptr);
   snapshot_.model->SetTraining(false);  // serving is always deterministic
+  if (options_.quantized) {
+    if (snapshot_.quantized_embeddings.empty() &&
+        snapshot_.embeddings.num_vertices() > 0) {
+      // Pre-quantization snapshot: build the int8 store at load time so the
+      // quantized path works against any v1 file.
+      snapshot_.quantized_embeddings =
+          graph::QuantizedEmbeddingStore::Quantize(snapshot_.embeddings);
+    }
+    snapshot_.model->EnableQuantizedInference();
+  }
   if (options_.threads > 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -149,8 +159,12 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
       // Computed outside the lock: the vector is a pure function of the
       // (immutable) embedding rows, so concurrent misses on the same pair
       // compute identical values.
-      bag.mutual_relation = snapshot_.embeddings.MutualRelation(
-          static_cast<int>(query.head), static_cast<int>(query.tail));
+      const int head = static_cast<int>(query.head);
+      const int tail = static_cast<int>(query.tail);
+      bag.mutual_relation =
+          options_.quantized && !snapshot_.quantized_embeddings.empty()
+              ? snapshot_.quantized_embeddings.MutualRelation(head, tail)
+              : snapshot_.embeddings.MutualRelation(head, tail);
       util::MutexLock lock(cache_mutex_);
       mr_cache_.Put(key, bag.mutual_relation);
     }

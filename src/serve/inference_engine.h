@@ -54,6 +54,12 @@ struct EngineOptions {
   size_t latency_samples = 4096;
   /// Relations returned in Prediction::top.
   int top_k = 3;
+  /// Serve with the int8 path: mutual-relation vectors come from the
+  /// snapshot's QEMB section (quantized at load when the file has none)
+  /// and the model's fusion heads run through the int8 GEMM
+  /// (PaModel::EnableQuantizedInference). fp32 and quantized engines over
+  /// the same snapshot are compared by bench_serve's accuracy gate.
+  bool quantized = false;
 };
 
 /// One inference request: an entity pair plus the sentences mentioning it

@@ -22,6 +22,7 @@ constexpr uint32_t kTagRelations = 0x52454C53;   // "RELS"
 constexpr uint32_t kTagEntities = 0x454E5453;    // "ENTS"
 constexpr uint32_t kTagEmbeddings = 0x454D4244;  // "EMBD"
 constexpr uint32_t kTagParameters = 0x5041524D;  // "PARM"
+constexpr uint32_t kTagQuantized = 0x51454D42;   // "QEMB" (optional)
 constexpr uint32_t kTagEnd = 0x53454E44;         // "SEND"
 
 bool ValidEncoder(const std::string& kind) {
@@ -151,7 +152,8 @@ util::Status SaveSnapshot(const re::PaModel& model,
                           const std::vector<EntityRecord>& entities,
                           const re::BagDatasetOptions& bag_options,
                           uint64_t trained_steps, const std::string& notes,
-                          const std::string& path) {
+                          const std::string& path,
+                          const graph::QuantizedEmbeddingStore* quantized) {
   const re::PaModelConfig& config = model.config();
   // Catch inconsistent bundles at save time: a snapshot that cannot pass
   // its own load-time validation must never reach disk.
@@ -172,6 +174,12 @@ util::Status SaveSnapshot(const re::PaModel& model,
       static_cast<int>(entities.size()) != embeddings.num_vertices()) {
     return util::InvalidArgument(
         "snapshot: entity table size != embedding vertex count");
+  }
+  if (quantized != nullptr &&
+      (quantized->num_vertices() != embeddings.num_vertices() ||
+       quantized->dim() != embeddings.dim())) {
+    return util::InvalidArgument(
+        "snapshot: quantized embedding shape != fp32 embedding shape");
   }
 
   util::BinaryWriter writer(path, kSnapshotMagic, kSnapshotVersion);
@@ -205,6 +213,11 @@ util::Status SaveSnapshot(const re::PaModel& model,
   writer.WriteU32(kTagParameters);
   model.WriteParameters(&writer);
 
+  if (quantized != nullptr) {
+    writer.WriteU32(kTagQuantized);
+    quantized->WriteTo(&writer);
+  }
+
   writer.WriteU32(kTagEnd);
   return writer.Close();
 }
@@ -215,7 +228,8 @@ util::Status SaveSnapshot(const re::PaModel& model,
                           const kg::KnowledgeGraph& graph,
                           const re::BagDatasetOptions& bag_options,
                           uint64_t trained_steps, const std::string& notes,
-                          const std::string& path) {
+                          const std::string& path,
+                          const graph::QuantizedEmbeddingStore* quantized) {
   std::vector<std::string> relation_names;
   relation_names.reserve(static_cast<size_t>(graph.num_relations()));
   for (const kg::RelationSchema& schema : graph.relations())
@@ -225,7 +239,7 @@ util::Status SaveSnapshot(const re::PaModel& model,
   for (const kg::Entity& entity : graph.entities())
     entities.push_back({entity.name, entity.type_ids});
   return SaveSnapshot(model, vocab, embeddings, relation_names, entities,
-                      bag_options, trained_steps, notes, path);
+                      bag_options, trained_steps, notes, path, quantized);
 }
 
 util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
@@ -326,7 +340,30 @@ util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
   }
   snapshot.model->SetTraining(false);
 
-  IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEnd, "end sentinel"));
+  // The tail is either SEND directly (pre-quantization files) or the
+  // optional QEMB section followed by SEND.
+  const uint64_t tail_at = reader.offset();
+  const uint32_t tail_tag = reader.ReadU32();
+  IMR_RETURN_IF_ERROR(reader.status());
+  if (tail_tag == kTagQuantized) {
+    auto quantized = graph::QuantizedEmbeddingStore::ReadFrom(&reader);
+    IMR_RETURN_IF_ERROR(quantized.status());
+    if (quantized->num_vertices() != snapshot.embeddings.num_vertices() ||
+        quantized->dim() != snapshot.embeddings.dim()) {
+      return util::InvalidArgument(util::StrFormat(
+          "snapshot '%s': quantized embeddings [%d x %d] do not match fp32 "
+          "embeddings [%d x %d]",
+          path.c_str(), quantized->num_vertices(), quantized->dim(),
+          snapshot.embeddings.num_vertices(), snapshot.embeddings.dim()));
+    }
+    snapshot.quantized_embeddings = std::move(*quantized);
+    IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEnd, "end sentinel"));
+  } else if (tail_tag != kTagEnd) {
+    return util::InvalidArgument(util::StrFormat(
+        "snapshot '%s': expected quantized-embedding or end sentinel tag at "
+        "byte offset %llu, found 0x%08x",
+        path.c_str(), static_cast<unsigned long long>(tail_at), tail_tag));
+  }
   return snapshot;
 }
 

@@ -12,6 +12,10 @@
 //         vertex id (may be empty when serving by raw ids only)
 //   EMBD  graph::EmbeddingStore (the mutual-relation source)
 //   PARM  model parameters (name + values, registry order)
+//   QEMB  OPTIONAL int8 graph::QuantizedEmbeddingStore for the quantized
+//         serving path; readers branch on the tag after PARM, so files
+//         written without it (all pre-quantization snapshots) load
+//         unchanged and the version stays 1
 //   SEND  end sentinel — detects files truncated on a section boundary
 //
 // Every section is validated on load (tag, counts, cross-section shape
@@ -59,30 +63,33 @@ struct Snapshot {
   std::vector<std::string> relation_names;
   std::vector<EntityRecord> entities;
   graph::EmbeddingStore embeddings;
+  /// Empty unless the file carried a QEMB section.
+  graph::QuantizedEmbeddingStore quantized_embeddings;
   std::unique_ptr<re::PaModel> model;
 };
 
 /// Writes a snapshot of `model` plus its featurization state. `entities`
 /// may be empty (serving then requires raw entity ids and explicit types);
-/// when non-empty its size must equal embeddings.num_vertices().
-[[nodiscard]] util::Status SaveSnapshot(const re::PaModel& model,
-                          const text::Vocabulary& vocab,
-                          const graph::EmbeddingStore& embeddings,
-                          const std::vector<std::string>& relation_names,
-                          const std::vector<EntityRecord>& entities,
-                          const re::BagDatasetOptions& bag_options,
-                          uint64_t trained_steps, const std::string& notes,
-                          const std::string& path);
+/// when non-empty its size must equal embeddings.num_vertices(). Passing
+/// `quantized` (shape-matched to `embeddings`) appends the optional QEMB
+/// section so the file also carries the int8 serving weights.
+[[nodiscard]] util::Status SaveSnapshot(
+    const re::PaModel& model, const text::Vocabulary& vocab,
+    const graph::EmbeddingStore& embeddings,
+    const std::vector<std::string>& relation_names,
+    const std::vector<EntityRecord>& entities,
+    const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
+    const std::string& notes, const std::string& path,
+    const graph::QuantizedEmbeddingStore* quantized = nullptr);
 
 /// Convenience overload that pulls relation names and the entity table
 /// (names + type ids) from a knowledge graph.
-[[nodiscard]] util::Status SaveSnapshot(const re::PaModel& model,
-                          const text::Vocabulary& vocab,
-                          const graph::EmbeddingStore& embeddings,
-                          const kg::KnowledgeGraph& graph,
-                          const re::BagDatasetOptions& bag_options,
-                          uint64_t trained_steps, const std::string& notes,
-                          const std::string& path);
+[[nodiscard]] util::Status SaveSnapshot(
+    const re::PaModel& model, const text::Vocabulary& vocab,
+    const graph::EmbeddingStore& embeddings, const kg::KnowledgeGraph& graph,
+    const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
+    const std::string& notes, const std::string& path,
+    const graph::QuantizedEmbeddingStore* quantized = nullptr);
 
 /// Loads and validates a snapshot; the returned model reproduces the saved
 /// model's inference outputs bit-for-bit.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/buffer_pool.h"
+#include "tensor/simd/dispatch.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -35,19 +36,23 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 
 // ---- MatMul kernels -------------------------------------------------------
 //
-// Bit-exactness contract: every output element's float accumulation sequence
-// is fixed by the element itself (k ascending for the forward/dA dots, i
-// ascending for dB), never by chunk boundaries or thread count, so results
-// are identical at any --imr_threads — and identical to the original scalar
-// kernels (zero operands are skipped exactly as before).
+// Bit-exactness contract (scalar backend): every output element's float
+// accumulation sequence is fixed by the element itself (k ascending for the
+// forward/dA dots, i ascending for dB), never by chunk boundaries or thread
+// count, so results are identical at any --imr_threads — and identical to
+// the original scalar kernels (zero operands are skipped exactly as before).
+//
+// Forward inner loops dispatch through tensor/simd: simd::Active() resolves
+// to the scalar reference while autograd records (unless vectorized
+// training was opted in) and to the fastest ISA under NoGradGuard. Vector
+// backends keep per-shape determinism but may reassociate reductions; see
+// tensor/simd/dispatch.h for the contract. Backward kernels stay scalar —
+// they run only in training, where scalar is the gate reference anyway.
 
 // Work below this many multiply-adds is not worth a pool dispatch.
 constexpr int64_t kMatMulParallelFlops = 1 << 14;
 // Packing pays for itself only when the packed panel is reused many times.
 constexpr int kMatMulMinRowsForPack = 8;
-// Column tile for the packed dot kernel: one tile of B^T rows stays hot in
-// L1/L2 while it is reused across a panel of output rows.
-constexpr int kMatMulColTile = 64;
 
 // Grain (rows per chunk) is a pure function of the shape, keeping chunk
 // boundaries independent of the worker count.
@@ -82,30 +87,6 @@ void PackTranspose(const float* src, int rows, int cols, float* dst,
   }
 }
 
-// out[i, j] = sum_k a[i, k] * bt[j, k] for i in [row_lo, row_hi), all j.
-// k ascends and zero a-operands are skipped, matching the original ikj
-// kernel's per-element accumulation sequence exactly.
-void MatMulPanelDot(const float* av, const float* bt, float* out, int64_t row_lo,
-                    int64_t row_hi, int inner, int cols) {
-  for (int j0 = 0; j0 < cols; j0 += kMatMulColTile) {
-    const int j_end = std::min(cols, j0 + kMatMulColTile);
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      const float* arow = av + static_cast<size_t>(i) * inner;
-      float* orow = out + static_cast<size_t>(i) * cols;
-      for (int j = j0; j < j_end; ++j) {
-        const float* btrow = bt + static_cast<size_t>(j) * inner;
-        float acc = 0.0f;
-        for (int k = 0; k < inner; ++k) {
-          const float aval = arow[k];
-          if (aval == 0.0f) continue;
-          acc += aval * btrow[k];
-        }
-        orow[j] = acc;
-      }
-    }
-  }
-}
-
 // ---- shared MatMul kernel entry points ------------------------------------
 //
 // MatMul and the fused AffineTanh drive these identical kernels (same path
@@ -116,6 +97,9 @@ void MatMulPanelDot(const float* av, const float* bt, float* out, int64_t row_lo
 // out must be zero-initialised ([rows x cols]); computes out = a @ b.
 void MatMulForwardInto(const float* av, const float* bv, float* out, int rows,
                        int inner, int cols) {
+  // Resolve the kernel table on the calling thread (GradModeEnabled() is
+  // thread-local) and hand the same table to every ParallelFor worker.
+  const simd::Kernels& kernels = simd::Active();
   const int64_t flops = static_cast<int64_t>(rows) * inner * cols;
   if (rows >= kMatMulMinRowsForPack && flops >= kMatMulParallelFlops) {
     // Blocked kernel: pack B^T once, then compute row panels of dots. The
@@ -126,20 +110,12 @@ void MatMulForwardInto(const float* av, const float* bv, float* out, int rows,
     const float* btv = bt.data();
     pool.ParallelFor(0, rows, RowGrain(static_cast<int64_t>(inner) * cols),
                      [&](int64_t lo, int64_t hi) {
-                       MatMulPanelDot(av, btv, out, lo, hi, inner, cols);
+                       kernels.matmul_panel_dot(av, btv, out, lo, hi, inner,
+                                                cols);
                      });
   } else {
-    // ikj ordering: streams through b row-wise, vectorises well.
-    for (int i = 0; i < rows; ++i) {
-      const float* __restrict arow = av + static_cast<size_t>(i) * inner;
-      float* __restrict orow = out + static_cast<size_t>(i) * cols;
-      for (int k = 0; k < inner; ++k) {
-        const float aval = arow[k];
-        if (aval == 0.0f) continue;
-        const float* __restrict brow = bv + static_cast<size_t>(k) * cols;
-        for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
-      }
-    }
+    // ikj ordering: streams through b row-wise.
+    kernels.matmul_ikj(av, bv, out, rows, inner, cols);
   }
 }
 
@@ -217,9 +193,8 @@ void MatMulAccumGradB(const float* gout, const float* av, float* gbv,
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   std::vector<float> out = AcquireBuffer(a.size());
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + bv[i];
+  simd::Active().add(a.data().data(), b.data().data(), out.data(),
+                     out.size());
   return MakeResult(a.shape(), std::move(out), {a, b},
                     [a, b](TensorImpl& self) {
                       if (WantsGrad(a)) {
@@ -238,9 +213,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   std::vector<float> out = AcquireBuffer(a.size());
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] - bv[i];
+  simd::Active().sub(a.data().data(), b.data().data(), out.data(),
+                     out.size());
   return MakeResult(a.shape(), std::move(out), {a, b},
                     [a, b](TensorImpl& self) {
                       if (WantsGrad(a)) {
@@ -259,9 +233,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   std::vector<float> out = AcquireBuffer(a.size());
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * bv[i];
+  simd::Active().mul(a.data().data(), b.data().data(), out.data(),
+                     out.size());
   return MakeResult(a.shape(), std::move(out), {a, b},
                     [a, b](TensorImpl& self) {
                       const auto& av = a.data();
@@ -281,8 +254,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Scale(const Tensor& a, float s) {
   std::vector<float> out = AcquireBuffer(a.size());
-  const auto& av = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * s;
+  simd::Active().scale(a.data().data(), s, out.data(), out.size());
   return MakeResult(a.shape(), std::move(out), {a},
                     [a, s](TensorImpl& self) {
                       if (!WantsGrad(a)) return;
@@ -332,8 +304,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor Tanh(const Tensor& a) {
   std::vector<float> out = AcquireBuffer(a.size());
-  const auto& av = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
+  simd::Active().tanh(a.data().data(), out.data(), out.size());
   return MakeResult(a.shape(), std::move(out), {a},
                     [a](TensorImpl& self) {
                       if (!WantsGrad(a)) return;
@@ -443,11 +414,8 @@ Tensor AffineTanh(const Tensor& x, const Tensor& weight, const Tensor& bias) {
       AcquireBufferFill(static_cast<size_t>(rows) * cols, 0.0f);
   MatMulForwardInto(x.data().data(), weight.data().data(), out.data(), rows,
                     inner, cols);
-  const float* __restrict bv = bias.data().data();
-  for (int r = 0; r < rows; ++r) {
-    float* __restrict orow = out.data() + static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) orow[c] = std::tanh(orow[c] + bv[c]);
-  }
+  simd::Active().affine_tanh_finish(out.data(), bias.data().data(), rows,
+                                    cols);
   std::vector<int> out_shape =
       lhs_vector ? std::vector<int>{cols} : std::vector<int>{rows, cols};
   return MakeResult(
@@ -897,30 +865,11 @@ Tensor PiecewiseMaxOverRows(const Tensor& x, int b1, int b2) {
                     });
 }
 
-namespace {
-// Computes row-wise softmax of `in` ([rows x cols]) into `out`.
-void SoftmaxRows(const float* in, float* out, int rows, int cols) {
-  for (int r = 0; r < rows; ++r) {
-    const float* irow = in + static_cast<size_t>(r) * cols;
-    float* orow = out + static_cast<size_t>(r) * cols;
-    float max_v = -std::numeric_limits<float>::infinity();
-    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      orow[c] = std::exp(irow[c] - max_v);
-      denom += orow[c];
-    }
-    const float inv = 1.0f / denom;
-    for (int c = 0; c < cols; ++c) orow[c] *= inv;
-  }
-}
-}  // namespace
-
 Tensor Softmax(const Tensor& x) {
   const int rows = x.rows();
   const int cols = x.cols();
   std::vector<float> out = AcquireBuffer(x.size());
-  SoftmaxRows(x.data().data(), out.data(), rows, cols);
+  simd::Active().softmax_rows(x.data().data(), out.data(), rows, cols);
   return MakeResult(
       x.shape(), std::move(out), {x}, [x, rows, cols](TensorImpl& self) {
         if (!WantsGrad(x)) return;
@@ -940,17 +889,7 @@ Tensor LogSoftmax(const Tensor& x) {
   const int rows = x.rows();
   const int cols = x.cols();
   std::vector<float> out = AcquireBuffer(x.size());
-  const auto& xv = x.data();
-  for (int r = 0; r < rows; ++r) {
-    const float* irow = xv.data() + static_cast<size_t>(r) * cols;
-    float* orow = out.data() + static_cast<size_t>(r) * cols;
-    float max_v = -std::numeric_limits<float>::infinity();
-    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) denom += std::exp(irow[c] - max_v);
-    const float log_denom = max_v + std::log(denom);
-    for (int c = 0; c < cols; ++c) orow[c] = irow[c] - log_denom;
-  }
+  simd::Active().log_softmax_rows(x.data().data(), out.data(), rows, cols);
   return MakeResult(
       x.shape(), std::move(out), {x}, [x, rows, cols](TensorImpl& self) {
         if (!WantsGrad(x)) return;
@@ -977,7 +916,7 @@ Tensor CrossEntropyLoss(const Tensor& logits,
   // node, no Gather node, no second pass over the logits. The probabilities
   // ride along in the closure as pooled scratch.
   PooledFloats probs(AcquireBuffer(logits.size()));
-  SoftmaxRows(logits.data().data(), probs.data(), rows, cols);
+  simd::Active().softmax_rows(logits.data().data(), probs.data(), rows, cols);
   float loss = 0.0f;
   for (int r = 0; r < rows; ++r) {
     const int label = labels[r];

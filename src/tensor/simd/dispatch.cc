@@ -1,0 +1,260 @@
+#include "tensor/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace imr::tensor::simd {
+
+// Defined in the per-ISA translation units. Each returns nullptr when the
+// ISA is not compiled into this build; entries inside a returned table may
+// be null and inherit the scalar reference via MergeOverScalar.
+const Kernels* ScalarKernels();
+const Kernels* Sse2Kernels();
+const Kernels* Avx2Kernels();
+const Kernels* NeonKernels();
+
+namespace {
+
+// Dispatch state. Written at startup (env), by flag parsing, or by scoped
+// test/bench pins; read on every op entry — relaxed atomics keep the reads
+// free and TSan-clean. -1 means "no pin".
+std::atomic<int> g_pinned_backend{-1};
+std::atomic<bool> g_vectorized_training{false};
+
+constexpr int kBackendCount = 4;
+
+bool CpuSupports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architectural on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Returns true and sets *backend / *is_auto on a recognized name. Shared by
+// SetBackendByName and the env parsing in the Registry constructor (which
+// must not re-enter the public API while the registry static initializes).
+bool ParseBackendName(const std::string& name, Backend* backend,
+                      bool* is_auto) {
+  *is_auto = false;
+  if (name.empty() || name == "auto") {
+    *is_auto = true;
+    return true;
+  }
+  if (name == "scalar") {
+    *backend = Backend::kScalar;
+  } else if (name == "sse2") {
+    *backend = Backend::kSse2;
+  } else if (name == "avx2") {
+    *backend = Backend::kAvx2;
+  } else if (name == "neon") {
+    *backend = Backend::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const Kernels* RawTable(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return ScalarKernels();
+    case Backend::kSse2:
+      return Sse2Kernels();
+    case Backend::kAvx2:
+      return Avx2Kernels();
+    case Backend::kNeon:
+      return NeonKernels();
+  }
+  return nullptr;
+}
+
+Kernels MergeOverScalar(Backend backend, const Kernels& overlay) {
+  Kernels merged = *ScalarKernels();
+  merged.backend = backend;
+  if (overlay.add) merged.add = overlay.add;
+  if (overlay.sub) merged.sub = overlay.sub;
+  if (overlay.mul) merged.mul = overlay.mul;
+  if (overlay.scale) merged.scale = overlay.scale;
+  if (overlay.tanh) merged.tanh = overlay.tanh;
+  if (overlay.affine_tanh_finish)
+    merged.affine_tanh_finish = overlay.affine_tanh_finish;
+  if (overlay.matmul_panel_dot)
+    merged.matmul_panel_dot = overlay.matmul_panel_dot;
+  if (overlay.matmul_ikj) merged.matmul_ikj = overlay.matmul_ikj;
+  if (overlay.softmax_rows) merged.softmax_rows = overlay.softmax_rows;
+  if (overlay.log_softmax_rows)
+    merged.log_softmax_rows = overlay.log_softmax_rows;
+  if (overlay.gemm_s8s32) merged.gemm_s8s32 = overlay.gemm_s8s32;
+  return merged;
+}
+
+struct Registry {
+  Kernels tables[kBackendCount];
+  bool supported[kBackendCount] = {false, false, false, false};
+  Backend best = Backend::kScalar;
+
+  Registry() {
+    for (int i = 0; i < kBackendCount; ++i) {
+      const Backend backend = static_cast<Backend>(i);
+      const Kernels* raw = RawTable(backend);
+      if (raw == nullptr || !CpuSupports(backend)) continue;
+      tables[i] = MergeOverScalar(backend, *raw);
+      supported[i] = true;
+      // Preference order matches the enum: scalar < sse2 < avx2; NEON only
+      // exists where the x86 tiers do not, so "highest supported" is right
+      // on both architectures.
+      best = backend;
+    }
+    ApplyEnvironment();
+  }
+
+  void ApplyEnvironment() {
+    if (const char* env = std::getenv("IMR_KERNEL_BACKEND")) {
+      Backend backend = Backend::kScalar;
+      bool is_auto = false;
+      if (!ParseBackendName(env, &backend, &is_auto)) {
+        IMR_LOG(Warning) << "IMR_KERNEL_BACKEND=" << env
+                         << " ignored: unknown backend name";
+      } else if (!is_auto && !supported[static_cast<int>(backend)]) {
+        IMR_LOG(Warning) << "IMR_KERNEL_BACKEND=" << env
+                         << " ignored: backend not supported on this host";
+      } else if (!is_auto) {
+        g_pinned_backend.store(static_cast<int>(backend),
+                               std::memory_order_relaxed);
+      }
+    }
+    if (const char* env = std::getenv("IMR_VECTORIZED_TRAINING")) {
+      const std::string value(env);
+      g_vectorized_training.store(value == "1" || value == "true" ||
+                                      value == "on",
+                                  std::memory_order_relaxed);
+    }
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Backend DetectBestBackend() { return GetRegistry().best; }
+
+bool BackendSupported(Backend backend) {
+  const int index = static_cast<int>(backend);
+  if (index < 0 || index >= kBackendCount) return false;
+  return GetRegistry().supported[index];
+}
+
+std::vector<Backend> SupportedBackends() {
+  std::vector<Backend> result;
+  for (int i = 0; i < kBackendCount; ++i) {
+    if (GetRegistry().supported[i]) result.push_back(static_cast<Backend>(i));
+  }
+  return result;
+}
+
+const Kernels& KernelsFor(Backend backend) {
+  IMR_CHECK(BackendSupported(backend));
+  return GetRegistry().tables[static_cast<int>(backend)];
+}
+
+Backend ActiveEvalBackend() {
+  const int pinned = g_pinned_backend.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<Backend>(pinned);
+  return GetRegistry().best;
+}
+
+bool EvalBackendPinned() {
+  return g_pinned_backend.load(std::memory_order_relaxed) >= 0;
+}
+
+const Kernels& EvalKernels() { return KernelsFor(ActiveEvalBackend()); }
+
+const Kernels& TrainKernels() {
+  if (g_vectorized_training.load(std::memory_order_relaxed))
+    return EvalKernels();
+  return KernelsFor(Backend::kScalar);
+}
+
+const Kernels& Active() {
+  return GradModeEnabled() ? TrainKernels() : EvalKernels();
+}
+
+util::Status SetBackendByName(const std::string& name) {
+  Backend backend = Backend::kScalar;
+  bool is_auto = false;
+  if (!ParseBackendName(name, &backend, &is_auto)) {
+    return util::InvalidArgument("unknown kernel backend '" + name +
+                                 "' (want auto|scalar|sse2|avx2|neon)");
+  }
+  if (is_auto) {
+    g_pinned_backend.store(-1, std::memory_order_relaxed);
+    return util::OkStatus();
+  }
+  if (!BackendSupported(backend)) {
+    return util::FailedPrecondition(std::string("kernel backend '") +
+                                    BackendName(backend) +
+                                    "' is not supported on this host/build");
+  }
+  g_pinned_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+  return util::OkStatus();
+}
+
+void SetVectorizedTraining(bool on) {
+  g_vectorized_training.store(on, std::memory_order_relaxed);
+}
+
+bool VectorizedTraining() {
+  return g_vectorized_training.load(std::memory_order_relaxed);
+}
+
+ScopedEvalBackend::ScopedEvalBackend(Backend backend)
+    : previous_pin_(g_pinned_backend.load(std::memory_order_relaxed)) {
+  IMR_CHECK(BackendSupported(backend));
+  g_pinned_backend.store(static_cast<int>(backend),
+                         std::memory_order_relaxed);
+}
+
+ScopedEvalBackend::~ScopedEvalBackend() {
+  g_pinned_backend.store(previous_pin_, std::memory_order_relaxed);
+}
+
+}  // namespace imr::tensor::simd

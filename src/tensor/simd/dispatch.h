@@ -1,0 +1,142 @@
+// Runtime-dispatched SIMD kernel backend.
+//
+// The tensor ops in ops.cc route their innermost loops through a
+// `Kernels` table of function pointers. Which table is active is decided
+// at runtime:
+//
+//   * Detection: at first use the best ISA the build AND the host CPU
+//     support is picked (AVX2+FMA > SSE2 > scalar on x86, NEON on ARM).
+//   * Override: `IMR_KERNEL_BACKEND={auto,scalar,sse2,avx2,neon}` in the
+//     environment, the `--imr_kernel_backend` bench/example flag, or a
+//     ScopedEvalBackend in tests pin the eval table explicitly.
+//   * Dispatch rule: while autograd is recording (GradModeEnabled()),
+//     Active() returns the SCALAR table unless vectorized training was
+//     opted in (`--imr_vectorized_training` / IMR_VECTORIZED_TRAINING=1).
+//     Under NoGradGuard — eval, serving, snapshot replay — Active()
+//     returns the fastest (or pinned) table.
+//
+// Contract: the scalar table is the bit-identity reference — its kernels
+// are the exact loops the ops had before this backend existed, so scalar
+// training stays bit-identical to pre-SIMD results at any thread count.
+// Vector tables may reassociate reductions and use polynomial
+// transcendentals; their error bounds are documented in vec_math.h and
+// enforced by tests/simd_test.cc. Elementwise add/sub/mul/scale have no
+// reassociation freedom, so those are bit-identical in EVERY backend.
+//
+// Thread model: resolve Active()/EvalKernels() ONCE on the op-calling
+// thread and pass the table (by reference) into any ParallelFor body.
+// GradModeEnabled() is thread-local, so resolving on a worker would read
+// the worker's grad mode, not the caller's.
+#ifndef IMR_TENSOR_SIMD_DISPATCH_H_
+#define IMR_TENSOR_SIMD_DISPATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imr::tensor::simd {
+
+enum class Backend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* BackendName(Backend backend);
+
+// One entry per vectorizable inner loop. Pointers are never null — ISA
+// tables that do not vectorize an entry inherit the scalar reference.
+struct Kernels {
+  Backend backend = Backend::kScalar;
+
+  // Elementwise over n contiguous floats (out may alias an input).
+  void (*add)(const float* a, const float* b, float* out, size_t n) = nullptr;
+  void (*sub)(const float* a, const float* b, float* out, size_t n) = nullptr;
+  void (*mul)(const float* a, const float* b, float* out, size_t n) = nullptr;
+  void (*scale)(const float* a, float s, float* out, size_t n) = nullptr;
+
+  // out[i] = tanh(x[i]).
+  void (*tanh)(const float* x, float* out, size_t n) = nullptr;
+  // Fused affine epilogue: inout[r,c] = tanh(inout[r,c] + bias[c]).
+  void (*affine_tanh_finish)(float* inout, const float* bias, int rows,
+                             int cols) = nullptr;
+
+  // out[i,j] = dot(a[i,:], bt[j,:]) for i in [row_lo,row_hi), all j; bt is
+  // the packed B^T panel ([cols x inner], PR 1's blocked transpose layout).
+  void (*matmul_panel_dot)(const float* a, const float* bt, float* out,
+                           int64_t row_lo, int64_t row_hi, int inner,
+                           int cols) = nullptr;
+  // out += a @ b in ikj order; out is pre-zeroed [rows x cols].
+  void (*matmul_ikj)(const float* a, const float* b, float* out, int rows,
+                     int inner, int cols) = nullptr;
+
+  // Row-wise softmax / log-softmax of in ([rows x cols]) into out.
+  void (*softmax_rows)(const float* in, float* out, int rows, int cols) = nullptr;
+  void (*log_softmax_rows)(const float* in, float* out, int rows, int cols) = nullptr;
+
+  // Quantized GEMM: out[i,j] = sum_k a[i,k] * wt[j,k] in int32; a is
+  // [rows x inner] row-major, wt is the packed transposed weight
+  // [cols x inner]. Pure integer arithmetic — bit-identical across
+  // backends by construction (inner must stay < 2^16 to avoid overflow;
+  // model widths here are O(100)).
+  void (*gemm_s8s32)(const int8_t* a, const int8_t* wt, int32_t* out,
+                     int rows, int inner, int cols) = nullptr;
+};
+
+/// Best ISA supported by this build AND the host CPU.
+Backend DetectBestBackend();
+
+/// True when `backend` was compiled in and the host CPU can execute it.
+bool BackendSupported(Backend backend);
+
+/// All supported backends, scalar first.
+std::vector<Backend> SupportedBackends();
+
+/// Table for an explicit backend. IMR_CHECKs BackendSupported(backend).
+const Kernels& KernelsFor(Backend backend);
+
+/// Table used under NoGradGuard (eval/serve): the pinned backend if one
+/// was set, otherwise DetectBestBackend().
+const Kernels& EvalKernels();
+
+/// Table used while autograd records: scalar unless vectorized training
+/// was opted in, in which case it equals EvalKernels().
+const Kernels& TrainKernels();
+
+/// The dispatch rule ops.cc uses: TrainKernels() when GradModeEnabled()
+/// on the calling thread, EvalKernels() otherwise.
+const Kernels& Active();
+
+/// Backend EvalKernels() currently resolves to.
+Backend ActiveEvalBackend();
+
+/// True when the eval backend was pinned via env/flag/scope (a pinned
+/// scalar backend is an explicit choice, not a silent fallback).
+bool EvalBackendPinned();
+
+/// Pins the eval backend by name: "auto"/"" clears the pin, otherwise one
+/// of "scalar", "sse2", "avx2", "neon". InvalidArgument on unknown names,
+/// FailedPrecondition when the host cannot run the requested backend.
+[[nodiscard]] util::Status SetBackendByName(const std::string& name);
+
+void SetVectorizedTraining(bool on);
+bool VectorizedTraining();
+
+/// RAII pin of the eval backend (tests, benchmark A/B loops).
+class ScopedEvalBackend {
+ public:
+  explicit ScopedEvalBackend(Backend backend);
+  ~ScopedEvalBackend();
+  ScopedEvalBackend(const ScopedEvalBackend&) = delete;
+  ScopedEvalBackend& operator=(const ScopedEvalBackend&) = delete;
+
+ private:
+  int previous_pin_;  // -1 = was unpinned
+};
+
+}  // namespace imr::tensor::simd
+
+#endif  // IMR_TENSOR_SIMD_DISPATCH_H_

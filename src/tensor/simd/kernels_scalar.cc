@@ -1,0 +1,151 @@
+// Scalar reference kernels: the exact loops ops.cc ran before the SIMD
+// backend existed. These are the bit-identity baseline — training gates
+// compare against them, so DO NOT "optimize" this file. Any change here
+// changes training results.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/simd/dispatch.h"
+
+namespace imr::tensor::simd {
+namespace {
+
+// Column tile for the packed dot kernel: one tile of B^T rows stays hot in
+// L1/L2 while it is reused across a panel of output rows. (Tiling changes
+// traversal order only, never a per-element accumulation sequence.)
+constexpr int kPanelColTile = 64;
+
+void AddScalarKernel(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void SubScalarKernel(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void MulScalarKernel(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScaleScalarKernel(const float* a, float s, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void TanhScalarKernel(const float* x, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
+}
+
+void AffineTanhFinishScalar(float* inout, const float* bias, int rows,
+                            int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* __restrict orow = inout + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] = std::tanh(orow[c] + bias[c]);
+  }
+}
+
+// out[i, j] = sum_k a[i, k] * bt[j, k] for i in [row_lo, row_hi), all j.
+// k ascends and zero a-operands are skipped, matching the original ikj
+// kernel's per-element accumulation sequence exactly.
+void MatMulPanelDotScalar(const float* av, const float* bt, float* out,
+                          int64_t row_lo, int64_t row_hi, int inner,
+                          int cols) {
+  for (int j0 = 0; j0 < cols; j0 += kPanelColTile) {
+    const int j_end = std::min(cols, j0 + kPanelColTile);
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = av + static_cast<size_t>(i) * inner;
+      float* orow = out + static_cast<size_t>(i) * cols;
+      for (int j = j0; j < j_end; ++j) {
+        const float* btrow = bt + static_cast<size_t>(j) * inner;
+        float acc = 0.0f;
+        for (int k = 0; k < inner; ++k) {
+          const float aval = arow[k];
+          if (aval == 0.0f) continue;
+          acc += aval * btrow[k];
+        }
+        orow[j] = acc;
+      }
+    }
+  }
+}
+
+// ikj ordering: streams through b row-wise. out is pre-zeroed.
+void MatMulIkjScalar(const float* av, const float* bv, float* out, int rows,
+                     int inner, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    const float* __restrict arow = av + static_cast<size_t>(i) * inner;
+    float* __restrict orow = out + static_cast<size_t>(i) * cols;
+    for (int k = 0; k < inner; ++k) {
+      const float aval = arow[k];
+      if (aval == 0.0f) continue;
+      const float* __restrict brow = bv + static_cast<size_t>(k) * cols;
+      for (int j = 0; j < cols; ++j) orow[j] += aval * brow[j];
+    }
+  }
+}
+
+void SoftmaxRowsScalar(const float* in, float* out, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* irow = in + static_cast<size_t>(r) * cols;
+    float* orow = out + static_cast<size_t>(r) * cols;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      orow[c] = std::exp(irow[c] - max_v);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+}
+
+void LogSoftmaxRowsScalar(const float* in, float* out, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* irow = in + static_cast<size_t>(r) * cols;
+    float* orow = out + static_cast<size_t>(r) * cols;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) max_v = std::max(max_v, irow[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) denom += std::exp(irow[c] - max_v);
+    const float log_denom = max_v + std::log(denom);
+    for (int c = 0; c < cols; ++c) orow[c] = irow[c] - log_denom;
+  }
+}
+
+void GemmS8S32Scalar(const int8_t* a, const int8_t* wt, int32_t* out,
+                     int rows, int inner, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    const int8_t* __restrict arow = a + static_cast<size_t>(i) * inner;
+    int32_t* __restrict orow = out + static_cast<size_t>(i) * cols;
+    for (int j = 0; j < cols; ++j) {
+      const int8_t* __restrict wrow = wt + static_cast<size_t>(j) * inner;
+      int32_t acc = 0;
+      for (int k = 0; k < inner; ++k) {
+        acc += static_cast<int32_t>(arow[k]) * static_cast<int32_t>(wrow[k]);
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+const Kernels kScalarTable = {
+    Backend::kScalar,
+    AddScalarKernel,
+    SubScalarKernel,
+    MulScalarKernel,
+    ScaleScalarKernel,
+    TanhScalarKernel,
+    AffineTanhFinishScalar,
+    MatMulPanelDotScalar,
+    MatMulIkjScalar,
+    SoftmaxRowsScalar,
+    LogSoftmaxRowsScalar,
+    GemmS8S32Scalar,
+};
+
+}  // namespace
+
+const Kernels* ScalarKernels() { return &kScalarTable; }
+
+}  // namespace imr::tensor::simd

@@ -1,0 +1,99 @@
+// Shared polynomial approximations for the vector transcendental kernels.
+//
+// Every ISA backend (SSE2, AVX2, NEON) evaluates the SAME polynomials with
+// its own intrinsics; the scalar helpers here are used for loop tails so a
+// backend's tail elements satisfy the same error bound as its vector lanes.
+// The scalar *reference* backend never uses these — it calls std::tanh /
+// std::exp and stays the bit-identity baseline for training gates.
+//
+// Accuracy contract (measured in tests/simd_test.cc, gated there):
+//
+//   TanhApprox   rational R(x) = x * P(x^2) / Q(x^2) with the clamp below.
+//                Max error vs std::tanh(float) <= 8 ULP over [-12, 12] and
+//                saturates to R(+-clamp) (within 8 ULP of +-1) outside.
+//   ExpApprox    Cephes-style range reduction (x = n*ln2 + r, 2^n * P(r)).
+//                Max relative error vs std::exp(float) <= 4 ULP over the
+//                range softmax feeds it ([-88, 0] after max-subtraction).
+//
+// Row reductions built on these (softmax / log-softmax denominators) may
+// additionally reassociate the sum, so vector softmax outputs are documented
+// as "relative error <= 2^-20 vs the scalar reference", not bit-identical.
+#ifndef IMR_TENSOR_SIMD_VEC_MATH_H_
+#define IMR_TENSOR_SIMD_VEC_MATH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace imr::tensor::simd {
+
+// tanh rational approximation (the widely used single-precision fit, e.g.
+// Eigen's generic_fast_tanh_float): odd polynomial P over even Q in x^2.
+// Beyond +-kTanhClamp the float tanh is within an ULP of the clamped value.
+inline constexpr float kTanhClamp = 7.90531110763549805f;
+// alpha_1, alpha_3, ..., alpha_13 (coefficients of x^1, x^3, ..., x^13 in P).
+inline constexpr float kTanhAlpha[7] = {
+    4.89352455891786e-03f, 6.37261928875436e-04f,  1.48572235717979e-05f,
+    5.12229709037114e-08f, -8.60467152213735e-11f, 2.00018790482477e-13f,
+    -2.76076847742355e-16f};
+// beta_0, beta_2, beta_4, beta_6 (coefficients of Q in x^2).
+inline constexpr float kTanhBeta[4] = {
+    4.89352518554385e-03f, 2.26843463243900e-03f, 1.18534705686654e-04f,
+    1.19825839466702e-06f};
+
+inline float TanhApprox(float x) {
+  if (x > kTanhClamp) x = kTanhClamp;
+  if (x < -kTanhClamp) x = -kTanhClamp;
+  const float x2 = x * x;
+  float p = kTanhAlpha[6];
+  p = p * x2 + kTanhAlpha[5];
+  p = p * x2 + kTanhAlpha[4];
+  p = p * x2 + kTanhAlpha[3];
+  p = p * x2 + kTanhAlpha[2];
+  p = p * x2 + kTanhAlpha[1];
+  p = p * x2 + kTanhAlpha[0];
+  p = p * x;
+  float q = kTanhBeta[3];
+  q = q * x2 + kTanhBeta[2];
+  q = q * x2 + kTanhBeta[1];
+  q = q * x2 + kTanhBeta[0];
+  return p / q;
+}
+
+// expf range-reduction constants (Cephes cephes_expf): x = n*ln2 + r with
+// ln2 split into a high part (exact in float) and a low correction, then
+// e^r by a degree-5 polynomial and 2^n via the exponent field.
+inline constexpr float kExpHi = 88.3762626647950f;
+inline constexpr float kExpLo = -87.3365478515625f;
+inline constexpr float kLog2E = 1.44269504088896341f;
+inline constexpr float kExpC1 = 0.693359375f;
+inline constexpr float kExpC2 = -2.12194440e-4f;
+inline constexpr float kExpP[6] = {1.9875691500e-4f, 1.3981999507e-3f,
+                                   8.3334519073e-3f, 4.1665795894e-2f,
+                                   1.6666665459e-1f, 5.0000001201e-1f};
+
+inline float ExpApprox(float x) {
+  if (x > kExpHi) x = kExpHi;
+  if (x < kExpLo) x = kExpLo;
+  float fx = std::floor(kLog2E * x + 0.5f);
+  x -= fx * kExpC1;
+  x -= fx * kExpC2;
+  const float z = x * x;
+  float y = kExpP[0];
+  y = y * x + kExpP[1];
+  y = y * x + kExpP[2];
+  y = y * x + kExpP[3];
+  y = y * x + kExpP[4];
+  y = y * x + kExpP[5];
+  y = y * z + x + 1.0f;
+  // 2^fx by building the float from its exponent bits.
+  const int32_t n = static_cast<int32_t>(fx);
+  uint32_t bits = static_cast<uint32_t>(n + 127) << 23;
+  float pow2n;
+  std::memcpy(&pow2n, &bits, sizeof(pow2n));
+  return y * pow2n;
+}
+
+}  // namespace imr::tensor::simd
+
+#endif  // IMR_TENSOR_SIMD_VEC_MATH_H_

@@ -33,6 +33,9 @@ class BinaryWriter {
   void WriteDouble(double value);
   void WriteString(const std::string& value);
   void WriteFloatVector(const std::vector<float>& values);
+  /// Length-prefixed raw byte payload; the bulk carrier for quantized
+  /// (int8) tensors.
+  void WriteByteVector(const std::vector<int8_t>& values);
   /// Length-prefixed vector of ints (stored as i64 each; meant for small
   /// id lists like entity types, not bulk data).
   void WriteIntVector(const std::vector<int>& values);
@@ -66,6 +69,7 @@ class BinaryReader {
   double ReadDouble();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
+  std::vector<int8_t> ReadByteVector();
   std::vector<int> ReadIntVector();
 
  private:

@@ -301,11 +301,54 @@ TEST(LintTest, OptimizerDenseGradHonorsAllowEscape) {
   EXPECT_TRUE(LintSource("src/nn/optimizer.cc", source).empty());
 }
 
+TEST(LintTest, RawIntrinsicsFiresOutsideSimdDirectory) {
+  const std::string source =
+      "void Add(const float* a, const float* b, float* o) {\n"
+      "  _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(a),\n"
+      "                                    _mm256_loadu_ps(b)));\n"
+      "}\n";
+  const auto findings = LintSource("src/tensor/ops.cc", source);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "raw-intrinsics");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintTest, RawIntrinsicsFiresOnNeonOutsideSimdDirectory) {
+  const std::string source =
+      "void Copy(const float* a, float* o) { vst1q_f32(o, vld1q_f32(a)); }\n";
+  const auto findings = LintSource("src/nn/layers.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-intrinsics");
+}
+
+TEST(LintTest, RawIntrinsicsAllowedInsideSimdDirectory) {
+  const std::string source =
+      "void Add(const float* a, const float* b, float* o) {\n"
+      "  _mm_storeu_ps(o, _mm_add_ps(_mm_loadu_ps(a), _mm_loadu_ps(b)));\n"
+      "}\n";
+  EXPECT_TRUE(
+      LintSource("src/tensor/simd/kernels_sse2.cc", source).empty());
+}
+
+TEST(LintTest, RawIntrinsicsIgnoresMentionsInCommentsAndStrings) {
+  const std::string source =
+      "// fast path uses _mm256_fmadd_ps(a, b, c) under the hood\n"
+      "const char* kName = \"_mm_add_ps(x, y)\";\n";
+  EXPECT_TRUE(LintSource("src/tensor/ops.cc", source).empty());
+}
+
+TEST(LintTest, RawIntrinsicsHonorsAllowEscape) {
+  const std::string source =
+      "// imr-lint: allow(raw-intrinsics)\n"
+      "void Pause() { _mm_pause(); }\n";
+  EXPECT_TRUE(LintSource("src/util/spin.cc", source).empty());
+}
+
 TEST(LintTest, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
       "no-raw-random", "no-naked-new", "no-throw",
       "no-iostream",   "mutex-guard",  "include-hygiene",
-      "kernel-alloc",  "optimizer-dense-grad"};
+      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics"};
   EXPECT_EQ(RuleIds(), expected);
 }
 

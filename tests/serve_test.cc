@@ -3,6 +3,7 @@
 // determinism across caching, thread counts, and the async micro-batcher.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -487,6 +488,114 @@ TEST(InferenceEngineTest, RejectsMalformedQueries) {
   serve::Query bad_mention = queries[0];
   bad_mention.sentences[0].head_index = 10'000;
   EXPECT_FALSE((*engine)->Predict(bad_mention).ok());
+}
+
+// ---- int8 quantized serving -----------------------------------------------
+
+TEST(QuantizedSnapshotTest, QuantizedSectionRoundTripsBitExactly) {
+  ServeFixture& f = Shared();
+  const auto quantized =
+      graph::QuantizedEmbeddingStore::Quantize(f.embeddings);
+  const std::string path =
+      testing::TempDir() + "/imr_serve_test_quantized.imrs";
+  ASSERT_TRUE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(),
+                                  f.embeddings, f.dataset->world.graph,
+                                  f.bag_options, /*trained_steps=*/8,
+                                  "quantized", path, &quantized)
+                  .ok());
+  auto snapshot = serve::LoadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_FALSE(snapshot->quantized_embeddings.empty());
+  EXPECT_EQ(snapshot->quantized_embeddings.num_vertices(),
+            quantized.num_vertices());
+  EXPECT_EQ(snapshot->quantized_embeddings.dim(), quantized.dim());
+  for (int v = 0; v < quantized.num_vertices(); ++v) {
+    ASSERT_EQ(snapshot->quantized_embeddings.scale(v), quantized.scale(v))
+        << "vertex " << v;
+    const int8_t* expected = quantized.Row(v);
+    const int8_t* actual = snapshot->quantized_embeddings.Row(v);
+    for (int d = 0; d < quantized.dim(); ++d) {
+      ASSERT_EQ(actual[d], expected[d]) << "vertex " << v << " dim " << d;
+    }
+  }
+  // The fp32 sections are untouched by the extra tail section.
+  EXPECT_EQ(snapshot->embeddings.flat(), f.embeddings.flat());
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedSnapshotTest, SnapshotsWithoutQembSectionStillLoad) {
+  // The fixture snapshot predates the QEMB section by construction — the
+  // forward-compat promise is that such files keep loading unchanged.
+  auto snapshot = serve::LoadSnapshot(Shared().snapshot_path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_TRUE(snapshot->quantized_embeddings.empty());
+  EXPECT_NE(snapshot->model, nullptr);
+}
+
+TEST(QuantizedSnapshotTest, SaveRejectsShapeMismatchedQuantizedStore) {
+  ServeFixture& f = Shared();
+  graph::EmbeddingStore wrong_shape(3, 4);
+  const auto quantized =
+      graph::QuantizedEmbeddingStore::Quantize(wrong_shape);
+  const std::string path =
+      testing::TempDir() + "/imr_serve_test_bad_quantized.imrs";
+  EXPECT_FALSE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(),
+                                   f.embeddings, f.dataset->world.graph,
+                                   f.bag_options, 0, "", path, &quantized)
+                   .ok());
+}
+
+TEST(QuantizedEngineTest, QuantizedServingAgreesWithFp32) {
+  ServeFixture& f = Shared();
+  auto fp32 = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(fp32.ok()) << fp32.status().ToString();
+  serve::EngineOptions options;
+  options.quantized = true;
+  // Opening a pre-quantization snapshot with the quantized option must
+  // work: the int8 store is built at load time.
+  auto quantized = serve::InferenceEngine::Open(f.snapshot_path, options);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+  EXPECT_TRUE((*quantized)->snapshot().model->quantized_inference());
+  EXPECT_FALSE((*quantized)->snapshot().quantized_embeddings.empty());
+
+  const std::vector<serve::Query> queries = f.SampleQueries(12);
+  int top1_agreements = 0;
+  float max_delta = 0.0f;
+  for (const serve::Query& query : queries) {
+    auto exact = (*fp32)->Predict(query);
+    auto approx = (*quantized)->Predict(query);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    ASSERT_EQ(approx->probabilities.size(), exact->probabilities.size());
+    for (size_t r = 0; r < exact->probabilities.size(); ++r) {
+      max_delta = std::max(max_delta,
+                           std::fabs(approx->probabilities[r] -
+                                     exact->probabilities[r]));
+    }
+    ASSERT_FALSE(exact->top.empty());
+    ASSERT_FALSE(approx->top.empty());
+    if (exact->top[0].relation == approx->top[0].relation) ++top1_agreements;
+  }
+  // The bench_serve gate demands >= 99.5% agreement over a replay; on this
+  // small sample demand exact agreement and a tight score delta.
+  EXPECT_EQ(top1_agreements, static_cast<int>(queries.size()));
+  EXPECT_LT(max_delta, 0.05f);
+}
+
+TEST(QuantizedEngineTest, QuantizedServingIsDeterministic) {
+  ServeFixture& f = Shared();
+  serve::EngineOptions options;
+  options.quantized = true;
+  auto engine = serve::InferenceEngine::Open(f.snapshot_path, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<serve::Query> queries = f.SampleQueries(4);
+  for (const serve::Query& query : queries) {
+    auto first = (*engine)->Predict(query);
+    auto second = (*engine)->Predict(query);  // second hits the MR cache
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first->probabilities, second->probabilities);
+  }
 }
 
 }  // namespace

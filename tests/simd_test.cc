@@ -1,0 +1,449 @@
+// Backend-equivalence suite for the runtime-dispatched SIMD kernels:
+// every backend the host supports is driven through the same inputs and
+// compared against the scalar reference — bit-identical where the contract
+// promises it (elementwise, int8 GEMM), within documented ULP/relative
+// bounds where vector math reassociates (tanh, matmul, softmax). Also
+// covers the dispatch rule itself (train=scalar / eval=best), the scoped
+// pin, and the int8 quantization round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "graph/embedding_store.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/simd/vec_math.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace imr {
+namespace {
+
+namespace simd = tensor::simd;
+
+// Distance in representable floats (0 = bitwise equal). Infinite for
+// mismatched signs or non-finite values, which the kernels never produce
+// on finite input.
+int64_t UlpDistance(float a, float b) {
+  if (a == b) return 0;
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof ia);
+  std::memcpy(&ib, &b, sizeof ib);
+  if ((ia < 0) != (ib < 0)) return INT64_MAX;
+  return std::llabs(static_cast<int64_t>(ia) - static_cast<int64_t>(ib));
+}
+
+std::vector<float> RandomFloats(size_t n, float lo, float hi,
+                                uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.Uniform(lo, hi));
+  return out;
+}
+
+// Saves the process-global training-vectorization switch so tests can
+// force the documented default (scalar training) and put the user's
+// environment back afterwards.
+class ScopedScalarTraining {
+ public:
+  ScopedScalarTraining() : previous_(simd::VectorizedTraining()) {
+    simd::SetVectorizedTraining(false);
+  }
+  ~ScopedScalarTraining() { simd::SetVectorizedTraining(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(SimdDispatchTest, ScalarAlwaysSupportedAndBestIsSupported) {
+  EXPECT_TRUE(simd::BackendSupported(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::BackendSupported(simd::DetectBestBackend()));
+  const auto supported = simd::SupportedBackends();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front(), simd::Backend::kScalar);
+}
+
+TEST(SimdDispatchTest, KernelTablesAreFullyPopulated) {
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    EXPECT_EQ(kernels.backend, backend);
+    EXPECT_NE(kernels.add, nullptr);
+    EXPECT_NE(kernels.sub, nullptr);
+    EXPECT_NE(kernels.mul, nullptr);
+    EXPECT_NE(kernels.scale, nullptr);
+    EXPECT_NE(kernels.tanh, nullptr);
+    EXPECT_NE(kernels.affine_tanh_finish, nullptr);
+    EXPECT_NE(kernels.matmul_panel_dot, nullptr);
+    EXPECT_NE(kernels.matmul_ikj, nullptr);
+    EXPECT_NE(kernels.softmax_rows, nullptr);
+    EXPECT_NE(kernels.log_softmax_rows, nullptr);
+    EXPECT_NE(kernels.gemm_s8s32, nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, TrainKernelsAreScalarByDefault) {
+  ScopedScalarTraining scalar_training;
+  EXPECT_EQ(simd::TrainKernels().backend, simd::Backend::kScalar);
+  // GradModeEnabled() is the process default, so Active() == TrainKernels.
+  EXPECT_EQ(simd::Active().backend, simd::Backend::kScalar);
+}
+
+TEST(SimdDispatchTest, EvalKernelsFollowDetectionUnlessPinned) {
+  if (!simd::EvalBackendPinned()) {
+    EXPECT_EQ(simd::EvalKernels().backend, simd::DetectBestBackend());
+  }
+  tensor::NoGradGuard no_grad;
+  EXPECT_EQ(simd::Active().backend, simd::EvalKernels().backend);
+}
+
+TEST(SimdDispatchTest, ScopedPinOverridesAndRestores) {
+  const bool was_pinned = simd::EvalBackendPinned();
+  const simd::Backend before = simd::ActiveEvalBackend();
+  {
+    simd::ScopedEvalBackend pin(simd::Backend::kScalar);
+    EXPECT_TRUE(simd::EvalBackendPinned());
+    EXPECT_EQ(simd::ActiveEvalBackend(), simd::Backend::kScalar);
+    EXPECT_EQ(simd::EvalKernels().backend, simd::Backend::kScalar);
+  }
+  EXPECT_EQ(simd::EvalBackendPinned(), was_pinned);
+  EXPECT_EQ(simd::ActiveEvalBackend(), before);
+}
+
+TEST(SimdDispatchTest, VectorizedTrainingOptInLiftsTrainKernels) {
+  ScopedScalarTraining scalar_training;
+  simd::SetVectorizedTraining(true);
+  EXPECT_EQ(simd::TrainKernels().backend, simd::ActiveEvalBackend());
+  simd::SetVectorizedTraining(false);
+  EXPECT_EQ(simd::TrainKernels().backend, simd::Backend::kScalar);
+}
+
+TEST(SimdDispatchTest, SetBackendByNameValidatesInput) {
+  const bool was_pinned = simd::EvalBackendPinned();
+  const simd::Backend before = simd::ActiveEvalBackend();
+
+  EXPECT_EQ(simd::SetBackendByName("warp9").code(),
+            util::StatusCode::kInvalidArgument);
+  ASSERT_TRUE(simd::SetBackendByName("scalar").ok());
+  EXPECT_EQ(simd::ActiveEvalBackend(), simd::Backend::kScalar);
+#if !defined(__aarch64__)
+  EXPECT_EQ(simd::SetBackendByName("neon").code(),
+            util::StatusCode::kFailedPrecondition);
+  // A rejected pin must not clobber the accepted one.
+  EXPECT_EQ(simd::ActiveEvalBackend(), simd::Backend::kScalar);
+#endif
+  ASSERT_TRUE(simd::SetBackendByName("auto").ok());
+  EXPECT_FALSE(simd::EvalBackendPinned());
+
+  // Put the process back the way the environment had it.
+  if (was_pinned) {
+    ASSERT_TRUE(simd::SetBackendByName(simd::BackendName(before)).ok());
+  }
+}
+
+// ---- backend equivalence --------------------------------------------------
+
+TEST(SimdKernelTest, ElementwiseBitIdenticalAcrossBackends) {
+  // Sizes straddle the vector widths so every tail path runs.
+  for (const size_t n : {1u, 7u, 8u, 15u, 64u, 257u}) {
+    const std::vector<float> a = RandomFloats(n, -3.0f, 3.0f, 11 + n);
+    const std::vector<float> b = RandomFloats(n, -3.0f, 3.0f, 23 + n);
+    std::vector<float> ref_add(n), ref_sub(n), ref_mul(n), ref_scale(n);
+    const simd::Kernels& scalar = simd::KernelsFor(simd::Backend::kScalar);
+    scalar.add(a.data(), b.data(), ref_add.data(), n);
+    scalar.sub(a.data(), b.data(), ref_sub.data(), n);
+    scalar.mul(a.data(), b.data(), ref_mul.data(), n);
+    scalar.scale(a.data(), 1.7f, ref_scale.data(), n);
+    for (simd::Backend backend : simd::SupportedBackends()) {
+      const simd::Kernels& kernels = simd::KernelsFor(backend);
+      std::vector<float> out(n);
+      kernels.add(a.data(), b.data(), out.data(), n);
+      EXPECT_EQ(out, ref_add) << simd::BackendName(backend) << " n=" << n;
+      kernels.sub(a.data(), b.data(), out.data(), n);
+      EXPECT_EQ(out, ref_sub) << simd::BackendName(backend) << " n=" << n;
+      kernels.mul(a.data(), b.data(), out.data(), n);
+      EXPECT_EQ(out, ref_mul) << simd::BackendName(backend) << " n=" << n;
+      kernels.scale(a.data(), 1.7f, out.data(), n);
+      EXPECT_EQ(out, ref_scale) << simd::BackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, TanhWithinDocumentedUlpBound) {
+  // Cover the clamp region, the polynomial core, and denormal-adjacent
+  // inputs; 8 ULP is the bound documented in vec_math.h.
+  std::vector<float> x = RandomFloats(1000, -10.0f, 10.0f, 42);
+  x.insert(x.end(), {0.0f, -0.0f, 1e-8f, -1e-8f, simd::kTanhClamp,
+                     -simd::kTanhClamp, 25.0f, -25.0f});
+  const size_t n = x.size();
+  std::vector<float> reference(n);
+  for (size_t i = 0; i < n; ++i) reference[i] = std::tanh(x[i]);
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    std::vector<float> out(n);
+    kernels.tanh(x.data(), out.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_LE(UlpDistance(out[i], reference[i]), 8)
+          << simd::BackendName(backend) << " tanh(" << x[i] << ") = "
+          << out[i] << " want " << reference[i];
+    }
+  }
+}
+
+TEST(SimdKernelTest, AffineTanhFinishMatchesScalarWithinUlpBound) {
+  const int rows = 5, cols = 37;
+  const std::vector<float> base =
+      RandomFloats(static_cast<size_t>(rows) * cols, -4.0f, 4.0f, 77);
+  const std::vector<float> bias = RandomFloats(cols, -1.0f, 1.0f, 78);
+  std::vector<float> reference = base;
+  simd::KernelsFor(simd::Backend::kScalar)
+      .affine_tanh_finish(reference.data(), bias.data(), rows, cols);
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    std::vector<float> out = base;
+    simd::KernelsFor(backend).affine_tanh_finish(out.data(), bias.data(),
+                                                 rows, cols);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_LE(UlpDistance(out[i], reference[i]), 8)
+          << simd::BackendName(backend) << " at " << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatMulKernelsMatchScalarWithinTolerance) {
+  const int rows = 9, inner = 67, cols = 21;
+  const std::vector<float> a =
+      RandomFloats(static_cast<size_t>(rows) * inner, -1.0f, 1.0f, 5);
+  const std::vector<float> b =
+      RandomFloats(static_cast<size_t>(inner) * cols, -1.0f, 1.0f, 6);
+  // Packed B^T panel, the layout MatMulForwardInto hands the kernel.
+  std::vector<float> bt(static_cast<size_t>(cols) * inner);
+  for (int j = 0; j < cols; ++j) {
+    for (int k = 0; k < inner; ++k) {
+      bt[static_cast<size_t>(j) * inner + k] =
+          b[static_cast<size_t>(k) * cols + j];
+    }
+  }
+  const size_t out_size = static_cast<size_t>(rows) * cols;
+  std::vector<float> ref_panel(out_size), ref_ikj(out_size, 0.0f);
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Backend::kScalar);
+  scalar.matmul_panel_dot(a.data(), bt.data(), ref_panel.data(), 0, rows,
+                          inner, cols);
+  scalar.matmul_ikj(a.data(), b.data(), ref_ikj.data(), rows, inner, cols);
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    std::vector<float> panel(out_size), ikj(out_size, 0.0f);
+    kernels.matmul_panel_dot(a.data(), bt.data(), panel.data(), 0, rows,
+                             inner, cols);
+    kernels.matmul_ikj(a.data(), b.data(), ikj.data(), rows, inner, cols);
+    for (size_t i = 0; i < out_size; ++i) {
+      // Reassociated dot products over `inner` terms: allow a small
+      // absolute slack scaled by the term count.
+      EXPECT_NEAR(panel[i], ref_panel[i], 1e-5f * inner)
+          << simd::BackendName(backend) << " panel at " << i;
+      EXPECT_NEAR(ikj[i], ref_ikj[i], 1e-5f * inner)
+          << simd::BackendName(backend) << " ikj at " << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, SoftmaxKernelsMatchScalarAndNormalize) {
+  const int rows = 7, cols = 33;
+  const std::vector<float> in =
+      RandomFloats(static_cast<size_t>(rows) * cols, -8.0f, 8.0f, 13);
+  const size_t n = in.size();
+  std::vector<float> ref_soft(n), ref_log(n);
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Backend::kScalar);
+  scalar.softmax_rows(in.data(), ref_soft.data(), rows, cols);
+  scalar.log_softmax_rows(in.data(), ref_log.data(), rows, cols);
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    std::vector<float> soft(n), logsoft(n);
+    kernels.softmax_rows(in.data(), soft.data(), rows, cols);
+    kernels.log_softmax_rows(in.data(), logsoft.data(), rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      double sum = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        sum += soft[i];
+        EXPECT_NEAR(soft[i], ref_soft[i], 1e-5f)
+            << simd::BackendName(backend) << " softmax at " << i;
+        EXPECT_NEAR(logsoft[i], ref_log[i], 1e-4f)
+            << simd::BackendName(backend) << " log_softmax at " << i;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-4) << simd::BackendName(backend);
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmS8S32BitIdenticalAcrossBackends) {
+  const int rows = 6, inner = 53, cols = 19;
+  util::Rng rng(99);
+  std::vector<int8_t> a(static_cast<size_t>(rows) * inner);
+  std::vector<int8_t> wt(static_cast<size_t>(cols) * inner);
+  for (int8_t& v : a) {
+    v = static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+  }
+  for (int8_t& v : wt) {
+    v = static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+  }
+  const size_t out_size = static_cast<size_t>(rows) * cols;
+  std::vector<int32_t> reference(out_size);
+  simd::KernelsFor(simd::Backend::kScalar)
+      .gemm_s8s32(a.data(), wt.data(), reference.data(), rows, inner, cols);
+  // Spot-check the scalar reference against a plain double loop.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int64_t want = 0;
+      for (int k = 0; k < inner; ++k) {
+        want += static_cast<int64_t>(a[static_cast<size_t>(r) * inner + k]) *
+                wt[static_cast<size_t>(c) * inner + k];
+      }
+      EXPECT_EQ(reference[static_cast<size_t>(r) * cols + c], want);
+    }
+  }
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    std::vector<int32_t> out(out_size);
+    simd::KernelsFor(backend).gemm_s8s32(a.data(), wt.data(), out.data(),
+                                         rows, inner, cols);
+    EXPECT_EQ(out, reference) << simd::BackendName(backend);
+  }
+}
+
+// ---- dispatch through the tensor ops --------------------------------------
+
+TEST(SimdOpsTest, TrainingModeTanhStaysBitIdenticalToStdTanh) {
+  ScopedScalarTraining scalar_training;
+  // Grad mode is on by default, so this goes through TrainKernels() ==
+  // scalar even when the eval backend is pinned to a vector ISA.
+  simd::ScopedEvalBackend pin(simd::DetectBestBackend());
+  tensor::Tensor x = tensor::Tensor::FromData(
+      {64}, RandomFloats(64, -5.0f, 5.0f, 314), /*requires_grad=*/true);
+  tensor::Tensor y = tensor::Tanh(x);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y.data()[i], std::tanh(x.data()[i]));
+  }
+}
+
+TEST(SimdOpsTest, EvalResultsAgreeAcrossBackendsWithinTolerance) {
+  tensor::Tensor a = tensor::Tensor::FromData(
+      {8, 48}, RandomFloats(8 * 48, -1.0f, 1.0f, 21));
+  tensor::Tensor b = tensor::Tensor::FromData(
+      {48, 12}, RandomFloats(48 * 12, -1.0f, 1.0f, 22));
+  tensor::NoGradGuard no_grad;
+  simd::ScopedEvalBackend scalar_pin(simd::Backend::kScalar);
+  tensor::Tensor reference = tensor::Softmax(tensor::MatMul(a, b));
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    simd::ScopedEvalBackend pin(backend);
+    tensor::Tensor out = tensor::Softmax(tensor::MatMul(a, b));
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_NEAR(out.data()[i], reference.data()[i], 1e-5f)
+          << simd::BackendName(backend) << " at " << i;
+    }
+  }
+}
+
+// ---- int8 quantization ----------------------------------------------------
+
+TEST(QuantizationTest, EmbeddingRoundTripWithinHalfScale) {
+  graph::EmbeddingStore store(10, 24);
+  util::Rng rng(7);
+  for (int v = 0; v < store.num_vertices(); ++v) {
+    float* row = store.Vector(v);
+    for (int d = 0; d < store.dim(); ++d) row[d] = rng.Uniform(-2.0f, 2.0f);
+  }
+  const auto quantized = graph::QuantizedEmbeddingStore::Quantize(store);
+  EXPECT_EQ(quantized.num_vertices(), store.num_vertices());
+  EXPECT_EQ(quantized.dim(), store.dim());
+  for (int v = 0; v < store.num_vertices(); ++v) {
+    const float bound = quantized.scale(v) * 0.5f + 1e-7f;
+    const std::vector<float> back = quantized.Dequantize(v);
+    for (int d = 0; d < store.dim(); ++d) {
+      EXPECT_NEAR(back[static_cast<size_t>(d)], store.Vector(v)[d], bound);
+    }
+  }
+  EXPECT_LE(quantized.MaxAbsError(store),
+            0.5 * (2.0 / 127.0) + 1e-7);  // maxabs <= 2 => scale <= 2/127
+}
+
+TEST(QuantizationTest, ZeroRowsQuantizeToZeroScale) {
+  graph::EmbeddingStore store(3, 8);
+  float* row = store.Vector(1);
+  for (int d = 0; d < store.dim(); ++d) row[d] = 0.5f * (d + 1);
+  const auto quantized = graph::QuantizedEmbeddingStore::Quantize(store);
+  EXPECT_EQ(quantized.scale(0), 0.0f);
+  for (float v : quantized.Dequantize(0)) EXPECT_EQ(v, 0.0f);
+  EXPECT_GT(quantized.scale(1), 0.0f);
+}
+
+TEST(QuantizationTest, QuantizedMutualRelationTracksFp32) {
+  graph::EmbeddingStore store(6, 16);
+  util::Rng rng(8);
+  for (int v = 0; v < store.num_vertices(); ++v) {
+    float* row = store.Vector(v);
+    for (int d = 0; d < store.dim(); ++d) row[d] = rng.Uniform(-1.0f, 1.0f);
+  }
+  const auto quantized = graph::QuantizedEmbeddingStore::Quantize(store);
+  const std::vector<float> exact = store.MutualRelation(2, 5);
+  const std::vector<float> approx = quantized.MutualRelation(2, 5);
+  ASSERT_EQ(exact.size(), approx.size());
+  const float bound =
+      0.5f * (quantized.scale(2) + quantized.scale(5)) + 1e-7f;
+  for (size_t d = 0; d < exact.size(); ++d) {
+    EXPECT_NEAR(approx[d], exact[d], bound) << "dim " << d;
+  }
+}
+
+TEST(QuantizationTest, QuantizedLinearTracksFp32Forward) {
+  util::Rng rng(17);
+  nn::Linear linear(40, 11, &rng);
+  const nn::QuantizedLinear quantized(linear);
+  EXPECT_EQ(quantized.in_features(), 40);
+  EXPECT_EQ(quantized.out_features(), 11);
+  tensor::Tensor x = tensor::Tensor::FromData(
+      {4, 40}, RandomFloats(4 * 40, -1.0f, 1.0f, 55));
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor exact = linear.Forward(x);
+  tensor::Tensor approx = quantized.Forward(x);
+  ASSERT_EQ(approx.shape(), exact.shape());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    // Each output sums 40 products of values in ~[-1, 1] quantized to
+    // ~1/127 granularity; 0.05 is ~6x the observed worst case.
+    EXPECT_NEAR(approx.data()[i], exact.data()[i], 0.05f) << "at " << i;
+  }
+  // Rank-1 path agrees with the corresponding rank-2 row.
+  tensor::Tensor row = tensor::Tensor::FromData(
+      {40}, std::vector<float>(x.data().begin(), x.data().begin() + 40));
+  tensor::Tensor row_out = quantized.Forward(row);
+  ASSERT_EQ(row_out.rank(), 1);
+  for (size_t i = 0; i < row_out.size(); ++i) {
+    EXPECT_EQ(row_out.data()[i], approx.data()[i]);
+  }
+}
+
+TEST(QuantizationTest, QuantizedLinearIsBackendInvariant) {
+  util::Rng rng(18);
+  nn::Linear linear(32, 9, &rng);
+  const nn::QuantizedLinear quantized(linear);
+  tensor::Tensor x = tensor::Tensor::FromData(
+      {3, 32}, RandomFloats(3 * 32, -2.0f, 2.0f, 56));
+  tensor::NoGradGuard no_grad;
+  std::vector<float> reference;
+  {
+    simd::ScopedEvalBackend pin(simd::Backend::kScalar);
+    reference = quantized.Forward(x).data();
+  }
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    simd::ScopedEvalBackend pin(backend);
+    // Integer accumulation plus one fp32 dequantize per output: the whole
+    // forward is bit-identical on every backend.
+    EXPECT_EQ(quantized.Forward(x).data(), reference)
+        << simd::BackendName(backend);
+  }
+}
+
+}  // namespace
+}  // namespace imr

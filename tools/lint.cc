@@ -140,6 +140,7 @@ class Linter {
     }
     if (relpath_ == "src/tensor/ops.cc") CheckKernelAlloc();
     if (relpath_ == "src/nn/optimizer.cc") CheckOptimizerDenseGrad();
+    if (relpath_.rfind("src/tensor/simd/", 0) != 0) CheckRawIntrinsics();
     CheckIncludeHygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -301,6 +302,27 @@ class Linter {
     }
   }
 
+  // SIMD intrinsics are confined to src/tensor/simd/: every other file
+  // must reach vector code through the dispatch table, so a new call site
+  // cannot silently skip runtime CPU detection (and the per-TU -mavx2
+  // build flags stay limited to the kernel TUs). Matches the x86 SSE/AVX
+  // prefixes (_mm_/_mm256_/_mm512_) and the NEON load/store/arithmetic
+  // prefixes (v...q_ style like vld1q_f32 / vaddq_f32).
+  void CheckRawIntrinsics() {
+    static const std::regex kPattern(
+        R"(\b(_mm(?:256|512)?_[a-z0-9_]+|v(?:ld|st)[1-4]q?_[a-z0-9_]+|v(?:add|sub|mul|mla|fma|dup|max|min|abs|neg|cvt)q?_[a-z0-9_]+)\s*\()");
+    for (size_t i = 0; i < scan_.code.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(scan_.code[i], match, kPattern)) {
+        Add("raw-intrinsics", i,
+            "'" + match[1].str() +
+                "' outside src/tensor/simd/; raw SIMD intrinsics live in "
+                "the kernel backend TUs and everything else dispatches "
+                "through tensor/simd/dispatch.h");
+      }
+    }
+  }
+
   // A mutex member in a class with no IMR_GUARDED_BY anywhere in the class
   // body means the lock protects... nothing the analysis can see. Either
   // annotate what it guards or document why not (allow).
@@ -404,7 +426,7 @@ const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
       "no-raw-random", "no-naked-new",      "no-throw",
       "no-iostream",   "mutex-guard",       "include-hygiene",
-      "kernel-alloc",  "optimizer-dense-grad"};
+      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics"};
   return kRules;
 }
 

@@ -26,6 +26,11 @@
 //                     `.grad().size()` loop bound in src/nn/optimizer.cc —
 //                     gradient walks go through the sanctioned row-sparse
 //                     helpers so embedding updates stay O(touched rows)
+//   raw-intrinsics    SIMD intrinsic calls (_mm_* / _mm256_* / _mm512_* /
+//                     vld1q_* etc.) anywhere outside src/tensor/simd/ —
+//                     vector code is reached through the runtime dispatch
+//                     table, never called directly, so CPU detection and
+//                     the per-TU ISA build flags cannot be bypassed
 //
 // Suppression: append `// imr-lint: allow(rule-id)` (comma-separated for
 // several rules) on the offending line or on the line directly above it.
