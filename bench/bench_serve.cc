@@ -1,23 +1,44 @@
-// Serving benchmark: trains a small PA-TMR pipeline, snapshots it, reloads
-// it through serve::InferenceEngine, and measures request throughput and
-// latency percentiles under three calling conventions:
+// Serving benchmark: trains a small PA-TMR pipeline, snapshots it, and
+// drives the serve tier through a scenario matrix:
 //
-//   sync         one Predict() at a time (single-client latency floor)
-//   batch        one PredictBatch() over the whole request stream
-//   async        SubmitAsync() + micro-batching dispatcher
+//   engine-*   the bare InferenceEngine (pre-router behavior): sync t1 is
+//              the single-client latency floor, batch t4 oversubscribes
+//              the cores and shows the tail blowup the router exists to
+//              fix (~50x p99 on a 1-core host)
+//   router-*   ServeRouter cells: {sync, batch, async} x replicas {1, 4}
+//              x cache shards {1, 8}, total worker count pinned at 4, plus
+//              int8-quantized variants. Admission control bounds
+//              concurrent forwards to the core count, so queue wait stays
+//              out of the forwards and p99 stays near the floor.
+//   shed       a deadline-bounded router under deliberate overload:
+//              demonstrates kUnavailable shedding past the SLO budget
+//   hot-swap   sustained traffic while the snapshot is reloaded
+//              repeatedly; the gate is ZERO failed requests
 //
-// Each scenario also reports the mutual-relation cache hit rate (requests
-// replay entity pairs with the skew real query streams show). The sync and
-// batch scenarios are additionally run with the int8-quantized engine
-// (EngineOptions::quantized), and the quantized path must pass an accuracy
-// gate against fp32 on the same NYT-preset replay: top-1 prediction
-// agreement >= 99.5% and max |probability delta| <= 0.05, or the bench
-// exits non-zero. Results are printed and recorded in
-// bench_results/BENCH_serve.json.
+// Every cell reports p50/p99/p999/mean/max latency, qps, MR-cache hit
+// rate, and admission counters into bench_results/BENCH_serve.json.
+//
+// SLO gates (exit nonzero on violation, in full and --smoke mode):
+//   tail    router batch (4 workers, 8 shards) p99 <= 10x the
+//           single-thread engine sync p99
+//   cache   sharded (8-way) hit rate >= single-shard hit rate - 0.02 on
+//           the same Zipf replay
+//   swap    zero failed requests across all hot swaps under load
+//   int8    quantized top-1 agreement >= 99.5%, max |prob delta| <= 0.05
+//
+// --smoke runs a reduced replay (smaller preset, fewer epochs/requests)
+// with only the gate-relevant cells; scripts/check.sh wires it in as the
+// serve-smoke stage.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "imr.h"
@@ -32,12 +53,29 @@ void CheckOk(const util::Status& status) {
   }
 }
 
-struct ScenarioResult {
-  std::string scenario;
-  int threads = 0;
+struct Cell {
+  std::string name;   // e.g. "router-batch r4 s8"
+  std::string tier;   // "engine" | "router"
+  std::string mode;   // "sync" | "batch" | "async"
+  int replicas = 1;
+  int shards = 1;
+  int workers = 1;    // engine: pool threads; router: total worker threads
+  bool quantized = false;
   serve::EngineStats stats;
-  double cache_hit_rate = 0.0;
+  double hit_rate = 0.0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;       // non-OK responses that were NOT expected
+  uint64_t unavailable = 0;  // expected kUnavailable (shed / rejected)
+  uint64_t reloads = 0;      // hot-swap cell only
 };
+
+double HitRate(const serve::EngineStats& stats) {
+  const uint64_t lookups = stats.mr_cache_hits + stats.mr_cache_misses;
+  return lookups > 0
+             ? static_cast<double>(stats.mr_cache_hits) /
+                   static_cast<double>(lookups)
+             : 0.0;
+}
 
 serve::Query BagToQuery(const re::Bag& bag,
                         const std::vector<text::LabeledSentence>& corpus) {
@@ -56,25 +94,32 @@ serve::Query BagToQuery(const re::Bag& bag,
   return query;
 }
 
-ScenarioResult RunScenario(const std::string& scenario, int threads,
-                           const std::string& snapshot_path,
-                           const std::vector<serve::Query>& requests,
-                           bool quantized = false) {
+// Pre-router baseline: the bare engine with an oversubscribed pool.
+Cell RunEngineCell(const std::string& mode, int threads,
+                   const std::string& snapshot_path,
+                   const std::vector<serve::Query>& requests,
+                   bool quantized) {
   serve::EngineOptions options;
   options.threads = threads;
   options.top_k = 1;
   options.quantized = quantized;
+  options.cache_shards = 1;  // the old single-mutex cache shape
   auto engine = serve::InferenceEngine::Open(snapshot_path, options);
   CheckOk(engine.status());
 
-  if (scenario == "sync") {
+  Cell cell;
+  if (mode == "sync") {
     for (const serve::Query& query : requests) {
       auto prediction = (*engine)->Predict(query);
       CheckOk(prediction.status());
+      ++cell.ok;
     }
-  } else if (scenario == "batch") {
+  } else if (mode == "batch") {
     auto predictions = (*engine)->PredictBatch(requests);
-    for (const auto& prediction : predictions) CheckOk(prediction.status());
+    for (const auto& prediction : predictions) {
+      CheckOk(prediction.status());
+      ++cell.ok;
+    }
   } else {  // async
     std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
     futures.reserve(requests.size());
@@ -82,20 +127,164 @@ ScenarioResult RunScenario(const std::string& scenario, int threads,
       futures.push_back((*engine)->SubmitAsync(query));
     for (auto& future : futures) {
       CheckOk(future.get().status());
+      ++cell.ok;
     }
   }
+  cell.name = std::string(quantized ? "q-" : "") + "engine-" + mode + " t" +
+              std::to_string(threads);
+  cell.tier = "engine";
+  cell.mode = mode;
+  cell.workers = threads;
+  cell.quantized = quantized;
+  cell.stats = (*engine)->Stats();
+  cell.hit_rate = HitRate(cell.stats);
+  return cell;
+}
 
-  ScenarioResult result;
-  result.scenario = quantized ? "q-" + scenario : scenario;
-  result.threads = threads;
-  result.stats = (*engine)->Stats();
-  const uint64_t lookups =
-      result.stats.mr_cache_hits + result.stats.mr_cache_misses;
-  result.cache_hit_rate =
-      lookups > 0
-          ? static_cast<double>(result.stats.mr_cache_hits) / lookups
-          : 0.0;
-  return result;
+// One router matrix cell. Total worker threads are pinned at
+// max(4 / replicas, 1) * replicas so every configuration offers the same
+// parallelism and the replica/shard axes isolate lock and queue effects.
+Cell RunRouterCell(const std::string& mode, int replicas, int shards,
+                   const std::string& snapshot_path,
+                   const std::vector<serve::Query>& requests,
+                   bool quantized) {
+  serve::RouterOptions options;
+  options.replicas = replicas;
+  options.workers_per_replica = replicas < 4 ? 4 / replicas : 1;
+  options.engine.top_k = 1;
+  options.engine.cache_shards = static_cast<size_t>(shards);
+  options.engine.quantized = quantized;
+  auto router = serve::ServeRouter::Open(snapshot_path, options);
+  CheckOk(router.status());
+
+  Cell cell;
+  const auto count = [&cell](const util::StatusOr<serve::Prediction>& r) {
+    if (r.ok()) {
+      ++cell.ok;
+    } else if (r.status().code() == util::StatusCode::kUnavailable) {
+      ++cell.unavailable;
+    } else {
+      ++cell.failed;
+    }
+  };
+  if (mode == "sync") {
+    for (const serve::Query& query : requests) count((*router)->Predict(query));
+  } else if (mode == "batch") {
+    for (const auto& result : (*router)->PredictBatch(requests)) count(result);
+  } else {  // async
+    std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+    futures.reserve(requests.size());
+    for (const serve::Query& query : requests)
+      futures.push_back((*router)->SubmitAsync(query));
+    for (auto& future : futures) count(future.get());
+  }
+  cell.name = std::string(quantized ? "q-" : "") + "router-" + mode + " r" +
+              std::to_string(replicas) + " s" + std::to_string(shards);
+  cell.tier = "router";
+  cell.mode = mode;
+  cell.replicas = replicas;
+  cell.shards = shards;
+  cell.workers = options.workers_per_replica * replicas;
+  cell.quantized = quantized;
+  const serve::RouterStats stats = (*router)->Stats();
+  cell.stats = stats.aggregate;
+  cell.hit_rate = HitRate(cell.stats);
+  return cell;
+}
+
+// Deadline-bounded router under deliberate overload: a 2ms queue budget
+// against a many-requests burst sheds the backlog instead of serving it
+// seconds late.
+Cell RunShedCell(const std::string& snapshot_path,
+                 const std::vector<serve::Query>& requests) {
+  serve::RouterOptions options;
+  options.replicas = 1;
+  options.workers_per_replica = 1;
+  options.engine.top_k = 1;
+  options.engine.cache_shards = 8;
+  options.admission.max_queue = 0;  // shedding, not door rejection
+  options.admission.deadline_us = 2000;
+  auto router = serve::ServeRouter::Open(snapshot_path, options);
+  CheckOk(router.status());
+
+  Cell cell;
+  std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests.size());
+  for (const serve::Query& query : requests)
+    futures.push_back((*router)->SubmitAsync(query));
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (result.ok()) {
+      ++cell.ok;
+    } else if (result.status().code() == util::StatusCode::kUnavailable) {
+      ++cell.unavailable;
+    } else {
+      ++cell.failed;
+    }
+  }
+  cell.name = "router-shed r1 s8 d2000us";
+  cell.tier = "router";
+  cell.mode = "async";
+  cell.replicas = 1;
+  cell.shards = 8;
+  cell.quantized = false;
+  cell.stats = (*router)->Stats().aggregate;
+  cell.hit_rate = HitRate(cell.stats);
+  return cell;
+}
+
+// Hot swap under sustained load: traffic threads hammer the router while
+// the main thread flips generations A<->B. The gate: zero failed
+// requests (every response is OK and consistent with one generation).
+Cell RunHotSwapCell(const std::string& snapshot_a,
+                    const std::string& snapshot_b,
+                    const std::vector<serve::Query>& requests, int flips) {
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  options.engine.top_k = 1;
+  options.engine.cache_shards = 8;
+  auto router = serve::ServeRouter::Open(snapshot_a, options);
+  CheckOk(router.status());
+
+  Cell cell;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = (*router)->Predict(requests[i % requests.size()]);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        i += 2;
+      }
+    });
+  }
+  for (int flip = 0; flip < flips; ++flip) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CheckOk((*router)->Reload(flip % 2 == 0 ? snapshot_b : snapshot_a));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+
+  cell.name = "router-hotswap r2 s8";
+  cell.tier = "router";
+  cell.mode = "sync";
+  cell.replicas = 2;
+  cell.shards = 8;
+  cell.workers = 4;
+  cell.ok = ok.load();
+  cell.failed = failed.load();
+  cell.reloads = static_cast<uint64_t>(flips);
+  cell.stats = (*router)->Stats().aggregate;
+  cell.hit_rate = HitRate(cell.stats);
+  return cell;
 }
 
 // fp32-vs-quantized accuracy on one replay stream.
@@ -106,10 +295,6 @@ struct QuantizedGate {
   bool pass = false;
 };
 
-// Scores every request through a fp32 engine and a quantized engine over
-// the same snapshot and compares the full probability vectors. The gate is
-// the PR's acceptance bar for int8 serving: top-1 agreement >= 99.5% and
-// max |probability delta| <= 0.05 on the NYT-preset replay.
 QuantizedGate RunQuantizedGate(const std::string& snapshot_path,
                                const std::vector<serve::Query>& requests) {
   serve::EngineOptions fp32_options;
@@ -153,10 +338,17 @@ QuantizedGate RunQuantizedGate(const std::string& snapshot_path,
   return gate;
 }
 
-int Run() {
+const Cell* FindCell(const std::vector<Cell>& cells, const std::string& name) {
+  for (const Cell& cell : cells) {
+    if (cell.name == name) return &cell;
+  }
+  return nullptr;
+}
+
+int Run(bool smoke) {
   // --- train a small pipeline on the NYT preset and snapshot it ----------
   datagen::PresetOptions preset_options;
-  preset_options.scale = 0.5;
+  preset_options.scale = smoke ? 0.3 : 0.5;
   preset_options.seed = 13;
   datagen::SyntheticDataset dataset = datagen::MakeNytLike(preset_options);
 
@@ -193,7 +385,7 @@ int Run() {
   util::Rng rng(preset_options.seed);
   re::PaModel model(config, &rng);
   re::TrainerConfig trainer_config;
-  trainer_config.epochs = 6;
+  trainer_config.epochs = smoke ? 2 : 6;
   trainer_config.batch_size = 32;
   trainer_config.optimizer = "adam";
   trainer_config.learning_rate = 0.01f;
@@ -206,6 +398,18 @@ int Run() {
                               dataset.world.graph, bag_options,
                               trainer_config.epochs, "bench_serve",
                               snapshot_path));
+  // Generation B for the hot-swap cell: same model, embeddings retrained
+  // with a different seed, saved with a QEMB section.
+  graph::LineConfig line_b = line_config;
+  line_b.seed = 181;
+  graph::EmbeddingStore embeddings_b = graph::TrainLine(proximity, line_b);
+  const auto quantized_b =
+      graph::QuantizedEmbeddingStore::Quantize(embeddings_b);
+  const std::string snapshot_b_path = "bench_results/serve_model_b.imrs";
+  CheckOk(serve::SaveSnapshot(model, bags.vocabulary(), embeddings_b,
+                              dataset.world.graph, bag_options,
+                              trainer_config.epochs, "bench_serve_b",
+                              snapshot_b_path, &quantized_b));
 
   // --- request stream: held-out bags, replayed with pair-frequency skew --
   std::vector<serve::Query> unique_queries;
@@ -219,82 +423,184 @@ int Run() {
   // mirroring the long-tailed pair frequencies the paper measures.
   std::vector<serve::Query> requests;
   util::Rng replay_rng(99);
-  while (requests.size() < 768) {
+  const size_t replay_size = smoke ? 256 : 768;
+  while (requests.size() < replay_size) {
     const size_t k = static_cast<size_t>(
         static_cast<double>(unique_queries.size()) *
         replay_rng.Uniform() * replay_rng.Uniform());
     requests.push_back(unique_queries[std::min(k, unique_queries.size() - 1)]);
   }
 
-  std::printf("bench_serve: %zu unique pairs, %zu requests, %d relations\n",
-              unique_queries.size(), requests.size(), config.num_relations);
-
-  // --- scenarios ---------------------------------------------------------
-  std::vector<ScenarioResult> results;
-  results.push_back(RunScenario("sync", 1, snapshot_path, requests));
-  results.push_back(RunScenario("batch", 1, snapshot_path, requests));
-  results.push_back(RunScenario("batch", 4, snapshot_path, requests));
-  results.push_back(RunScenario("async", 4, snapshot_path, requests));
-  results.push_back(
-      RunScenario("sync", 1, snapshot_path, requests, /*quantized=*/true));
-  results.push_back(
-      RunScenario("batch", 4, snapshot_path, requests, /*quantized=*/true));
-
-  const QuantizedGate gate = RunQuantizedGate(snapshot_path, requests);
   std::printf(
-      "quantized accuracy: top-1 agreement %.4f (gate >= 0.995), "
-      "max |prob delta| %.5f (gate <= 0.05) over %zu requests -> %s\n",
-      gate.top1_agreement, gate.max_abs_prob_delta, gate.requests,
-      gate.pass ? "PASS" : "FAIL");
+      "bench_serve%s: %zu unique pairs, %zu requests, %d relations\n",
+      smoke ? " (smoke)" : "", unique_queries.size(), requests.size(),
+      config.num_relations);
 
-  std::printf("%-8s %-8s %10s %10s %10s %10s %8s\n", "scenario", "threads",
-              "qps", "p50_us", "p99_us", "mean_us", "mr_hit%");
-  for (const ScenarioResult& r : results) {
-    std::printf("%-8s %-8d %10.0f %10.0f %10.0f %10.0f %7.1f%%\n",
-                r.scenario.c_str(), r.threads, r.stats.qps,
-                r.stats.p50_latency_us, r.stats.p99_latency_us,
-                r.stats.mean_latency_us, 100.0 * r.cache_hit_rate);
+  // --- scenario matrix ----------------------------------------------------
+  std::vector<Cell> cells;
+  // Pre-router baseline: the single-client floor and the oversubscription
+  // tail blowup the router was built to remove.
+  cells.push_back(RunEngineCell("sync", 1, snapshot_path, requests, false));
+  cells.push_back(RunEngineCell("batch", 4, snapshot_path, requests, false));
+  // Gate-relevant router cells.
+  cells.push_back(
+      RunRouterCell("batch", 1, 1, snapshot_path, requests, false));
+  cells.push_back(
+      RunRouterCell("batch", 1, 8, snapshot_path, requests, false));
+  cells.push_back(
+      RunRouterCell("batch", 4, 8, snapshot_path, requests, false));
+  if (!smoke) {
+    cells.push_back(
+        RunEngineCell("async", 4, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("sync", 1, 1, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("sync", 1, 8, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("sync", 4, 8, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("batch", 4, 1, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("async", 1, 8, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("async", 4, 8, snapshot_path, requests, false));
+    cells.push_back(
+        RunRouterCell("batch", 4, 8, snapshot_path, requests, true));
+    cells.push_back(
+        RunRouterCell("sync", 1, 8, snapshot_path, requests, true));
+    cells.push_back(RunShedCell(snapshot_path, requests));
   }
+  cells.push_back(RunHotSwapCell(snapshot_path, snapshot_b_path, requests,
+                                 smoke ? 2 : 6));
 
+  const QuantizedGate quant_gate = RunQuantizedGate(snapshot_path, requests);
+
+  // --- gates --------------------------------------------------------------
+  const Cell* engine_sync = FindCell(cells, "engine-sync t1");
+  const Cell* router_batch = FindCell(cells, "router-batch r4 s8");
+  const Cell* cache_one = FindCell(cells, "router-batch r1 s1");
+  const Cell* cache_many = FindCell(cells, "router-batch r1 s8");
+  const Cell* hot_swap = FindCell(cells, "router-hotswap r2 s8");
+  IMR_CHECK(engine_sync != nullptr && router_batch != nullptr &&
+            cache_one != nullptr && cache_many != nullptr &&
+            hot_swap != nullptr);
+
+  const double tail_ratio =
+      engine_sync->stats.p99_latency_us > 0.0
+          ? router_batch->stats.p99_latency_us /
+                engine_sync->stats.p99_latency_us
+          : 0.0;
+  const bool tail_pass = tail_ratio <= 10.0;
+  const bool cache_pass = cache_many->hit_rate >= cache_one->hit_rate - 0.02;
+  const bool swap_pass = hot_swap->failed == 0 && hot_swap->ok > 0;
+  const bool all_pass =
+      tail_pass && cache_pass && swap_pass && quant_gate.pass;
+
+  // --- report -------------------------------------------------------------
+  std::printf("%-24s %9s %9s %9s %9s %9s %7s %6s %6s\n", "cell", "qps",
+              "p50_us", "p99_us", "p999_us", "mean_us", "hit%", "rej",
+              "shed");
+  for (const Cell& cell : cells) {
+    std::printf(
+        "%-24s %9.0f %9.0f %9.0f %9.0f %9.0f %6.1f%% %6llu %6llu\n",
+        cell.name.c_str(), cell.stats.qps, cell.stats.p50_latency_us,
+        cell.stats.p99_latency_us, cell.stats.p999_latency_us,
+        cell.stats.mean_latency_us, 100.0 * cell.hit_rate,
+        static_cast<unsigned long long>(cell.stats.rejected_queue_full),
+        static_cast<unsigned long long>(cell.stats.shed_deadline));
+  }
+  // Per-shard traffic for the 8-way single-replica cell: the shard counters
+  // are the satellite observability surface, show them once.
+  std::printf("per-shard traffic (%s):", cache_many->name.c_str());
+  for (size_t s = 0; s < cache_many->stats.cache_shards.size(); ++s) {
+    const serve::CacheShardStats& shard = cache_many->stats.cache_shards[s];
+    std::printf(" s%zu=%llu/%llu", s,
+                static_cast<unsigned long long>(shard.hits),
+                static_cast<unsigned long long>(shard.misses));
+  }
+  std::printf("  (hits/misses)\n");
+  std::printf(
+      "gates: tail p99 ratio %.2f (<= 10) %s | sharded hit %.4f vs "
+      "single-shard %.4f (-0.02 slack) %s | hot-swap ok=%llu failed=%llu "
+      "across %llu reloads %s | int8 top-1 %.4f delta %.5f %s\n",
+      tail_ratio, tail_pass ? "PASS" : "FAIL", cache_many->hit_rate,
+      cache_one->hit_rate, cache_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(hot_swap->ok),
+      static_cast<unsigned long long>(hot_swap->failed),
+      static_cast<unsigned long long>(hot_swap->reloads),
+      swap_pass ? "PASS" : "FAIL", quant_gate.top1_agreement,
+      quant_gate.max_abs_prob_delta, quant_gate.pass ? "PASS" : "FAIL");
+
+  // --- JSON ---------------------------------------------------------------
   std::FILE* out = std::fopen("bench_results/BENCH_serve.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
     return 1;
   }
-  std::fprintf(out, "{\n  \"requests\": %zu,\n  \"unique_pairs\": %zu,\n",
-               requests.size(), unique_queries.size());
+  std::fprintf(out,
+               "{\n  \"smoke\": %s,\n  \"requests\": %zu,\n"
+               "  \"unique_pairs\": %zu,\n",
+               smoke ? "true" : "false", requests.size(),
+               unique_queries.size());
   std::fprintf(out, "  \"results\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    std::fprintf(out,
-                 "    {\"scenario\": \"%s\", \"threads\": %d, "
-                 "\"qps\": %.2f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
-                 "\"mean_us\": %.2f, \"max_us\": %.2f, "
-                 "\"batches\": %llu, \"mr_cache_hit_rate\": %.4f}%s\n",
-                 r.scenario.c_str(), r.threads, r.stats.qps,
-                 r.stats.p50_latency_us, r.stats.p99_latency_us,
-                 r.stats.mean_latency_us, r.stats.max_latency_us,
-                 static_cast<unsigned long long>(r.stats.batches),
-                 r.cache_hit_rate, i + 1 < results.size() ? "," : "");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::fprintf(
+        out,
+        "    {\"cell\": \"%s\", \"tier\": \"%s\", \"mode\": \"%s\", "
+        "\"replicas\": %d, \"cache_shards\": %d, \"workers\": %d, "
+        "\"quantized\": %s, \"qps\": %.2f, \"p50_us\": %.2f, "
+        "\"p99_us\": %.2f, \"p999_us\": %.2f, \"mean_us\": %.2f, "
+        "\"max_us\": %.2f, \"mr_cache_hit_rate\": %.4f, \"ok\": %llu, "
+        "\"failed\": %llu, \"unavailable\": %llu, \"admitted\": %llu, "
+        "\"rejected_queue_full\": %llu, \"shed_deadline\": %llu, "
+        "\"queue_peak\": %llu, \"reloads\": %llu}%s\n",
+        cell.name.c_str(), cell.tier.c_str(), cell.mode.c_str(),
+        cell.replicas, cell.shards, cell.workers,
+        cell.quantized ? "true" : "false", cell.stats.qps,
+        cell.stats.p50_latency_us, cell.stats.p99_latency_us,
+        cell.stats.p999_latency_us, cell.stats.mean_latency_us,
+        cell.stats.max_latency_us, cell.hit_rate,
+        static_cast<unsigned long long>(cell.ok),
+        static_cast<unsigned long long>(cell.failed),
+        static_cast<unsigned long long>(cell.unavailable),
+        static_cast<unsigned long long>(cell.stats.admitted),
+        static_cast<unsigned long long>(cell.stats.rejected_queue_full),
+        static_cast<unsigned long long>(cell.stats.shed_deadline),
+        static_cast<unsigned long long>(cell.stats.queue_peak),
+        static_cast<unsigned long long>(cell.reloads),
+        i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
-               "  \"quantized_gate\": {\"top1_agreement\": %.4f, "
+               "  \"gates\": {\n"
+               "    \"tail\": {\"p99_ratio\": %.4f, \"max\": 10.0, "
+               "\"pass\": %s},\n"
+               "    \"cache\": {\"sharded_hit_rate\": %.4f, "
+               "\"single_shard_hit_rate\": %.4f, \"slack\": 0.02, "
+               "\"pass\": %s},\n"
+               "    \"hot_swap\": {\"ok\": %llu, \"failed\": %llu, "
+               "\"reloads\": %llu, \"pass\": %s},\n"
+               "    \"quantized\": {\"top1_agreement\": %.4f, "
                "\"max_abs_prob_delta\": %.5f, \"requests\": %zu, "
                "\"top1_agreement_min\": 0.995, "
-               "\"max_abs_prob_delta_max\": 0.05, \"pass\": %s}\n",
-               gate.top1_agreement, gate.max_abs_prob_delta, gate.requests,
-               gate.pass ? "true" : "false");
-  std::fprintf(out, "}\n");
+               "\"max_abs_prob_delta_max\": 0.05, \"pass\": %s}\n"
+               "  }\n}\n",
+               tail_ratio, tail_pass ? "true" : "false",
+               cache_many->hit_rate, cache_one->hit_rate,
+               cache_pass ? "true" : "false",
+               static_cast<unsigned long long>(hot_swap->ok),
+               static_cast<unsigned long long>(hot_swap->failed),
+               static_cast<unsigned long long>(hot_swap->reloads),
+               swap_pass ? "true" : "false", quant_gate.top1_agreement,
+               quant_gate.max_abs_prob_delta, quant_gate.requests,
+               quant_gate.pass ? "true" : "false");
   std::fclose(out);
   std::fprintf(stderr,
                "[bench_serve] written to bench_results/BENCH_serve.json\n");
-  if (!gate.pass) {
-    std::fprintf(stderr,
-                 "[bench_serve] FAIL: quantized serving missed the "
-                 "accuracy gate (top-1 agreement %.4f, max |prob delta| "
-                 "%.5f)\n",
-                 gate.top1_agreement, gate.max_abs_prob_delta);
+  if (!all_pass) {
+    std::fprintf(stderr, "[bench_serve] FAIL: SLO gate violated (see gates "
+                         "line above)\n");
     return 1;
   }
   return 0;
@@ -303,4 +609,10 @@ int Run() {
 }  // namespace
 }  // namespace imr
 
-int main() { return imr::Run(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return imr::Run(smoke);
+}

@@ -14,11 +14,24 @@
 //       loads DIR/model.imrs, answers every query in the TSV, prints the
 //       top-k relations per entity pair and the engine's latency counters.
 //
+//   imr_serve serve --workdir DIR [--replicas 1] [--workers 1]
+//                   [--cache_shards 8] [--max_queue 1024] [--deadline_us 0]
+//                   [--watch_ms 0]
+//       interactive serving loop over a sharded ServeRouter. Reads
+//       commands from stdin, one per line:
+//         <query TSV line>        answer one query (format below)
+//         reload <snapshot.imrs>  hot-swap to a new snapshot generation
+//         stats                   print latency/cache/admission counters
+//         quit                    exit
+//       --watch_ms N > 0 additionally polls DIR/model.imrs every N ms and
+//       hot-swaps automatically when the file changes (SnapshotWatcher).
+//
 // Query TSV format (one sentence per line; consecutive lines with the same
 // entity pair form one bag):
 //   head_name <TAB> tail_name <TAB> head_index <TAB> tail_index <TAB> tokens
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -35,7 +48,10 @@ constexpr const char* kUsage =
     "             [--epochs N] [--seed S]\n"
     "  query      --workdir DIR [--queries FILE.tsv] [--top_k K]\n"
     "             [--threads N] [--async] [--max_batch B]\n"
-    "             [--batch_delay_us U] [--cache C]\n";
+    "             [--batch_delay_us U] [--cache C]\n"
+    "  serve      --workdir DIR [--replicas R] [--workers W]\n"
+    "             [--cache_shards S] [--max_queue Q] [--deadline_us D]\n"
+    "             [--watch_ms N]\n";
 
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -165,6 +181,37 @@ util::StatusOr<std::vector<QueryLine>> ReadQueryFile(
   return lines;
 }
 
+// Extended counter dump shared by `query` and `serve`: latency
+// percentiles, per-shard cache traffic, and (router only) admission
+// counters.
+void PrintStats(const serve::EngineStats& stats) {
+  std::printf(
+      "gen=%llu requests=%llu batches=%llu; mr-cache %llu hit / %llu miss\n"
+      "latency us: mean=%.0f p50=%.0f p99=%.0f p999=%.0f max=%.0f; "
+      "qps=%.0f\n"
+      "admission: queue depth=%llu peak=%llu admitted=%llu rejected=%llu "
+      "shed=%llu\n",
+      static_cast<unsigned long long>(stats.generation),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.mr_cache_hits),
+      static_cast<unsigned long long>(stats.mr_cache_misses),
+      stats.mean_latency_us, stats.p50_latency_us, stats.p99_latency_us,
+      stats.p999_latency_us, stats.max_latency_us, stats.qps,
+      static_cast<unsigned long long>(stats.queue_depth),
+      static_cast<unsigned long long>(stats.queue_peak),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.shed_deadline));
+  std::printf("cache shards:");
+  for (size_t s = 0; s < stats.cache_shards.size(); ++s) {
+    std::printf(" s%zu=%llu/%llu", s,
+                static_cast<unsigned long long>(stats.cache_shards[s].hits),
+                static_cast<unsigned long long>(stats.cache_shards[s].misses));
+  }
+  std::printf("  (hits/misses)\n");
+}
+
 int Query(const util::FlagParser& flags) {
   const std::string dir = flags.GetString("workdir");
   std::string queries_path = flags.GetString("queries");
@@ -227,17 +274,114 @@ int Query(const util::FlagParser& flags) {
     std::printf("\n");
   }
 
-  const serve::EngineStats stats = (*engine)->Stats();
+  std::printf("\nmode: %s\n",
+              use_async ? "async micro-batched" : "one PredictBatch");
+  PrintStats((*engine)->Stats());
+  return 0;
+}
+
+// Interactive serving loop over a ServeRouter: query lines, `reload`,
+// `stats`, `quit`. With --watch_ms, a SnapshotWatcher additionally
+// hot-swaps whenever workdir/model.imrs changes on disk.
+int Serve(const util::FlagParser& flags) {
+  const std::string dir = flags.GetString("workdir");
+  const std::string snapshot_path = dir + "/model.imrs";
+
+  serve::RouterOptions options;
+  options.replicas = static_cast<int>(flags.GetInt("replicas"));
+  options.workers_per_replica = static_cast<int>(flags.GetInt("workers"));
+  options.engine.top_k = static_cast<int>(flags.GetInt("top_k"));
+  options.engine.cache_shards = static_cast<size_t>(
+      flags.GetInt("cache_shards"));
+  options.engine.mr_cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache"));
+  options.admission.max_queue =
+      static_cast<size_t>(flags.GetInt("max_queue"));
+  options.admission.deadline_us = flags.GetInt("deadline_us");
+  auto router = serve::ServeRouter::Open(snapshot_path, options);
+  if (!router.ok()) return Fail(router.status());
+
+  std::unique_ptr<serve::SnapshotWatcher> watcher;
+  const int watch_ms = static_cast<int>(flags.GetInt("watch_ms"));
+  if (watch_ms > 0) {
+    serve::WatcherOptions watcher_options;
+    watcher_options.poll_interval_ms = watch_ms;
+    watcher = std::make_unique<serve::SnapshotWatcher>(
+        snapshot_path,
+        [&router](const std::string& path) {
+          util::Status swapped = (*router)->Reload(path);
+          if (swapped.ok()) {
+            std::printf("auto-reload: now serving generation %llu\n",
+                        static_cast<unsigned long long>(
+                            (*router)->generation()));
+          }
+          return swapped;
+        },
+        watcher_options);
+    watcher->Start();
+  }
+
   std::printf(
-      "\n%llu requests in %llu batches (%s); mr-cache %llu hit / %llu miss\n"
-      "latency us: mean=%.0f p50=%.0f p99=%.0f max=%.0f; qps=%.0f\n",
-      static_cast<unsigned long long>(stats.requests),
-      static_cast<unsigned long long>(stats.batches),
-      use_async ? "async micro-batched" : "one PredictBatch",
-      static_cast<unsigned long long>(stats.mr_cache_hits),
-      static_cast<unsigned long long>(stats.mr_cache_misses),
-      stats.mean_latency_us, stats.p50_latency_us, stats.p99_latency_us,
-      stats.max_latency_us, stats.qps);
+      "serving generation %llu (%d replicas x %d workers, %zu cache "
+      "shards, max_queue=%zu, deadline_us=%lld)\n"
+      "commands: <query TSV line> | reload <snapshot.imrs> | stats | quit\n",
+      static_cast<unsigned long long>((*router)->generation()),
+      options.replicas, options.workers_per_replica,
+      options.engine.cache_shards, options.admission.max_queue,
+      static_cast<long long>(options.admission.deadline_us));
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "stats") {
+      PrintStats((*router)->Stats().aggregate);
+      continue;
+    }
+    if (line.rfind("reload ", 0) == 0 || line == "reload") {
+      std::string path = line.size() > 7 ? line.substr(7) : snapshot_path;
+      if (path.empty()) path = snapshot_path;
+      util::Status swapped = (*router)->Reload(path);
+      if (!swapped.ok()) {
+        std::printf("reload failed (still serving generation %llu): %s\n",
+                    static_cast<unsigned long long>((*router)->generation()),
+                    swapped.ToString().c_str());
+      } else {
+        std::printf("now serving generation %llu\n",
+                    static_cast<unsigned long long>((*router)->generation()));
+      }
+      continue;
+    }
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 5) {
+      std::printf("expected 5 tab-separated fields (or a command), got "
+                  "%zu\n", fields.size());
+      continue;
+    }
+    text::Sentence sentence;
+    sentence.head_index = std::atoi(fields[2].c_str());
+    sentence.tail_index = std::atoi(fields[3].c_str());
+    sentence.tokens = util::SplitWhitespace(fields[4]);
+    auto query = (*router)->MakeQuery(fields[0], fields[1], {sentence});
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    auto prediction = (*router)->Predict(*query);
+    if (!prediction.ok()) {
+      std::printf("error: %s\n", prediction.status().ToString().c_str());
+      continue;
+    }
+    std::printf("(%s, %s) gen=%llu", fields[0].c_str(), fields[1].c_str(),
+                static_cast<unsigned long long>(prediction->generation));
+    for (const serve::ScoredRelation& scored : prediction->top) {
+      std::printf("  %s=%.3f", scored.name.c_str(), scored.probability);
+    }
+    std::printf("\n");
+  }
+
+  if (watcher != nullptr) watcher->Stop();
+  PrintStats((*router)->Stats().aggregate);
   return 0;
 }
 
@@ -263,6 +407,15 @@ int main(int argc, char** argv) {
   flags.AddInt("max_batch", 32, "micro-batch flush size (query --async)");
   flags.AddInt("batch_delay_us", 200, "micro-batch linger (query --async)");
   flags.AddInt("cache", 4096, "mutual-relation LRU capacity (query)");
+  flags.AddInt("replicas", 1, "engine replicas behind the router (serve)");
+  flags.AddInt("workers", 1, "worker threads per replica (serve)");
+  flags.AddInt("cache_shards", 8, "MR-cache shard count (serve)");
+  flags.AddInt("max_queue", 1024,
+               "per-replica queue bound; 0 = unbounded (serve)");
+  flags.AddInt("deadline_us", 0,
+               "queue-wait budget before shedding; 0 = none (serve)");
+  flags.AddInt("watch_ms", 0,
+               "poll model.imrs and auto-reload every N ms; 0 = off (serve)");
   util::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     if (status.code() == util::StatusCode::kNotFound) return 0;
@@ -271,6 +424,7 @@ int main(int argc, char** argv) {
   }
   if (command == "train-demo") return TrainDemo(flags);
   if (command == "query") return Query(flags);
+  if (command == "serve") return Serve(flags);
   std::fputs(kUsage, stderr);
   return 1;
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification matrix: plain build + ctest, the kernel-benchmark smoke
 # gate (zero pool misses, zero dense full-table gradient scans in a
-# warmed-up training step, no silent scalar kernel fallback), the SIMD
+# warmed-up training step, no silent scalar kernel fallback), the serving
+# SLO smoke gate (router tail latency, sharded cache hit rate, zero-failure
+# hot swap, int8 parity), the SIMD
 # backend matrix (full ctest under every compiled backend), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
 # analysis build, and the project linter. Each stage reports pass/fail/skip
@@ -62,6 +64,16 @@ if [ -x build/bench/bench_kernels ]; then
   run_stage "bench-smoke" build/bench/bench_kernels --smoke
 else
   record "bench-smoke" SKIP
+fi
+
+# 1b'. Serving SLO smoke: reduced replay through the router matrix, exits
+# nonzero if router tail latency regresses past 10x the single-thread
+# floor, the sharded MR cache loses hit rate vs a single shard, a hot swap
+# fails any request under load, or int8 serving diverges from fp32.
+if [ -x build/bench/bench_serve ]; then
+  run_stage "serve-smoke" build/bench/bench_serve --smoke
+else
+  record "serve-smoke" SKIP
 fi
 
 # 1c. SIMD backend matrix: force every backend this build+host supports

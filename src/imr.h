@@ -47,9 +47,14 @@
 #include "re/multir.h"                     // IWYU pragma: export
 #include "re/pa_model.h"                   // IWYU pragma: export
 #include "re/trainer.h"                    // IWYU pragma: export
+#include "serve/admission.h"               // IWYU pragma: export
 #include "serve/inference_engine.h"        // IWYU pragma: export
 #include "serve/lru_cache.h"               // IWYU pragma: export
+#include "serve/model_state.h"             // IWYU pragma: export
+#include "serve/router.h"                  // IWYU pragma: export
+#include "serve/sharded_cache.h"           // IWYU pragma: export
 #include "serve/snapshot.h"                // IWYU pragma: export
+#include "serve/snapshot_watcher.h"        // IWYU pragma: export
 #include "tensor/ops.h"                    // IWYU pragma: export
 #include "tensor/tensor.h"                 // IWYU pragma: export
 #include "text/corpus_io.h"                // IWYU pragma: export

@@ -1,0 +1,143 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace imr::serve {
+
+AdmissionController::AdmissionController(int replicas,
+                                         const AdmissionOptions& options)
+    : options_(options) {
+  if (replicas < 1) replicas = 1;
+  depth_.reserve(static_cast<size_t>(replicas));
+  for (int i = 0; i < replicas; ++i) {
+    depth_.push_back(std::make_unique<ReplicaCounters>());
+  }
+  max_concurrent_ = options.max_concurrent;
+  if (max_concurrent_ <= 0) {
+    // Auto: one forward per core. Oversubscribing cores moves queueing
+    // delay INTO the forward (time-slicing), which is exactly the tail
+    // blowup admission control exists to prevent.
+    max_concurrent_ =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  slots_free_ = max_concurrent_;
+}
+
+util::StatusOr<int> AdmissionController::Admit() {
+  // Least-depth pick with a rotating starting point, so equal-depth
+  // replicas share the load instead of replica 0 absorbing everything.
+  const size_t n = depth_.size();
+  const size_t start =
+      round_robin_.fetch_add(1, std::memory_order_relaxed) % n;
+  int best = -1;
+  int64_t best_depth = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = (start + i) % n;
+    const int64_t d = depth_[r]->depth.load(std::memory_order_relaxed);
+    if (best < 0 || d < best_depth) {
+      best = static_cast<int>(r);
+      best_depth = d;
+    }
+  }
+  if (options_.max_queue > 0 &&
+      best_depth >= static_cast<int64_t>(options_.max_queue)) {
+    depth_[static_cast<size_t>(best)]->rejected.fetch_add(
+        1, std::memory_order_relaxed);
+    const int64_t ewma =
+        service_ewma_us_.load(std::memory_order_relaxed);
+    const int64_t retry_after_us =
+        std::max<int64_t>(100, best_depth * std::max<int64_t>(ewma, 1) /
+                                   std::max(1, max_concurrent_));
+    return util::Unavailable(util::StrFormat(
+        "router queue full (%lld pending per replica, max %zu); retry after "
+        "~%lld us",
+        static_cast<long long>(best_depth), options_.max_queue,
+        static_cast<long long>(retry_after_us)));
+  }
+  ReplicaCounters& counters = *depth_[static_cast<size_t>(best)];
+  counters.admitted.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now_depth =
+      counters.depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = counters.peak.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(now_depth) > peak &&
+         !counters.peak.compare_exchange_weak(
+             peak, static_cast<uint64_t>(now_depth),
+             std::memory_order_relaxed)) {
+  }
+  return best;
+}
+
+void AdmissionController::OnDequeue(int replica) {
+  depth_[static_cast<size_t>(replica)]->depth.fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+bool AdmissionController::ExpiredInQueue(
+    std::chrono::steady_clock::time_point enqueue_time) const {
+  if (options_.deadline_us <= 0) return false;
+  const auto waited = std::chrono::steady_clock::now() - enqueue_time;
+  return std::chrono::duration_cast<std::chrono::microseconds>(waited)
+             .count() > options_.deadline_us;
+}
+
+util::Status AdmissionController::Shed(int replica, double waited_us) {
+  depth_[static_cast<size_t>(replica)]->shed.fetch_add(
+      1, std::memory_order_relaxed);
+  return util::Unavailable(util::StrFormat(
+      "request shed: waited %.0f us in queue, deadline budget is %lld us",
+      waited_us, static_cast<long long>(options_.deadline_us)));
+}
+
+void AdmissionController::AcquireSlot() {
+  util::MutexLock lock(slot_mutex_);
+  while (slots_free_ == 0) slot_cv_.Wait(slot_mutex_);
+  --slots_free_;
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    util::MutexLock lock(slot_mutex_);
+    ++slots_free_;
+  }
+  slot_cv_.NotifyOne();
+}
+
+void AdmissionController::OnComplete(double service_us) {
+  // EWMA with gain 1/8, integer microseconds: cheap, lock-free, and close
+  // enough for a retry-after hint.
+  const int64_t sample = static_cast<int64_t>(service_us);
+  int64_t current = service_ewma_us_.load(std::memory_order_relaxed);
+  const int64_t next =
+      current == 0 ? sample : current + (sample - current) / 8;
+  service_ewma_us_.store(next, std::memory_order_relaxed);
+}
+
+AdmissionCounters AdmissionController::Counters(int replica) const {
+  const ReplicaCounters& c = *depth_[static_cast<size_t>(replica)];
+  AdmissionCounters out;
+  out.admitted = c.admitted.load(std::memory_order_relaxed);
+  out.rejected_queue_full = c.rejected.load(std::memory_order_relaxed);
+  out.shed_deadline = c.shed.load(std::memory_order_relaxed);
+  const int64_t depth = c.depth.load(std::memory_order_relaxed);
+  out.queue_depth = depth > 0 ? static_cast<uint64_t>(depth) : 0;
+  out.queue_peak = c.peak.load(std::memory_order_relaxed);
+  return out;
+}
+
+AdmissionCounters AdmissionController::TotalCounters() const {
+  AdmissionCounters total;
+  for (int r = 0; r < replicas(); ++r) {
+    const AdmissionCounters c = Counters(r);
+    total.admitted += c.admitted;
+    total.rejected_queue_full += c.rejected_queue_full;
+    total.shed_deadline += c.shed_deadline;
+    total.queue_depth += c.queue_depth;
+    total.queue_peak = std::max(total.queue_peak, c.queue_peak);
+  }
+  return total;
+}
+
+}  // namespace imr::serve

@@ -33,35 +33,32 @@ double Percentile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
-InferenceEngine::InferenceEngine(Snapshot snapshot,
+InferenceEngine::InferenceEngine(std::shared_ptr<const ModelState> state,
                                  const EngineOptions& options)
-    : snapshot_(std::move(snapshot)),
-      options_(options),
-      mr_cache_(options.mr_cache_capacity) {
-  IMR_CHECK(snapshot_.model != nullptr);
-  snapshot_.model->SetTraining(false);  // serving is always deterministic
-  if (options_.quantized) {
-    if (snapshot_.quantized_embeddings.empty() &&
-        snapshot_.embeddings.num_vertices() > 0) {
-      // Pre-quantization snapshot: build the int8 store at load time so the
-      // quantized path works against any v1 file.
-      snapshot_.quantized_embeddings =
-          graph::QuantizedEmbeddingStore::Quantize(snapshot_.embeddings);
-    }
-    snapshot_.model->EnableQuantizedInference();
-  }
+    : options_(options),
+      mr_cache_(options.mr_cache_capacity,
+                options.cache_shards == 0 ? 1 : options.cache_shards) {
+  IMR_CHECK(state != nullptr);
+  state_.store(std::move(state), std::memory_order_release);
   if (options_.threads > 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
-  }
-  entity_by_name_.reserve(snapshot_.entities.size());
-  for (size_t i = 0; i < snapshot_.entities.size(); ++i) {
-    entity_by_name_.emplace(snapshot_.entities[i].name,
-                            static_cast<int64_t>(i));
   }
   if (options_.latency_samples > 0) {
     latency_ring_.reserve(options_.latency_samples);
   }
 }
+
+InferenceEngine::InferenceEngine(Snapshot snapshot,
+                                 const EngineOptions& options)
+    : InferenceEngine(
+          [&] {
+            auto state = ModelState::Create(std::move(snapshot),
+                                            options.quantized,
+                                            /*generation=*/1);
+            IMR_CHECK(state.ok());
+            return std::move(*state);
+          }(),
+          options) {}
 
 InferenceEngine::~InferenceEngine() {
   bool join_dispatcher = false;
@@ -81,11 +78,36 @@ util::StatusOr<std::unique_ptr<InferenceEngine>> InferenceEngine::Open(
   return std::make_unique<InferenceEngine>(std::move(*snapshot), options);
 }
 
+util::Status InferenceEngine::Reload(const std::string& snapshot_path) {
+  // Load + prepare entirely off the request path: request threads keep
+  // serving the current generation until the single atomic store below.
+  auto snapshot = LoadSnapshot(snapshot_path);
+  IMR_RETURN_IF_ERROR(snapshot.status());
+  const std::shared_ptr<const ModelState> current = CurrentState();
+  auto next = ModelState::Create(std::move(*snapshot), options_.quantized,
+                                 current->generation + 1);
+  IMR_RETURN_IF_ERROR(next.status());
+  IMR_RETURN_IF_ERROR(ModelState::ValidateSwap(*current, **next));
+  SwapState(std::move(*next));
+  return util::OkStatus();
+}
+
+void InferenceEngine::SwapState(std::shared_ptr<const ModelState> state) {
+  IMR_CHECK(state != nullptr);
+  state_.store(std::move(state), std::memory_order_release);
+  // Old-generation cache entries are unreachable (keys embed the
+  // generation); clear them eagerly so they stop squatting on capacity.
+  // In-flight old-generation requests may still Put a few entries after
+  // this — they are equally unreachable and age out through the LRU.
+  mr_cache_.Clear();
+}
+
 util::ThreadPool& InferenceEngine::pool() {
   return own_pool_ ? *own_pool_ : util::GlobalPool();
 }
 
-util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
+util::StatusOr<re::Bag> InferenceEngine::BuildBag(const ModelState& state,
+                                                  const Query& query,
                                                   bool* cache_hit) {
   *cache_hit = false;
   if (query.head < 0 || query.tail < 0) {
@@ -104,7 +126,8 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
           sentence.head_index, sentence.tail_index, tokens));
     }
   }
-  const re::PaModelConfig& config = snapshot_.manifest.model_config;
+  const Snapshot& snapshot = state.snapshot;
+  const re::PaModelConfig& config = snapshot.manifest.model_config;
 
   re::Bag bag;
   bag.head = query.head;
@@ -112,16 +135,17 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
   bag.sentences.reserve(query.sentences.size());
   for (const text::Sentence& sentence : query.sentences) {
     bag.sentences.push_back(re::MakeEncoderInput(
-        sentence, snapshot_.vocab, snapshot_.manifest.bag_options));
+        sentence, snapshot.vocab, snapshot.manifest.bag_options));
   }
 
   if (config.use_entity_type) {
     bag.head_types = query.head_types;
     bag.tail_types = query.tail_types;
-    const auto table_types = [this](int64_t id) -> const std::vector<int>* {
-      if (id < 0 || id >= static_cast<int64_t>(snapshot_.entities.size()))
+    const auto table_types =
+        [&snapshot](int64_t id) -> const std::vector<int>* {
+      if (id < 0 || id >= static_cast<int64_t>(snapshot.entities.size()))
         return nullptr;
-      return &snapshot_.entities[static_cast<size_t>(id)].type_ids;
+      return &snapshot.entities[static_cast<size_t>(id)].type_ids;
     };
     if (bag.head_types.empty()) {
       if (const auto* types = table_types(query.head)) bag.head_types = *types;
@@ -137,61 +161,55 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const Query& query,
   }
 
   if (config.use_mutual_relation) {
-    if (query.head >= snapshot_.embeddings.num_vertices() ||
-        query.tail >= snapshot_.embeddings.num_vertices()) {
+    if (query.head >= snapshot.embeddings.num_vertices() ||
+        query.tail >= snapshot.embeddings.num_vertices()) {
       return util::InvalidArgument(util::StrFormat(
           "query entity pair (%lld, %lld) outside the embedding store (%d "
           "vertices)",
           static_cast<long long>(query.head),
           static_cast<long long>(query.tail),
-          snapshot_.embeddings.num_vertices()));
+          snapshot.embeddings.num_vertices()));
     }
-    const uint64_t key = PairKey(query.head, query.tail);
+    const MrCacheKey key{state.generation,
+                         PairKey(query.head, query.tail)};
     bool hit = false;
-    {
-      util::MutexLock lock(cache_mutex_);
-      if (auto cached = mr_cache_.Get(key)) {
-        bag.mutual_relation = std::move(*cached);
-        hit = true;
-      }
-    }
-    if (!hit) {
-      // Computed outside the lock: the vector is a pure function of the
+    if (auto cached = mr_cache_.Get(key)) {
+      bag.mutual_relation = std::move(*cached);
+      hit = true;
+    } else {
+      // Computed outside any lock: the vector is a pure function of the
       // (immutable) embedding rows, so concurrent misses on the same pair
       // compute identical values.
       const int head = static_cast<int>(query.head);
       const int tail = static_cast<int>(query.tail);
       bag.mutual_relation =
-          options_.quantized && !snapshot_.quantized_embeddings.empty()
-              ? snapshot_.quantized_embeddings.MutualRelation(head, tail)
-              : snapshot_.embeddings.MutualRelation(head, tail);
-      util::MutexLock lock(cache_mutex_);
+          options_.quantized && !snapshot.quantized_embeddings.empty()
+              ? snapshot.quantized_embeddings.MutualRelation(head, tail)
+              : snapshot.embeddings.MutualRelation(head, tail);
       mr_cache_.Put(key, bag.mutual_relation);
     }
     *cache_hit = hit;
-    {
-      util::MutexLock lock(stats_mutex_);
-      if (hit) {
-        ++cache_hits_;
-      } else {
-        ++cache_misses_;
-      }
-    }
   }
   return bag;
 }
 
 util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
+  // One pointer load pins the generation for the whole request: the bag,
+  // the MR vector, and the forward pass all come from `state`, so the
+  // response is consistent with exactly this generation even when a swap
+  // lands mid-request (the old state stays alive until we return).
+  const std::shared_ptr<const ModelState> state = CurrentState();
   const auto start = std::chrono::steady_clock::now();
   bool cache_hit = false;
-  auto bag = BuildBag(query, &cache_hit);
+  auto bag = BuildBag(*state, query, &cache_hit);
   IMR_RETURN_IF_ERROR(bag.status());
 
   Prediction prediction;
-  prediction.probabilities = snapshot_.model->Predict(*bag);
+  prediction.probabilities = state->snapshot.model->Predict(*bag);
   const auto end = std::chrono::steady_clock::now();
   prediction.latency_us = MicrosBetween(start, end);
   prediction.mr_cache_hit = cache_hit;
+  prediction.generation = state->generation;
 
   const int num_relations = static_cast<int>(prediction.probabilities.size());
   const int k = std::min(std::max(options_.top_k, 1), num_relations);
@@ -209,17 +227,19 @@ util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
     const int relation = order[static_cast<size_t>(i)];
     ScoredRelation scored;
     scored.relation = relation;
-    if (static_cast<size_t>(relation) < snapshot_.relation_names.size()) {
-      scored.name = snapshot_.relation_names[static_cast<size_t>(relation)];
+    if (static_cast<size_t>(relation) <
+        state->snapshot.relation_names.size()) {
+      scored.name =
+          state->snapshot.relation_names[static_cast<size_t>(relation)];
     }
     scored.probability =
         prediction.probabilities[static_cast<size_t>(relation)];
     prediction.top.push_back(std::move(scored));
   }
 
+  requests_.fetch_add(1, std::memory_order_relaxed);
   {
     util::MutexLock lock(stats_mutex_);
-    ++requests_;
     latency_sum_us_ += prediction.latency_us;
     latency_max_us_ = std::max(latency_max_us_, prediction.latency_us);
     if (options_.latency_samples > 0) {
@@ -329,10 +349,7 @@ void InferenceEngine::DispatchLoop() {
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(results[i]));
     }
-    {
-      util::MutexLock stats_lock(stats_mutex_);
-      ++batches_;
-    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
     queue_mutex_.Lock();
   }
 }
@@ -340,12 +357,13 @@ void InferenceEngine::DispatchLoop() {
 util::StatusOr<Query> InferenceEngine::MakeQuery(
     const std::string& head_name, const std::string& tail_name,
     std::vector<text::Sentence> sentences) const {
-  const auto head = entity_by_name_.find(head_name);
-  if (head == entity_by_name_.end()) {
+  const std::shared_ptr<const ModelState> state = CurrentState();
+  const auto head = state->entity_by_name.find(head_name);
+  if (head == state->entity_by_name.end()) {
     return util::NotFound("unknown entity '" + head_name + "'");
   }
-  const auto tail = entity_by_name_.find(tail_name);
-  if (tail == entity_by_name_.end()) {
+  const auto tail = state->entity_by_name.find(tail_name);
+  if (tail == state->entity_by_name.end()) {
     return util::NotFound("unknown entity '" + tail_name + "'");
   }
   Query query;
@@ -371,27 +389,40 @@ util::StatusOr<Query> InferenceEngine::MakeQuery(
   return query;
 }
 
-EngineStats InferenceEngine::Stats() const {
+std::vector<double> InferenceEngine::LatencySamples() const {
   util::MutexLock lock(stats_mutex_);
+  return latency_ring_;
+}
+
+EngineStats InferenceEngine::Stats() const {
   EngineStats stats;
-  stats.requests = requests_;
-  stats.batches = batches_;
-  stats.mr_cache_hits = cache_hits_;
-  stats.mr_cache_misses = cache_misses_;
-  if (requests_ > 0) {
-    stats.mean_latency_us = latency_sum_us_ / static_cast<double>(requests_);
-    stats.max_latency_us = latency_max_us_;
-    std::vector<double> sorted = latency_ring_;
-    std::sort(sorted.begin(), sorted.end());
-    stats.p50_latency_us = Percentile(sorted, 0.50);
-    stats.p99_latency_us = Percentile(sorted, 0.99);
-    const double window_s =
-        std::chrono::duration<double>(last_completion_time_ -
-                                      first_request_time_)
-            .count();
-    stats.qps = window_s > 0.0
-                    ? static_cast<double>(requests_) / window_s
-                    : 0.0;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.cache_shards = mr_cache_.ShardStats();
+  for (const CacheShardStats& shard : stats.cache_shards) {
+    stats.mr_cache_hits += shard.hits;
+    stats.mr_cache_misses += shard.misses;
+  }
+  stats.generation = CurrentState()->generation;
+  {
+    util::MutexLock lock(stats_mutex_);
+    if (stats.requests > 0) {
+      stats.mean_latency_us =
+          latency_sum_us_ / static_cast<double>(stats.requests);
+      stats.max_latency_us = latency_max_us_;
+      std::vector<double> sorted = latency_ring_;
+      std::sort(sorted.begin(), sorted.end());
+      stats.p50_latency_us = Percentile(sorted, 0.50);
+      stats.p99_latency_us = Percentile(sorted, 0.99);
+      stats.p999_latency_us = Percentile(sorted, 0.999);
+      const double window_s =
+          std::chrono::duration<double>(last_completion_time_ -
+                                        first_request_time_)
+              .count();
+      stats.qps = window_s > 0.0
+                      ? static_cast<double>(stats.requests) / window_s
+                      : 0.0;
+    }
   }
   const tensor::PoolStatsSnapshot pool = tensor::PoolStats();
   stats.pool_hits = pool.total_hits();

@@ -1,8 +1,8 @@
 // Batched inference serving over a loaded model snapshot — the paper's
-// pipeline with all training machinery stripped away. The engine owns the
-// snapshot (model in eval mode, dropout off, no Rng anywhere on the hot
-// path), featurizes queries exactly as BagDataset did at training time, and
-// offers three calling conventions:
+// pipeline with all training machinery stripped away. The engine serves an
+// immutable ModelState (eval-mode model, dropout off, no Rng anywhere on
+// the hot path), featurizes queries exactly as BagDataset did at training
+// time, and offers three calling conventions:
 //
 //   Predict(query)        synchronous, single request
 //   PredictBatch(queries) one parallel pass over util::ThreadPool
@@ -11,25 +11,35 @@
 //                         max_batch or after batch_delay_us) and executes
 //                         them as one PredictBatch
 //
-// Mutual-relation vectors are served through a per-pair LRU cache: the
-// Zipf-skewed pair popularity the paper measures (Fig. 1(a)) makes a small
-// cache absorb most traffic. Cached and uncached paths are bit-identical
-// (the MR vector is a pure function of the embedding rows), and prediction
-// itself is deterministic at any thread count — each query is scored
-// independently.
+// Hot swap: the serving state is a std::shared_ptr<const ModelState> held
+// in an atomic slot. Every request loads the pointer once and uses only
+// that state, so SwapState()/Reload() replace the model with one atomic
+// store, in-flight requests drain on the generation they started with, and
+// no request ever observes a half-swapped model. See model_state.h for the
+// protocol; ServeRouter (router.h) drives swaps across N replicas.
+//
+// Mutual-relation vectors are served through an entity-pair-SHARDED LRU
+// cache (sharded_cache.h): hash(generation, e1, e2) picks a shard, each
+// shard has its own mutex, so concurrent serving threads no longer
+// serialize on one global cache lock. Cache keys embed the generation, so
+// a swap can never mix one generation's MR vector into another's forward
+// pass. Cached and uncached paths are bit-identical (the MR vector is a
+// pure function of the embedding rows), and prediction itself is
+// deterministic at any thread count — each query is scored independently.
 #ifndef IMR_SERVE_INFERENCE_ENGINE_H_
 #define IMR_SERVE_INFERENCE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
-#include "serve/lru_cache.h"
+#include "serve/model_state.h"
+#include "serve/sharded_cache.h"
 #include "serve/snapshot.h"
 #include "text/sentence.h"
 #include "util/mutex.h"
@@ -48,8 +58,13 @@ struct EngineOptions {
   /// Worker threads for batch execution. 0 uses the process-global pool
   /// (util::GlobalThreads); > 0 gives the engine a private pool.
   int threads = 0;
-  /// Entity-pair mutual-relation cache capacity; 0 disables caching.
+  /// Entity-pair mutual-relation cache capacity (total across shards);
+  /// 0 disables caching.
   size_t mr_cache_capacity = 4096;
+  /// Shards the MR cache is split into (rounded up to a power of two).
+  /// 1 reproduces the old single-mutex cache; more shards scale concurrent
+  /// Get/Put without changing hit behavior.
+  size_t cache_shards = 8;
   /// Ring-buffer size for latency percentile estimates.
   size_t latency_samples = 4096;
   /// Relations returned in Prediction::top.
@@ -84,6 +99,10 @@ struct Prediction {
   std::vector<ScoredRelation> top;   // top_k by probability, descending
   double latency_us = 0.0;           // model forward time for this request
   bool mr_cache_hit = false;
+  /// The snapshot generation that produced this response (1 = the boot
+  /// snapshot). Every field of the response is consistent with exactly
+  /// this generation, even when a hot swap raced the request.
+  uint64_t generation = 0;
 };
 
 struct EngineStats {
@@ -91,13 +110,29 @@ struct EngineStats {
   uint64_t batches = 0;  // micro-batches executed by the dispatcher
   uint64_t mr_cache_hits = 0;
   uint64_t mr_cache_misses = 0;
+  /// Per-shard cache traffic (hits/misses/resident entries), index ==
+  /// shard id. Sums to mr_cache_hits/mr_cache_misses.
+  std::vector<CacheShardStats> cache_shards;
   double mean_latency_us = 0.0;
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
   double max_latency_us = 0.0;
   /// Completed requests divided by the wall time between the first request
   /// and the most recent completion.
   double qps = 0.0;
+  /// Serving generation (increments on every hot swap; 1 = boot snapshot).
+  uint64_t generation = 0;
+  /// Admission-control counters. A bare engine leaves these zero; a
+  /// ServeRouter fills them per replica (and in the aggregate) from its
+  /// admission controller: current/peak queue depth, requests admitted,
+  /// rejected with kUnavailable at the door, and shed after their deadline
+  /// budget expired in queue.
+  uint64_t queue_depth = 0;
+  uint64_t queue_peak = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t shed_deadline = 0;
   /// Tensor buffer-pool traffic, process-wide (tensor::PoolStats()). A
   /// warmed-up engine serves cache-hit predictions with zero new pool
   /// misses, so a rising miss count flags an allocation regression.
@@ -115,6 +150,12 @@ struct EngineStats {
 class InferenceEngine {
  public:
   InferenceEngine(Snapshot snapshot, const EngineOptions& options);
+  /// Serves an already prepared state (quantization and eval mode applied
+  /// by ModelState::Create). ServeRouter uses this to share one immutable
+  /// model across N replicas — replicas exist for lock and queue isolation,
+  /// not for copies of the weights.
+  InferenceEngine(std::shared_ptr<const ModelState> state,
+                  const EngineOptions& options);
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
@@ -143,10 +184,37 @@ class InferenceEngine {
       const std::string& head_name, const std::string& tail_name,
       std::vector<text::Sentence> sentences) const;
 
+  /// Zero-downtime hot swap: loads `snapshot_path` (on the calling thread,
+  /// never a request thread), validates it against the serving generation
+  /// (ModelState::ValidateSwap), and publishes it atomically. In-flight
+  /// requests finish on the old generation; new requests see the new one.
+  [[nodiscard]] util::Status Reload(const std::string& snapshot_path);
+
+  /// Publishes an already prepared state (ServeRouter shares one state
+  /// across its replicas). The caller is responsible for validation.
+  void SwapState(std::shared_ptr<const ModelState> state);
+
+  /// The state serving new requests right now. Holding the returned
+  /// pointer keeps that generation alive across swaps.
+  [[nodiscard]] std::shared_ptr<const ModelState> CurrentState() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  uint64_t generation() const { return CurrentState()->generation; }
+
   EngineStats Stats() const IMR_EXCLUDES(stats_mutex_);
-  const Snapshot& snapshot() const { return snapshot_; }
+
+  /// Raw latency ring contents (unordered); ServeRouter merges these
+  /// across replicas for aggregate percentiles.
+  std::vector<double> LatencySamples() const IMR_EXCLUDES(stats_mutex_);
+
+  /// The serving snapshot. The reference stays valid until the next
+  /// swap — callers that might race a Reload must hold CurrentState()
+  /// instead.
+  const Snapshot& snapshot() const { return CurrentState()->snapshot; }
   int num_relations() const {
-    return snapshot_.manifest.model_config.num_relations;
+    return CurrentState()
+        ->snapshot.manifest.model_config.num_relations;
   }
 
  private:
@@ -155,27 +223,42 @@ class InferenceEngine {
     std::promise<util::StatusOr<Prediction>> promise;
   };
 
-  util::StatusOr<re::Bag> BuildBag(const Query& query, bool* cache_hit)
-      IMR_EXCLUDES(cache_mutex_, stats_mutex_);
+  /// Cache keys embed the generation so a hot swap can never serve one
+  /// generation's MR vector with another's model weights.
+  struct MrCacheKey {
+    uint64_t generation = 0;
+    uint64_t pair = 0;
+    bool operator==(const MrCacheKey&) const = default;
+  };
+  struct MrCacheKeyHash {
+    size_t operator()(const MrCacheKey& key) const {
+      uint64_t h = key.pair + 0x9e3779b97f4a7c15ULL * (key.generation + 1);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  util::StatusOr<re::Bag> BuildBag(const ModelState& state,
+                                   const Query& query, bool* cache_hit);
   util::StatusOr<Prediction> PredictOne(const Query& query)
-      IMR_EXCLUDES(cache_mutex_, stats_mutex_);
+      IMR_EXCLUDES(stats_mutex_);
   util::ThreadPool& pool();
   void EnsureDispatcherLocked() IMR_REQUIRES(queue_mutex_);
   void DispatchLoop() IMR_EXCLUDES(queue_mutex_, stats_mutex_);
 
-  Snapshot snapshot_;
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> own_pool_;  // only when options_.threads > 0
-  std::unordered_map<std::string, int64_t> entity_by_name_;
+  /// The RCU slot. libstdc++'s std::atomic<shared_ptr> serializes the
+  /// pointer swap internally; request threads pay one acquire load.
+  std::atomic<std::shared_ptr<const ModelState>> state_;
 
-  mutable util::Mutex cache_mutex_;
-  LruCache<uint64_t, std::vector<float>> mr_cache_ IMR_GUARDED_BY(cache_mutex_);
+  ShardedLruCache<MrCacheKey, std::vector<float>, MrCacheKeyHash> mr_cache_;
 
-  mutable util::Mutex stats_mutex_;
-  uint64_t requests_ IMR_GUARDED_BY(stats_mutex_) = 0;
-  uint64_t batches_ IMR_GUARDED_BY(stats_mutex_) = 0;
-  uint64_t cache_hits_ IMR_GUARDED_BY(stats_mutex_) = 0;
-  uint64_t cache_misses_ IMR_GUARDED_BY(stats_mutex_) = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  mutable util::Mutex stats_mutex_;  // latency ring + qps window only
   double latency_sum_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;
   double latency_max_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;
   std::vector<double> latency_ring_ IMR_GUARDED_BY(stats_mutex_);

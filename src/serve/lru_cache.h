@@ -18,7 +18,7 @@
 
 namespace imr::serve {
 
-template <typename Key, typename Value>
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class LruCache {
  public:
   /// capacity 0 disables the cache entirely (every Get misses, Put drops).
@@ -63,7 +63,8 @@ class LruCache {
  private:
   size_t capacity_;
   std::list<std::pair<Key, Value>> entries_;  // front = most recent
-  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+  std::unordered_map<Key,
+                     typename std::list<std::pair<Key, Value>>::iterator, Hash>
       index_;
 };
 

@@ -1,0 +1,256 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace imr::serve {
+
+namespace {
+
+/// Percentile of a sorted sample set (nearest-rank); matches the engine's
+/// per-replica estimator so aggregate and replica numbers are comparable.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank =
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ServeRouter::ServeRouter(std::shared_ptr<const ModelState> state,
+                         const RouterOptions& options)
+    : options_(options),
+      admission_(std::max(1, options.replicas), options.admission) {
+  IMR_CHECK(state != nullptr);
+  options_.replicas = std::max(1, options_.replicas);
+  options_.workers_per_replica = std::max(1, options_.workers_per_replica);
+  generation_.store(state->generation, std::memory_order_release);
+  const size_t replicas = static_cast<size_t>(options_.replicas);
+  engines_.reserve(replicas);
+  queues_.reserve(replicas);
+  for (size_t r = 0; r < replicas; ++r) {
+    engines_.push_back(
+        std::make_unique<InferenceEngine>(state, options_.engine));
+    queues_.push_back(std::make_unique<ReplicaQueue>());
+  }
+  workers_.reserve(replicas *
+                   static_cast<size_t>(options_.workers_per_replica));
+  for (int r = 0; r < options_.replicas; ++r) {
+    for (int w = 0; w < options_.workers_per_replica; ++w) {
+      workers_.emplace_back([this, r] { WorkerLoop(r); });
+    }
+  }
+}
+
+ServeRouter::~ServeRouter() {
+  for (auto& queue : queues_) {
+    {
+      util::MutexLock lock(queue->mutex);
+      queue->stop = true;
+    }
+    queue->cv.NotifyAll();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+util::StatusOr<std::unique_ptr<ServeRouter>> ServeRouter::Open(
+    const std::string& snapshot_path, const RouterOptions& options) {
+  auto snapshot = LoadSnapshot(snapshot_path);
+  IMR_RETURN_IF_ERROR(snapshot.status());
+  auto state = ModelState::Create(std::move(*snapshot),
+                                  options.engine.quantized, /*generation=*/1);
+  IMR_RETURN_IF_ERROR(state.status());
+  return std::make_unique<ServeRouter>(std::move(*state), options);
+}
+
+std::future<util::StatusOr<Prediction>> ServeRouter::Enqueue(Query query) {
+  auto admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    // Rejected at the door: resolve immediately, never touch a queue.
+    std::promise<util::StatusOr<Prediction>> rejected;
+    std::future<util::StatusOr<Prediction>> future = rejected.get_future();
+    rejected.set_value(admitted.status());
+    return future;
+  }
+  ReplicaQueue& queue = *queues_[static_cast<size_t>(*admitted)];
+  std::future<util::StatusOr<Prediction>> future;
+  {
+    util::MutexLock lock(queue.mutex);
+    IMR_CHECK(!queue.stop);
+    queue.pending.push_back(PendingRequest{
+        std::move(query), {}, std::chrono::steady_clock::now()});
+    future = queue.pending.back().promise.get_future();
+  }
+  queue.cv.NotifyOne();
+  return future;
+}
+
+util::StatusOr<Prediction> ServeRouter::Predict(const Query& query) {
+  return Enqueue(query).get();
+}
+
+std::vector<util::StatusOr<Prediction>> ServeRouter::PredictBatch(
+    const std::vector<Query>& queries) {
+  std::vector<std::future<util::StatusOr<Prediction>>> futures;
+  futures.reserve(queries.size());
+  for (const Query& query : queries) futures.push_back(Enqueue(query));
+  std::vector<util::StatusOr<Prediction>> results;
+  results.reserve(queries.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+std::future<util::StatusOr<Prediction>> ServeRouter::SubmitAsync(Query query) {
+  return Enqueue(std::move(query));
+}
+
+util::StatusOr<Query> ServeRouter::MakeQuery(
+    const std::string& head_name, const std::string& tail_name,
+    std::vector<text::Sentence> sentences) const {
+  return engines_.front()->MakeQuery(head_name, tail_name,
+                                     std::move(sentences));
+}
+
+void ServeRouter::WorkerLoop(int replica_index) {
+  ReplicaQueue& queue = *queues_[static_cast<size_t>(replica_index)];
+  InferenceEngine& engine = *engines_[static_cast<size_t>(replica_index)];
+  while (true) {
+    PendingRequest request;
+    {
+      util::MutexLock lock(queue.mutex);
+      while (!queue.stop && queue.pending.empty()) queue.cv.Wait(queue.mutex);
+      if (queue.pending.empty()) return;  // stop requested and fully drained
+      request = std::move(queue.pending.front());
+      queue.pending.pop_front();
+    }
+    admission_.OnDequeue(replica_index);
+    if (admission_.ExpiredInQueue(request.enqueue_time)) {
+      const double waited_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - request.enqueue_time)
+              .count();
+      request.promise.set_value(admission_.Shed(replica_index, waited_us));
+      continue;
+    }
+    // The slot bounds concurrent forwards across ALL replicas: queue wait
+    // happens here (outside the forward) instead of inside it as
+    // scheduler time-slicing.
+    admission_.AcquireSlot();
+    util::StatusOr<Prediction> result = engine.Predict(request.query);
+    admission_.ReleaseSlot();
+    if (result.ok()) admission_.OnComplete(result->latency_us);
+    request.promise.set_value(std::move(result));
+  }
+}
+
+util::Status ServeRouter::Reload(const std::string& snapshot_path) {
+  util::MutexLock lock(reload_mutex_);
+  // Load + prepare once on this thread; request traffic keeps flowing on
+  // the current generation the whole time.
+  auto snapshot = LoadSnapshot(snapshot_path);
+  if (!snapshot.ok()) {
+    last_reload_error_ = snapshot.status().message();
+    return snapshot.status();
+  }
+  const uint64_t next_generation =
+      generation_.load(std::memory_order_acquire) + 1;
+  auto next = ModelState::Create(std::move(*snapshot),
+                                 options_.engine.quantized, next_generation);
+  if (!next.ok()) {
+    last_reload_error_ = next.status().message();
+    return next.status();
+  }
+  const std::shared_ptr<const ModelState> current =
+      engines_.front()->CurrentState();
+  if (util::Status valid = ModelState::ValidateSwap(*current, **next);
+      !valid.ok()) {
+    last_reload_error_ = valid.message();
+    return valid;
+  }
+  // Publish: one atomic store per replica. In-flight requests drain on the
+  // generation they pinned; the old state frees when the last one returns.
+  for (auto& engine : engines_) engine->SwapState(*next);
+  generation_.store(next_generation, std::memory_order_release);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  last_reload_error_.clear();
+  return util::OkStatus();
+}
+
+RouterStats ServeRouter::Stats() const {
+  RouterStats stats;
+  stats.generation = generation_.load(std::memory_order_acquire);
+  stats.reloads = reloads_.load(std::memory_order_relaxed);
+  {
+    util::MutexLock lock(reload_mutex_);
+    stats.last_reload_error = last_reload_error_;
+  }
+  stats.replicas.reserve(engines_.size());
+  EngineStats& total = stats.aggregate;
+  std::vector<double> merged_samples;
+  double latency_weighted_sum = 0.0;
+  for (size_t r = 0; r < engines_.size(); ++r) {
+    EngineStats replica = engines_[r]->Stats();
+    const AdmissionCounters admission =
+        admission_.Counters(static_cast<int>(r));
+    replica.queue_depth = admission.queue_depth;
+    replica.queue_peak = admission.queue_peak;
+    replica.admitted = admission.admitted;
+    replica.rejected_queue_full = admission.rejected_queue_full;
+    replica.shed_deadline = admission.shed_deadline;
+
+    total.requests += replica.requests;
+    total.batches += replica.batches;
+    total.mr_cache_hits += replica.mr_cache_hits;
+    total.mr_cache_misses += replica.mr_cache_misses;
+    if (total.cache_shards.size() < replica.cache_shards.size()) {
+      total.cache_shards.resize(replica.cache_shards.size());
+    }
+    for (size_t s = 0; s < replica.cache_shards.size(); ++s) {
+      total.cache_shards[s].hits += replica.cache_shards[s].hits;
+      total.cache_shards[s].misses += replica.cache_shards[s].misses;
+      total.cache_shards[s].size += replica.cache_shards[s].size;
+    }
+    latency_weighted_sum +=
+        replica.mean_latency_us * static_cast<double>(replica.requests);
+    total.max_latency_us =
+        std::max(total.max_latency_us, replica.max_latency_us);
+    // Replica windows overlap under concurrent load, so summing per-replica
+    // qps approximates the router's throughput.
+    total.qps += replica.qps;
+
+    const std::vector<double> samples = engines_[r]->LatencySamples();
+    merged_samples.insert(merged_samples.end(), samples.begin(),
+                          samples.end());
+    stats.replicas.push_back(std::move(replica));
+  }
+  if (total.requests > 0) {
+    total.mean_latency_us =
+        latency_weighted_sum / static_cast<double>(total.requests);
+  }
+  std::sort(merged_samples.begin(), merged_samples.end());
+  total.p50_latency_us = Percentile(merged_samples, 0.50);
+  total.p99_latency_us = Percentile(merged_samples, 0.99);
+  total.p999_latency_us = Percentile(merged_samples, 0.999);
+  total.generation = stats.generation;
+  const AdmissionCounters admission = admission_.TotalCounters();
+  total.queue_depth = admission.queue_depth;
+  total.queue_peak = admission.queue_peak;
+  total.admitted = admission.admitted;
+  total.rejected_queue_full = admission.rejected_queue_full;
+  total.shed_deadline = admission.shed_deadline;
+  if (!stats.replicas.empty()) {
+    // Process-wide counters: copy once, never sum.
+    total.pool_hits = stats.replicas.front().pool_hits;
+    total.pool_misses = stats.replicas.front().pool_misses;
+    total.sparse_rows_touched = stats.replicas.front().sparse_rows_touched;
+    total.sparse_rows_total = stats.replicas.front().sparse_rows_total;
+    total.sparse_dense_fallbacks =
+        stats.replicas.front().sparse_dense_fallbacks;
+  }
+  return stats;
+}
+
+}  // namespace imr::serve

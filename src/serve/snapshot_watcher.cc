@@ -1,0 +1,119 @@
+#include "serve/snapshot_watcher.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace imr::serve {
+
+SnapshotWatcher::SnapshotWatcher(std::string path, ReloadFn reload,
+                                 const WatcherOptions& options)
+    : path_(std::move(path)), reload_(std::move(reload)), options_(options) {
+  IMR_CHECK(reload_ != nullptr);
+  util::MutexLock lock(mutex_);
+  // The file as it exists now is the generation already being served;
+  // only changes from here trigger reloads.
+  loaded_ = Stat(path_);
+}
+
+SnapshotWatcher::~SnapshotWatcher() { Stop(); }
+
+SnapshotWatcher::Signature SnapshotWatcher::Stat(const std::string& path) {
+  Signature signature;
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return signature;  // absent: size -1
+  signature.size = static_cast<int64_t>(st.st_size);
+  signature.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                       static_cast<int64_t>(st.st_mtim.tv_nsec);
+  return signature;
+}
+
+void SnapshotWatcher::Start() {
+  util::MutexLock lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { PollLoop(); });
+}
+
+void SnapshotWatcher::Stop() {
+  {
+    util::MutexLock lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.NotifyAll();
+  thread_.join();
+  util::MutexLock lock(mutex_);
+  running_ = false;
+}
+
+void SnapshotWatcher::PollLoop() {
+  while (true) {
+    {
+      util::MutexLock lock(mutex_);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(std::max(1, options_.poll_interval_ms));
+      while (!stop_) {
+        if (!stop_cv_.WaitUntil(mutex_, deadline)) break;  // poll time
+      }
+      if (stop_) return;
+    }
+    PollStep();
+  }
+}
+
+bool SnapshotWatcher::CheckNow() { return PollStep(); }
+
+bool SnapshotWatcher::PollStep() {
+  const Signature now = Stat(path_);
+  {
+    util::MutexLock lock(mutex_);
+    ++stats_.polls;
+    if (now.size < 0 || now == loaded_) {
+      has_candidate_ = false;  // nothing new (or file vanished): re-arm
+      return false;
+    }
+    if (!has_candidate_ || !(candidate_ == now)) {
+      // First sighting of this signature — require one more poll with the
+      // identical mtime+size before trusting it (writer may be mid-flush).
+      candidate_ = now;
+      has_candidate_ = true;
+      return false;
+    }
+    ++stats_.reloads_attempted;
+    has_candidate_ = false;
+  }
+  // The reload (file read + validation + swap) runs unlocked.
+  const util::Status status = reload_(path_);
+  util::MutexLock lock(mutex_);
+  // Either way this signature is consumed: a corrupt file is not retried
+  // every poll (that would re-read it forever) — replacing it changes the
+  // signature and re-triggers.
+  loaded_ = now;
+  if (status.ok()) {
+    ++stats_.reloads_succeeded;
+    last_error_.clear();
+  } else {
+    ++stats_.reloads_failed;
+    last_error_ = status.message();
+  }
+  return true;
+}
+
+WatcherStats SnapshotWatcher::Stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::string SnapshotWatcher::last_error() const {
+  util::MutexLock lock(mutex_);
+  return last_error_;
+}
+
+}  // namespace imr::serve

@@ -1,0 +1,104 @@
+// Watches a snapshot path for new IMRS generations and drives a reload
+// callback (typically ServeRouter::Reload) when the file settles. Polling
+// is mtime+size based — no inotify dependency — with a two-poll stability
+// requirement so a snapshot still being written (trainer mid-Save) is
+// never loaded half-flushed: a change is acted on only after two
+// consecutive polls observe the SAME new signature.
+//
+// A failed reload (corrupt file, ValidateSwap refusal) is counted and
+// recorded in last_error(); the old generation keeps serving and the
+// watcher re-arms, so dropping a fixed snapshot at the same path later
+// still rolls out.
+#ifndef IMR_SERVE_SNAPSHOT_WATCHER_H_
+#define IMR_SERVE_SNAPSHOT_WATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace imr::serve {
+
+struct WatcherOptions {
+  /// Poll cadence for the background thread (Start()). CheckNow() ignores
+  /// this and evaluates one poll synchronously.
+  int poll_interval_ms = 500;
+};
+
+struct WatcherStats {
+  uint64_t polls = 0;
+  uint64_t reloads_attempted = 0;
+  uint64_t reloads_succeeded = 0;
+  uint64_t reloads_failed = 0;
+};
+
+class SnapshotWatcher {
+ public:
+  using ReloadFn = std::function<util::Status(const std::string& path)>;
+
+  /// `reload` is invoked (on the watcher thread, or the CheckNow caller)
+  /// each time the watched file settles at a new signature. The initial
+  /// signature is taken from the file as it exists now, so the generation
+  /// already being served is not re-loaded.
+  SnapshotWatcher(std::string path, ReloadFn reload,
+                  const WatcherOptions& options = {});
+  ~SnapshotWatcher();
+
+  SnapshotWatcher(const SnapshotWatcher&) = delete;
+  SnapshotWatcher& operator=(const SnapshotWatcher&) = delete;
+
+  /// Starts the background polling thread. Idempotent.
+  void Start() IMR_EXCLUDES(mutex_);
+
+  /// Stops and joins the polling thread. Called by the destructor.
+  void Stop() IMR_EXCLUDES(mutex_);
+
+  /// Runs one poll step synchronously on the calling thread — the
+  /// deterministic path for tests and for single-shot "reload if changed"
+  /// checks. Returns true if a reload was attempted (look at stats /
+  /// last_error for the outcome).
+  bool CheckNow() IMR_EXCLUDES(mutex_);
+
+  [[nodiscard]] WatcherStats Stats() const IMR_EXCLUDES(mutex_);
+  /// Message of the most recent failed reload; empty after a success.
+  [[nodiscard]] std::string last_error() const IMR_EXCLUDES(mutex_);
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Signature {
+    int64_t mtime_ns = 0;
+    int64_t size = -1;  // -1: file absent
+    bool operator==(const Signature&) const = default;
+  };
+
+  static Signature Stat(const std::string& path);
+  void PollLoop() IMR_EXCLUDES(mutex_);
+  /// One poll step: stat + stability bookkeeping + (maybe) reload. File
+  /// I/O and the reload callback run with mutex_ released — the lock only
+  /// covers bookkeeping, so Stats() never blocks behind a snapshot load.
+  bool PollStep() IMR_EXCLUDES(mutex_);
+
+  const std::string path_;
+  const ReloadFn reload_;
+  const WatcherOptions options_;
+
+  mutable util::Mutex mutex_;
+  util::CondVar stop_cv_;
+  bool running_ IMR_GUARDED_BY(mutex_) = false;
+  bool stop_ IMR_GUARDED_BY(mutex_) = false;
+  Signature loaded_ IMR_GUARDED_BY(mutex_);     // signature last reloaded (or boot)
+  Signature candidate_ IMR_GUARDED_BY(mutex_);  // new signature awaiting stability
+  bool has_candidate_ IMR_GUARDED_BY(mutex_) = false;
+  WatcherStats stats_ IMR_GUARDED_BY(mutex_);
+  std::string last_error_ IMR_GUARDED_BY(mutex_);
+  // Written under mutex_ in Start(), joined unlocked in Stop().
+  std::thread thread_;
+};
+
+}  // namespace imr::serve
+
+#endif  // IMR_SERVE_SNAPSHOT_WATCHER_H_

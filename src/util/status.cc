@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -55,6 +57,9 @@ Status Unimplemented(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace imr::util

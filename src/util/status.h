@@ -20,6 +20,10 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIoError = 7,
+  /// The operation was refused by admission control (queue full, deadline
+  /// budget exhausted); retrying later may succeed. The serve tier uses
+  /// this for backpressure — the message carries a retry-after hint.
+  kUnavailable = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -64,6 +68,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 [[nodiscard]] Status Internal(std::string message);
 [[nodiscard]] Status Unimplemented(std::string message);
 [[nodiscard]] Status IoError(std::string message);
+[[nodiscard]] Status Unavailable(std::string message);
 
 /// Either a value of type T or an error Status. Dereferencing a non-OK
 /// StatusOr is a programming error (asserts in debug builds). [[nodiscard]]

@@ -344,11 +344,98 @@ TEST(LintTest, RawIntrinsicsHonorsAllowEscape) {
   EXPECT_TRUE(LintSource("src/util/spin.cc", source).empty());
 }
 
+TEST(LintTest, BlockingUnderShardLockFiresOnCondVarWait) {
+  const std::string source = R"cc(
+void Bad(Shard& shard) {
+  util::MutexLock lock(shard.mutex);
+  while (empty()) shard.cv.Wait(shard.mutex);
+}
+)cc";
+  const auto findings = LintSource("src/serve/bad_cache.cc", source);
+  ASSERT_EQ(Rules(findings),
+            std::vector<std::string>{"blocking-under-shard-lock"});
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, BlockingUnderShardLockFiresOnFileIoAndSnapshotLoad) {
+  const std::string source = R"cc(
+void Bad(Shard& shard, const std::string& path) {
+  util::MutexLock lock(shard.mutex);
+  std::ifstream in(path);
+  auto snapshot = LoadSnapshot(path);
+}
+)cc";
+  const auto findings = LintSource("src/serve/bad_reload.cc", source);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "blocking-under-shard-lock");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].rule, "blocking-under-shard-lock");
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(LintTest, BlockingUnderShardLockTracksManualLockPairs) {
+  // Blocking after Unlock (or outside the lock scope) is fine; between
+  // Lock and Unlock it is not.
+  const std::string source = R"cc(
+void Mixed(Shard& shard) {
+  shard.mutex.Lock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  shard.mutex.Unlock();
+  std::ifstream in("ok_now.txt");
+}
+void ScopedOk(Shard& shard, const std::string& path) {
+  {
+    util::MutexLock lock(shard.mutex);
+    touch(shard);
+  }
+  auto snapshot = LoadSnapshot(path);
+}
+)cc";
+  const auto findings = LintSource("src/serve/manual_lock.cc", source);
+  ASSERT_EQ(Rules(findings),
+            std::vector<std::string>{"blocking-under-shard-lock"});
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, BlockingUnderShardLockIgnoresOtherMutexes) {
+  // Non-shard locks (dispatcher queue, stats ring) may block — the rule
+  // is about the cache-shard leaf locks only.
+  const std::string source = R"cc(
+void Dispatcher() {
+  util::MutexLock lock(queue_mutex_);
+  while (queue_.empty()) queue_cv_.Wait(queue_mutex_);
+}
+)cc";
+  EXPECT_TRUE(LintSource("src/serve/dispatch.cc", source).empty());
+}
+
+TEST(LintTest, BlockingUnderShardLockOnlyAppliesToServe) {
+  const std::string source = R"cc(
+void Elsewhere(Shard& shard) {
+  util::MutexLock lock(shard.mutex);
+  std::ifstream in("fine_outside_serve.txt");
+}
+)cc";
+  EXPECT_TRUE(LintSource("src/graph/shards.cc", source).empty());
+}
+
+TEST(LintTest, BlockingUnderShardLockHonorsAllowEscape) {
+  const std::string source = R"cc(
+void Justified(Shard& shard) {
+  util::MutexLock lock(shard.mutex);
+  // imr-lint: allow(blocking-under-shard-lock)
+  std::ifstream in("cold_path_by_design.txt");
+}
+)cc";
+  EXPECT_TRUE(LintSource("src/serve/cold.cc", source).empty());
+}
+
 TEST(LintTest, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
       "no-raw-random", "no-naked-new", "no-throw",
       "no-iostream",   "mutex-guard",  "include-hygiene",
-      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics"};
+      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics",
+      "blocking-under-shard-lock"};
   EXPECT_EQ(RuleIds(), expected);
 }
 

@@ -3,11 +3,14 @@
 // determinism across caching, thread counts, and the async micro-batcher.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/presets.h"
@@ -17,10 +20,15 @@
 #include "re/bag_dataset.h"
 #include "re/pa_model.h"
 #include "re/trainer.h"
+#include "serve/admission.h"
 #include "serve/inference_engine.h"
 #include "serve/lru_cache.h"
+#include "serve/router.h"
+#include "serve/sharded_cache.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_watcher.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace imr {
@@ -82,6 +90,23 @@ struct ServeFixture {
                                   /*trained_steps=*/8, "serve_test",
                                   snapshot_path)
                   .ok());
+
+    // Generation B for hot-swap tests: the same trained model over
+    // embeddings retrained with a different seed — bit-different MR
+    // vectors, so the two generations give bit-different predictions.
+    // Saved WITH a QEMB section so a swap can also flip the quantized
+    // serving path onto a file-supplied int8 store.
+    graph::LineConfig line_b = line;
+    line_b.seed = 41;
+    embeddings_b = graph::TrainLine(proximity, line_b);
+    const auto quantized_b =
+        graph::QuantizedEmbeddingStore::Quantize(embeddings_b);
+    snapshot_b_path = testing::TempDir() + "/imr_serve_test_b.imrs";
+    IMR_CHECK(serve::SaveSnapshot(*model, bags->vocabulary(), embeddings_b,
+                                  dataset->world.graph, bag_options,
+                                  /*trained_steps=*/9, "serve_test_b",
+                                  snapshot_b_path, &quantized_b)
+                  .ok());
   }
 
   /// Sentences of the held-out corpus mentioning the bag's entity pair.
@@ -118,8 +143,10 @@ struct ServeFixture {
   std::unique_ptr<re::BagDataset> bags;
   re::BagDatasetOptions bag_options;
   graph::EmbeddingStore embeddings;
+  graph::EmbeddingStore embeddings_b;
   std::unique_ptr<re::PaModel> model;
   std::string snapshot_path;
+  std::string snapshot_b_path;
 };
 
 ServeFixture& Shared() {
@@ -580,6 +607,604 @@ TEST(QuantizedEngineTest, QuantizedServingAgreesWithFp32) {
   // small sample demand exact agreement and a tight score delta.
   EXPECT_EQ(top1_agreements, static_cast<int>(queries.size()));
   EXPECT_LT(max_delta, 0.05f);
+}
+
+// ---- sharded cache ---------------------------------------------------------
+
+TEST(ShardedCacheTest, SingleShardReproducesLruBehavior) {
+  serve::ShardedLruCache<int, int> cache(2, 1);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Get(1).value(), 10);  // 1 becomes most-recent
+  cache.Put(3, 30);                     // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1).value(), 10);
+  EXPECT_EQ(cache.Get(3).value(), 30);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedCacheTest, RoundsShardCountToPowerOfTwo) {
+  serve::ShardedLruCache<int, int> cache(64, 5);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  serve::ShardedLruCache<int, int> one(64, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(ShardedCacheTest, CountsHitsAndMissesPerShard) {
+  serve::ShardedLruCache<int, int> cache(256, 4);
+  for (int k = 0; k < 64; ++k) cache.Put(k, k * 2);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(cache.Get(k).value(), k * 2);
+  for (int k = 100; k < 110; ++k) EXPECT_FALSE(cache.Get(k).has_value());
+  EXPECT_EQ(cache.TotalHits(), 64u);
+  EXPECT_EQ(cache.TotalMisses(), 10u);
+  const std::vector<serve::CacheShardStats> shards = cache.ShardStats();
+  ASSERT_EQ(shards.size(), 4u);
+  uint64_t hits = 0, misses = 0, resident = 0;
+  for (const serve::CacheShardStats& shard : shards) {
+    hits += shard.hits;
+    misses += shard.misses;
+    resident += shard.size;
+  }
+  EXPECT_EQ(hits, 64u);
+  EXPECT_EQ(misses, 10u);
+  EXPECT_EQ(resident, cache.size());
+  EXPECT_EQ(resident, 64u);
+}
+
+TEST(ShardedCacheTest, SpreadsKeysAcrossShards) {
+  // std::hash<int> is the identity on libstdc++; the shard picker must
+  // still spread sequential keys instead of piling them on shard 0.
+  serve::ShardedLruCache<int, int> cache(1024, 8);
+  for (int k = 0; k < 256; ++k) cache.Put(k, k);
+  size_t populated = 0;
+  for (const serve::CacheShardStats& shard : cache.ShardStats()) {
+    if (shard.size > 0) ++populated;
+  }
+  EXPECT_GE(populated, 6u);
+}
+
+TEST(ShardedCacheTest, ClearEmptiesEveryShard) {
+  serve::ShardedLruCache<int, int> cache(256, 4);
+  for (int k = 0; k < 32; ++k) cache.Put(k, k);
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  for (int k = 0; k < 32; ++k) EXPECT_FALSE(cache.Get(k).has_value());
+}
+
+TEST(EngineShardingTest, ShardCountsAreBitIdentical) {
+  ServeFixture& f = Shared();
+  serve::EngineOptions one_shard;
+  one_shard.cache_shards = 1;
+  serve::EngineOptions many_shards;
+  many_shards.cache_shards = 16;
+  auto engine_one = serve::InferenceEngine::Open(f.snapshot_path, one_shard);
+  auto engine_many =
+      serve::InferenceEngine::Open(f.snapshot_path, many_shards);
+  ASSERT_TRUE(engine_one.ok());
+  ASSERT_TRUE(engine_many.ok());
+
+  std::vector<serve::Query> queries = f.SampleQueries(10);
+  std::vector<serve::Query> stream;
+  for (int repeat = 0; repeat < 3; ++repeat)
+    stream.insert(stream.end(), queries.begin(), queries.end());
+  auto results_one = (*engine_one)->PredictBatch(stream);
+  auto results_many = (*engine_many)->PredictBatch(stream);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(results_one[i].ok());
+    ASSERT_TRUE(results_many[i].ok());
+    EXPECT_EQ(results_one[i]->probabilities, results_many[i]->probabilities);
+  }
+  // Hit behavior is shard-count independent: same pairs, same repeats.
+  const serve::EngineStats one_stats = (*engine_one)->Stats();
+  const serve::EngineStats many_stats = (*engine_many)->Stats();
+  EXPECT_EQ(one_stats.mr_cache_hits, many_stats.mr_cache_hits);
+  EXPECT_EQ(one_stats.cache_shards.size(), 1u);
+  EXPECT_EQ(many_stats.cache_shards.size(), 16u);
+}
+
+// ---- admission control -----------------------------------------------------
+
+TEST(AdmissionTest, RejectsWithRetryAfterWhenQueuesFill) {
+  serve::AdmissionOptions options;
+  options.max_queue = 2;
+  serve::AdmissionController admission(/*replicas=*/2, options);
+  // Four admits with no dequeues saturate both replicas (2 each)...
+  for (int i = 0; i < 4; ++i) {
+    auto replica = admission.Admit();
+    ASSERT_TRUE(replica.ok()) << i;
+  }
+  // ...the fifth finds every queue full.
+  auto rejected = admission.Admit();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("retry"), std::string::npos);
+  const serve::AdmissionCounters totals = admission.TotalCounters();
+  EXPECT_EQ(totals.admitted, 4u);
+  EXPECT_EQ(totals.rejected_queue_full, 1u);
+  EXPECT_EQ(totals.queue_depth, 4u);
+  EXPECT_EQ(totals.queue_peak, 2u);  // per-replica peak
+  // Draining a queue reopens the door.
+  admission.OnDequeue(0);
+  EXPECT_TRUE(admission.Admit().ok());
+}
+
+TEST(AdmissionTest, PicksLeastLoadedReplica) {
+  serve::AdmissionController admission(/*replicas=*/2, {});
+  auto first = admission.Admit();
+  auto second = admission.Admit();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // With equal depth the rotating start point spreads consecutive admits.
+  EXPECT_NE(*first, *second);
+  // Load one replica; the next admits must all land on the other.
+  for (int i = 0; i < 3; ++i) {
+    auto replica = admission.Admit();
+    ASSERT_TRUE(replica.ok());
+  }
+  const serve::AdmissionCounters replica0 = admission.Counters(0);
+  const serve::AdmissionCounters replica1 = admission.Counters(1);
+  EXPECT_LE(replica0.queue_depth > replica1.queue_depth
+                ? replica0.queue_depth - replica1.queue_depth
+                : replica1.queue_depth - replica0.queue_depth,
+            1u);
+}
+
+TEST(AdmissionTest, DeadlineExpiryAndShedding) {
+  serve::AdmissionOptions options;
+  options.deadline_us = 1000;
+  serve::AdmissionController admission(/*replicas=*/1, options);
+  const auto now = std::chrono::steady_clock::now();
+  EXPECT_FALSE(admission.ExpiredInQueue(now));
+  EXPECT_TRUE(admission.ExpiredInQueue(now - std::chrono::milliseconds(10)));
+  util::Status shed = admission.Shed(0, /*waited_us=*/10000.0);
+  EXPECT_EQ(shed.code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(shed.message().find("shed"), std::string::npos);
+  EXPECT_EQ(admission.Counters(0).shed_deadline, 1u);
+
+  serve::AdmissionController no_deadline(/*replicas=*/1, {});
+  EXPECT_FALSE(no_deadline.ExpiredInQueue(
+      now - std::chrono::milliseconds(10)));  // 0 disables shedding
+}
+
+TEST(AdmissionTest, ExecutionSlotsBoundConcurrency) {
+  serve::AdmissionOptions options;
+  options.max_concurrent = 1;
+  serve::AdmissionController admission(/*replicas=*/1, options);
+  EXPECT_EQ(admission.max_concurrent(), 1);
+  admission.AcquireSlot();  // take the only slot
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    admission.AcquireSlot();
+    acquired.store(true);
+    admission.ReleaseSlot();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());  // blocked behind the held slot
+  admission.ReleaseSlot();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+// ---- serve router ----------------------------------------------------------
+
+TEST(RouterTest, MatchesBareEngineBitExactly) {
+  ServeFixture& f = Shared();
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  options.engine.cache_shards = 4;
+  auto router = serve::ServeRouter::Open(f.snapshot_path, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  auto reference = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<serve::Query> queries = f.SampleQueries(10);
+  std::vector<serve::Query> stream;
+  for (int repeat = 0; repeat < 2; ++repeat)
+    stream.insert(stream.end(), queries.begin(), queries.end());
+  auto results = (*router)->PredictBatch(stream);
+  ASSERT_EQ(results.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    auto expected = (*reference)->Predict(stream[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(results[i]->probabilities, expected->probabilities);
+    EXPECT_EQ(results[i]->generation, 1u);
+  }
+
+  const serve::RouterStats stats = (*router)->Stats();
+  EXPECT_EQ(stats.aggregate.requests, stream.size());
+  EXPECT_EQ(stats.aggregate.admitted, stream.size());
+  EXPECT_EQ(stats.aggregate.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.aggregate.shed_deadline, 0u);
+  EXPECT_EQ(stats.generation, 1u);
+  ASSERT_EQ(stats.replicas.size(), 2u);
+  EXPECT_EQ(stats.replicas[0].requests + stats.replicas[1].requests,
+            stream.size());
+  // Both replicas actually served traffic (least-depth spread).
+  EXPECT_GT(stats.replicas[0].requests, 0u);
+  EXPECT_GT(stats.replicas[1].requests, 0u);
+}
+
+TEST(RouterTest, SyncAsyncAndInvalidQueriesFlowThrough) {
+  ServeFixture& f = Shared();
+  auto router = serve::ServeRouter::Open(f.snapshot_path);
+  ASSERT_TRUE(router.ok());
+  std::vector<serve::Query> queries = f.SampleQueries(4);
+
+  auto sync = (*router)->Predict(queries[0]);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  auto future = (*router)->SubmitAsync(queries[1]);
+  auto async = future.get();
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+
+  serve::Query invalid = queries[0];
+  invalid.tail = -2;
+  auto bad = (*router)->Predict(invalid);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RouterTest, BackpressureRejectsUnderOverload) {
+  ServeFixture& f = Shared();
+  serve::RouterOptions options;
+  options.replicas = 1;
+  options.workers_per_replica = 1;
+  options.admission.max_queue = 2;
+  auto router = serve::ServeRouter::Open(f.snapshot_path, options);
+  ASSERT_TRUE(router.ok());
+
+  // Submissions take microseconds, a forward takes hundreds: firing 50
+  // at a 2-deep queue must trip the door.
+  const std::vector<serve::Query> queries = f.SampleQueries(4);
+  std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back((*router)->SubmitAsync(queries[i % queries.size()]));
+  }
+  uint64_t ok = 0, unavailable = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+      EXPECT_NE(result.status().message().find("retry"), std::string::npos);
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok + unavailable, 50u);
+  EXPECT_GT(unavailable, 0u);
+  const serve::RouterStats stats = (*router)->Stats();
+  EXPECT_EQ(stats.aggregate.rejected_queue_full, unavailable);
+  EXPECT_EQ(stats.aggregate.admitted, ok);
+  EXPECT_LE(stats.aggregate.queue_peak, 2u);
+}
+
+TEST(RouterTest, DeadlineShedsStaleWork) {
+  ServeFixture& f = Shared();
+  serve::RouterOptions options;
+  options.replicas = 1;
+  options.workers_per_replica = 1;
+  options.admission.deadline_us = 1;  // everything queued goes stale
+  options.admission.max_queue = 0;    // unbounded: shedding, not rejection
+  auto router = serve::ServeRouter::Open(f.snapshot_path, options);
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<serve::Query> queries = f.SampleQueries(4);
+  std::vector<std::future<util::StatusOr<serve::Prediction>>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back((*router)->SubmitAsync(queries[i % queries.size()]));
+  }
+  uint64_t shed = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (!result.ok()) {
+      ASSERT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  // A 1us budget against a ~hundreds-of-us forward: the backlog is shed.
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ((*router)->Stats().aggregate.shed_deadline, shed);
+}
+
+// ---- hot swap --------------------------------------------------------------
+
+TEST(HotSwapTest, ReloadFlipsGenerationsAndPredictions) {
+  ServeFixture& f = Shared();
+  auto router = serve::ServeRouter::Open(f.snapshot_path);
+  ASSERT_TRUE(router.ok());
+  const std::vector<serve::Query> queries = f.SampleQueries(4);
+
+  auto before = (*router)->Predict(queries[0]);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->generation, 1u);
+
+  ASSERT_TRUE((*router)->Reload(f.snapshot_b_path).ok());
+  EXPECT_EQ((*router)->generation(), 2u);
+  auto after = (*router)->Predict(queries[0]);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->generation, 2u);
+  // Generation B retrained the embeddings: the MR vector differs, so the
+  // distribution must differ (same model, different fusion input).
+  EXPECT_NE(before->probabilities, after->probabilities);
+
+  // Swap back: bit-identical to the original generation's output.
+  ASSERT_TRUE((*router)->Reload(f.snapshot_path).ok());
+  auto back = (*router)->Predict(queries[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->generation, 3u);
+  EXPECT_EQ(back->probabilities, before->probabilities);
+
+  const serve::RouterStats stats = (*router)->Stats();
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_TRUE(stats.last_reload_error.empty());
+}
+
+TEST(HotSwapTest, RejectsIncompatibleGeneration) {
+  ServeFixture& f = Shared();
+  auto router = serve::ServeRouter::Open(f.snapshot_path);
+  ASSERT_TRUE(router.ok());
+  // A corrupt file must be refused with the old generation still serving.
+  const std::string bad_path = testing::TempDir() + "/imr_swap_garbage.imrs";
+  {
+    std::ofstream out(bad_path, std::ios::binary);
+    out << "not a snapshot";
+  }
+  util::Status status = (*router)->Reload(bad_path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ((*router)->generation(), 1u);
+  EXPECT_FALSE((*router)->Stats().last_reload_error.empty());
+  const std::vector<serve::Query> queries = f.SampleQueries(1);
+  EXPECT_TRUE((*router)->Predict(queries[0]).ok());  // still serving
+  std::remove(bad_path.c_str());
+}
+
+/// Sustained concurrent traffic across all three calling conventions while
+/// the main thread flips generations A<->B. Every response must succeed
+/// and be bit-consistent with exactly one generation — the one stamped in
+/// Prediction::generation. Runs under TSan in the sanitizer tree.
+void HotSwapUnderFire(bool quantized) {
+  ServeFixture& f = Shared();
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  options.engine.cache_shards = 4;
+  options.engine.quantized = quantized;
+  options.admission.max_queue = 0;   // nothing rejected:
+  options.admission.deadline_us = 0; // the gate is ZERO failed requests
+  auto router = serve::ServeRouter::Open(f.snapshot_path, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Reference predictions per generation, computed single-threaded on bare
+  // engines. Odd generations serve snapshot A, even ones snapshot B.
+  serve::EngineOptions reference_options;
+  reference_options.quantized = quantized;
+  auto engine_a =
+      serve::InferenceEngine::Open(f.snapshot_path, reference_options);
+  auto engine_b =
+      serve::InferenceEngine::Open(f.snapshot_b_path, reference_options);
+  ASSERT_TRUE(engine_a.ok());
+  ASSERT_TRUE(engine_b.ok());
+  const std::vector<serve::Query> queries = f.SampleQueries(6);
+  std::vector<std::vector<float>> expected_a, expected_b;
+  for (const serve::Query& query : queries) {
+    auto a = (*engine_a)->Predict(query);
+    auto b = (*engine_b)->Predict(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_NE(a->probabilities, b->probabilities);  // generations differ
+    expected_a.push_back(a->probabilities);
+    expected_b.push_back(b->probabilities);
+  }
+
+  struct Observed {
+    size_t query = 0;
+    uint64_t generation = 0;
+    std::vector<float> probabilities;
+  };
+  util::Mutex observed_mutex;
+  std::vector<Observed> observed;
+  std::atomic<uint64_t> failures{0};
+  std::atomic<bool> stop{false};
+  const auto record = [&](size_t query_index,
+                          const util::StatusOr<serve::Prediction>& result) {
+    if (!result.ok()) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    util::MutexLock lock(observed_mutex);
+    observed.push_back(
+        Observed{query_index, result->generation, result->probabilities});
+  };
+
+  std::vector<std::thread> traffic;
+  traffic.emplace_back([&] {  // sync caller
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t q = i++ % queries.size();
+      record(q, (*router)->Predict(queries[q]));
+    }
+  });
+  traffic.emplace_back([&] {  // batch caller
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<serve::Query> batch;
+      std::vector<size_t> indices;
+      for (int b = 0; b < 4; ++b) {
+        indices.push_back(i % queries.size());
+        batch.push_back(queries[i % queries.size()]);
+        ++i;
+      }
+      auto results = (*router)->PredictBatch(batch);
+      for (size_t r = 0; r < results.size(); ++r)
+        record(indices[r], results[r]);
+    }
+  });
+  traffic.emplace_back([&] {  // async caller
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t q = i++ % queries.size();
+      auto future = (*router)->SubmitAsync(queries[q]);
+      record(q, future.get());
+    }
+  });
+
+  // Flip generations under fire: A -> B -> A -> ... with live traffic.
+  constexpr int kReloads = 6;
+  for (int flip = 0; flip < kReloads; ++flip) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    const std::string& next =
+        flip % 2 == 0 ? f.snapshot_b_path : f.snapshot_path;
+    ASSERT_TRUE((*router)->Reload(next).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);  // zero failed requests across all swaps
+  EXPECT_EQ((*router)->generation(), static_cast<uint64_t>(kReloads + 1));
+  util::MutexLock lock(observed_mutex);
+  ASSERT_GT(observed.size(), 0u);
+  uint64_t max_generation = 0;
+  for (const Observed& response : observed) {
+    ASSERT_GE(response.generation, 1u);
+    ASSERT_LE(response.generation, static_cast<uint64_t>(kReloads + 1));
+    // Odd generation == snapshot A, even == snapshot B; no torn reads
+    // means bit-exact agreement with that generation's reference.
+    const std::vector<std::vector<float>>& expected =
+        response.generation % 2 == 1 ? expected_a : expected_b;
+    ASSERT_EQ(response.probabilities, expected[response.query])
+        << "generation " << response.generation << " query "
+        << response.query;
+    max_generation = std::max(max_generation, response.generation);
+  }
+  EXPECT_GT(max_generation, 1u);  // traffic actually observed a swap
+}
+
+TEST(HotSwapTest, ServesConsistentGenerationsUnderFire) {
+  HotSwapUnderFire(/*quantized=*/false);
+}
+
+TEST(HotSwapTest, ServesConsistentQuantizedGenerationsUnderFire) {
+  // Generation B's int8 store comes from the file's QEMB section,
+  // generation A's is built at load: the swap flips between them.
+  HotSwapUnderFire(/*quantized=*/true);
+}
+
+// ---- snapshot watcher ------------------------------------------------------
+
+namespace {
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  IMR_CHECK(in.good());
+  std::ofstream out(to, std::ios::binary);
+  out << in.rdbuf();
+}
+
+}  // namespace
+
+TEST(SnapshotWatcherTest, RequiresStabilityThenReloads) {
+  ServeFixture& f = Shared();
+  const std::string watched = testing::TempDir() + "/imr_watched.imrs";
+  CopyFile(f.snapshot_path, watched);
+
+  std::vector<std::string> reloads;
+  serve::SnapshotWatcher watcher(
+      watched, [&](const std::string& path) {
+        reloads.push_back(path);
+        return util::OkStatus();
+      });
+  // Unchanged file: polls do nothing.
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_TRUE(reloads.empty());
+
+  // New generation lands: first poll only records the candidate (the
+  // writer might still be flushing), the second poll sees it stable and
+  // fires the reload.
+  CopyFile(f.snapshot_b_path, watched);
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_TRUE(reloads.empty());
+  EXPECT_TRUE(watcher.CheckNow());
+  ASSERT_EQ(reloads.size(), 1u);
+  EXPECT_EQ(reloads[0], watched);
+  // Settled: no re-fire.
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ(reloads.size(), 1u);
+
+  const serve::WatcherStats stats = watcher.Stats();
+  EXPECT_EQ(stats.reloads_attempted, 1u);
+  EXPECT_EQ(stats.reloads_succeeded, 1u);
+  EXPECT_EQ(stats.reloads_failed, 0u);
+  EXPECT_GE(stats.polls, 5u);
+  std::remove(watched.c_str());
+}
+
+TEST(SnapshotWatcherTest, FailedReloadKeepsServingAndRearms) {
+  ServeFixture& f = Shared();
+  const std::string watched = testing::TempDir() + "/imr_watched_bad.imrs";
+  CopyFile(f.snapshot_path, watched);
+
+  serve::RouterOptions options;
+  auto router = serve::ServeRouter::Open(watched, options);
+  ASSERT_TRUE(router.ok());
+  serve::SnapshotWatcher watcher(watched, [&](const std::string& path) {
+    return (*router)->Reload(path);
+  });
+
+  // A corrupt write lands at the watched path.
+  {
+    std::ofstream out(watched, std::ios::binary | std::ios::trunc);
+    out << "garbage, definitely not IMRS";
+  }
+  EXPECT_FALSE(watcher.CheckNow());  // candidate observed
+  EXPECT_TRUE(watcher.CheckNow());   // stable -> reload attempted, fails
+  EXPECT_EQ(watcher.Stats().reloads_failed, 1u);
+  EXPECT_FALSE(watcher.last_error().empty());
+  // The old generation keeps serving.
+  EXPECT_EQ((*router)->generation(), 1u);
+  const std::vector<serve::Query> queries = f.SampleQueries(1);
+  EXPECT_TRUE((*router)->Predict(queries[0]).ok());
+  // The corrupt signature is consumed — no retry storm on every poll.
+  EXPECT_FALSE(watcher.CheckNow());
+
+  // The fixed snapshot lands: rollout proceeds.
+  CopyFile(f.snapshot_b_path, watched);
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_TRUE(watcher.CheckNow());
+  EXPECT_EQ(watcher.Stats().reloads_succeeded, 1u);
+  EXPECT_TRUE(watcher.last_error().empty());
+  EXPECT_EQ((*router)->generation(), 2u);
+  std::remove(watched.c_str());
+}
+
+TEST(SnapshotWatcherTest, BackgroundThreadPicksUpChanges) {
+  ServeFixture& f = Shared();
+  const std::string watched = testing::TempDir() + "/imr_watched_bg.imrs";
+  CopyFile(f.snapshot_path, watched);
+
+  std::atomic<int> reloads{0};
+  serve::WatcherOptions options;
+  options.poll_interval_ms = 5;
+  serve::SnapshotWatcher watcher(
+      watched,
+      [&](const std::string&) {
+        reloads.fetch_add(1);
+        return util::OkStatus();
+      },
+      options);
+  watcher.Start();
+  CopyFile(f.snapshot_b_path, watched);
+  for (int i = 0; i < 400 && reloads.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watcher.Stop();
+  EXPECT_EQ(reloads.load(), 1);
+  std::remove(watched.c_str());
 }
 
 TEST(QuantizedEngineTest, QuantizedServingIsDeterministic) {

@@ -141,6 +141,7 @@ class Linter {
     if (relpath_ == "src/tensor/ops.cc") CheckKernelAlloc();
     if (relpath_ == "src/nn/optimizer.cc") CheckOptimizerDenseGrad();
     if (relpath_.rfind("src/tensor/simd/", 0) != 0) CheckRawIntrinsics();
+    if (relpath_.rfind("src/serve/", 0) == 0) CheckBlockingUnderShardLock();
     CheckIncludeHygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -398,6 +399,118 @@ class Linter {
     }
   }
 
+  // Shard mutexes (sharded_cache.h) are leaf locks on the request hot
+  // path: every request hashing to a shard serializes behind its holder,
+  // so a blocking call made under one (a CondVar wait, file I/O, a
+  // snapshot load, a sleep) turns a nanosecond critical section into a
+  // convoy. Tracks brace depth through the flattened file: a lock is
+  // "shard-scoped" when it is a util::MutexLock whose argument mentions a
+  // shard, or a direct `...shard...Lock()` call; blocking patterns are
+  // flagged until the lock's scope closes (RAII) or a matching
+  // `...shard...Unlock()` runs.
+  void CheckBlockingUnderShardLock() {
+    std::string flat;
+    std::vector<size_t> line_offset;
+    line_offset.reserve(scan_.code.size() + 1);
+    line_offset.push_back(0);
+    for (const std::string& line : scan_.code) {
+      flat += line;
+      flat += '\n';
+      line_offset.push_back(flat.size());
+    }
+    const auto line_of = [&line_offset](size_t pos) {
+      size_t lo = 0, hi = line_offset.size() - 1;
+      while (lo + 1 < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (line_offset[mid] <= pos) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    };
+
+    enum EventKind { kAcquireScoped, kAcquireManual, kReleaseManual, kBlocks };
+    struct Event {
+      size_t pos;
+      EventKind kind;
+      std::string what;
+    };
+    std::vector<Event> events;
+    const auto collect = [&flat, &events](const std::regex& pattern,
+                                          EventKind kind) {
+      for (auto it = std::sregex_iterator(flat.begin(), flat.end(), pattern);
+           it != std::sregex_iterator(); ++it) {
+        events.push_back(Event{static_cast<size_t>(it->position()), kind,
+                               (*it)[0].str()});
+      }
+    };
+    // `util::MutexLock lock(shard.mutex)` / `(shards_[i]->mutex)` — RAII,
+    // held until the enclosing block closes.
+    static const std::regex kScoped(
+        R"((?:util::)?MutexLock\s+\w+\s*\([^)]*[Ss]hard[^)]*\))");
+    // `shard.mutex.Lock()` style — held until Unlock() or scope close.
+    static const std::regex kManualLock(
+        R"([Ss]hard[\w\[\]().>-]*\s*\.\s*Lock\s*\()");
+    static const std::regex kManualUnlock(
+        R"([Ss]hard[\w\[\]().>-]*\s*\.\s*Unlock\s*\()");
+    // The blocking operations that must never run under a shard lock.
+    static const std::regex kBlocking(
+        R"(\.\s*Wait(?:Until)?\s*\(|std::[io]?fstream\b|\bfopen\s*\(|\bLoadSnapshot\s*\(|\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bsleep\s*\()");
+    collect(kScoped, kAcquireScoped);
+    collect(kManualLock, kAcquireManual);
+    collect(kManualUnlock, kReleaseManual);
+    collect(kBlocking, kBlocks);
+    if (events.empty()) return;
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+    struct ActiveLock {
+      size_t depth;
+      bool manual;
+    };
+    std::vector<ActiveLock> held;
+    size_t depth = 0;
+    size_t next_event = 0;
+    for (size_t pos = 0; pos < flat.size(); ++pos) {
+      while (next_event < events.size() && events[next_event].pos == pos) {
+        const Event& event = events[next_event++];
+        switch (event.kind) {
+          case kAcquireScoped:
+            held.push_back(ActiveLock{depth, /*manual=*/false});
+            break;
+          case kAcquireManual:
+            held.push_back(ActiveLock{depth, /*manual=*/true});
+            break;
+          case kReleaseManual:
+            for (size_t h = held.size(); h-- > 0;) {
+              if (held[h].manual) {
+                held.erase(held.begin() + static_cast<long>(h));
+                break;
+              }
+            }
+            break;
+          case kBlocks:
+            if (!held.empty()) {
+              Add("blocking-under-shard-lock", line_of(pos),
+                  "'" + event.what +
+                      "' while a cache-shard mutex is held; shard locks "
+                      "are leaf locks on the request hot path — finish the "
+                      "blocking work first, then take the lock");
+            }
+            break;
+        }
+      }
+      if (flat[pos] == '{') {
+        ++depth;
+      } else if (flat[pos] == '}') {
+        if (depth > 0) --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+    }
+  }
+
   std::string relpath_;
   ScannedFile scan_;
   std::vector<std::set<std::string>> allows_;
@@ -424,9 +537,10 @@ std::vector<std::string> SplitLines(const std::string& content) {
 
 const std::vector<std::string>& RuleIds() {
   static const std::vector<std::string> kRules = {
-      "no-raw-random", "no-naked-new",      "no-throw",
-      "no-iostream",   "mutex-guard",       "include-hygiene",
-      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics"};
+      "no-raw-random", "no-naked-new",         "no-throw",
+      "no-iostream",   "mutex-guard",          "include-hygiene",
+      "kernel-alloc",  "optimizer-dense-grad", "raw-intrinsics",
+      "blocking-under-shard-lock"};
   return kRules;
 }
 

@@ -31,6 +31,13 @@
 //                     vector code is reached through the runtime dispatch
 //                     table, never called directly, so CPU detection and
 //                     the per-TU ISA build flags cannot be bypassed
+//   blocking-under-shard-lock
+//                     a blocking call (CondVar Wait/WaitUntil, file I/O
+//                     streams, fopen, LoadSnapshot, sleeps) while a
+//                     cache-shard mutex is held, in src/serve/ — shard
+//                     mutexes are leaf locks on the request hot path;
+//                     blocking under one serializes every request hashing
+//                     to that shard behind the slow operation
 //
 // Suppression: append `// imr-lint: allow(rule-id)` (comma-separated for
 // several rules) on the offending line or on the line directly above it.
