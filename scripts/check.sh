@@ -6,7 +6,9 @@
 # hot swap, int8 parity), the SIMD
 # backend matrix (full ctest under every compiled backend), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
-# analysis build, and the project linter. Each stage reports pass/fail/skip
+# analysis build, the project linter (pass 1), and the cross-file analyzer
+# (pass 2: lock-order cycles, hot-path reachability, Status propagation,
+# with a >= 5x incremental-cache gate). Each stage reports pass/fail/skip
 # and the script exits nonzero if anything failed.
 #
 # Usage: scripts/check.sh [-jN]   (run from the repo root)
@@ -131,6 +133,21 @@ if [ -x build/tools/imr_lint ]; then
   run_stage "imr_lint" build/tools/imr_lint "$ROOT"
 else
   record "imr_lint" SKIP
+fi
+
+# 7. Cross-file analyzer (pass 2): whole-program lock-order / hot-path /
+# Status-propagation analyses against the checked-in baseline. Exits
+# nonzero on any non-baselined finding and prints the per-analysis timing
+# summary. The second invocation gates the incremental model cache: a warm
+# re-run must be at least 5x faster than a cold one.
+if [ -x build/tools/imr_analyze ]; then
+  run_stage "analyze" build/tools/imr_analyze \
+    --cache build/imr_analysis_cache "$ROOT"
+  run_stage "analyze-cache" build/tools/imr_analyze \
+    --bench-cache build/imr_analysis_cache_bench --min-speedup 5 "$ROOT"
+else
+  record "analyze" SKIP
+  record "analyze-cache" SKIP
 fi
 
 echo

@@ -439,5 +439,59 @@ TEST(LintTest, RuleIdsAreStable) {
   EXPECT_EQ(RuleIds(), expected);
 }
 
+TEST(LintTest, AllowFileHeaderSuppressesRuleForWholeFile) {
+  const std::string source = R"cc(// fixture-heavy test helper
+// imr-lint: allow-file(no-throw)
+namespace imr {
+void A() { throw 1; }
+void B() { throw 2; }
+}  // namespace imr
+)cc";
+  EXPECT_TRUE(LintSource("src/util/fixture.cc", source).empty());
+}
+
+TEST(LintTest, AllowFileTakesCommaSeparatedRuleList) {
+  const std::string source = R"cc(// imr-lint: allow-file(no-throw, no-naked-new)
+namespace imr {
+void A() { throw 1; }
+int* B() { return new int(2); }
+}  // namespace imr
+)cc";
+  EXPECT_TRUE(LintSource("src/util/fixture.cc", source).empty());
+}
+
+TEST(LintTest, AllowFileOnlySuppressesTheNamedRule) {
+  const std::string source = R"cc(// imr-lint: allow-file(no-naked-new)
+namespace imr {
+void A() { throw 1; }
+}  // namespace imr
+)cc";
+  EXPECT_EQ(Rules(LintSource("src/util/fixture.cc", source)),
+            (std::vector<std::string>{"no-throw"}));
+}
+
+TEST(LintTest, AllowFileBuriedAfterCodeHasNoEffect) {
+  const std::string source = R"cc(namespace imr {
+// imr-lint: allow-file(no-throw)
+void A() { throw 1; }
+}  // namespace imr
+)cc";
+  EXPECT_EQ(Rules(LintSource("src/util/fixture.cc", source)),
+            (std::vector<std::string>{"no-throw"}));
+}
+
+TEST(LintTest, RawStringLiteralContentsAreBlanked) {
+  // without raw-string handling the embedded quote would end the literal
+  // early and the fixture code would leak into rule matching
+  const std::string source =
+      "namespace imr {\n"
+      "const char* kFixture = R\"inner(\n"
+      "  const char* s = \"quote\";\n"
+      "  void Bad() { throw 1; }\n"
+      ")inner\";\n"
+      "}  // namespace imr\n";
+  EXPECT_TRUE(LintSource("src/util/fixture.cc", source).empty());
+}
+
 }  // namespace
 }  // namespace imr::lint

@@ -1,0 +1,129 @@
+// Standalone analyzer binary: `imr_analyze [options] [project-root]` runs
+// both static-analysis passes (the per-line lint rules and the cross-file
+// structural analyses — see tools/analyzer.h) over src/, tests/, bench/,
+// examples/, and tools/ under the root (default: cwd) and exits nonzero if
+// any non-baselined finding fired.
+//
+//   --baseline <file>   justified-findings baseline
+//                       (default: <root>/tools/analyze_baseline.txt)
+//   --cache <dir>       on-disk model cache; only changed files re-parse
+//   --json              print the machine-readable report to stdout
+//   --threads <n>       parallel-parse worker count (default: hardware)
+//   --bench-cache <dir> measure cold vs warm analysis with the cache at
+//                       <dir>; exits nonzero below --min-speedup (def. 5)
+//   --list-analyses     print the pass-2 rule ids
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "analyzer.h"
+#include "lint.h"
+
+namespace {
+
+double RunOnceMs(const std::string& root,
+                 const imr::analysis::AnalyzerOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)imr::analysis::AnalyzeTree(root, options);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int BenchCache(const std::string& root, imr::analysis::AnalyzerOptions options,
+               const std::string& cache_dir, double min_speedup) {
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+  options.cache_dir = cache_dir;
+  const double cold_ms = RunOnceMs(root, options);
+  const double warm_ms = RunOnceMs(root, options);
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf("imr_analyze cache bench: cold %.1f ms, warm %.1f ms, %.2fx\n",
+              cold_ms, warm_ms, speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "imr_analyze: warm run only %.2fx faster than cold "
+                 "(need >= %.1fx)\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string bench_cache_dir;
+  double min_speedup = 5.0;
+  bool json = false;
+  imr::analysis::AnalyzerOptions options;
+  bool baseline_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "imr_analyze: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-analyses") {
+      for (const std::string& id : imr::analysis::AnalysisIds()) {
+        std::printf("%s\n", id.c_str());
+      }
+      return 0;
+    } else if (arg == "--baseline") {
+      options.baseline_path = value("--baseline");
+      baseline_set = true;
+    } else if (arg == "--cache") {
+      options.cache_dir = value("--cache");
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(value("--threads"));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--bench-cache") {
+      bench_cache_dir = value("--bench-cache");
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::atof(value("--min-speedup"));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "imr_analyze: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
+  if (!baseline_set) {
+    const std::filesystem::path def =
+        std::filesystem::path(root) / "tools" / "analyze_baseline.txt";
+    std::error_code ec;
+    if (std::filesystem::exists(def, ec)) {
+      options.baseline_path = def.string();
+    }
+  }
+  if (!bench_cache_dir.empty()) {
+    return BenchCache(root, options, bench_cache_dir, min_speedup);
+  }
+
+  const imr::analysis::AnalysisReport report =
+      imr::analysis::AnalyzeTree(root, options);
+  if (json) {
+    std::fputs(imr::analysis::ReportToJson(report, root).c_str(), stdout);
+  } else {
+    for (const imr::lint::Finding& f : report.findings) {
+      std::fprintf(stderr, "%s\n", imr::lint::FormatFinding(f).c_str());
+    }
+    std::printf(
+        "imr_analyze: %d files (%d parsed, %d cached), %zu finding(s), "
+        "%zu baselined\n",
+        report.files_scanned, report.files_parsed, report.files_cached,
+        report.findings.size(), report.baselined.size());
+    for (const imr::analysis::AnalysisTiming& t : report.timings) {
+      std::printf("  %-12s %8.1f ms\n", t.name.c_str(), t.ms);
+    }
+  }
+  return report.findings.empty() ? 0 : 1;
+}

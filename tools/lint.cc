@@ -11,25 +11,18 @@
 
 namespace imr::lint {
 
-namespace {
-
 // ---- source scanning -----------------------------------------------------
 
-/// The file split into per-line blanked code (comments and string/char
-/// literals replaced by spaces, so rule regexes only ever see real tokens)
-/// plus per-line comment text (so `imr-lint: allow(...)` still parses).
-struct ScannedFile {
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-};
-
-ScannedFile Scan(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+ScannedFile ScanSource(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
   ScannedFile out;
   std::string code_line;
   std::string comment_line;
   State state = State::kCode;
   char prev_code = '\0';  // last code char, for digit-separator detection
+  std::string raw_terminator;  // `)delim"` that ends the raw string
+  size_t raw_matched = 0;      // prefix of raw_terminator seen so far
   for (size_t i = 0; i < content.size(); ++i) {
     const char c = content[i];
     const char next = i + 1 < content.size() ? content[i + 1] : '\0';
@@ -39,6 +32,7 @@ ScannedFile Scan(const std::string& content) {
       code_line.clear();
       comment_line.clear();
       if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kRawString) raw_matched = 0;
       continue;
     }
     switch (state) {
@@ -51,6 +45,31 @@ ScannedFile Scan(const std::string& content) {
           state = State::kBlockComment;
           code_line += "  ";
           ++i;
+        } else if (c == 'R' && next == '"' &&
+                   !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
+                     prev_code == '_')) {
+          // Raw string literal R"delim(...)delim" — embedded quotes and
+          // escapes are literal text, so the whole thing is blanked until
+          // the matching `)delim"` terminator.
+          size_t j = i + 2;  // first delimiter char
+          std::string delim;
+          while (j < content.size() && content[j] != '(' &&
+                 delim.size() < 17) {
+            delim += content[j];
+            ++j;
+          }
+          if (j < content.size() && content[j] == '(') {
+            raw_terminator = ")" + delim + "\"";
+            raw_matched = 0;
+            state = State::kRawString;
+            // blank "R", the quote, the delimiter, and the open paren
+            code_line.append(j - i + 1, ' ');
+            i = j;
+            prev_code = '\0';
+          } else {
+            code_line += c;  // malformed; treat the R as code
+            prev_code = c;
+          }
         } else if (c == '"') {
           state = State::kString;
           code_line += ' ';
@@ -92,6 +111,19 @@ ScannedFile Scan(const std::string& content) {
           code_line += ' ';
         }
         break;
+      case State::kRawString:
+        code_line += ' ';
+        if (c == raw_terminator[raw_matched]) {
+          ++raw_matched;
+          if (raw_matched == raw_terminator.size()) {
+            state = State::kCode;
+            prev_code = '\0';
+          }
+        } else {
+          // restart, allowing the failed char to begin a new `)` match
+          raw_matched = (c == raw_terminator[0]) ? 1 : 0;
+        }
+        break;
     }
   }
   out.code.push_back(code_line);
@@ -99,32 +131,80 @@ ScannedFile Scan(const std::string& content) {
   return out;
 }
 
-/// Rules suppressed on each line via `imr-lint: allow(rule-a, rule-b)`.
-std::vector<std::set<std::string>> ParseAllows(
+namespace {
+
+void InsertRuleList(const std::string& list, std::set<std::string>* out) {
+  std::stringstream rules(list);
+  std::string rule;
+  while (std::getline(rules, rule, ',')) {
+    const size_t first = rule.find_first_not_of(' ');
+    const size_t last = rule.find_last_not_of(' ');
+    if (first == std::string::npos) continue;
+    out->insert(rule.substr(first, last - first + 1));
+  }
+}
+
+}  // namespace
+
+std::vector<std::set<std::string>> ParseLineAllows(
     const std::vector<std::string>& comments) {
+  // `allow(` only: the (?!-file) distinction is handled by requiring the
+  // char after "allow" to be the open paren.
   static const std::regex kAllow(R"(imr-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
   std::vector<std::set<std::string>> allows(comments.size());
   for (size_t i = 0; i < comments.size(); ++i) {
     std::smatch match;
     if (!std::regex_search(comments[i], match, kAllow)) continue;
-    std::stringstream rules(match[1].str());
-    std::string rule;
-    while (std::getline(rules, rule, ',')) {
-      const size_t first = rule.find_first_not_of(' ');
-      const size_t last = rule.find_last_not_of(' ');
-      if (first == std::string::npos) continue;
-      allows[i].insert(rule.substr(first, last - first + 1));
+    InsertRuleList(match[1].str(), &allows[i]);
+  }
+  return allows;
+}
+
+std::set<std::string> ParseFileAllows(const ScannedFile& scan) {
+  static const std::regex kAllowFile(
+      R"(imr-lint:\s*allow-file\(([A-Za-z0-9_,\- ]+)\))");
+  std::set<std::string> allows;
+  for (size_t i = 0; i < scan.comments.size(); ++i) {
+    // Stop at the first line that carries code: allow-file is a header
+    // declaration, not an inline suppression.
+    if (i < scan.code.size() &&
+        scan.code[i].find_first_not_of(" \t\r") != std::string::npos) {
+      break;
+    }
+    std::smatch match;
+    if (std::regex_search(scan.comments[i], match, kAllowFile)) {
+      InsertRuleList(match[1].str(), &allows);
     }
   }
   return allows;
 }
 
+std::string RepoRootFor(const std::string& start) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path base = fs::weakly_canonical(start, ec);
+  if (ec || base.empty()) base = fs::path(start);
+  for (fs::path dir = base;; dir = dir.parent_path()) {
+    if (fs::exists(dir / ".git", ec) ||
+        (fs::exists(dir / "ROADMAP.md", ec) &&
+         fs::is_directory(dir / "src", ec) &&
+         fs::is_directory(dir / "tools", ec))) {
+      return dir.generic_string();
+    }
+    if (dir == dir.parent_path()) break;
+  }
+  return base.generic_string();
+}
+
+namespace {
+
 class Linter {
  public:
   Linter(std::string relpath, const std::string& content)
       : relpath_(std::move(relpath)),
-        scan_(Scan(content)),
-        allows_(ParseAllows(scan_.comments)) {}
+        scan_(ScanSource(content)),
+        allows_(ParseLineAllows(scan_.comments)),
+        file_allows_(ParseFileAllows(scan_)) {}
 
   std::vector<Finding> Run() {
     const bool in_src = relpath_.rfind("src/", 0) == 0;
@@ -156,13 +236,16 @@ class Linter {
 
  private:
   void Add(const std::string& rule, size_t line_index, std::string message) {
-    // `allow` on the offending line or the line directly above suppresses.
+    // `allow-file` in the header comment suppresses the rule everywhere;
+    // `allow` on the offending line or the line directly above suppresses
+    // the single occurrence.
+    if (file_allows_.count(rule) > 0) return;
     if (line_index < allows_.size() && allows_[line_index].count(rule) > 0)
       return;
     if (line_index > 0 && allows_[line_index - 1].count(rule) > 0) return;
     findings_.push_back(Finding{rule, relpath_,
                                 static_cast<int>(line_index) + 1,
-                                std::move(message)});
+                                std::move(message), ""});
   }
 
   void CheckRawRandom() {
@@ -514,6 +597,7 @@ class Linter {
   std::string relpath_;
   ScannedFile scan_;
   std::vector<std::set<std::string>> allows_;
+  std::set<std::string> file_allows_;
   std::vector<std::string> raw_;
   std::vector<Finding> findings_;
 };
@@ -568,12 +652,19 @@ std::vector<Finding> LintTree(const std::string& root) {
     }
   }
   std::sort(files.begin(), files.end());
+  // Findings report paths relative to the repository root (not the walk
+  // root and not the invocation directory), so CI diffs and the analysis
+  // baseline are stable however the tool is launched.
+  const fs::path repo_root = RepoRootFor(root);
   for (const fs::path& path : files) {
+    std::error_code rel_ec;
+    const fs::path canonical = fs::weakly_canonical(path, rel_ec);
     const std::string relpath =
-        fs::relative(path, root).generic_string();
+        fs::relative(rel_ec ? path : canonical, repo_root).generic_string();
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-      findings.push_back(Finding{"read-error", relpath, 0, "cannot open"});
+      findings.push_back(
+          Finding{"read-error", relpath, 0, "cannot open", ""});
       continue;
     }
     std::ostringstream buffer;

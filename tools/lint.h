@@ -39,8 +39,17 @@
 //                     blocking under one serializes every request hashing
 //                     to that shard behind the slow operation
 //
+// These per-line rules are pass 1 of the two-pass framework; pass 2 (the
+// cross-file structural analyses — lock-order cycles, hot-path
+// reachability, Status propagation) lives in tools/analyzer.h and reuses
+// the scanner exported below.
+//
 // Suppression: append `// imr-lint: allow(rule-id)` (comma-separated for
 // several rules) on the offending line or on the line directly above it.
+// A whole file opts out of a rule with `// imr-lint: allow-file(rule-id)`
+// in the file's header comment (any comment line before the first line of
+// code) — intended for fixture-heavy test files where per-line allows
+// would repeat dozens of times.
 //
 // Comments, string literals, and char literals are blanked before rule
 // matching, so prose and test fixtures never trip the rules
@@ -49,6 +58,7 @@
 #ifndef IMR_TOOLS_LINT_H_
 #define IMR_TOOLS_LINT_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,10 +66,44 @@ namespace imr::lint {
 
 struct Finding {
   std::string rule;     // rule id, e.g. "no-throw"
-  std::string file;     // project-relative path as passed in
+  std::string file;     // repo-relative path
   int line = 0;         // 1-based
   std::string message;  // human-readable explanation
+  /// Line-independent identity for baseline matching (pass-2 analyses
+  /// only; empty for the per-line pass-1 rules).
+  std::string key;
 };
+
+// ---- shared source scanner (used by pass 1 here and pass 2 in
+// tools/analyzer.h) ----
+
+/// The file split into per-line blanked code (comments and string/char
+/// literals replaced by spaces, so token scans only ever see real code)
+/// plus per-line comment text (so `imr-lint: allow(...)` still parses).
+struct ScannedFile {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+ScannedFile ScanSource(const std::string& content);
+
+/// Rules suppressed on each line via `imr-lint: allow(rule-a, rule-b)`.
+std::vector<std::set<std::string>> ParseLineAllows(
+    const std::vector<std::string>& comments);
+
+/// Rules suppressed for the whole file via `imr-lint: allow-file(rule)`
+/// in the header comment — only comment lines before the first line
+/// containing code count, so a stray allow-file buried mid-file has no
+/// effect.
+std::set<std::string> ParseFileAllows(const ScannedFile& scan);
+
+/// Walks up from `start` looking for the repository root (a directory
+/// containing `.git`, or failing that the `src/` + `tools/` + ROADMAP.md
+/// triple). Returns the canonicalized root, or canonicalized `start`
+/// itself when no marker is found (fixture trees in tests). Finding paths
+/// are made relative to this, so `file:line:` output is identical no
+/// matter which directory the linter is invoked from.
+std::string RepoRootFor(const std::string& start);
 
 /// All rule ids the linter knows, in reporting order.
 const std::vector<std::string>& RuleIds();
