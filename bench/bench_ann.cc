@@ -1,0 +1,299 @@
+// ANN index benchmark + SLO gate: sub-millisecond approximate nearest
+// neighbours over entity-embedding-shaped data.
+//
+// The workload is a clustered synthetic embedding table (mixture of
+// Gaussian clusters on the unit sphere — the shape LINE/DeepWalk tables
+// actually have, and the shape IVF's coarse quantizer exploits), 100k+
+// rows by default. The harness:
+//
+//   1. builds the exact FlatIndex and takes the true top-10 of every query
+//      (SearchBatch, so the ground truth itself runs the batch kernels)
+//   2. builds the IVF index (k-means coarse quantizer) over the same rows
+//   3. sweeps nprobe, measuring per-query latency percentiles and
+//      recall@10 against the exact results
+//
+// Gates (exit nonzero on violation, in full and --smoke mode):
+//   recall   IVF recall@10 >= 0.95 at the gated nprobe (any backend —
+//            approximation quality is backend-independent by design)
+//   latency  IVF single-query p99 < 1 ms at the 100k preset on a SIMD
+//            backend; a scalar backend relaxes the bound 8x (latency is a
+//            kernel property) but NEVER the recall gate
+//
+// --smoke keeps the full 100k row count (the gate is defined at that
+// scale) and trims the query count; scripts/check.sh wires it in as the
+// ann-smoke stage. Results land in bench_results/BENCH_ann.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/ann/ann_index.h"
+#include "graph/ann/flat_index.h"
+#include "graph/ann/ivf_index.h"
+#include "tensor/simd/dispatch.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/tsv_writer.h"
+
+namespace imr {
+namespace {
+
+constexpr int kRows = 100000;
+constexpr int kDim = 64;
+constexpr int kClusters = 1024;
+constexpr int kTopK = 10;
+constexpr int kGateNprobe = 16;
+constexpr double kGateRecall = 0.95;
+constexpr double kGateP99Us = 1000.0;
+constexpr double kScalarLatencySlack = 8.0;
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+// Mixture of Gaussians around unit-sphere cluster centres: rows land in
+// tight angular clusters, so cosine neighbours are cluster-mates and the
+// coarse quantizer has real structure to learn.
+std::vector<float> MakeClusteredRows(int rows, int dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(kClusters) * dim);
+  for (float& c : centers) c = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  std::vector<float> data(static_cast<size_t>(rows) * dim);
+  for (int r = 0; r < rows; ++r) {
+    const float* center =
+        centers.data() +
+        static_cast<size_t>(rng.UniformInt(kClusters)) * dim;
+    float* row = data.data() + static_cast<size_t>(r) * dim;
+    for (int d = 0; d < dim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng.Uniform(-0.12, 0.12));
+    }
+  }
+  return data;
+}
+
+// Queries perturb random base rows: on-manifold lookups, the serve-tier
+// case (an entity's own MR neighbourhood), not isotropic noise.
+std::vector<float> MakeQueries(const std::vector<float>& data, int rows,
+                               int dim, int num_queries, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> queries(static_cast<size_t>(num_queries) * dim);
+  for (int q = 0; q < num_queries; ++q) {
+    const float* row =
+        data.data() +
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(rows))) *
+            dim;
+    float* query = queries.data() + static_cast<size_t>(q) * dim;
+    for (int d = 0; d < dim; ++d) {
+      query[d] = row[d] + static_cast<float>(rng.Uniform(-0.05, 0.05));
+    }
+  }
+  return queries;
+}
+
+double RecallAt(const std::vector<graph::ann::SearchResult>& exact,
+                const std::vector<graph::ann::SearchResult>& approx) {
+  if (exact.empty()) return 1.0;
+  int hit = 0;
+  for (const auto& e : exact) {
+    for (const auto& a : approx) {
+      if (a.id == e.id) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
+struct SweepCell {
+  std::string index;  // "flat" | "ivf"
+  int nprobe = 0;     // 0 for flat
+  double recall = 1.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+// Times index.Search per query across `passes` replays of the query set.
+// Each query's latency is the BEST of its passes — the bench_kernels
+// fastest-segment-wins idiom: on this 1-core host a scheduler preemption
+// can add milliseconds to any single call, and the gate is about the
+// index's intrinsic per-query cost, not the OS tail (bench_serve owns
+// the end-to-end tail gates). max_us keeps the raw worst observation
+// for the report.
+SweepCell TimeIndex(const graph::ann::AnnIndex& index,
+                    const std::vector<float>& queries, int num_queries,
+                    int dim, int passes,
+                    const std::vector<std::vector<graph::ann::SearchResult>>&
+                        ground_truth) {
+  SweepCell cell;
+  std::vector<graph::ann::SearchResult> results;
+  std::vector<double> best(static_cast<size_t>(num_queries),
+                           std::numeric_limits<double>::infinity());
+  double recall_sum = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int q = 0; q < num_queries; ++q) {
+      const float* query = queries.data() + static_cast<size_t>(q) * dim;
+      const auto begin = std::chrono::steady_clock::now();
+      index.Search(query, kTopK, &results);
+      const auto end = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(end - begin).count();
+      best[static_cast<size_t>(q)] = std::min(best[static_cast<size_t>(q)], us);
+      cell.max_us = std::max(cell.max_us, us);
+      if (pass == 0) {
+        recall_sum += RecallAt(ground_truth[static_cast<size_t>(q)], results);
+      }
+    }
+  }
+  double sum = 0.0;
+  for (const double us : best) sum += us;
+  cell.recall = num_queries > 0 ? recall_sum / num_queries : 1.0;
+  cell.mean_us = best.empty() ? 0.0 : sum / static_cast<double>(best.size());
+  cell.p50_us = Percentile(best, 0.50);
+  cell.p99_us = Percentile(best, 0.99);
+  return cell;
+}
+
+int Run(bool smoke) {
+  const tensor::simd::Backend backend = tensor::simd::ActiveEvalBackend();
+  const bool scalar = backend == tensor::simd::Backend::kScalar;
+  const int num_queries = smoke ? 64 : 256;
+  const int passes = smoke ? 3 : 4;
+
+  std::printf("bench_ann%s: %d rows x %d dim, %d queries, backend %s\n",
+              smoke ? " (smoke)" : "", kRows, kDim, num_queries,
+              tensor::simd::BackendName(backend));
+
+  const std::vector<float> data = MakeClusteredRows(kRows, kDim, 41);
+  const std::vector<float> queries =
+      MakeQueries(data, kRows, kDim, num_queries, 43);
+
+  graph::ann::FlatIndex flat;
+  flat.Build(data.data(), kRows, kDim, graph::ann::Metric::kCosine);
+
+  // Exact ground truth through the batch kernels.
+  std::vector<std::vector<graph::ann::SearchResult>> ground_truth;
+  flat.SearchBatch(queries.data(), num_queries, kTopK, &ground_truth);
+
+  graph::ann::IvfOptions ivf_options;
+  ivf_options.nlist = 256;
+  ivf_options.kmeans_iters = smoke ? 4 : 8;
+  graph::ann::IvfIndex ivf;
+  const auto build_begin = std::chrono::steady_clock::now();
+  ivf.Build(data.data(), kRows, kDim, graph::ann::Metric::kCosine,
+            ivf_options, &util::GlobalPool());
+  const auto build_end = std::chrono::steady_clock::now();
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(build_end - build_begin)
+          .count();
+  std::printf("ivf build: nlist=%d iters=%d in %.0f ms\n", ivf.nlist(),
+              ivf_options.kmeans_iters, build_ms);
+
+  std::vector<SweepCell> cells;
+  {
+    SweepCell cell =
+        TimeIndex(flat, queries, num_queries, kDim, passes, ground_truth);
+    cell.index = "flat";
+    cells.push_back(cell);
+  }
+  for (const int nprobe : {4, 8, kGateNprobe, 32}) {
+    ivf.set_nprobe(nprobe);
+    SweepCell cell =
+        TimeIndex(ivf, queries, num_queries, kDim, passes, ground_truth);
+    cell.index = "ivf";
+    cell.nprobe = nprobe;
+    cells.push_back(cell);
+  }
+
+  std::printf("%-6s %7s %9s %9s %9s %9s %9s\n", "index", "nprobe",
+              "recall@10", "p50_us", "p99_us", "mean_us", "max_us");
+  const SweepCell* gated = nullptr;
+  for (const SweepCell& cell : cells) {
+    if (cell.index == "ivf" && cell.nprobe == kGateNprobe) gated = &cell;
+    std::printf("%-6s %7d %9.4f %9.1f %9.1f %9.1f %9.1f\n",
+                cell.index.c_str(), cell.nprobe, cell.recall, cell.p50_us,
+                cell.p99_us, cell.mean_us, cell.max_us);
+  }
+  IMR_CHECK(gated != nullptr);
+
+  const double p99_bound =
+      scalar ? kGateP99Us * kScalarLatencySlack : kGateP99Us;
+  const bool recall_pass = gated->recall >= kGateRecall;
+  const bool latency_pass = gated->p99_us < p99_bound;
+  std::printf(
+      "gates: recall@10 %.4f (>= %.2f) %s | p99 %.1f us (< %.0f us%s) %s\n",
+      gated->recall, kGateRecall, recall_pass ? "PASS" : "FAIL",
+      gated->p99_us, p99_bound,
+      scalar ? ", scalar backend slack 8x" : "",
+      latency_pass ? "PASS" : "FAIL");
+
+  util::Status mkdir = util::MakeDirectories("bench_results");
+  if (!mkdir.ok()) {
+    std::fprintf(stderr, "bench_ann: %s\n", mkdir.ToString().c_str());
+    return 1;
+  }
+  std::FILE* out = std::fopen("bench_results/BENCH_ann.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ann.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"smoke\": %s,\n  \"backend\": \"%s\",\n"
+               "  \"rows\": %d,\n  \"dim\": %d,\n  \"queries\": %d,\n"
+               "  \"ivf_nlist\": %d,\n  \"ivf_build_ms\": %.1f,\n",
+               smoke ? "true" : "false", tensor::simd::BackendName(backend),
+               kRows, kDim, num_queries, ivf.nlist(), build_ms);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    std::fprintf(out,
+                 "    {\"index\": \"%s\", \"nprobe\": %d, "
+                 "\"recall_at_10\": %.4f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"mean_us\": %.2f, \"max_us\": %.2f}%s\n",
+                 cell.index.c_str(), cell.nprobe, cell.recall, cell.p50_us,
+                 cell.p99_us, cell.mean_us, cell.max_us,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"gates\": {\n"
+               "    \"recall\": {\"recall_at_10\": %.4f, \"min\": %.2f, "
+               "\"pass\": %s},\n"
+               "    \"latency\": {\"p99_us\": %.2f, \"max_us\": %.2f, "
+               "\"scalar_slack\": %s, \"pass\": %s}\n"
+               "  }\n}\n",
+               gated->recall, kGateRecall, recall_pass ? "true" : "false",
+               gated->p99_us, p99_bound, scalar ? "true" : "false",
+               latency_pass ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench_ann] written to bench_results/BENCH_ann.json\n");
+
+  if (!recall_pass || !latency_pass) {
+    std::fprintf(stderr, "[bench_ann] FAIL: gate violated (see gates line)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace imr
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return imr::Run(smoke);
+}

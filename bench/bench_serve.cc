@@ -14,6 +14,10 @@
 //              demonstrates kUnavailable shedding past the SLO budget
 //   hot-swap   sustained traffic while the snapshot is reloaded
 //              repeatedly; the gate is ZERO failed requests
+//   knn-swap   the same fire drill over ANNI-carrying snapshots: every
+//              response is generation-stamped, the kNN vote fires on
+//              gate-failing requests, and the gate is zero failed requests
+//              plus zero out-of-range generation stamps
 //
 // Every cell reports p50/p99/p999/mean/max latency, qps, MR-cache hit
 // rate, and admission counters into bench_results/BENCH_serve.json.
@@ -67,6 +71,7 @@ struct Cell {
   uint64_t failed = 0;       // non-OK responses that were NOT expected
   uint64_t unavailable = 0;  // expected kUnavailable (shed / rejected)
   uint64_t reloads = 0;      // hot-swap cell only
+  uint64_t bad_generation = 0;  // knn-swap cell: stamps outside [1, flips+1]
 };
 
 double HitRate(const serve::EngineStats& stats) {
@@ -287,6 +292,67 @@ Cell RunHotSwapCell(const std::string& snapshot_a,
   return cell;
 }
 
+// Hot swap over ANNI-carrying snapshots: traffic hammers the router while
+// generations flip, and every response's generation stamp is range-checked
+// (a stamp outside [1, flips+1] would mean a half-swapped or mixed-state
+// response). The kNN vote fires per the predictor's confidence gate; the
+// aggregate knn_fired counter proves the ANN index served under fire.
+Cell RunKnnHotSwapCell(const std::string& snapshot_a,
+                       const std::string& snapshot_b,
+                       const std::vector<serve::Query>& requests, int flips) {
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  options.engine.top_k = 1;
+  options.engine.cache_shards = 8;
+  auto router = serve::ServeRouter::Open(snapshot_a, options);
+  CheckOk(router.status());
+
+  Cell cell;
+  const uint64_t max_generation = static_cast<uint64_t>(flips) + 1;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0}, failed{0}, bad_generation{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = (*router)->Predict(requests[i % requests.size()]);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (result->generation < 1 || result->generation > max_generation) {
+            bad_generation.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        i += 2;
+      }
+    });
+  }
+  for (int flip = 0; flip < flips; ++flip) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CheckOk((*router)->Reload(flip % 2 == 0 ? snapshot_b : snapshot_a));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+
+  cell.name = "router-knn-hotswap r2 s8";
+  cell.tier = "router";
+  cell.mode = "sync";
+  cell.replicas = 2;
+  cell.shards = 8;
+  cell.workers = 4;
+  cell.ok = ok.load();
+  cell.failed = failed.load();
+  cell.bad_generation = bad_generation.load();
+  cell.reloads = static_cast<uint64_t>(flips);
+  cell.stats = (*router)->Stats().aggregate;
+  cell.hit_rate = HitRate(cell.stats);
+  return cell;
+}
+
 // fp32-vs-quantized accuracy on one replay stream.
 struct QuantizedGate {
   double top1_agreement = 0.0;
@@ -411,6 +477,31 @@ int Run(bool smoke) {
                               trainer_config.epochs, "bench_serve_b",
                               snapshot_b_path, &quantized_b));
 
+  // kNN-enabled generation pair for the knn-swap drill. A wide confidence
+  // gate (0.95) makes the vote fire on most replay requests so the drill
+  // actually exercises the ANN search under swap pressure; the fp32/int8
+  // accuracy gates keep using the kNN-free snapshots above.
+  re::KnnOptions knn_options;
+  knn_options.confidence_gate = 0.95f;
+  knn_options.min_pairs_for_ivf = 64;
+  const re::KnnPredictor knn_a = re::KnnPredictor::Build(
+      embeddings, bags.train_bags(), bags.num_relations(), knn_options,
+      &util::GlobalPool());
+  const re::KnnPredictor knn_b = re::KnnPredictor::Build(
+      embeddings_b, bags.train_bags(), bags.num_relations(), knn_options,
+      &util::GlobalPool());
+  const std::string snapshot_knn_path = "bench_results/serve_model_knn.imrs";
+  const std::string snapshot_knn_b_path =
+      "bench_results/serve_model_knn_b.imrs";
+  CheckOk(serve::SaveSnapshot(model, bags.vocabulary(), embeddings,
+                              dataset.world.graph, bag_options,
+                              trainer_config.epochs, "bench_serve_knn",
+                              snapshot_knn_path, nullptr, &knn_a));
+  CheckOk(serve::SaveSnapshot(model, bags.vocabulary(), embeddings_b,
+                              dataset.world.graph, bag_options,
+                              trainer_config.epochs, "bench_serve_knn_b",
+                              snapshot_knn_b_path, &quantized_b, &knn_b));
+
   // --- request stream: held-out bags, replayed with pair-frequency skew --
   std::vector<serve::Query> unique_queries;
   for (const re::Bag& bag : bags.test_bags()) {
@@ -472,6 +563,8 @@ int Run(bool smoke) {
   }
   cells.push_back(RunHotSwapCell(snapshot_path, snapshot_b_path, requests,
                                  smoke ? 2 : 6));
+  cells.push_back(RunKnnHotSwapCell(snapshot_knn_path, snapshot_knn_b_path,
+                                    requests, smoke ? 2 : 6));
 
   const QuantizedGate quant_gate = RunQuantizedGate(snapshot_path, requests);
 
@@ -481,9 +574,10 @@ int Run(bool smoke) {
   const Cell* cache_one = FindCell(cells, "router-batch r1 s1");
   const Cell* cache_many = FindCell(cells, "router-batch r1 s8");
   const Cell* hot_swap = FindCell(cells, "router-hotswap r2 s8");
+  const Cell* knn_swap = FindCell(cells, "router-knn-hotswap r2 s8");
   IMR_CHECK(engine_sync != nullptr && router_batch != nullptr &&
             cache_one != nullptr && cache_many != nullptr &&
-            hot_swap != nullptr);
+            hot_swap != nullptr && knn_swap != nullptr);
 
   const double tail_ratio =
       engine_sync->stats.p99_latency_us > 0.0
@@ -493,8 +587,11 @@ int Run(bool smoke) {
   const bool tail_pass = tail_ratio <= 10.0;
   const bool cache_pass = cache_many->hit_rate >= cache_one->hit_rate - 0.02;
   const bool swap_pass = hot_swap->failed == 0 && hot_swap->ok > 0;
-  const bool all_pass =
-      tail_pass && cache_pass && swap_pass && quant_gate.pass;
+  const bool knn_swap_pass = knn_swap->failed == 0 && knn_swap->ok > 0 &&
+                             knn_swap->bad_generation == 0 &&
+                             knn_swap->stats.knn_fired > 0;
+  const bool all_pass = tail_pass && cache_pass && swap_pass &&
+                        knn_swap_pass && quant_gate.pass;
 
   // --- report -------------------------------------------------------------
   std::printf("%-24s %9s %9s %9s %9s %9s %7s %6s %6s\n", "cell", "qps",
@@ -530,6 +627,15 @@ int Run(bool smoke) {
       static_cast<unsigned long long>(hot_swap->reloads),
       swap_pass ? "PASS" : "FAIL", quant_gate.top1_agreement,
       quant_gate.max_abs_prob_delta, quant_gate.pass ? "PASS" : "FAIL");
+  std::printf(
+      "       knn-swap ok=%llu failed=%llu bad_gen=%llu knn_fired=%llu "
+      "across %llu reloads %s\n",
+      static_cast<unsigned long long>(knn_swap->ok),
+      static_cast<unsigned long long>(knn_swap->failed),
+      static_cast<unsigned long long>(knn_swap->bad_generation),
+      static_cast<unsigned long long>(knn_swap->stats.knn_fired),
+      static_cast<unsigned long long>(knn_swap->reloads),
+      knn_swap_pass ? "PASS" : "FAIL");
 
   // --- JSON ---------------------------------------------------------------
   std::FILE* out = std::fopen("bench_results/BENCH_serve.json", "w");
@@ -554,7 +660,7 @@ int Run(bool smoke) {
         "\"max_us\": %.2f, \"mr_cache_hit_rate\": %.4f, \"ok\": %llu, "
         "\"failed\": %llu, \"unavailable\": %llu, \"admitted\": %llu, "
         "\"rejected_queue_full\": %llu, \"shed_deadline\": %llu, "
-        "\"queue_peak\": %llu, \"reloads\": %llu}%s\n",
+        "\"queue_peak\": %llu, \"reloads\": %llu, \"knn_fired\": %llu}%s\n",
         cell.name.c_str(), cell.tier.c_str(), cell.mode.c_str(),
         cell.replicas, cell.shards, cell.workers,
         cell.quantized ? "true" : "false", cell.stats.qps,
@@ -569,6 +675,7 @@ int Run(bool smoke) {
         static_cast<unsigned long long>(cell.stats.shed_deadline),
         static_cast<unsigned long long>(cell.stats.queue_peak),
         static_cast<unsigned long long>(cell.reloads),
+        static_cast<unsigned long long>(cell.stats.knn_fired),
         i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
@@ -581,6 +688,9 @@ int Run(bool smoke) {
                "\"pass\": %s},\n"
                "    \"hot_swap\": {\"ok\": %llu, \"failed\": %llu, "
                "\"reloads\": %llu, \"pass\": %s},\n"
+               "    \"knn_swap\": {\"ok\": %llu, \"failed\": %llu, "
+               "\"bad_generation\": %llu, \"knn_fired\": %llu, "
+               "\"reloads\": %llu, \"pass\": %s},\n"
                "    \"quantized\": {\"top1_agreement\": %.4f, "
                "\"max_abs_prob_delta\": %.5f, \"requests\": %zu, "
                "\"top1_agreement_min\": 0.995, "
@@ -592,7 +702,13 @@ int Run(bool smoke) {
                static_cast<unsigned long long>(hot_swap->ok),
                static_cast<unsigned long long>(hot_swap->failed),
                static_cast<unsigned long long>(hot_swap->reloads),
-               swap_pass ? "true" : "false", quant_gate.top1_agreement,
+               swap_pass ? "true" : "false",
+               static_cast<unsigned long long>(knn_swap->ok),
+               static_cast<unsigned long long>(knn_swap->failed),
+               static_cast<unsigned long long>(knn_swap->bad_generation),
+               static_cast<unsigned long long>(knn_swap->stats.knn_fired),
+               static_cast<unsigned long long>(knn_swap->reloads),
+               knn_swap_pass ? "true" : "false", quant_gate.top1_agreement,
                quant_gate.max_abs_prob_delta, quant_gate.requests,
                quant_gate.pass ? "true" : "false");
   std::fclose(out);

@@ -3,7 +3,8 @@
 # gate (zero pool misses, zero dense full-table gradient scans in a
 # warmed-up training step, no silent scalar kernel fallback), the serving
 # SLO smoke gate (router tail latency, sharded cache hit rate, zero-failure
-# hot swap, int8 parity), the SIMD
+# hot swap, int8 parity), the ANN smoke gate (IVF recall@10 vs exact,
+# sub-millisecond p99 at 100k entities), the SIMD
 # backend matrix (full ctest under every compiled backend), ThreadSanitizer,
 # AddressSanitizer, UndefinedBehaviorSanitizer, the clang thread-safety
 # analysis build, the project linter (pass 1), and the cross-file analyzer
@@ -76,6 +77,17 @@ if [ -x build/bench/bench_serve ]; then
   run_stage "serve-smoke" build/bench/bench_serve --smoke
 else
   record "serve-smoke" SKIP
+fi
+
+# 1b''. ANN smoke: IVF index over 100k x 64 clustered vectors, exits
+# nonzero if recall@10 vs the exact FlatIndex drops below 0.95 or p99
+# query latency exceeds 1 ms at nprobe=16. On the scalar backend the
+# latency bound relaxes x8 (no SIMD distance sweep); the recall bound
+# never relaxes.
+if [ -x build/bench/bench_ann ]; then
+  run_stage "ann-smoke" build/bench/bench_ann --smoke
+else
+  record "ann-smoke" SKIP
 fi
 
 # 1c. SIMD backend matrix: force every backend this build+host supports

@@ -1,0 +1,66 @@
+#include "graph/ann/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imr::graph::ann {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kDot:
+      return "dot";
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kL2:
+      return "l2";
+  }
+  return "unknown";
+}
+
+void AnnIndex::SearchBatch(const float* queries, int num_queries, int k,
+                           std::vector<std::vector<SearchResult>>* out) const {
+  out->resize(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    Search(queries + static_cast<size_t>(q) * dim(), k,
+           &(*out)[static_cast<size_t>(q)]);
+  }
+}
+
+namespace detail {
+
+namespace {
+// std::*_heap with "less == Better" keeps the WORST kept entry at the
+// root, which is the one a new candidate must beat.
+inline bool HeapLess(const SearchResult& a, const SearchResult& b) {
+  return Better(a, b);
+}
+}  // namespace
+
+void TopK::Offer(int id, float score) {
+  const SearchResult candidate{id, score};
+  if (count_ < k_) {
+    slots_[count_++] = candidate;
+    std::push_heap(slots_, slots_ + count_, HeapLess);
+    return;
+  }
+  if (!Better(candidate, slots_[0])) return;
+  std::pop_heap(slots_, slots_ + count_, HeapLess);
+  slots_[count_ - 1] = candidate;
+  std::push_heap(slots_, slots_ + count_, HeapLess);
+}
+
+int TopK::Finish() {
+  std::sort_heap(slots_, slots_ + count_, HeapLess);
+  return count_;
+}
+
+float InvNorm(const float* v, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += v[i] * v[i];
+  if (acc <= 0.0f) return 0.0f;
+  return 1.0f / std::sqrt(acc);
+}
+
+}  // namespace detail
+
+}  // namespace imr::graph::ann

@@ -1,0 +1,91 @@
+// Approximate-nearest-neighbor indexes over row-major float matrices
+// (entity embeddings, mutual-relation vectors). Two implementations share
+// this interface:
+//
+//   * FlatIndex  — exact brute-force scan; the recall reference.
+//   * IvfIndex   — k-means coarse quantizer + inverted lists; `nprobe`
+//                  trades recall against scan cost.
+//
+// Scores are ALWAYS "higher is closer": dot and cosine are returned as-is,
+// L2 is returned negated. Ties break toward the lower id, so results are
+// deterministic for duplicate vectors.
+//
+// Hot-path contract: Search() performs no steady-state heap allocation —
+// float scratch comes from the tensor buffer pool and top-k selection runs
+// in the caller's (reused) result vector. Distance sweeps route through
+// the SIMD dispatch table (tensor/simd), so backend pinning and the
+// per-backend ctest sweep cover this subsystem like any tensor op.
+#ifndef IMR_GRAPH_ANN_ANN_INDEX_H_
+#define IMR_GRAPH_ANN_ANN_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace imr::graph::ann {
+
+enum class Metric : int {
+  kDot = 0,
+  kCosine = 1,
+  kL2 = 2,
+};
+
+const char* MetricName(Metric metric);
+
+struct SearchResult {
+  int id = -1;
+  float score = 0.0f;  // higher = closer (L2 is negated)
+};
+
+/// Result ordering: descending score, ascending id on ties.
+inline bool Better(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+
+  virtual int size() const = 0;
+  virtual int dim() const = 0;
+  virtual Metric metric() const = 0;
+
+  /// Fills *out with (at most) the k closest entries, best first. `out` is
+  /// cleared and reused — a caller that keeps the vector across queries
+  /// pays no steady-state allocation.
+  virtual void Search(const float* query, int k,
+                      std::vector<SearchResult>* out) const = 0;
+
+  /// Batch form over `num_queries` contiguous queries ([num_queries x
+  /// dim]). The default loops Search; FlatIndex overrides it with the
+  /// query-batch kernel. `out` is resized to num_queries.
+  virtual void SearchBatch(const float* queries, int num_queries, int k,
+                           std::vector<std::vector<SearchResult>>* out) const;
+};
+
+namespace detail {
+
+/// Fixed-capacity top-k selector over caller-provided storage (no heap).
+/// Offer() keeps the k Better()-est entries; Finish() sorts them best
+/// first and returns the count.
+class TopK {
+ public:
+  TopK(SearchResult* slots, int k) : slots_(slots), k_(k) {}
+
+  void Offer(int id, float score);
+  int Finish();
+
+ private:
+  SearchResult* slots_;
+  int k_;
+  int count_ = 0;
+};
+
+/// 1/||v|| with sequential float accumulation (0 for a zero vector).
+float InvNorm(const float* v, size_t dim);
+
+}  // namespace detail
+
+}  // namespace imr::graph::ann
+
+#endif  // IMR_GRAPH_ANN_ANN_INDEX_H_

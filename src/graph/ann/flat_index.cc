@@ -1,0 +1,114 @@
+#include "graph/ann/flat_index.h"
+
+#include <algorithm>
+
+#include "tensor/buffer_pool.h"
+#include "tensor/simd/dispatch.h"
+#include "util/logging.h"
+
+namespace imr::graph::ann {
+
+using tensor::internal::AcquireBuffer;
+using tensor::internal::PooledFloats;
+
+void FlatIndex::Build(const float* data, int rows, int dim, Metric metric) {
+  IMR_CHECK_GE(rows, 0);
+  IMR_CHECK_GT(dim, 0);
+  if (rows > 0) IMR_CHECK(data != nullptr);
+  data_ = data;
+  rows_ = rows;
+  dim_ = dim;
+  metric_ = metric;
+  inv_norms_.clear();
+  if (metric_ == Metric::kCosine) {
+    inv_norms_.resize(static_cast<size_t>(rows_));
+    for (int r = 0; r < rows_; ++r) {
+      inv_norms_[static_cast<size_t>(r)] = detail::InvNorm(
+          data_ + static_cast<size_t>(r) * dim_, static_cast<size_t>(dim_));
+    }
+  }
+}
+
+FlatIndex FlatIndex::Over(const EmbeddingStore& store, Metric metric) {
+  FlatIndex index;
+  index.Build(store.flat().data(), store.num_vertices(), store.dim(), metric);
+  return index;
+}
+
+void FlatIndex::Search(const float* query, int k,
+                       std::vector<SearchResult>* out) const {
+  out->clear();
+  if (rows_ == 0 || k <= 0) return;
+  const auto& kernels = tensor::simd::EvalKernels();
+  const size_t rows = static_cast<size_t>(rows_);
+  const size_t dim = static_cast<size_t>(dim_);
+  PooledFloats scores(AcquireBuffer(rows));
+  switch (metric_) {
+    case Metric::kDot:
+      kernels.ann_dot_many(query, data_, rows, dim, scores.data());
+      break;
+    case Metric::kCosine:
+      kernels.ann_cosine_many(query, data_, inv_norms_.data(),
+                              detail::InvNorm(query, dim), rows, dim,
+                              scores.data());
+      break;
+    case Metric::kL2:
+      kernels.ann_l2sqr_many(query, data_, rows, dim, scores.data());
+      kernels.scale(scores.data(), -1.0f, scores.data(), rows);
+      break;
+  }
+  const int keep = std::min(k, rows_);
+  out->resize(static_cast<size_t>(keep));
+  detail::TopK top(out->data(), keep);
+  for (int r = 0; r < rows_; ++r) top.Offer(r, scores[static_cast<size_t>(r)]);
+  out->resize(static_cast<size_t>(top.Finish()));
+}
+
+void FlatIndex::SearchBatch(const float* queries, int num_queries, int k,
+                            std::vector<std::vector<SearchResult>>* out) const {
+  out->resize(static_cast<size_t>(num_queries));
+  if (rows_ == 0 || k <= 0) {
+    for (auto& r : *out) r.clear();
+    return;
+  }
+  if (metric_ == Metric::kL2) {
+    // No batch L2 kernel; the single-query path is already one sweep each.
+    for (int q = 0; q < num_queries; ++q) {
+      Search(queries + static_cast<size_t>(q) * dim_, k,
+             &(*out)[static_cast<size_t>(q)]);
+    }
+    return;
+  }
+  // Dot/cosine: block queries through the batch kernel so several queries
+  // amortise each pass over the base.
+  constexpr int kQueryBlock = 8;
+  const auto& kernels = tensor::simd::EvalKernels();
+  const size_t rows = static_cast<size_t>(rows_);
+  const size_t dim = static_cast<size_t>(dim_);
+  PooledFloats scores(AcquireBuffer(static_cast<size_t>(kQueryBlock) * rows));
+  for (int q0 = 0; q0 < num_queries; q0 += kQueryBlock) {
+    const int block = std::min(kQueryBlock, num_queries - q0);
+    kernels.ann_dot_batch(queries + static_cast<size_t>(q0) * dim,
+                          static_cast<size_t>(block), data_, rows, dim,
+                          scores.data());
+    for (int b = 0; b < block; ++b) {
+      float* qscores = scores.data() + static_cast<size_t>(b) * rows;
+      if (metric_ == Metric::kCosine) {
+        const float* query = queries + static_cast<size_t>(q0 + b) * dim;
+        const float query_inv = detail::InvNorm(query, dim);
+        kernels.mul(qscores, inv_norms_.data(), qscores, rows);
+        kernels.scale(qscores, query_inv, qscores, rows);
+      }
+      auto& result = (*out)[static_cast<size_t>(q0 + b)];
+      const int keep = std::min(k, rows_);
+      result.resize(static_cast<size_t>(keep));
+      detail::TopK top(result.data(), keep);
+      for (int r = 0; r < rows_; ++r) {
+        top.Offer(r, qscores[static_cast<size_t>(r)]);
+      }
+      result.resize(static_cast<size_t>(top.Finish()));
+    }
+  }
+}
+
+}  // namespace imr::graph::ann

@@ -1,0 +1,48 @@
+// Exact brute-force index: one SIMD distance sweep over every row, then a
+// heap top-k. O(rows * dim) per query — the recall/exactness reference the
+// IVF index is gated against, and fast enough on its own for small bases.
+//
+// The index does NOT own the row matrix; the caller keeps `data` alive for
+// the index's lifetime (EmbeddingStore::flat() or a KnnPredictor-owned MR
+// matrix). Only cosine inverse row norms are stored here.
+#ifndef IMR_GRAPH_ANN_FLAT_INDEX_H_
+#define IMR_GRAPH_ANN_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "graph/ann/ann_index.h"
+#include "graph/embedding_store.h"
+
+namespace imr::graph::ann {
+
+class FlatIndex : public AnnIndex {
+ public:
+  FlatIndex() = default;
+
+  /// Indexes the [rows x dim] row-major view `data` (non-owning; must
+  /// outlive the index). rows == 0 builds a valid empty index.
+  void Build(const float* data, int rows, int dim, Metric metric);
+
+  /// Convenience over a whole embedding store.
+  static FlatIndex Over(const EmbeddingStore& store, Metric metric);
+
+  int size() const override { return rows_; }
+  int dim() const override { return dim_; }
+  Metric metric() const override { return metric_; }
+
+  void Search(const float* query, int k,
+              std::vector<SearchResult>* out) const override;
+  void SearchBatch(const float* queries, int num_queries, int k,
+                   std::vector<std::vector<SearchResult>>* out) const override;
+
+ private:
+  const float* data_ = nullptr;
+  int rows_ = 0;
+  int dim_ = 0;
+  Metric metric_ = Metric::kCosine;
+  std::vector<float> inv_norms_;  // per-row 1/||x||, cosine only
+};
+
+}  // namespace imr::graph::ann
+
+#endif  // IMR_GRAPH_ANN_FLAT_INDEX_H_

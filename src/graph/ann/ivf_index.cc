@@ -1,0 +1,320 @@
+#include "graph/ann/ivf_index.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "tensor/buffer_pool.h"
+#include "tensor/simd/dispatch.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace imr::graph::ann {
+
+using tensor::internal::AcquireBuffer;
+using tensor::internal::PooledFloats;
+
+namespace {
+
+// Probe selection runs in a fixed stack array; nprobe is clamped to this.
+// 256 probed cells at the 100k-entity preset is already an exact scan.
+constexpr int kMaxNprobe = 256;
+
+constexpr int64_t kAssignGrain = 2048;
+
+int ClampNprobe(int nprobe, int nlist) {
+  return std::max(1, std::min({nprobe, nlist, kMaxNprobe}));
+}
+
+}  // namespace
+
+void IvfIndex::PrepareWork(std::vector<float>* work) const {
+  work->assign(data_, data_ + static_cast<size_t>(rows_) * dim_);
+  if (metric_ != Metric::kCosine) return;
+  for (int r = 0; r < rows_; ++r) {
+    float* row = work->data() + static_cast<size_t>(r) * dim_;
+    const float inv = detail::InvNorm(row, static_cast<size_t>(dim_));
+    for (int d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+void IvfIndex::BuildLists(const std::vector<float>& work) {
+  list_offsets_.assign(static_cast<size_t>(nlist_) + 1, 0);
+  for (int r = 0; r < rows_; ++r) {
+    ++list_offsets_[static_cast<size_t>(assignments_[static_cast<size_t>(r)]) +
+                    1];
+  }
+  for (int c = 0; c < nlist_; ++c) {
+    list_offsets_[static_cast<size_t>(c) + 1] +=
+        list_offsets_[static_cast<size_t>(c)];
+  }
+  max_list_len_ = 0;
+  for (int c = 0; c < nlist_; ++c) {
+    max_list_len_ =
+        std::max(max_list_len_, list_offsets_[static_cast<size_t>(c) + 1] -
+                                    list_offsets_[static_cast<size_t>(c)]);
+  }
+  packed_ids_.resize(static_cast<size_t>(rows_));
+  packed_.resize(static_cast<size_t>(rows_) * dim_);
+  std::vector<int64_t> cursor(list_offsets_.begin(), list_offsets_.end() - 1);
+  // Ascending row order within each cell keeps duplicate-vector ties
+  // deterministic.
+  for (int r = 0; r < rows_; ++r) {
+    const int cell = assignments_[static_cast<size_t>(r)];
+    const int64_t pos = cursor[static_cast<size_t>(cell)]++;
+    packed_ids_[static_cast<size_t>(pos)] = r;
+    std::memcpy(packed_.data() + static_cast<size_t>(pos) * dim_,
+                work.data() + static_cast<size_t>(r) * dim_,
+                sizeof(float) * static_cast<size_t>(dim_));
+  }
+}
+
+void IvfIndex::Build(const float* data, int rows, int dim, Metric metric,
+                     const IvfOptions& options, util::ThreadPool* pool) {
+  IMR_CHECK_GE(rows, 0);
+  IMR_CHECK_GT(dim, 0);
+  if (rows > 0) IMR_CHECK(data != nullptr);
+  data_ = data;
+  rows_ = rows;
+  dim_ = dim;
+  metric_ = metric;
+  options_ = options;
+  centroids_.clear();
+  assignments_.clear();
+  packed_.clear();
+  packed_ids_.clear();
+  list_offsets_.clear();
+  max_list_len_ = 0;
+  if (rows_ == 0) {
+    nlist_ = 0;
+    nprobe_ = 1;
+    return;
+  }
+  nlist_ = std::max(1, std::min(options.nlist, rows_));
+  nprobe_ = ClampNprobe(options.nprobe, nlist_);
+
+  std::vector<float> work;
+  PrepareWork(&work);
+
+  // Seed centroids from a deterministic sample of distinct rows.
+  util::Rng rng(options.seed);
+  std::vector<int> perm(static_cast<size_t>(rows_));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  centroids_.resize(static_cast<size_t>(nlist_) * dim_);
+  for (int c = 0; c < nlist_; ++c) {
+    std::memcpy(centroids_.data() + static_cast<size_t>(c) * dim_,
+                work.data() + static_cast<size_t>(perm[static_cast<size_t>(c)]) *
+                                  dim_,
+                sizeof(float) * static_cast<size_t>(dim_));
+  }
+
+  assignments_.assign(static_cast<size_t>(rows_), 0);
+  // Resolve the kernel table once on this thread (grad mode is
+  // thread-local) and pass it into the parallel bodies by reference.
+  const auto& kernels = tensor::simd::EvalKernels();
+  const auto assign_rows = [&](int64_t lo, int64_t hi) {
+    PooledFloats dists(AcquireBuffer(static_cast<size_t>(nlist_)));
+    for (int64_t r = lo; r < hi; ++r) {
+      kernels.ann_l2sqr_many(work.data() + static_cast<size_t>(r) * dim_,
+                             centroids_.data(), static_cast<size_t>(nlist_),
+                             static_cast<size_t>(dim_), dists.data());
+      int best = 0;
+      for (int c = 1; c < nlist_; ++c) {
+        if (dists[static_cast<size_t>(c)] < dists[static_cast<size_t>(best)]) {
+          best = c;
+        }
+      }
+      assignments_[static_cast<size_t>(r)] = best;
+    }
+  };
+  const auto assign_all = [&] {
+    if (pool != nullptr) {
+      pool->ParallelFor(0, rows_, kAssignGrain, assign_rows);
+    } else {
+      assign_rows(0, rows_);
+    }
+  };
+
+  std::vector<float> sums;
+  std::vector<int64_t> counts;
+  for (int iter = 0; iter < options.kmeans_iters; ++iter) {
+    assign_all();
+    // Sequential row-order accumulation: bit-identical at any thread count.
+    sums.assign(static_cast<size_t>(nlist_) * dim_, 0.0f);
+    counts.assign(static_cast<size_t>(nlist_), 0);
+    for (int r = 0; r < rows_; ++r) {
+      const int cell = assignments_[static_cast<size_t>(r)];
+      const float* row = work.data() + static_cast<size_t>(r) * dim_;
+      float* sum = sums.data() + static_cast<size_t>(cell) * dim_;
+      for (int d = 0; d < dim_; ++d) sum[d] += row[d];
+      ++counts[static_cast<size_t>(cell)];
+    }
+    for (int c = 0; c < nlist_; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old centroid
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      float* centroid = centroids_.data() + static_cast<size_t>(c) * dim_;
+      const float* sum = sums.data() + static_cast<size_t>(c) * dim_;
+      for (int d = 0; d < dim_; ++d) centroid[d] = sum[d] * inv;
+      if (metric_ == Metric::kCosine) {
+        // Spherical k-means: centroids live on the unit sphere too.
+        const float cinv = detail::InvNorm(centroid, static_cast<size_t>(dim_));
+        for (int d = 0; d < dim_; ++d) centroid[d] *= cinv;
+      }
+    }
+  }
+  assign_all();
+  BuildLists(work);
+}
+
+IvfIndex IvfIndex::Over(const EmbeddingStore& store, Metric metric,
+                        const IvfOptions& options, util::ThreadPool* pool) {
+  IvfIndex index;
+  index.Build(store.flat().data(), store.num_vertices(), store.dim(), metric,
+              options, pool);
+  return index;
+}
+
+void IvfIndex::set_nprobe(int nprobe) {
+  if (nlist_ == 0) return;
+  nprobe_ = ClampNprobe(nprobe, nlist_);
+}
+
+void IvfIndex::Search(const float* query, int k,
+                      std::vector<SearchResult>* out) const {
+  out->clear();
+  if (rows_ == 0 || k <= 0) return;
+  const auto& kernels = tensor::simd::EvalKernels();
+  const size_t dim = static_cast<size_t>(dim_);
+
+  PooledFloats qbuf(AcquireBuffer(dim));
+  const float* q = query;
+  if (metric_ == Metric::kCosine) {
+    // Packed rows are normalized at build, so a normalized query turns the
+    // probe scan into a pure dot sweep.
+    kernels.scale(query, detail::InvNorm(query, dim), qbuf.data(), dim);
+    q = qbuf.data();
+  }
+
+  PooledFloats cell_scores(AcquireBuffer(static_cast<size_t>(nlist_)));
+  if (metric_ == Metric::kL2) {
+    kernels.ann_l2sqr_many(q, centroids_.data(), static_cast<size_t>(nlist_),
+                           dim, cell_scores.data());
+    kernels.scale(cell_scores.data(), -1.0f, cell_scores.data(),
+                  static_cast<size_t>(nlist_));
+  } else {
+    kernels.ann_dot_many(q, centroids_.data(), static_cast<size_t>(nlist_),
+                         dim, cell_scores.data());
+  }
+
+  std::array<SearchResult, kMaxNprobe> probe_slots;
+  detail::TopK probe_top(probe_slots.data(), nprobe_);
+  for (int c = 0; c < nlist_; ++c) {
+    probe_top.Offer(c, cell_scores[static_cast<size_t>(c)]);
+  }
+  const int probes = probe_top.Finish();
+
+  const int keep = std::min(k, rows_);
+  out->resize(static_cast<size_t>(keep));
+  detail::TopK top(out->data(), keep);
+  PooledFloats list_scores(
+      AcquireBuffer(static_cast<size_t>(std::max<int64_t>(max_list_len_, 1))));
+  for (int p = 0; p < probes; ++p) {
+    const int cell = probe_slots[static_cast<size_t>(p)].id;
+    const int64_t begin = list_offsets_[static_cast<size_t>(cell)];
+    const int64_t len = list_offsets_[static_cast<size_t>(cell) + 1] - begin;
+    if (len == 0) continue;
+    const float* slab = packed_.data() + static_cast<size_t>(begin) * dim;
+    if (metric_ == Metric::kL2) {
+      kernels.ann_l2sqr_many(q, slab, static_cast<size_t>(len), dim,
+                             list_scores.data());
+      for (int64_t i = 0; i < len; ++i) {
+        top.Offer(packed_ids_[static_cast<size_t>(begin + i)],
+                  -list_scores[static_cast<size_t>(i)]);
+      }
+    } else {
+      kernels.ann_dot_many(q, slab, static_cast<size_t>(len), dim,
+                           list_scores.data());
+      for (int64_t i = 0; i < len; ++i) {
+        top.Offer(packed_ids_[static_cast<size_t>(begin + i)],
+                  list_scores[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  out->resize(static_cast<size_t>(top.Finish()));
+}
+
+void IvfIndex::WriteTo(util::BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(metric_));
+  writer->WriteU32(static_cast<uint32_t>(rows_));
+  writer->WriteU32(static_cast<uint32_t>(dim_));
+  writer->WriteU32(static_cast<uint32_t>(nlist_));
+  writer->WriteU32(static_cast<uint32_t>(nprobe_));
+  writer->WriteU32(static_cast<uint32_t>(options_.kmeans_iters));
+  writer->WriteU64(options_.seed);
+  writer->WriteFloatVector(centroids_);
+  writer->WriteIntVector(assignments_);
+}
+
+util::StatusOr<IvfIndex> IvfIndex::ReadFrom(util::BinaryReader* reader,
+                                            const float* data, int rows,
+                                            int dim) {
+  const uint32_t metric_raw = reader->ReadU32();
+  const int stored_rows = static_cast<int>(reader->ReadU32());
+  const int stored_dim = static_cast<int>(reader->ReadU32());
+  const int nlist = static_cast<int>(reader->ReadU32());
+  const int nprobe = static_cast<int>(reader->ReadU32());
+  const int kmeans_iters = static_cast<int>(reader->ReadU32());
+  const uint64_t seed = reader->ReadU64();
+  std::vector<float> centroids = reader->ReadFloatVector();
+  std::vector<int> assignments = reader->ReadIntVector();
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (metric_raw > static_cast<uint32_t>(Metric::kL2)) {
+    return util::InvalidArgument("corrupt ANN section: bad metric in '" +
+                                 reader->path() + "'");
+  }
+  if (stored_rows != rows || stored_dim != dim) {
+    return util::InvalidArgument(
+        "ANN section does not match its base matrix in '" + reader->path() +
+        "'");
+  }
+  IvfIndex index;
+  index.data_ = data;
+  index.rows_ = rows;
+  index.dim_ = dim;
+  index.metric_ = static_cast<Metric>(metric_raw);
+  index.options_.nlist = nlist;
+  index.options_.nprobe = nprobe;
+  index.options_.kmeans_iters = kmeans_iters;
+  index.options_.seed = seed;
+  if (rows == 0) {
+    index.nlist_ = 0;
+    index.nprobe_ = 1;
+    return index;
+  }
+  if (nlist <= 0 || nlist > rows ||
+      centroids.size() != static_cast<size_t>(nlist) * dim ||
+      assignments.size() != static_cast<size_t>(rows)) {
+    return util::InvalidArgument("corrupt ANN section in '" + reader->path() +
+                                 "'");
+  }
+  for (int r = 0; r < rows; ++r) {
+    const int cell = assignments[static_cast<size_t>(r)];
+    if (cell < 0 || cell >= nlist) {
+      return util::InvalidArgument(
+          "corrupt ANN section: assignment out of range in '" +
+          reader->path() + "'");
+    }
+  }
+  index.nlist_ = nlist;
+  index.nprobe_ = ClampNprobe(nprobe, nlist);
+  index.centroids_ = std::move(centroids);
+  index.assignments_ = std::move(assignments);
+  std::vector<float> work;
+  index.PrepareWork(&work);
+  index.BuildLists(work);
+  return index;
+}
+
+}  // namespace imr::graph::ann

@@ -26,6 +26,9 @@
 #include "eval/metrics.h"                  // IWYU pragma: export
 #include "eval/per_relation.h"             // IWYU pragma: export
 #include "graph/alias_sampler.h"           // IWYU pragma: export
+#include "graph/ann/ann_index.h"           // IWYU pragma: export
+#include "graph/ann/flat_index.h"          // IWYU pragma: export
+#include "graph/ann/ivf_index.h"           // IWYU pragma: export
 #include "graph/deepwalk.h"                // IWYU pragma: export
 #include "graph/embedding_store.h"         // IWYU pragma: export
 #include "graph/line.h"                    // IWYU pragma: export
@@ -42,6 +45,7 @@
 #include "re/bag_dataset.h"                // IWYU pragma: export
 #include "re/cnn_rl.h"                     // IWYU pragma: export
 #include "re/config.h"                     // IWYU pragma: export
+#include "re/knn_predictor.h"              // IWYU pragma: export
 #include "re/mimlre.h"                     // IWYU pragma: export
 #include "re/mintz.h"                      // IWYU pragma: export
 #include "re/multir.h"                     // IWYU pragma: export

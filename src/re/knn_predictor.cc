@@ -1,0 +1,185 @@
+#include "re/knn_predictor.h"
+
+#include <algorithm>
+
+#include "tensor/buffer_pool.h"
+#include "util/logging.h"
+
+namespace imr::re {
+
+using tensor::internal::AcquireBufferFill;
+using tensor::internal::PooledFloats;
+
+const graph::ann::AnnIndex& KnnPredictor::index() const {
+  if (use_ivf_) return ivf_;
+  return flat_;
+}
+
+void KnnPredictor::BuildMatrixAndIndex(const graph::EmbeddingStore& embeddings,
+                                       util::ThreadPool* pool,
+                                       bool ivf_from_scratch) {
+  const int pairs = num_pairs();
+  mr_matrix_.assign(static_cast<size_t>(pairs) * dim_, 0.0f);
+  for (int p = 0; p < pairs; ++p) {
+    const float* head =
+        embeddings.Vector(static_cast<int>(heads_[static_cast<size_t>(p)]));
+    const float* tail =
+        embeddings.Vector(static_cast<int>(tails_[static_cast<size_t>(p)]));
+    float* mr = mr_matrix_.data() + static_cast<size_t>(p) * dim_;
+    for (int d = 0; d < dim_; ++d) mr[d] = tail[d] - head[d];
+  }
+  flat_.Build(mr_matrix_.data(), pairs, dim_, graph::ann::Metric::kCosine);
+  use_ivf_ = pairs >= options_.min_pairs_for_ivf;
+  if (use_ivf_ && ivf_from_scratch) {
+    graph::ann::IvfOptions ivf_options;
+    ivf_options.nlist = options_.nlist;
+    ivf_options.nprobe = options_.nprobe;
+    ivf_options.kmeans_iters = options_.kmeans_iters;
+    ivf_options.seed = options_.seed;
+    ivf_.Build(mr_matrix_.data(), pairs, dim_, graph::ann::Metric::kCosine,
+               ivf_options, pool);
+  }
+}
+
+KnnPredictor KnnPredictor::Build(const graph::EmbeddingStore& embeddings,
+                                 const std::vector<Bag>& train_bags,
+                                 int num_relations, const KnnOptions& options,
+                                 util::ThreadPool* pool) {
+  KnnPredictor predictor;
+  predictor.options_ = options;
+  predictor.num_relations_ = num_relations;
+  predictor.dim_ = embeddings.dim();
+  for (const Bag& bag : train_bags) {
+    if (bag.relation < 0 || bag.relation >= num_relations) continue;
+    if (!options.include_na && bag.relation == 0) continue;
+    if (bag.head < 0 || bag.head >= embeddings.num_vertices()) continue;
+    if (bag.tail < 0 || bag.tail >= embeddings.num_vertices()) continue;
+    predictor.heads_.push_back(bag.head);
+    predictor.tails_.push_back(bag.tail);
+    predictor.labels_.push_back(bag.relation);
+  }
+  predictor.BuildMatrixAndIndex(embeddings, pool, /*ivf_from_scratch=*/true);
+  return predictor;
+}
+
+bool KnnPredictor::Interpolate(const float* mr,
+                               std::vector<float>* probs) const {
+  if (labels_.empty()) return false;
+  IMR_CHECK_EQ(static_cast<int>(probs->size()), num_relations_);
+  float max_p = 0.0f;
+  for (const float p : *probs) max_p = std::max(max_p, p);
+  if (max_p >= options_.confidence_gate) return false;
+
+  // Reused per thread: no steady-state allocation on the serve hot path.
+  static thread_local std::vector<graph::ann::SearchResult> neighbors;
+  index().Search(mr, options_.k, &neighbors);
+  if (neighbors.empty()) return false;
+
+  PooledFloats votes(
+      AcquireBufferFill(static_cast<size_t>(num_relations_), 0.0f));
+  float total = 0.0f;
+  for (const auto& neighbor : neighbors) {
+    // Cosine similarity clipped at zero: anti-correlated pairs carry no
+    // evidence, and a degenerate (zero-MR) query contributes nothing.
+    const float weight = std::max(neighbor.score, 0.0f);
+    if (weight <= 0.0f) continue;
+    votes[static_cast<size_t>(labels_[static_cast<size_t>(neighbor.id)])] +=
+        weight;
+    total += weight;
+  }
+  if (total <= 0.0f) return false;
+
+  const float lambda = options_.lambda;
+  const float inv_total = 1.0f / total;
+  for (int r = 0; r < num_relations_; ++r) {
+    (*probs)[static_cast<size_t>(r)] =
+        (1.0f - lambda) * (*probs)[static_cast<size_t>(r)] +
+        lambda * votes[static_cast<size_t>(r)] * inv_total;
+  }
+  return true;
+}
+
+void KnnPredictor::WriteTo(util::BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(num_relations_));
+  writer->WriteU32(static_cast<uint32_t>(dim_));
+  writer->WriteU32(static_cast<uint32_t>(options_.k));
+  writer->WriteFloat(options_.lambda);
+  writer->WriteFloat(options_.confidence_gate);
+  writer->WriteU32(options_.include_na ? 1 : 0);
+  writer->WriteU32(static_cast<uint32_t>(options_.min_pairs_for_ivf));
+  writer->WriteU32(static_cast<uint32_t>(options_.nlist));
+  writer->WriteU32(static_cast<uint32_t>(options_.nprobe));
+  writer->WriteU32(static_cast<uint32_t>(options_.kmeans_iters));
+  writer->WriteU64(options_.seed);
+  writer->WriteU32(static_cast<uint32_t>(labels_.size()));
+  for (const int64_t head : heads_) writer->WriteI64(head);
+  for (const int64_t tail : tails_) writer->WriteI64(tail);
+  writer->WriteIntVector(labels_);
+  writer->WriteU32(use_ivf_ ? 1 : 0);
+  if (use_ivf_) ivf_.WriteTo(writer);
+}
+
+util::StatusOr<KnnPredictor> KnnPredictor::ReadFrom(
+    util::BinaryReader* reader, const graph::EmbeddingStore& embeddings) {
+  KnnPredictor predictor;
+  predictor.num_relations_ = static_cast<int>(reader->ReadU32());
+  predictor.dim_ = static_cast<int>(reader->ReadU32());
+  predictor.options_.k = static_cast<int>(reader->ReadU32());
+  predictor.options_.lambda = reader->ReadFloat();
+  predictor.options_.confidence_gate = reader->ReadFloat();
+  predictor.options_.include_na = reader->ReadU32() != 0;
+  predictor.options_.min_pairs_for_ivf = static_cast<int>(reader->ReadU32());
+  predictor.options_.nlist = static_cast<int>(reader->ReadU32());
+  predictor.options_.nprobe = static_cast<int>(reader->ReadU32());
+  predictor.options_.kmeans_iters = static_cast<int>(reader->ReadU32());
+  predictor.options_.seed = reader->ReadU64();
+  const uint32_t pairs = reader->ReadU32();
+  predictor.heads_.resize(pairs);
+  for (uint32_t p = 0; p < pairs; ++p) predictor.heads_[p] = reader->ReadI64();
+  predictor.tails_.resize(pairs);
+  for (uint32_t p = 0; p < pairs; ++p) predictor.tails_[p] = reader->ReadI64();
+  predictor.labels_ = reader->ReadIntVector();
+  const bool stored_ivf = reader->ReadU32() != 0;
+  IMR_RETURN_IF_ERROR(reader->status());
+  if (predictor.dim_ != embeddings.dim()) {
+    return util::InvalidArgument(
+        "kNN section dim does not match the embedding store in '" +
+        reader->path() + "'");
+  }
+  if (predictor.num_relations_ <= 0 ||
+      predictor.labels_.size() != static_cast<size_t>(pairs)) {
+    return util::InvalidArgument("corrupt kNN section in '" + reader->path() +
+                                 "'");
+  }
+  for (uint32_t p = 0; p < pairs; ++p) {
+    if (predictor.heads_[p] < 0 ||
+        predictor.heads_[p] >= embeddings.num_vertices() ||
+        predictor.tails_[p] < 0 ||
+        predictor.tails_[p] >= embeddings.num_vertices() ||
+        predictor.labels_[p] < 0 ||
+        predictor.labels_[p] >= predictor.num_relations_) {
+      return util::InvalidArgument(
+          "corrupt kNN section: pair out of range in '" + reader->path() +
+          "'");
+    }
+  }
+  // MR vectors are derived state: recompute from the embeddings, then
+  // restore the learned IVF structure over the recomputed matrix.
+  predictor.BuildMatrixAndIndex(embeddings, nullptr,
+                                /*ivf_from_scratch=*/false);
+  if (stored_ivf != predictor.use_ivf_) {
+    return util::InvalidArgument(
+        "corrupt kNN section: index kind mismatch in '" + reader->path() +
+        "'");
+  }
+  if (predictor.use_ivf_) {
+    auto ivf = graph::ann::IvfIndex::ReadFrom(
+        reader, predictor.mr_matrix_.data(), predictor.num_pairs(),
+        predictor.dim_);
+    IMR_RETURN_IF_ERROR(ivf.status());
+    predictor.ivf_ = std::move(ivf).value();
+  }
+  return predictor;
+}
+
+}  // namespace imr::re

@@ -1,0 +1,102 @@
+// kNN-interpolated long-tail predictor (Wan et al. 2022, "Rescue Implicit
+// and Long-tail Cases: Nearest Neighbor Relation Extraction").
+//
+// The paper's weakest regime is sparse entity pairs: few sentences means a
+// noisy PaModel posterior. This predictor memorises the TRAINING pairs'
+// mutual-relation vectors MR(h,t) = U_t - U_h together with their
+// distant-supervision labels, and at inference retrieves the k nearest
+// stored pairs (cosine over MR space, served by the ANN index) to form a
+// similarity-weighted label vote. The vote is blended into the model
+// posterior only when the model is unsure:
+//
+//     fire  iff  max_r p_model(r) < confidence_gate
+//     p(r)  =    (1 - lambda) * p_model(r) + lambda * vote(r)
+//
+// so confident (dense-pair) predictions pass through untouched and the
+// kNN evidence only rescues the long tail.
+//
+// Thread model: Build once, then Interpolate is const and safe to call
+// concurrently from every serve replica (float scratch is pooled
+// thread-locally; the neighbor list is a thread_local reused buffer).
+#ifndef IMR_RE_KNN_PREDICTOR_H_
+#define IMR_RE_KNN_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ann/flat_index.h"
+#include "graph/ann/ivf_index.h"
+#include "graph/embedding_store.h"
+#include "re/bag_dataset.h"
+#include "util/serialization.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace imr::re {
+
+struct KnnOptions {
+  int k = 8;                     // neighbors per vote
+  float lambda = 0.5f;           // weight of the kNN vote in the blend
+  float confidence_gate = 0.6f;  // fire when max model prob < gate
+  bool include_na = false;       // memorise NA-labelled (id 0) pairs too
+  int min_pairs_for_ivf = 256;   // below this, brute force is cheaper
+  int nlist = 64;
+  int nprobe = 8;
+  int kmeans_iters = 8;
+  uint64_t seed = 17;
+};
+
+class KnnPredictor {
+ public:
+  KnnPredictor() = default;
+  // The ANN indexes view mr_matrix_; moving transfers the heap buffer (so
+  // the view stays valid) but copying would dangle it.
+  KnnPredictor(const KnnPredictor&) = delete;
+  KnnPredictor& operator=(const KnnPredictor&) = delete;
+  KnnPredictor(KnnPredictor&&) = default;
+  KnnPredictor& operator=(KnnPredictor&&) = default;
+
+  /// Memorises the train bags' (pair, label) set. `pool` may be null.
+  static KnnPredictor Build(const graph::EmbeddingStore& embeddings,
+                            const std::vector<Bag>& train_bags,
+                            int num_relations, const KnnOptions& options,
+                            util::ThreadPool* pool);
+
+  /// Blends the kNN vote into `probs` (size num_relations, the model
+  /// posterior) for the pair whose MR vector is `mr` (dim() floats).
+  /// Returns true when the vote fired (gate passed and neighbors found).
+  bool Interpolate(const float* mr, std::vector<float>* probs) const;
+
+  int num_pairs() const { return static_cast<int>(labels_.size()); }
+  int num_relations() const { return num_relations_; }
+  int dim() const { return dim_; }
+  const KnnOptions& options() const { return options_; }
+  bool uses_ivf() const { return use_ivf_; }
+  const graph::ann::AnnIndex& index() const;
+
+  /// Serialises pairs/labels and the learned IVF structure. MR vectors are
+  /// NOT stored — they are recomputed from the embedding store at load, so
+  /// the section stays O(pairs) instead of O(pairs * dim).
+  void WriteTo(util::BinaryWriter* writer) const;
+  static util::StatusOr<KnnPredictor> ReadFrom(
+      util::BinaryReader* reader, const graph::EmbeddingStore& embeddings);
+
+ private:
+  void BuildMatrixAndIndex(const graph::EmbeddingStore& embeddings,
+                           util::ThreadPool* pool, bool ivf_from_scratch);
+
+  KnnOptions options_;
+  int num_relations_ = 0;
+  int dim_ = 0;
+  std::vector<int64_t> heads_;
+  std::vector<int64_t> tails_;
+  std::vector<int> labels_;
+  std::vector<float> mr_matrix_;  // [num_pairs x dim]
+  graph::ann::FlatIndex flat_;
+  graph::ann::IvfIndex ivf_;
+  bool use_ivf_ = false;
+};
+
+}  // namespace imr::re
+
+#endif  // IMR_RE_KNN_PREDICTOR_H_

@@ -206,6 +206,21 @@ util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
 
   Prediction prediction;
   prediction.probabilities = state->snapshot.model->Predict(*bag);
+  // Long-tail rescue: when the snapshot carries a kNN predictor and the
+  // model is unsure, blend in the vote over the same MR vector the forward
+  // pass used (so the blend is consistent with this generation's
+  // embeddings, cached or not).
+  const re::KnnPredictor* knn = state->snapshot.knn.get();
+  if (options_.knn && knn != nullptr &&
+      static_cast<int>(bag->mutual_relation.size()) == knn->dim() &&
+      static_cast<int>(prediction.probabilities.size()) ==
+          knn->num_relations()) {
+    prediction.knn_fired = knn->Interpolate(bag->mutual_relation.data(),
+                                            &prediction.probabilities);
+    if (prediction.knn_fired) {
+      knn_fired_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const auto end = std::chrono::steady_clock::now();
   prediction.latency_us = MicrosBetween(start, end);
   prediction.mr_cache_hit = cache_hit;
@@ -398,6 +413,7 @@ EngineStats InferenceEngine::Stats() const {
   EngineStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.knn_fired = knn_fired_.load(std::memory_order_relaxed);
   stats.cache_shards = mr_cache_.ShardStats();
   for (const CacheShardStats& shard : stats.cache_shards) {
     stats.mr_cache_hits += shard.hits;

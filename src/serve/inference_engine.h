@@ -75,6 +75,11 @@ struct EngineOptions {
   /// (PaModel::EnableQuantizedInference). fp32 and quantized engines over
   /// the same snapshot are compared by bench_serve's accuracy gate.
   bool quantized = false;
+  /// kNN-interpolate long-tail predictions when the snapshot carries an
+  /// ANNI section (re::KnnPredictor). The predictor's own confidence gate
+  /// decides per request whether the vote fires; snapshots without the
+  /// section serve unchanged regardless of this flag.
+  bool knn = true;
 };
 
 /// One inference request: an entity pair plus the sentences mentioning it
@@ -99,6 +104,10 @@ struct Prediction {
   std::vector<ScoredRelation> top;   // top_k by probability, descending
   double latency_us = 0.0;           // model forward time for this request
   bool mr_cache_hit = false;
+  /// True when the kNN vote fired for this request (snapshot carried an
+  /// ANNI section, the model was below its confidence gate, and neighbors
+  /// contributed weight). `probabilities` and `top` then hold the blend.
+  bool knn_fired = false;
   /// The snapshot generation that produced this response (1 = the boot
   /// snapshot). Every field of the response is consistent with exactly
   /// this generation, even when a hot swap raced the request.
@@ -108,6 +117,8 @@ struct Prediction {
 struct EngineStats {
   uint64_t requests = 0;
   uint64_t batches = 0;  // micro-batches executed by the dispatcher
+  /// Requests whose response blended in the kNN vote (Prediction::knn_fired).
+  uint64_t knn_fired = 0;
   uint64_t mr_cache_hits = 0;
   uint64_t mr_cache_misses = 0;
   /// Per-shard cache traffic (hits/misses/resident entries), index ==
@@ -258,6 +269,7 @@ class InferenceEngine {
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> knn_fired_{0};
   mutable util::Mutex stats_mutex_;  // latency ring + qps window only
   double latency_sum_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;
   double latency_max_us_ IMR_GUARDED_BY(stats_mutex_) = 0.0;

@@ -203,6 +203,7 @@ RouterStats ServeRouter::Stats() const {
 
     total.requests += replica.requests;
     total.batches += replica.batches;
+    total.knn_fired += replica.knn_fired;
     total.mr_cache_hits += replica.mr_cache_hits;
     total.mr_cache_misses += replica.mr_cache_misses;
     if (total.cache_shards.size() < replica.cache_shards.size()) {

@@ -23,6 +23,7 @@ constexpr uint32_t kTagEntities = 0x454E5453;    // "ENTS"
 constexpr uint32_t kTagEmbeddings = 0x454D4244;  // "EMBD"
 constexpr uint32_t kTagParameters = 0x5041524D;  // "PARM"
 constexpr uint32_t kTagQuantized = 0x51454D42;   // "QEMB" (optional)
+constexpr uint32_t kTagAnn = 0x414E4E49;         // "ANNI" (optional)
 constexpr uint32_t kTagEnd = 0x53454E44;         // "SEND"
 
 bool ValidEncoder(const std::string& kind) {
@@ -153,7 +154,8 @@ util::Status SaveSnapshot(const re::PaModel& model,
                           const re::BagDatasetOptions& bag_options,
                           uint64_t trained_steps, const std::string& notes,
                           const std::string& path,
-                          const graph::QuantizedEmbeddingStore* quantized) {
+                          const graph::QuantizedEmbeddingStore* quantized,
+                          const re::KnnPredictor* knn) {
   const re::PaModelConfig& config = model.config();
   // Catch inconsistent bundles at save time: a snapshot that cannot pass
   // its own load-time validation must never reach disk.
@@ -180,6 +182,14 @@ util::Status SaveSnapshot(const re::PaModel& model,
        quantized->dim() != embeddings.dim())) {
     return util::InvalidArgument(
         "snapshot: quantized embedding shape != fp32 embedding shape");
+  }
+  if (knn != nullptr && knn->dim() != embeddings.dim()) {
+    return util::InvalidArgument(
+        "snapshot: kNN predictor dim != embedding dim");
+  }
+  if (knn != nullptr && knn->num_relations() != config.num_relations) {
+    return util::InvalidArgument(
+        "snapshot: kNN predictor relation count != num_relations");
   }
 
   util::BinaryWriter writer(path, kSnapshotMagic, kSnapshotVersion);
@@ -218,6 +228,11 @@ util::Status SaveSnapshot(const re::PaModel& model,
     quantized->WriteTo(&writer);
   }
 
+  if (knn != nullptr) {
+    writer.WriteU32(kTagAnn);
+    knn->WriteTo(&writer);
+  }
+
   writer.WriteU32(kTagEnd);
   return writer.Close();
 }
@@ -229,7 +244,8 @@ util::Status SaveSnapshot(const re::PaModel& model,
                           const re::BagDatasetOptions& bag_options,
                           uint64_t trained_steps, const std::string& notes,
                           const std::string& path,
-                          const graph::QuantizedEmbeddingStore* quantized) {
+                          const graph::QuantizedEmbeddingStore* quantized,
+                          const re::KnnPredictor* knn) {
   std::vector<std::string> relation_names;
   relation_names.reserve(static_cast<size_t>(graph.num_relations()));
   for (const kg::RelationSchema& schema : graph.relations())
@@ -239,7 +255,8 @@ util::Status SaveSnapshot(const re::PaModel& model,
   for (const kg::Entity& entity : graph.entities())
     entities.push_back({entity.name, entity.type_ids});
   return SaveSnapshot(model, vocab, embeddings, relation_names, entities,
-                      bag_options, trained_steps, notes, path, quantized);
+                      bag_options, trained_steps, notes, path, quantized,
+                      knn);
 }
 
 util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
@@ -340,10 +357,11 @@ util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
   }
   snapshot.model->SetTraining(false);
 
-  // The tail is either SEND directly (pre-quantization files) or the
-  // optional QEMB section followed by SEND.
-  const uint64_t tail_at = reader.offset();
-  const uint32_t tail_tag = reader.ReadU32();
+  // The tail is a chain of optional sections in fixed order — [QEMB]
+  // [ANNI] — closed by SEND. Pre-quantization files hit SEND immediately;
+  // each reader branch consumes its section and reads the next tag.
+  uint64_t tail_at = reader.offset();
+  uint32_t tail_tag = reader.ReadU32();
   IMR_RETURN_IF_ERROR(reader.status());
   if (tail_tag == kTagQuantized) {
     auto quantized = graph::QuantizedEmbeddingStore::ReadFrom(&reader);
@@ -357,10 +375,29 @@ util::StatusOr<Snapshot> LoadSnapshot(const std::string& path) {
           snapshot.embeddings.num_vertices(), snapshot.embeddings.dim()));
     }
     snapshot.quantized_embeddings = std::move(*quantized);
-    IMR_RETURN_IF_ERROR(ExpectTag(&reader, kTagEnd, "end sentinel"));
-  } else if (tail_tag != kTagEnd) {
+    tail_at = reader.offset();
+    tail_tag = reader.ReadU32();
+    IMR_RETURN_IF_ERROR(reader.status());
+  }
+  if (tail_tag == kTagAnn) {
+    auto knn = re::KnnPredictor::ReadFrom(&reader, snapshot.embeddings);
+    IMR_RETURN_IF_ERROR(knn.status());
+    if (knn->num_relations() !=
+        snapshot.manifest.model_config.num_relations) {
+      return util::InvalidArgument(util::StrFormat(
+          "snapshot '%s': kNN section has %d relations, manifest declares %d",
+          path.c_str(), knn->num_relations(),
+          snapshot.manifest.model_config.num_relations));
+    }
+    snapshot.knn =
+        std::make_shared<const re::KnnPredictor>(std::move(*knn));
+    tail_at = reader.offset();
+    tail_tag = reader.ReadU32();
+    IMR_RETURN_IF_ERROR(reader.status());
+  }
+  if (tail_tag != kTagEnd) {
     return util::InvalidArgument(util::StrFormat(
-        "snapshot '%s': expected quantized-embedding or end sentinel tag at "
+        "snapshot '%s': expected optional-section or end sentinel tag at "
         "byte offset %llu, found 0x%08x",
         path.c_str(), static_cast<unsigned long long>(tail_at), tail_tag));
   }

@@ -16,6 +16,10 @@
 //         serving path; readers branch on the tag after PARM, so files
 //         written without it (all pre-quantization snapshots) load
 //         unchanged and the version stays 1
+//   ANNI  OPTIONAL re::KnnPredictor — memorised training pairs plus the
+//         learned IVF structure for kNN-interpolated long-tail serving.
+//         Like QEMB, readers branch on the tag, so v1 files without it
+//         (and v1 readers that predate it) are unaffected
 //   SEND  end sentinel — detects files truncated on a section boundary
 //
 // Every section is validated on load (tag, counts, cross-section shape
@@ -34,6 +38,7 @@
 #include "kg/knowledge_graph.h"
 #include "re/bag_dataset.h"
 #include "re/config.h"
+#include "re/knn_predictor.h"
 #include "re/pa_model.h"
 #include "text/vocab.h"
 #include "util/status.h"
@@ -65,6 +70,10 @@ struct Snapshot {
   graph::EmbeddingStore embeddings;
   /// Empty unless the file carried a QEMB section.
   graph::QuantizedEmbeddingStore quantized_embeddings;
+  /// Null unless the file carried an ANNI section. Shared (not unique) so
+  /// every serve replica of a ModelState can hold the same immutable
+  /// predictor across the RCU swap.
+  std::shared_ptr<const re::KnnPredictor> knn;
   std::unique_ptr<re::PaModel> model;
 };
 
@@ -72,7 +81,9 @@ struct Snapshot {
 /// may be empty (serving then requires raw entity ids and explicit types);
 /// when non-empty its size must equal embeddings.num_vertices(). Passing
 /// `quantized` (shape-matched to `embeddings`) appends the optional QEMB
-/// section so the file also carries the int8 serving weights.
+/// section so the file also carries the int8 serving weights. Passing
+/// `knn` (dim- and relation-matched) appends the optional ANNI section so
+/// the serve tier can kNN-interpolate long-tail predictions.
 [[nodiscard]] util::Status SaveSnapshot(
     const re::PaModel& model, const text::Vocabulary& vocab,
     const graph::EmbeddingStore& embeddings,
@@ -80,7 +91,8 @@ struct Snapshot {
     const std::vector<EntityRecord>& entities,
     const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
     const std::string& notes, const std::string& path,
-    const graph::QuantizedEmbeddingStore* quantized = nullptr);
+    const graph::QuantizedEmbeddingStore* quantized = nullptr,
+    const re::KnnPredictor* knn = nullptr);
 
 /// Convenience overload that pulls relation names and the entity table
 /// (names + type ids) from a knowledge graph.
@@ -89,7 +101,8 @@ struct Snapshot {
     const graph::EmbeddingStore& embeddings, const kg::KnowledgeGraph& graph,
     const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
     const std::string& notes, const std::string& path,
-    const graph::QuantizedEmbeddingStore* quantized = nullptr);
+    const graph::QuantizedEmbeddingStore* quantized = nullptr,
+    const re::KnnPredictor* knn = nullptr);
 
 /// Loads and validates a snapshot; the returned model reproduces the saved
 /// model's inference outputs bit-for-bit.

@@ -107,6 +107,11 @@ Kernels MergeOverScalar(Backend backend, const Kernels& overlay) {
   if (overlay.log_softmax_rows)
     merged.log_softmax_rows = overlay.log_softmax_rows;
   if (overlay.gemm_s8s32) merged.gemm_s8s32 = overlay.gemm_s8s32;
+  if (overlay.ann_dot_many) merged.ann_dot_many = overlay.ann_dot_many;
+  if (overlay.ann_l2sqr_many) merged.ann_l2sqr_many = overlay.ann_l2sqr_many;
+  if (overlay.ann_cosine_many)
+    merged.ann_cosine_many = overlay.ann_cosine_many;
+  if (overlay.ann_dot_batch) merged.ann_dot_batch = overlay.ann_dot_batch;
   return merged;
 }
 
@@ -197,12 +202,18 @@ const Kernels& KernelsFor(Backend backend) {
 }
 
 Backend ActiveEvalBackend() {
+  // Touch the registry FIRST: its constructor applies the
+  // IMR_KERNEL_BACKEND environment pin, so reading g_pinned_backend
+  // before it exists would misreport the backend (and resolve the wrong
+  // kernel table) when this is the process's first dispatch call.
+  const Registry& registry = GetRegistry();
   const int pinned = g_pinned_backend.load(std::memory_order_relaxed);
   if (pinned >= 0) return static_cast<Backend>(pinned);
-  return GetRegistry().best;
+  return registry.best;
 }
 
 bool EvalBackendPinned() {
+  GetRegistry();  // applies the environment pin on first use
   return g_pinned_backend.load(std::memory_order_relaxed) >= 0;
 }
 

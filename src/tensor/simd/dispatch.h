@@ -84,6 +84,26 @@ struct Kernels {
   // model widths here are O(100)).
   void (*gemm_s8s32)(const int8_t* a, const int8_t* wt, int32_t* out,
                      int rows, int inner, int cols) = nullptr;
+
+  // ANN distance sweeps (src/graph/ann/): score one query against `rows`
+  // contiguous base rows ([rows x dim] row-major). Scalar accumulates
+  // sequentially in ascending k — that ordering is the exactness
+  // reference for FlatIndex tests; vector tiers may reassociate.
+  // out[r] = dot(query, base[r,:]).
+  void (*ann_dot_many)(const float* query, const float* base, size_t rows,
+                       size_t dim, float* out) = nullptr;
+  // out[r] = ||query - base[r,:]||^2.
+  void (*ann_l2sqr_many)(const float* query, const float* base, size_t rows,
+                         size_t dim, float* out) = nullptr;
+  // out[r] = dot(query, base[r,:]) * inv_norms[r] * query_inv_norm, i.e.
+  // cosine with the per-row inverse norms precomputed at index build.
+  void (*ann_cosine_many)(const float* query, const float* base,
+                          const float* inv_norms, float query_inv_norm,
+                          size_t rows, size_t dim, float* out) = nullptr;
+  // Query batch: out[q*rows + r] = dot(queries[q,:], base[r,:]).
+  void (*ann_dot_batch)(const float* queries, size_t num_queries,
+                        const float* base, size_t rows, size_t dim,
+                        float* out) = nullptr;
 };
 
 /// Best ISA supported by this build AND the host CPU.

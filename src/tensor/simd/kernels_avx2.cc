@@ -316,6 +316,100 @@ void GemmS8S32Avx2(const int8_t* a, const int8_t* wt, int32_t* out, int rows,
   }
 }
 
+// ANN dot sweep: 4 base rows share each 8-lane query load (the panel-dot
+// microkernel shape with the roles of A and B^T swapped).
+void AnnDotManyAvx2(const float* query, const float* base, size_t rows,
+                    size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* b0 = base + (r + 0) * dim;
+    const float* b1 = base + (r + 1) * dim;
+    const float* b2 = base + (r + 2) * dim;
+    const float* b3 = base + (r + 3) * dim;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 q8 = _mm256_loadu_ps(query + k);
+      acc0 = _mm256_fmadd_ps(q8, _mm256_loadu_ps(b0 + k), acc0);
+      acc1 = _mm256_fmadd_ps(q8, _mm256_loadu_ps(b1 + k), acc1);
+      acc2 = _mm256_fmadd_ps(q8, _mm256_loadu_ps(b2 + k), acc2);
+      acc3 = _mm256_fmadd_ps(q8, _mm256_loadu_ps(b3 + k), acc3);
+    }
+    float s0 = Hsum8(acc0);
+    float s1 = Hsum8(acc1);
+    float s2 = Hsum8(acc2);
+    float s3 = Hsum8(acc3);
+    for (; k < dim; ++k) {
+      const float qv = query[k];
+      s0 += qv * b0[k];
+      s1 += qv * b1[k];
+      s2 += qv * b2[k];
+      s3 += qv * b3[k];
+    }
+    out[r + 0] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < rows; ++r) {
+    const float* row = base + r * dim;
+    __m256 acc = _mm256_setzero_ps();
+    size_t k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(query + k),
+                            _mm256_loadu_ps(row + k), acc);
+    }
+    float s = Hsum8(acc);
+    for (; k < dim; ++k) s += query[k] * row[k];
+    out[r] = s;
+  }
+}
+
+void AnnL2SqrManyAvx2(const float* query, const float* base, size_t rows,
+                      size_t dim, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = base + r * dim;
+    __m256 acc = _mm256_setzero_ps();
+    size_t k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(query + k),
+                                     _mm256_loadu_ps(row + k));
+      acc = _mm256_fmadd_ps(d, d, acc);
+    }
+    float s = Hsum8(acc);
+    for (; k < dim; ++k) {
+      const float d = query[k] - row[k];
+      s += d * d;
+    }
+    out[r] = s;
+  }
+}
+
+void AnnCosineManyAvx2(const float* query, const float* base,
+                       const float* inv_norms, float query_inv_norm,
+                       size_t rows, size_t dim, float* out) {
+  AnnDotManyAvx2(query, base, rows, dim, out);
+  const __m256 qn8 = _mm256_set1_ps(query_inv_norm);
+  size_t r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const __m256 v = _mm256_mul_ps(
+        _mm256_mul_ps(_mm256_loadu_ps(out + r), _mm256_loadu_ps(inv_norms + r)),
+        qn8);
+    _mm256_storeu_ps(out + r, v);
+  }
+  for (; r < rows; ++r) out[r] *= inv_norms[r] * query_inv_norm;
+}
+
+void AnnDotBatchAvx2(const float* queries, size_t num_queries,
+                     const float* base, size_t rows, size_t dim, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    AnnDotManyAvx2(queries + q * dim, base, rows, dim, out + q * rows);
+  }
+}
+
 const Kernels kAvx2Table = {
     Backend::kAvx2,
     AddAvx2,
@@ -329,6 +423,10 @@ const Kernels kAvx2Table = {
     SoftmaxRowsAvx2,
     LogSoftmaxRowsAvx2,
     GemmS8S32Avx2,
+    AnnDotManyAvx2,
+    AnnL2SqrManyAvx2,
+    AnnCosineManyAvx2,
+    AnnDotBatchAvx2,
 };
 
 }  // namespace

@@ -58,6 +58,10 @@ const Kernels kNeonTable = {
     nullptr,  // softmax_rows
     nullptr,  // log_softmax_rows
     nullptr,  // gemm_s8s32
+    nullptr,  // ann_dot_many -> scalar reference
+    nullptr,  // ann_l2sqr_many
+    nullptr,  // ann_cosine_many
+    nullptr,  // ann_dot_batch
 };
 
 }  // namespace

@@ -129,6 +129,50 @@ void GemmS8S32Scalar(const int8_t* a, const int8_t* wt, int32_t* out,
   }
 }
 
+// ANN sweep kernels. Ascending-k sequential float accumulation is the
+// exactness contract FlatIndex tests compare against — keep it.
+void AnnDotManyScalar(const float* query, const float* base, size_t rows,
+                      size_t dim, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* __restrict row = base + r * dim;
+    float acc = 0.0f;
+    for (size_t k = 0; k < dim; ++k) acc += query[k] * row[k];
+    out[r] = acc;
+  }
+}
+
+void AnnL2SqrManyScalar(const float* query, const float* base, size_t rows,
+                        size_t dim, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* __restrict row = base + r * dim;
+    float acc = 0.0f;
+    for (size_t k = 0; k < dim; ++k) {
+      const float d = query[k] - row[k];
+      acc += d * d;
+    }
+    out[r] = acc;
+  }
+}
+
+void AnnCosineManyScalar(const float* query, const float* base,
+                         const float* inv_norms, float query_inv_norm,
+                         size_t rows, size_t dim, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* __restrict row = base + r * dim;
+    float acc = 0.0f;
+    for (size_t k = 0; k < dim; ++k) acc += query[k] * row[k];
+    out[r] = acc * inv_norms[r] * query_inv_norm;
+  }
+}
+
+void AnnDotBatchScalar(const float* queries, size_t num_queries,
+                       const float* base, size_t rows, size_t dim,
+                       float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    AnnDotManyScalar(queries + q * dim, base, rows, dim, out + q * rows);
+  }
+}
+
 const Kernels kScalarTable = {
     Backend::kScalar,
     AddScalarKernel,
@@ -142,6 +186,10 @@ const Kernels kScalarTable = {
     SoftmaxRowsScalar,
     LogSoftmaxRowsScalar,
     GemmS8S32Scalar,
+    AnnDotManyScalar,
+    AnnL2SqrManyScalar,
+    AnnCosineManyScalar,
+    AnnDotBatchScalar,
 };
 
 }  // namespace

@@ -299,6 +299,86 @@ void GemmS8S32Sse2(const int8_t* a, const int8_t* wt, int32_t* out, int rows,
   }
 }
 
+// ANN dot sweep: pairs of base rows share each 4-lane query load.
+void AnnDotManySse2(const float* query, const float* base, size_t rows,
+                    size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const float* b0 = base + (r + 0) * dim;
+    const float* b1 = base + (r + 1) * dim;
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    size_t k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m128 q4 = _mm_loadu_ps(query + k);
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(q4, _mm_loadu_ps(b0 + k)));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(q4, _mm_loadu_ps(b1 + k)));
+    }
+    float s0 = Hsum4(acc0);
+    float s1 = Hsum4(acc1);
+    for (; k < dim; ++k) {
+      const float qv = query[k];
+      s0 += qv * b0[k];
+      s1 += qv * b1[k];
+    }
+    out[r + 0] = s0;
+    out[r + 1] = s1;
+  }
+  for (; r < rows; ++r) {
+    const float* row = base + r * dim;
+    __m128 acc = _mm_setzero_ps();
+    size_t k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(query + k),
+                                       _mm_loadu_ps(row + k)));
+    }
+    float s = Hsum4(acc);
+    for (; k < dim; ++k) s += query[k] * row[k];
+    out[r] = s;
+  }
+}
+
+void AnnL2SqrManySse2(const float* query, const float* base, size_t rows,
+                      size_t dim, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = base + r * dim;
+    __m128 acc = _mm_setzero_ps();
+    size_t k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m128 d =
+          _mm_sub_ps(_mm_loadu_ps(query + k), _mm_loadu_ps(row + k));
+      acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+    }
+    float s = Hsum4(acc);
+    for (; k < dim; ++k) {
+      const float d = query[k] - row[k];
+      s += d * d;
+    }
+    out[r] = s;
+  }
+}
+
+void AnnCosineManySse2(const float* query, const float* base,
+                       const float* inv_norms, float query_inv_norm,
+                       size_t rows, size_t dim, float* out) {
+  AnnDotManySse2(query, base, rows, dim, out);
+  const __m128 qn4 = _mm_set1_ps(query_inv_norm);
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const __m128 v = _mm_mul_ps(
+        _mm_mul_ps(_mm_loadu_ps(out + r), _mm_loadu_ps(inv_norms + r)), qn4);
+    _mm_storeu_ps(out + r, v);
+  }
+  for (; r < rows; ++r) out[r] *= inv_norms[r] * query_inv_norm;
+}
+
+void AnnDotBatchSse2(const float* queries, size_t num_queries,
+                     const float* base, size_t rows, size_t dim, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    AnnDotManySse2(queries + q * dim, base, rows, dim, out + q * rows);
+  }
+}
+
 const Kernels kSse2Table = {
     Backend::kSse2,
     AddSse2,
@@ -312,6 +392,10 @@ const Kernels kSse2Table = {
     SoftmaxRowsSse2,
     LogSoftmaxRowsSse2,
     GemmS8S32Sse2,
+    AnnDotManySse2,
+    AnnL2SqrManySse2,
+    AnnCosineManySse2,
+    AnnDotBatchSse2,
 };
 
 }  // namespace

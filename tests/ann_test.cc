@@ -1,0 +1,690 @@
+// graph::ann + re::KnnPredictor tests — FlatIndex exactness against a
+// naive reference (scalar-pinned, where the contract is bit-identity),
+// backend agreement for the ANN distance kernels, IVF recall bounds and
+// build determinism at any thread count, serialization round trips, and
+// the ANNI snapshot section (including old-snapshot compatibility).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/ann/ann_index.h"
+#include "graph/ann/flat_index.h"
+#include "graph/ann/ivf_index.h"
+#include "graph/embedding_store.h"
+#include "re/bag_dataset.h"
+#include "re/knn_predictor.h"
+#include "re/pa_model.h"
+#include "serve/snapshot.h"
+#include "tensor/simd/dispatch.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+#include "util/thread_pool.h"
+
+namespace imr {
+namespace {
+
+namespace ann = graph::ann;
+namespace simd = tensor::simd;
+
+std::vector<float> RandomFloats(size_t n, uint64_t seed, float lo = -1.0f,
+                                float hi = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.Uniform(lo, hi));
+  return out;
+}
+
+// Clustered rows (the shape entity-embedding tables have): IVF recall
+// bounds are only meaningful when the coarse quantizer has structure.
+std::vector<float> ClusteredRows(int rows, int dim, int clusters,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(clusters) * dim);
+  for (float& c : centers) c = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  std::vector<float> data(static_cast<size_t>(rows) * dim);
+  for (int r = 0; r < rows; ++r) {
+    const float* center =
+        centers.data() +
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(clusters))) *
+            dim;
+    float* row = data.data() + static_cast<size_t>(r) * dim;
+    for (int d = 0; d < dim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng.Uniform(-0.1, 0.1));
+    }
+  }
+  return data;
+}
+
+// Naive sequential reference — the same ascending-k accumulation order as
+// the scalar kernels, so under a scalar pin FlatIndex must match exactly.
+std::vector<ann::SearchResult> BruteForce(const float* data, int rows,
+                                          int dim, ann::Metric metric,
+                                          const float* query, int k) {
+  std::vector<ann::SearchResult> all(static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const float* row = data + static_cast<size_t>(r) * dim;
+    float dot = 0.0f, l2 = 0.0f, row_sq = 0.0f;
+    for (int d = 0; d < dim; ++d) {
+      dot += query[d] * row[d];
+      const float diff = query[d] - row[d];
+      l2 += diff * diff;
+      row_sq += row[d] * row[d];
+    }
+    float score = 0.0f;
+    switch (metric) {
+      case ann::Metric::kDot:
+        score = dot;
+        break;
+      case ann::Metric::kCosine: {
+        float query_sq = 0.0f;
+        for (int d = 0; d < dim; ++d) query_sq += query[d] * query[d];
+        const float inv_r =
+            row_sq > 0.0f ? 1.0f / std::sqrt(row_sq) : 0.0f;
+        const float inv_q =
+            query_sq > 0.0f ? 1.0f / std::sqrt(query_sq) : 0.0f;
+        score = dot * inv_r * inv_q;
+        break;
+      }
+      case ann::Metric::kL2:
+        score = -l2;
+        break;
+    }
+    all[static_cast<size_t>(r)] = {r, score};
+  }
+  std::sort(all.begin(), all.end(), ann::Better);
+  all.resize(static_cast<size_t>(std::min(k, rows)));
+  return all;
+}
+
+double Recall(const std::vector<ann::SearchResult>& truth,
+              const std::vector<ann::SearchResult>& got) {
+  if (truth.empty()) return 1.0;
+  int hit = 0;
+  for (const auto& t : truth) {
+    for (const auto& g : got) {
+      if (g.id == t.id) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(AnnKernelsTest, AllBackendsPopulateAnnEntries) {
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    EXPECT_NE(kernels.ann_dot_many, nullptr);
+    EXPECT_NE(kernels.ann_l2sqr_many, nullptr);
+    EXPECT_NE(kernels.ann_cosine_many, nullptr);
+    EXPECT_NE(kernels.ann_dot_batch, nullptr);
+  }
+}
+
+TEST(AnnKernelsTest, BackendsMatchScalarWithinTolerance) {
+  constexpr size_t kRows = 37;   // odd: exercises SIMD row-tail handling
+  constexpr size_t kDim = 29;    // odd: exercises lane-tail handling
+  const std::vector<float> base = RandomFloats(kRows * kDim, 11);
+  const std::vector<float> query = RandomFloats(kDim, 13);
+  std::vector<float> inv_norms(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    inv_norms[r] = ann::detail::InvNorm(base.data() + r * kDim, kDim);
+  }
+  const float query_inv = ann::detail::InvNorm(query.data(), kDim);
+
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Backend::kScalar);
+  std::vector<float> want_dot(kRows), want_l2(kRows), want_cos(kRows);
+  scalar.ann_dot_many(query.data(), base.data(), kRows, kDim,
+                      want_dot.data());
+  scalar.ann_l2sqr_many(query.data(), base.data(), kRows, kDim,
+                        want_l2.data());
+  scalar.ann_cosine_many(query.data(), base.data(), inv_norms.data(),
+                         query_inv, kRows, kDim, want_cos.data());
+
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    const simd::Kernels& kernels = simd::KernelsFor(backend);
+    std::vector<float> got(kRows);
+    kernels.ann_dot_many(query.data(), base.data(), kRows, kDim, got.data());
+    for (size_t r = 0; r < kRows; ++r) {
+      EXPECT_NEAR(got[r], want_dot[r], 1e-4f)
+          << simd::BackendName(backend) << " dot row " << r;
+    }
+    kernels.ann_l2sqr_many(query.data(), base.data(), kRows, kDim,
+                           got.data());
+    for (size_t r = 0; r < kRows; ++r) {
+      EXPECT_NEAR(got[r], want_l2[r], 1e-4f)
+          << simd::BackendName(backend) << " l2 row " << r;
+    }
+    kernels.ann_cosine_many(query.data(), base.data(), inv_norms.data(),
+                            query_inv, kRows, kDim, got.data());
+    for (size_t r = 0; r < kRows; ++r) {
+      EXPECT_NEAR(got[r], want_cos[r], 1e-4f)
+          << simd::BackendName(backend) << " cosine row " << r;
+    }
+    // Batch kernel: each query row must match the single-query kernel of
+    // the same backend.
+    constexpr size_t kQueries = 5;
+    const std::vector<float> queries = RandomFloats(kQueries * kDim, 17);
+    std::vector<float> batch(kQueries * kRows);
+    kernels.ann_dot_batch(queries.data(), kQueries, base.data(), kRows, kDim,
+                          batch.data());
+    std::vector<float> single(kRows);
+    for (size_t q = 0; q < kQueries; ++q) {
+      kernels.ann_dot_many(queries.data() + q * kDim, base.data(), kRows,
+                           kDim, single.data());
+      for (size_t r = 0; r < kRows; ++r) {
+        EXPECT_NEAR(batch[q * kRows + r], single[r], 1e-4f)
+            << simd::BackendName(backend) << " batch q" << q << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(FlatIndexTest, MatchesBruteForceExactlyUnderScalarPin) {
+  simd::ScopedEvalBackend pin(simd::Backend::kScalar);
+  constexpr int kRows = 200, kDim = 24, kK = 10;
+  const std::vector<float> data =
+      RandomFloats(static_cast<size_t>(kRows) * kDim, 23);
+  const std::vector<float> queries = RandomFloats(8 * kDim, 29);
+  for (ann::Metric metric :
+       {ann::Metric::kDot, ann::Metric::kCosine, ann::Metric::kL2}) {
+    ann::FlatIndex index;
+    index.Build(data.data(), kRows, kDim, metric);
+    std::vector<ann::SearchResult> got;
+    for (int q = 0; q < 8; ++q) {
+      const float* query = queries.data() + static_cast<size_t>(q) * kDim;
+      const auto want = BruteForce(data.data(), kRows, kDim, metric, query,
+                                   kK);
+      index.Search(query, kK, &got);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id)
+            << ann::MetricName(metric) << " query " << q << " rank " << i;
+        EXPECT_EQ(got[i].score, want[i].score)  // bit-identical contract
+            << ann::MetricName(metric) << " query " << q << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(FlatIndexTest, BackendsAgreeOnNeighborSets) {
+  constexpr int kRows = 300, kDim = 32, kK = 10;
+  const std::vector<float> data = ClusteredRows(kRows, kDim, 16, 31);
+  const std::vector<float> query = RandomFloats(kDim, 37);
+  std::vector<ann::SearchResult> scalar_results;
+  {
+    simd::ScopedEvalBackend pin(simd::Backend::kScalar);
+    ann::FlatIndex index;
+    index.Build(data.data(), kRows, kDim, ann::Metric::kCosine);
+    index.Search(query.data(), kK, &scalar_results);
+  }
+  for (simd::Backend backend : simd::SupportedBackends()) {
+    simd::ScopedEvalBackend pin(backend);
+    ann::FlatIndex index;
+    index.Build(data.data(), kRows, kDim, ann::Metric::kCosine);
+    std::vector<ann::SearchResult> results;
+    index.Search(query.data(), kK, &results);
+    EXPECT_EQ(Recall(scalar_results, results), 1.0)
+        << simd::BackendName(backend);
+  }
+}
+
+TEST(FlatIndexTest, SearchBatchMatchesSearch) {
+  constexpr int kRows = 150, kDim = 16, kK = 7, kQueries = 19;
+  const std::vector<float> data =
+      RandomFloats(static_cast<size_t>(kRows) * kDim, 41);
+  const std::vector<float> queries =
+      RandomFloats(static_cast<size_t>(kQueries) * kDim, 43);
+  for (ann::Metric metric :
+       {ann::Metric::kDot, ann::Metric::kCosine, ann::Metric::kL2}) {
+    ann::FlatIndex index;
+    index.Build(data.data(), kRows, kDim, metric);
+    std::vector<std::vector<ann::SearchResult>> batch;
+    index.SearchBatch(queries.data(), kQueries, kK, &batch);
+    ASSERT_EQ(batch.size(), static_cast<size_t>(kQueries));
+    std::vector<ann::SearchResult> single;
+    for (int q = 0; q < kQueries; ++q) {
+      index.Search(queries.data() + static_cast<size_t>(q) * kDim, kK,
+                   &single);
+      ASSERT_EQ(batch[static_cast<size_t>(q)].size(), single.size());
+      for (size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(batch[static_cast<size_t>(q)][i].id, single[i].id)
+            << ann::MetricName(metric) << " q" << q << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(FlatIndexTest, EdgeCases) {
+  std::vector<ann::SearchResult> results;
+  // Empty index: any search comes back empty.
+  ann::FlatIndex empty;
+  empty.Build(nullptr, 0, 4, ann::Metric::kCosine);
+  empty.Search(std::vector<float>(4, 1.0f).data(), 5, &results);
+  EXPECT_TRUE(results.empty());
+
+  // Single entity: returned for any k >= 1; k larger than the index
+  // clamps; k <= 0 is empty.
+  const std::vector<float> one = {1.0f, 2.0f, 3.0f, 4.0f};
+  ann::FlatIndex single;
+  single.Build(one.data(), 1, 4, ann::Metric::kCosine);
+  single.Search(one.data(), 10, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 0);
+  EXPECT_NEAR(results[0].score, 1.0f, 1e-5f);  // self-similarity
+  single.Search(one.data(), 0, &results);
+  EXPECT_TRUE(results.empty());
+
+  // Zero query against a cosine index: zero scores, but still k results
+  // with deterministic ascending-id order.
+  const std::vector<float> zero(4, 0.0f);
+  single.Search(zero.data(), 1, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].score, 0.0f);
+}
+
+TEST(FlatIndexTest, DuplicateVectorsTieBreakOnAscendingId) {
+  // Rows 1, 3, 4 are identical; the equal-score block must come back in
+  // ascending id order every time.
+  std::vector<float> data = RandomFloats(5 * 8, 47);
+  for (int d = 0; d < 8; ++d) {
+    data[static_cast<size_t>(3) * 8 + d] = data[static_cast<size_t>(1) * 8 + d];
+    data[static_cast<size_t>(4) * 8 + d] = data[static_cast<size_t>(1) * 8 + d];
+  }
+  ann::FlatIndex index;
+  index.Build(data.data(), 5, 8, ann::Metric::kCosine);
+  std::vector<ann::SearchResult> results;
+  index.Search(data.data() + 8, 3, &results);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].id, 1);
+  EXPECT_EQ(results[1].id, 3);
+  EXPECT_EQ(results[2].id, 4);
+  EXPECT_EQ(results[0].score, results[1].score);
+  EXPECT_EQ(results[1].score, results[2].score);
+}
+
+TEST(IvfIndexTest, RecallBoundsAtFixedSeed) {
+  constexpr int kRows = 2000, kDim = 16, kK = 10;
+  const std::vector<float> data = ClusteredRows(kRows, kDim, 32, 53);
+  const std::vector<float> queries = ClusteredRows(32, kDim, 32, 53);
+  ann::FlatIndex flat;
+  flat.Build(data.data(), kRows, kDim, ann::Metric::kCosine);
+  ann::IvfOptions options;
+  options.nlist = 32;
+  options.nprobe = 8;
+  ann::IvfIndex ivf;
+  ivf.Build(data.data(), kRows, kDim, ann::Metric::kCosine, options,
+            nullptr);
+  EXPECT_EQ(ivf.size(), kRows);
+  EXPECT_EQ(ivf.nlist(), 32);
+
+  std::vector<ann::SearchResult> exact, approx;
+  double recall_sum = 0.0;
+  for (int q = 0; q < 32; ++q) {
+    const float* query = queries.data() + static_cast<size_t>(q) * kDim;
+    flat.Search(query, kK, &exact);
+    ivf.Search(query, kK, &approx);
+    recall_sum += Recall(exact, approx);
+  }
+  EXPECT_GE(recall_sum / 32.0, 0.95);
+
+  // Probing every cell is an exhaustive scan: recall must be perfect.
+  ivf.set_nprobe(ivf.nlist());
+  recall_sum = 0.0;
+  for (int q = 0; q < 32; ++q) {
+    const float* query = queries.data() + static_cast<size_t>(q) * kDim;
+    flat.Search(query, kK, &exact);
+    ivf.Search(query, kK, &approx);
+    recall_sum += Recall(exact, approx);
+  }
+  EXPECT_GE(recall_sum / 32.0, 0.99);
+}
+
+TEST(IvfIndexTest, BuildIsDeterministicAtAnyThreadCount) {
+  constexpr int kRows = 1200, kDim = 12;
+  const std::vector<float> data = ClusteredRows(kRows, kDim, 24, 59);
+  ann::IvfOptions options;
+  options.nlist = 24;
+  options.nprobe = 6;
+
+  util::ThreadPool pool_one(1);
+  util::ThreadPool pool_many(7);
+  ann::IvfIndex sequential, one, many;
+  sequential.Build(data.data(), kRows, kDim, ann::Metric::kL2, options,
+                   nullptr);
+  one.Build(data.data(), kRows, kDim, ann::Metric::kL2, options, &pool_one);
+  many.Build(data.data(), kRows, kDim, ann::Metric::kL2, options,
+             &pool_many);
+
+  // The serialized structure (centroids + assignments) must be
+  // byte-identical, which makes search results identical by construction.
+  const std::string dir = testing::TempDir();
+  const auto dump = [&](const ann::IvfIndex& index, const std::string& name) {
+    util::BinaryWriter writer(dir + "/" + name, 0x414E4E54, 1);
+    index.WriteTo(&writer);
+    EXPECT_TRUE(writer.Close().ok());
+    return ReadFileBytes(dir + "/" + name);
+  };
+  const std::string bytes_sequential = dump(sequential, "ivf_seq.bin");
+  EXPECT_EQ(bytes_sequential, dump(one, "ivf_one.bin"));
+  EXPECT_EQ(bytes_sequential, dump(many, "ivf_many.bin"));
+
+  const std::vector<float> query = RandomFloats(kDim, 61);
+  std::vector<ann::SearchResult> a, b;
+  sequential.Search(query.data(), 5, &a);
+  many.Search(query.data(), 5, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(IvfIndexTest, SerializationRoundTripAndValidation) {
+  constexpr int kRows = 500, kDim = 8;
+  const std::vector<float> data = ClusteredRows(kRows, kDim, 16, 67);
+  ann::IvfOptions options;
+  options.nlist = 16;
+  options.nprobe = 4;
+  ann::IvfIndex index;
+  index.Build(data.data(), kRows, kDim, ann::Metric::kCosine, options,
+              nullptr);
+
+  const std::string path = testing::TempDir() + "/ivf_roundtrip.bin";
+  {
+    util::BinaryWriter writer(path, 0x414E4E54, 1);
+    index.WriteTo(&writer);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    util::BinaryReader reader(path, 0x414E4E54, 1);
+    auto loaded = ann::IvfIndex::ReadFrom(&reader, data.data(), kRows, kDim);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->nlist(), index.nlist());
+    EXPECT_EQ(loaded->nprobe(), index.nprobe());
+    const std::vector<float> query = RandomFloats(kDim, 71);
+    std::vector<ann::SearchResult> want, got;
+    index.Search(query.data(), 8, &want);
+    loaded->Search(query.data(), 8, &got);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].score, want[i].score);
+    }
+  }
+  // A different base matrix shape is rejected, not misread.
+  {
+    util::BinaryReader reader(path, 0x414E4E54, 1);
+    auto loaded =
+        ann::IvfIndex::ReadFrom(&reader, data.data(), kRows - 1, kDim);
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+TEST(IvfIndexTest, EmptyAndTinyInputs) {
+  ann::IvfOptions options;
+  options.nlist = 8;
+  ann::IvfIndex empty;
+  empty.Build(nullptr, 0, 4, ann::Metric::kCosine, options, nullptr);
+  std::vector<ann::SearchResult> results;
+  empty.Search(std::vector<float>(4, 1.0f).data(), 3, &results);
+  EXPECT_TRUE(results.empty());
+
+  // Fewer rows than nlist: nlist clamps to rows, every row still found.
+  const std::vector<float> data = RandomFloats(3 * 4, 73);
+  ann::IvfIndex tiny;
+  tiny.Build(data.data(), 3, 4, ann::Metric::kCosine, options, nullptr);
+  EXPECT_LE(tiny.nlist(), 3);
+  tiny.set_nprobe(tiny.nlist());
+  tiny.Search(data.data(), 3, &results);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// KnnPredictor
+
+re::Bag MakeBag(int64_t head, int64_t tail, int relation) {
+  re::Bag bag;
+  bag.head = head;
+  bag.tail = tail;
+  bag.relation = relation;
+  return bag;
+}
+
+// 30 entities, dim 8; pairs of relation r have MR vectors clustered around
+// a per-relation direction, so the kNN vote is informative.
+struct KnnFixture {
+  KnnFixture() : embeddings(30, 8) {
+    util::Rng rng(79);
+    for (int v = 0; v < 30; ++v) {
+      float* row = embeddings.Vector(v);
+      for (int d = 0; d < 8; ++d) {
+        row[d] = static_cast<float>(rng.Uniform(-0.2, 0.2));
+      }
+    }
+    // Relation r shifts tail - head by +2 in component r.
+    for (int r = 1; r <= 3; ++r) {
+      for (int p = 0; p < 6; ++p) {
+        const int64_t head = (r - 1) * 8 + p;
+        const int64_t tail = head + 4;
+        embeddings.Vector(static_cast<int>(tail))[r] =
+            embeddings.Vector(static_cast<int>(head))[r] + 2.0f;
+        bags.push_back(MakeBag(head, tail, r));
+      }
+    }
+  }
+  graph::EmbeddingStore embeddings;
+  std::vector<re::Bag> bags;
+};
+
+TEST(KnnPredictorTest, GateBlocksConfidentPredictionsAndVoteFires) {
+  KnnFixture fixture;
+  re::KnnOptions options;
+  options.k = 4;
+  options.lambda = 0.5f;
+  options.confidence_gate = 0.6f;
+  const re::KnnPredictor knn = re::KnnPredictor::Build(
+      fixture.embeddings, fixture.bags, /*num_relations=*/4, options,
+      nullptr);
+  EXPECT_EQ(knn.num_pairs(), 18);
+  EXPECT_FALSE(knn.uses_ivf());  // 18 pairs < min_pairs_for_ivf
+
+  const std::vector<float> mr =
+      fixture.embeddings.MutualRelation(0, 4);  // relation-1 shaped pair
+
+  // Confident model: the gate holds the vote back and probs are untouched.
+  std::vector<float> confident = {0.9f, 0.04f, 0.03f, 0.03f};
+  const std::vector<float> before = confident;
+  EXPECT_FALSE(knn.Interpolate(mr.data(), &confident));
+  EXPECT_EQ(confident, before);
+
+  // Unsure model: the vote fires and pushes mass onto the right relation.
+  std::vector<float> unsure = {0.3f, 0.24f, 0.23f, 0.23f};
+  EXPECT_TRUE(knn.Interpolate(mr.data(), &unsure));
+  EXPECT_GT(unsure[1], 0.5f);  // neighbors all carry label 1
+  float sum = 0.0f;
+  for (const float p : unsure) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);  // blend of two distributions
+}
+
+TEST(KnnPredictorTest, SerializationRoundTripPreservesInterpolation) {
+  KnnFixture fixture;
+  re::KnnOptions options;
+  options.k = 4;
+  options.min_pairs_for_ivf = 10;  // force the IVF path through the trip
+  options.nlist = 4;
+  options.nprobe = 4;
+  const re::KnnPredictor knn = re::KnnPredictor::Build(
+      fixture.embeddings, fixture.bags, /*num_relations=*/4, options,
+      nullptr);
+  ASSERT_TRUE(knn.uses_ivf());
+
+  const std::string path = testing::TempDir() + "/knn_roundtrip.bin";
+  {
+    util::BinaryWriter writer(path, 0x414E4E54, 1);
+    knn.WriteTo(&writer);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  util::BinaryReader reader(path, 0x414E4E54, 1);
+  auto loaded = re::KnnPredictor::ReadFrom(&reader, fixture.embeddings);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_pairs(), knn.num_pairs());
+  EXPECT_EQ(loaded->uses_ivf(), knn.uses_ivf());
+  EXPECT_EQ(loaded->options().k, options.k);
+
+  const std::vector<float> mr = fixture.embeddings.MutualRelation(8, 12);
+  std::vector<float> a = {0.3f, 0.24f, 0.23f, 0.23f};
+  std::vector<float> b = a;
+  EXPECT_EQ(knn.Interpolate(mr.data(), &a),
+            loaded->Interpolate(mr.data(), &b));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// ---------------------------------------------------------------------------
+// ANNI snapshot section
+
+// Minimal but valid snapshot bundle (untrained model — section layout and
+// validation are what's under test, not accuracy).
+struct SnapshotFixture {
+  SnapshotFixture() : embeddings(30, 8) {
+    vocab.Count("alpha");
+    vocab.Count("beta");
+    vocab.Count("gamma");
+    vocab.Freeze(1);
+
+    util::Rng rng(83);
+    for (int v = 0; v < 30; ++v) {
+      float* row = embeddings.Vector(v);
+      for (int d = 0; d < 8; ++d) {
+        row[d] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      }
+    }
+
+    config.num_relations = 4;
+    config.encoder = "pcnn";
+    config.aggregation = re::Aggregation::kAttention;
+    config.use_mutual_relation = true;
+    config.use_entity_type = false;
+    config.mutual_relation_dim = 8;
+    config.encoder_config.vocab_size = vocab.size();
+    config.encoder_config.word_dim = 6;
+    config.encoder_config.position_dim = 2;
+    config.encoder_config.max_position = 10;
+    config.encoder_config.window = 3;
+    config.encoder_config.filters = 4;
+    util::Rng model_rng(5);
+    model = std::make_unique<re::PaModel>(config, &model_rng);
+    model->SetTraining(false);
+
+    relation_names = {"NA", "r1", "r2", "r3"};
+    bag_options.max_sentence_length = 20;
+    bag_options.max_position = 10;
+  }
+
+  util::Status Save(const std::string& path,
+                    const re::KnnPredictor* knn = nullptr,
+                    const graph::QuantizedEmbeddingStore* quantized =
+                        nullptr) const {
+    return serve::SaveSnapshot(*model, vocab, embeddings, relation_names,
+                               /*entities=*/{}, bag_options,
+                               /*trained_steps=*/1, "ann_test", path,
+                               quantized, knn);
+  }
+
+  text::Vocabulary vocab;
+  graph::EmbeddingStore embeddings;
+  re::PaModelConfig config;
+  std::unique_ptr<re::PaModel> model;
+  std::vector<std::string> relation_names;
+  re::BagDatasetOptions bag_options;
+};
+
+TEST(AnnSnapshotTest, SnapshotWithoutAnnSectionLoadsWithNullKnn) {
+  SnapshotFixture fixture;
+  const std::string path = testing::TempDir() + "/ann_snapshot_plain.imrs";
+  ASSERT_TRUE(fixture.Save(path).ok());
+  auto snapshot = serve::LoadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->knn, nullptr);
+}
+
+TEST(AnnSnapshotTest, AnnSectionRoundTripsThroughSnapshot) {
+  SnapshotFixture fixture;
+  std::vector<re::Bag> bags;
+  util::Rng rng(89);
+  for (int p = 0; p < 20; ++p) {
+    bags.push_back(MakeBag(static_cast<int64_t>(rng.UniformInt(30)),
+                           static_cast<int64_t>(rng.UniformInt(30)),
+                           1 + static_cast<int>(rng.UniformInt(3))));
+  }
+  re::KnnOptions options;
+  options.k = 3;
+  const re::KnnPredictor knn = re::KnnPredictor::Build(
+      fixture.embeddings, bags, fixture.config.num_relations, options,
+      nullptr);
+  ASSERT_GT(knn.num_pairs(), 0);
+
+  const std::string path = testing::TempDir() + "/ann_snapshot_knn.imrs";
+  ASSERT_TRUE(fixture.Save(path, &knn).ok());
+  auto snapshot = serve::LoadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_NE(snapshot->knn, nullptr);
+  EXPECT_EQ(snapshot->knn->num_pairs(), knn.num_pairs());
+  EXPECT_EQ(snapshot->knn->num_relations(), knn.num_relations());
+  EXPECT_EQ(snapshot->knn->options().k, options.k);
+
+  // The reloaded predictor interpolates identically (MR vectors are
+  // recomputed from the snapshot's own embedding section).
+  const std::vector<float> mr = fixture.embeddings.MutualRelation(1, 7);
+  std::vector<float> a = {0.3f, 0.24f, 0.23f, 0.23f};
+  std::vector<float> b = a;
+  EXPECT_EQ(knn.Interpolate(mr.data(), &a),
+            snapshot->knn->Interpolate(mr.data(), &b));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(AnnSnapshotTest, AnnSectionChainsAfterQuantizedSection) {
+  SnapshotFixture fixture;
+  std::vector<re::Bag> bags;
+  for (int p = 0; p < 12; ++p) bags.push_back(MakeBag(p, p + 10, 1 + p % 3));
+  const re::KnnPredictor knn = re::KnnPredictor::Build(
+      fixture.embeddings, bags, fixture.config.num_relations, {}, nullptr);
+  const auto quantized =
+      graph::QuantizedEmbeddingStore::Quantize(fixture.embeddings);
+
+  const std::string path = testing::TempDir() + "/ann_snapshot_both.imrs";
+  ASSERT_TRUE(fixture.Save(path, &knn, &quantized).ok());
+  auto snapshot = serve::LoadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_FALSE(snapshot->quantized_embeddings.empty());
+  ASSERT_NE(snapshot->knn, nullptr);
+  EXPECT_EQ(snapshot->knn->num_pairs(), knn.num_pairs());
+}
+
+TEST(AnnSnapshotTest, MismatchedKnnRejectedAtSaveTime) {
+  SnapshotFixture fixture;
+  std::vector<re::Bag> bags = {MakeBag(0, 1, 1)};
+  // Predictor over a different embedding dim than the snapshot's store.
+  graph::EmbeddingStore other(30, 4);
+  const re::KnnPredictor knn = re::KnnPredictor::Build(
+      other, bags, fixture.config.num_relations, {}, nullptr);
+  const std::string path = testing::TempDir() + "/ann_snapshot_bad.imrs";
+  EXPECT_FALSE(fixture.Save(path, &knn).ok());
+}
+
+}  // namespace
+}  // namespace imr

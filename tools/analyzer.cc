@@ -872,6 +872,12 @@ const std::vector<EntryPoint>& DefaultEntries() {
       {"Trainer", "Train"},
       {"Trainer", "ParallelBatchStep"},
       {"InferenceEngine", "Predict"},
+      // ANN query paths promise an allocation-free steady state (the
+      // bench_ann p99 gate depends on it); "Search" also covers
+      // SearchBatch via prefix match.
+      {"FlatIndex", "Search"},
+      {"IvfIndex", "Search"},
+      {"KnnPredictor", "Interpolate"},
   };
   return kEntries;
 }
