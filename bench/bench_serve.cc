@@ -18,6 +18,13 @@
 //              response is generation-stamped, the kNN vote fires on
 //              gate-failing requests, and the gate is zero failed requests
 //              plus zero out-of-range generation stamps
+//   delta-swap the fire drill again, but every flip is an IMRD row-sparse
+//              delta applied through ReloadDelta (copy-on-write block
+//              aliasing) instead of a full snapshot load; chained base
+//              hashes, zero failures, in-range generation stamps
+//   reload     open/apply microbench at NYT entity scale (114042 x 50):
+//              v1 parse-copy load vs v2 mmap open vs delta apply with
+//              0.2% of rows touched
 //
 // Every cell reports p50/p99/p999/mean/max latency, qps, MR-cache hit
 // rate, and admission counters into bench_results/BENCH_serve.json.
@@ -29,6 +36,10 @@
 //           the same Zipf replay
 //   swap    zero failed requests across all hot swaps under load
 //   int8    quantized top-1 agreement >= 99.5%, max |prob delta| <= 0.05
+//   reload  v2 mmap open >= 5x faster than v1 parse-copy load; delta
+//           apply (0.2% rows) >= 10x faster than v1 parse-copy load
+//   dswap   zero failed requests and zero out-of-range generation stamps
+//           across all ReloadDelta flips under load
 //
 // --smoke runs a reduced replay (smaller preset, fewer epochs/requests)
 // with only the gate-relevant cells; scripts/check.sh wires it in as the
@@ -72,6 +83,7 @@ struct Cell {
   uint64_t unavailable = 0;  // expected kUnavailable (shed / rejected)
   uint64_t reloads = 0;      // hot-swap cell only
   uint64_t bad_generation = 0;  // knn-swap cell: stamps outside [1, flips+1]
+  uint64_t delta_reloads = 0;   // delta-swap cell: ReloadDelta applies
 };
 
 double HitRate(const serve::EngineStats& stats) {
@@ -353,6 +365,218 @@ Cell RunKnnHotSwapCell(const std::string& snapshot_a,
   return cell;
 }
 
+// Hot swap where every flip is a row-sparse IMRD delta through
+// ReloadDelta instead of a full snapshot load. The deltas are pre-chained
+// off the serving generation's content hash (each applies on top of the
+// previous result), so the cell also proves hash chaining holds under
+// traffic. Gates: zero failed requests, zero out-of-range generation
+// stamps, and every flip accounted as a delta reload.
+Cell RunDeltaSwapCell(const std::string& snapshot_path,
+                      const graph::EmbeddingStore& embeddings,
+                      const re::PaModel& model,
+                      const std::vector<serve::Query>& requests, int flips) {
+  auto base = serve::LoadSnapshot(snapshot_path);
+  CheckOk(base.status());
+  graph::EmbeddingStore work(embeddings.num_vertices(), embeddings.dim());
+  std::memcpy(work.Vector(0), embeddings.raw(),
+              embeddings.value_count() * sizeof(float));
+  uint64_t chain_hash = base->content_hash;
+  std::vector<std::string> delta_paths;
+  util::Rng rng(0xD17A);
+  for (int flip = 0; flip < flips; ++flip) {
+    serve::DeltaSpec spec;
+    spec.include_quantized = false;  // base generation carries no QEMB
+    for (int i = 0; i < 32; ++i) {
+      const int row =
+          static_cast<int>(rng.UniformInt(work.num_vertices()));
+      spec.touched_rows.push_back(row);
+      for (int d = 0; d < work.dim(); ++d) work.Vector(row)[d] += 0.01f;
+    }
+    const std::string path =
+        "bench_results/serve_delta_" + std::to_string(flip) + ".imrd";
+    auto result = serve::SaveDelta(chain_hash, work, &model, spec, path);
+    CheckOk(result.status());
+    chain_hash = *result;
+    delta_paths.push_back(path);
+  }
+
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  options.engine.top_k = 1;
+  options.engine.cache_shards = 8;
+  auto router = serve::ServeRouter::Open(snapshot_path, options);
+  CheckOk(router.status());
+
+  Cell cell;
+  const uint64_t max_generation = static_cast<uint64_t>(flips) + 1;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0}, failed{0}, bad_generation{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = (*router)->Predict(requests[i % requests.size()]);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (result->generation < 1 || result->generation > max_generation) {
+            bad_generation.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        i += 2;
+      }
+    });
+  }
+  for (const std::string& path : delta_paths) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CheckOk((*router)->ReloadDelta(path));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+
+  cell.name = "router-delta-swap r2 s8";
+  cell.tier = "router";
+  cell.mode = "sync";
+  cell.replicas = 2;
+  cell.shards = 8;
+  cell.workers = 4;
+  cell.ok = ok.load();
+  cell.failed = failed.load();
+  cell.bad_generation = bad_generation.load();
+  const serve::RouterStats stats = (*router)->Stats();
+  cell.reloads = stats.reloads;
+  cell.delta_reloads = stats.delta_reloads;
+  cell.stats = stats.aggregate;
+  cell.hit_rate = HitRate(cell.stats);
+  for (const std::string& path : delta_paths) std::remove(path.c_str());
+  return cell;
+}
+
+// --- reload microbench: v1 parse-copy vs v2 mmap open vs delta apply ------
+
+struct ReloadBench {
+  int num_vertices = 0;
+  int dim = 0;
+  int touched_rows = 0;
+  double v1_full_load_ms = 0.0;
+  double v2_mmap_open_ms = 0.0;
+  double delta_apply_ms = 0.0;
+  double v2_speedup = 0.0;     // v1 / v2
+  double delta_speedup = 0.0;  // v1 / delta
+  bool v2_pass = false;
+  bool delta_pass = false;
+};
+
+template <typename Fn>
+double BestOfMs(int iterations, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iterations; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+// Open/apply latency at the paper's NYT entity scale (114042 vertices,
+// dim 50, ~23MB fp32 + int8 QEMB): the matrix dominates the file exactly
+// as it does in a real deployment, so the three timings isolate what each
+// reload path actually pays. Best-of-N swallows the cold first iteration.
+ReloadBench RunReloadBench(bool smoke) {
+  constexpr int kNumVertices = 114042;
+  constexpr int kDim = 50;
+  ReloadBench bench;
+  bench.num_vertices = kNumVertices;
+  bench.dim = kDim;
+  bench.touched_rows = kNumVertices / 500;  // 0.2% of rows
+
+  text::Vocabulary vocab;
+  for (const char* word :
+       {"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}) {
+    vocab.Count(word);
+  }
+  vocab.Freeze();
+  re::PaModelConfig config;
+  config.num_relations = 3;
+  config.encoder = "pcnn";
+  config.use_mutual_relation = true;
+  config.mutual_relation_dim = kDim;
+  config.encoder_config.vocab_size = vocab.size();
+  config.encoder_config.word_dim = 8;
+  config.encoder_config.position_dim = 2;
+  config.encoder_config.max_position = 10;
+  config.encoder_config.filters = 8;
+  util::Rng rng(71);
+  re::PaModel model(config, &rng);
+  model.SetTraining(false);
+
+  graph::EmbeddingStore embeddings(kNumVertices, kDim);
+  float* values = embeddings.Vector(0);
+  for (size_t i = 0; i < embeddings.value_count(); ++i) {
+    values[i] = static_cast<float>(rng.Uniform() - 0.5);
+  }
+  const auto quantized = graph::QuantizedEmbeddingStore::Quantize(embeddings);
+  const std::vector<std::string> relation_names = {"NA", "r1", "r2"};
+  const std::string v2_path = "bench_results/reload_v2.imrs";
+  const std::string v1_path = "bench_results/reload_v1.imrs";
+  CheckOk(serve::SaveSnapshot(model, vocab, embeddings, relation_names, {},
+                              {}, 1, "reload_bench", v2_path, &quantized,
+                              nullptr, serve::kSnapshotFormatV2));
+  CheckOk(serve::SaveSnapshot(model, vocab, embeddings, relation_names, {},
+                              {}, 1, "reload_bench", v1_path, &quantized,
+                              nullptr, serve::kSnapshotFormatV1));
+
+  auto base = serve::LoadSnapshot(v2_path);
+  CheckOk(base.status());
+  graph::EmbeddingStore patched(kNumVertices, kDim);
+  std::memcpy(patched.Vector(0), embeddings.raw(),
+              embeddings.value_count() * sizeof(float));
+  serve::DeltaSpec spec;
+  util::Rng row_rng(99);
+  while (spec.touched_rows.size() <
+         static_cast<size_t>(bench.touched_rows)) {
+    const int row = static_cast<int>(row_rng.UniformInt(kNumVertices));
+    spec.touched_rows.push_back(row);
+    for (int d = 0; d < kDim; ++d) patched.Vector(row)[d] += 0.125f;
+  }
+  const std::string delta_path = "bench_results/reload.imrd";
+  CheckOk(serve::SaveDelta(base->content_hash, patched, &model, spec,
+                           delta_path)
+              .status());
+
+  const int iterations = smoke ? 3 : 5;
+  bench.v1_full_load_ms = BestOfMs(iterations, [&] {
+    auto snapshot = serve::LoadSnapshot(v1_path);
+    CheckOk(snapshot.status());
+  });
+  bench.v2_mmap_open_ms = BestOfMs(iterations, [&] {
+    auto snapshot = serve::LoadSnapshot(v2_path);
+    CheckOk(snapshot.status());
+  });
+  bench.delta_apply_ms = BestOfMs(iterations, [&] {
+    auto snapshot = serve::ApplyDelta(*base, delta_path);
+    CheckOk(snapshot.status());
+  });
+  bench.v2_speedup = bench.v2_mmap_open_ms > 0.0
+                         ? bench.v1_full_load_ms / bench.v2_mmap_open_ms
+                         : 0.0;
+  bench.delta_speedup = bench.delta_apply_ms > 0.0
+                            ? bench.v1_full_load_ms / bench.delta_apply_ms
+                            : 0.0;
+  bench.v2_pass = bench.v2_speedup >= 5.0;
+  bench.delta_pass = bench.delta_speedup >= 10.0;
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  std::remove(delta_path.c_str());
+  return bench;
+}
+
 // fp32-vs-quantized accuracy on one replay stream.
 struct QuantizedGate {
   double top1_agreement = 0.0;
@@ -565,8 +789,11 @@ int Run(bool smoke) {
                                  smoke ? 2 : 6));
   cells.push_back(RunKnnHotSwapCell(snapshot_knn_path, snapshot_knn_b_path,
                                     requests, smoke ? 2 : 6));
+  cells.push_back(RunDeltaSwapCell(snapshot_path, embeddings, model,
+                                   requests, smoke ? 2 : 6));
 
   const QuantizedGate quant_gate = RunQuantizedGate(snapshot_path, requests);
+  const ReloadBench reload = RunReloadBench(smoke);
 
   // --- gates --------------------------------------------------------------
   const Cell* engine_sync = FindCell(cells, "engine-sync t1");
@@ -575,9 +802,11 @@ int Run(bool smoke) {
   const Cell* cache_many = FindCell(cells, "router-batch r1 s8");
   const Cell* hot_swap = FindCell(cells, "router-hotswap r2 s8");
   const Cell* knn_swap = FindCell(cells, "router-knn-hotswap r2 s8");
+  const Cell* delta_swap = FindCell(cells, "router-delta-swap r2 s8");
   IMR_CHECK(engine_sync != nullptr && router_batch != nullptr &&
             cache_one != nullptr && cache_many != nullptr &&
-            hot_swap != nullptr && knn_swap != nullptr);
+            hot_swap != nullptr && knn_swap != nullptr &&
+            delta_swap != nullptr);
 
   const double tail_ratio =
       engine_sync->stats.p99_latency_us > 0.0
@@ -590,8 +819,15 @@ int Run(bool smoke) {
   const bool knn_swap_pass = knn_swap->failed == 0 && knn_swap->ok > 0 &&
                              knn_swap->bad_generation == 0 &&
                              knn_swap->stats.knn_fired > 0;
+  const uint64_t delta_flips = static_cast<uint64_t>(smoke ? 2 : 6);
+  const bool delta_swap_pass = delta_swap->failed == 0 &&
+                               delta_swap->ok > 0 &&
+                               delta_swap->bad_generation == 0 &&
+                               delta_swap->delta_reloads == delta_flips;
   const bool all_pass = tail_pass && cache_pass && swap_pass &&
-                        knn_swap_pass && quant_gate.pass;
+                        knn_swap_pass && quant_gate.pass &&
+                        delta_swap_pass && reload.v2_pass &&
+                        reload.delta_pass;
 
   // --- report -------------------------------------------------------------
   std::printf("%-24s %9s %9s %9s %9s %9s %7s %6s %6s\n", "cell", "qps",
@@ -636,6 +872,23 @@ int Run(bool smoke) {
       static_cast<unsigned long long>(knn_swap->stats.knn_fired),
       static_cast<unsigned long long>(knn_swap->reloads),
       knn_swap_pass ? "PASS" : "FAIL");
+  std::printf(
+      "       delta-swap ok=%llu failed=%llu bad_gen=%llu across %llu "
+      "delta reloads %s\n",
+      static_cast<unsigned long long>(delta_swap->ok),
+      static_cast<unsigned long long>(delta_swap->failed),
+      static_cast<unsigned long long>(delta_swap->bad_generation),
+      static_cast<unsigned long long>(delta_swap->delta_reloads),
+      delta_swap_pass ? "PASS" : "FAIL");
+  std::printf(
+      "       reload [%d x %d]: v1 full %.2fms | v2 mmap open %.2fms "
+      "(%.1fx, >= 5x) %s | delta apply (%d rows) %.2fms (%.1fx, >= 10x) "
+      "%s\n",
+      reload.num_vertices, reload.dim, reload.v1_full_load_ms,
+      reload.v2_mmap_open_ms, reload.v2_speedup,
+      reload.v2_pass ? "PASS" : "FAIL", reload.touched_rows,
+      reload.delta_apply_ms, reload.delta_speedup,
+      reload.delta_pass ? "PASS" : "FAIL");
 
   // --- JSON ---------------------------------------------------------------
   std::FILE* out = std::fopen("bench_results/BENCH_serve.json", "w");
@@ -694,7 +947,16 @@ int Run(bool smoke) {
                "    \"quantized\": {\"top1_agreement\": %.4f, "
                "\"max_abs_prob_delta\": %.5f, \"requests\": %zu, "
                "\"top1_agreement_min\": 0.995, "
-               "\"max_abs_prob_delta_max\": 0.05, \"pass\": %s}\n"
+               "\"max_abs_prob_delta_max\": 0.05, \"pass\": %s},\n"
+               "    \"delta_swap\": {\"ok\": %llu, \"failed\": %llu, "
+               "\"bad_generation\": %llu, \"delta_reloads\": %llu, "
+               "\"pass\": %s},\n"
+               "    \"reload\": {\"num_vertices\": %d, \"dim\": %d, "
+               "\"touched_rows\": %d, \"v1_full_load_ms\": %.3f, "
+               "\"v2_mmap_open_ms\": %.3f, \"delta_apply_ms\": %.3f, "
+               "\"v2_speedup\": %.2f, \"v2_speedup_min\": 5.0, "
+               "\"delta_speedup\": %.2f, \"delta_speedup_min\": 10.0, "
+               "\"v2_pass\": %s, \"delta_pass\": %s}\n"
                "  }\n}\n",
                tail_ratio, tail_pass ? "true" : "false",
                cache_many->hit_rate, cache_one->hit_rate,
@@ -710,7 +972,17 @@ int Run(bool smoke) {
                static_cast<unsigned long long>(knn_swap->reloads),
                knn_swap_pass ? "true" : "false", quant_gate.top1_agreement,
                quant_gate.max_abs_prob_delta, quant_gate.requests,
-               quant_gate.pass ? "true" : "false");
+               quant_gate.pass ? "true" : "false",
+               static_cast<unsigned long long>(delta_swap->ok),
+               static_cast<unsigned long long>(delta_swap->failed),
+               static_cast<unsigned long long>(delta_swap->bad_generation),
+               static_cast<unsigned long long>(delta_swap->delta_reloads),
+               delta_swap_pass ? "true" : "false", reload.num_vertices,
+               reload.dim, reload.touched_rows, reload.v1_full_load_ms,
+               reload.v2_mmap_open_ms, reload.delta_apply_ms,
+               reload.v2_speedup, reload.delta_speedup,
+               reload.v2_pass ? "true" : "false",
+               reload.delta_pass ? "true" : "false");
   std::fclose(out);
   std::fprintf(stderr,
                "[bench_serve] written to bench_results/BENCH_serve.json\n");

@@ -21,10 +21,12 @@
 //       commands from stdin, one per line:
 //         <query TSV line>        answer one query (format below)
 //         reload <snapshot.imrs>  hot-swap to a new snapshot generation
+//         reload-delta <f.imrd>   apply a row-sparse delta generation
 //         stats                   print latency/cache/admission counters
 //         quit                    exit
 //       --watch_ms N > 0 additionally polls DIR/model.imrs every N ms and
-//       hot-swaps automatically when the file changes (SnapshotWatcher).
+//       hot-swaps automatically when the file changes (SnapshotWatcher);
+//       sibling *.imrd delta files are applied in base-hash chain order.
 //
 // Query TSV format (one sentence per line; consecutive lines with the same
 // entity pair form one bag):
@@ -318,13 +320,27 @@ int Serve(const util::FlagParser& flags) {
           return swapped;
         },
         watcher_options);
+    // Row-sparse generations: `*.imrd` files dropped next to model.imrs
+    // are applied in base-hash chain order through ReloadDelta.
+    serve::DeltaHooks delta_hooks;
+    delta_hooks.serving_hash = [&router] { return (*router)->content_hash(); };
+    delta_hooks.apply = [&router](const std::string& delta_path) {
+      util::Status applied = (*router)->ReloadDelta(delta_path);
+      if (applied.ok()) {
+        std::printf("auto-delta: now serving generation %llu\n",
+                    static_cast<unsigned long long>((*router)->generation()));
+      }
+      return applied;
+    };
+    watcher->WatchDeltas(std::move(delta_hooks));
     watcher->Start();
   }
 
   std::printf(
       "serving generation %llu (%d replicas x %d workers, %zu cache "
       "shards, max_queue=%zu, deadline_us=%lld)\n"
-      "commands: <query TSV line> | reload <snapshot.imrs> | stats | quit\n",
+      "commands: <query TSV line> | reload <snapshot.imrs> | "
+      "reload-delta <file.imrd> | stats | quit\n",
       static_cast<unsigned long long>((*router)->generation()),
       options.replicas, options.workers_per_replica,
       options.engine.cache_shards, options.admission.max_queue,
@@ -336,6 +352,22 @@ int Serve(const util::FlagParser& flags) {
     if (line == "quit" || line == "exit") break;
     if (line == "stats") {
       PrintStats((*router)->Stats().aggregate);
+      continue;
+    }
+    if (line.rfind("reload-delta ", 0) == 0) {
+      const std::string path = line.substr(13);
+      util::Status applied = (*router)->ReloadDelta(path);
+      if (!applied.ok()) {
+        std::printf(
+            "delta reload failed (still serving generation %llu): %s\n",
+            static_cast<unsigned long long>((*router)->generation()),
+            applied.ToString().c_str());
+      } else {
+        std::printf("now serving generation %llu (delta, hash %016llx)\n",
+                    static_cast<unsigned long long>((*router)->generation()),
+                    static_cast<unsigned long long>(
+                        (*router)->content_hash()));
+      }
       continue;
     }
     if (line.rfind("reload ", 0) == 0 || line == "reload") {

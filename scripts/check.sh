@@ -79,6 +79,17 @@ else
   record "serve-smoke" SKIP
 fi
 
+# 1b'''. Snapshot format compatibility: the SnapshotCompat* suite proves
+# the current writer still emits loadable v1, v2 opens zero-copy with a
+# valid content hash, and a v1-era reader cleanly rejects v2 files — the
+# cross-version contract a serving fleet mid-rollout depends on.
+if [ -x build/tests/serve_test ]; then
+  run_stage "snapshot-compat" build/tests/serve_test \
+      --gtest_filter='SnapshotCompat*'
+else
+  record "snapshot-compat" SKIP
+fi
+
 # 1b''. ANN smoke: IVF index over 100k x 64 clustered vectors, exits
 # nonzero if recall@10 vs the exact FlatIndex drops below 0.95 or p99
 # query latency exceeds 1 ms at nprobe=16. On the scalar backend the

@@ -31,7 +31,7 @@ void FlatIndex::Build(const float* data, int rows, int dim, Metric metric) {
 
 FlatIndex FlatIndex::Over(const EmbeddingStore& store, Metric metric) {
   FlatIndex index;
-  index.Build(store.flat().data(), store.num_vertices(), store.dim(), metric);
+  index.Build(store.raw(), store.num_vertices(), store.dim(), metric);
   return index;
 }
 

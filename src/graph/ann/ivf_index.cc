@@ -171,7 +171,7 @@ void IvfIndex::Build(const float* data, int rows, int dim, Metric metric,
 IvfIndex IvfIndex::Over(const EmbeddingStore& store, Metric metric,
                         const IvfOptions& options, util::ThreadPool* pool) {
   IvfIndex index;
-  index.Build(store.flat().data(), store.num_vertices(), store.dim(), metric,
+  index.Build(store.raw(), store.num_vertices(), store.dim(), metric,
               options, pool);
   return index;
 }

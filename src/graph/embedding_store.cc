@@ -20,7 +20,22 @@ EmbeddingStore::EmbeddingStore(int num_vertices, int dim)
   data_.assign(static_cast<size_t>(num_vertices) * dim, 0.0f);
 }
 
+EmbeddingStore EmbeddingStore::View(int num_vertices, int dim,
+                                    const float* data,
+                                    std::shared_ptr<const void> owner) {
+  IMR_CHECK_GT(num_vertices, 0);
+  IMR_CHECK_GT(dim, 0);
+  IMR_CHECK(data != nullptr);
+  EmbeddingStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  store.view_ = data;
+  store.storage_ = std::move(owner);
+  return store;
+}
+
 float* EmbeddingStore::Vector(int vertex) {
+  IMR_CHECK(view_ == nullptr);  // borrowed storage is read-only
   IMR_CHECK_GE(vertex, 0);
   IMR_CHECK_LT(vertex, num_vertices_);
   return data_.data() + static_cast<size_t>(vertex) * dim_;
@@ -29,7 +44,12 @@ float* EmbeddingStore::Vector(int vertex) {
 const float* EmbeddingStore::Vector(int vertex) const {
   IMR_CHECK_GE(vertex, 0);
   IMR_CHECK_LT(vertex, num_vertices_);
-  return data_.data() + static_cast<size_t>(vertex) * dim_;
+  return raw() + static_cast<size_t>(vertex) * dim_;
+}
+
+const std::vector<float>& EmbeddingStore::flat() const {
+  IMR_CHECK(view_ == nullptr);  // borrowed stores have no backing vector
+  return data_;
 }
 
 std::vector<float> EmbeddingStore::VectorCopy(int vertex) const {
@@ -116,7 +136,10 @@ util::StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
 void EmbeddingStore::WriteTo(util::BinaryWriter* writer) const {
   writer->WriteU32(static_cast<uint32_t>(num_vertices_));
   writer->WriteU32(static_cast<uint32_t>(dim_));
-  writer->WriteFloatVector(data_);
+  // Length prefix + raw block == WriteFloatVector bytes, but works for
+  // borrowed storage too (no backing std::vector to hand over).
+  writer->WriteU64(value_count());
+  writer->WriteRawBytes(raw(), value_count() * sizeof(float));
 }
 
 util::StatusOr<EmbeddingStore> EmbeddingStore::ReadFrom(
@@ -135,6 +158,24 @@ util::StatusOr<EmbeddingStore> EmbeddingStore::ReadFrom(
   return store;
 }
 
+void QuantizedEmbeddingStore::QuantizeRow(const float* row, int dim,
+                                          int8_t* out, float* scale) {
+  float maxabs = 0.0f;
+  for (int d = 0; d < dim; ++d) {
+    maxabs = std::max(maxabs, std::fabs(row[d]));
+  }
+  *scale = maxabs / 127.0f;
+  if (*scale <= 0.0f) {
+    std::fill(out, out + dim, static_cast<int8_t>(0));
+    return;
+  }
+  const float inv = 1.0f / *scale;
+  for (int d = 0; d < dim; ++d) {
+    const long q = std::lrintf(row[d] * inv);
+    out[d] = static_cast<int8_t>(std::clamp(q, -127L, 127L));
+  }
+}
+
 QuantizedEmbeddingStore QuantizedEmbeddingStore::Quantize(
     const EmbeddingStore& source) {
   QuantizedEmbeddingStore store;
@@ -143,42 +184,44 @@ QuantizedEmbeddingStore QuantizedEmbeddingStore::Quantize(
   store.data_.resize(static_cast<size_t>(store.num_vertices_) * store.dim_);
   store.scales_.resize(static_cast<size_t>(store.num_vertices_));
   for (int v = 0; v < store.num_vertices_; ++v) {
-    const float* row = source.Vector(v);
-    float maxabs = 0.0f;
-    for (int d = 0; d < store.dim_; ++d) {
-      maxabs = std::max(maxabs, std::fabs(row[d]));
-    }
-    const float scale = maxabs / 127.0f;
-    store.scales_[static_cast<size_t>(v)] = scale;
-    int8_t* qrow = store.data_.data() + static_cast<size_t>(v) * store.dim_;
-    if (scale <= 0.0f) {
-      std::fill(qrow, qrow + store.dim_, static_cast<int8_t>(0));
-      continue;
-    }
-    const float inv = 1.0f / scale;
-    for (int d = 0; d < store.dim_; ++d) {
-      const long q = std::lrintf(row[d] * inv);
-      qrow[d] = static_cast<int8_t>(std::clamp(q, -127L, 127L));
-    }
+    QuantizeRow(source.Vector(v), store.dim_,
+                store.data_.data() + static_cast<size_t>(v) * store.dim_,
+                &store.scales_[static_cast<size_t>(v)]);
   }
+  return store;
+}
+
+QuantizedEmbeddingStore QuantizedEmbeddingStore::View(
+    int num_vertices, int dim, const int8_t* data, const float* scales,
+    std::shared_ptr<const void> owner) {
+  IMR_CHECK_GT(num_vertices, 0);
+  IMR_CHECK_GT(dim, 0);
+  IMR_CHECK(data != nullptr);
+  IMR_CHECK(scales != nullptr);
+  QuantizedEmbeddingStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  store.data_view_ = data;
+  store.scales_view_ = scales;
+  store.storage_ = std::move(owner);
   return store;
 }
 
 const int8_t* QuantizedEmbeddingStore::Row(int vertex) const {
   IMR_CHECK_GE(vertex, 0);
   IMR_CHECK_LT(vertex, num_vertices_);
-  return data_.data() + static_cast<size_t>(vertex) * dim_;
+  return raw() + static_cast<size_t>(vertex) * dim_;
 }
 
 float QuantizedEmbeddingStore::scale(int vertex) const {
   IMR_CHECK_GE(vertex, 0);
   IMR_CHECK_LT(vertex, num_vertices_);
-  return scales_[static_cast<size_t>(vertex)];
+  return raw_scales()[static_cast<size_t>(vertex)];
 }
 
 std::vector<float> QuantizedEmbeddingStore::Dequantize(int vertex) const {
   const int8_t* row = Row(vertex);
-  const float s = scales_[static_cast<size_t>(vertex)];
+  const float s = raw_scales()[static_cast<size_t>(vertex)];
   std::vector<float> out(static_cast<size_t>(dim_));
   for (int d = 0; d < dim_; ++d) {
     out[static_cast<size_t>(d)] = static_cast<float>(row[d]) * s;
@@ -190,8 +233,8 @@ std::vector<float> QuantizedEmbeddingStore::MutualRelation(int i,
                                                            int j) const {
   const int8_t* qi = Row(i);
   const int8_t* qj = Row(j);
-  const float si = scales_[static_cast<size_t>(i)];
-  const float sj = scales_[static_cast<size_t>(j)];
+  const float si = raw_scales()[static_cast<size_t>(i)];
+  const float sj = raw_scales()[static_cast<size_t>(j)];
   std::vector<float> mr(static_cast<size_t>(dim_));
   for (int d = 0; d < dim_; ++d) {
     mr[static_cast<size_t>(d)] =
@@ -208,7 +251,7 @@ double QuantizedEmbeddingStore::MaxAbsError(
   for (int v = 0; v < num_vertices_; ++v) {
     const float* row = reference.Vector(v);
     const int8_t* qrow = Row(v);
-    const float s = scales_[static_cast<size_t>(v)];
+    const float s = raw_scales()[static_cast<size_t>(v)];
     for (int d = 0; d < dim_; ++d) {
       worst = std::max(
           worst, std::fabs(static_cast<double>(qrow[d]) * s - row[d]));
@@ -220,8 +263,11 @@ double QuantizedEmbeddingStore::MaxAbsError(
 void QuantizedEmbeddingStore::WriteTo(util::BinaryWriter* writer) const {
   writer->WriteU32(static_cast<uint32_t>(num_vertices_));
   writer->WriteU32(static_cast<uint32_t>(dim_));
-  writer->WriteFloatVector(scales_);
-  writer->WriteByteVector(data_);
+  const size_t count = static_cast<size_t>(num_vertices_) * dim_;
+  writer->WriteU64(static_cast<uint64_t>(num_vertices_));
+  writer->WriteRawBytes(raw_scales(), static_cast<size_t>(num_vertices_) * sizeof(float));
+  writer->WriteU64(count);
+  writer->WriteRawBytes(raw(), count);
 }
 
 util::StatusOr<QuantizedEmbeddingStore> QuantizedEmbeddingStore::ReadFrom(

@@ -52,6 +52,7 @@
 #include "re/pa_model.h"                   // IWYU pragma: export
 #include "re/trainer.h"                    // IWYU pragma: export
 #include "serve/admission.h"               // IWYU pragma: export
+#include "serve/delta.h"                   // IWYU pragma: export
 #include "serve/inference_engine.h"        // IWYU pragma: export
 #include "serve/lru_cache.h"               // IWYU pragma: export
 #include "serve/model_state.h"             // IWYU pragma: export
@@ -68,6 +69,7 @@
 #include "text/vocab.h"                    // IWYU pragma: export
 #include "util/flags.h"                    // IWYU pragma: export
 #include "util/logging.h"                  // IWYU pragma: export
+#include "util/mmap_file.h"                // IWYU pragma: export
 #include "util/rng.h"                      // IWYU pragma: export
 #include "util/serialization.h"            // IWYU pragma: export
 #include "util/status.h"                   // IWYU pragma: export

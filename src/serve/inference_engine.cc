@@ -135,7 +135,7 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const ModelState& state,
   bag.sentences.reserve(query.sentences.size());
   for (const text::Sentence& sentence : query.sentences) {
     bag.sentences.push_back(re::MakeEncoderInput(
-        sentence, snapshot.vocab, snapshot.manifest.bag_options));
+        sentence, snapshot.vocab(), snapshot.manifest.bag_options));
   }
 
   if (config.use_entity_type) {
@@ -143,9 +143,9 @@ util::StatusOr<re::Bag> InferenceEngine::BuildBag(const ModelState& state,
     bag.tail_types = query.tail_types;
     const auto table_types =
         [&snapshot](int64_t id) -> const std::vector<int>* {
-      if (id < 0 || id >= static_cast<int64_t>(snapshot.entities.size()))
+      if (id < 0 || id >= static_cast<int64_t>(snapshot.entities().size()))
         return nullptr;
-      return &snapshot.entities[static_cast<size_t>(id)].type_ids;
+      return &snapshot.entities()[static_cast<size_t>(id)].type_ids;
     };
     if (bag.head_types.empty()) {
       if (const auto* types = table_types(query.head)) bag.head_types = *types;
@@ -243,9 +243,9 @@ util::StatusOr<Prediction> InferenceEngine::PredictOne(const Query& query) {
     ScoredRelation scored;
     scored.relation = relation;
     if (static_cast<size_t>(relation) <
-        state->snapshot.relation_names.size()) {
+        state->snapshot.relation_names().size()) {
       scored.name =
-          state->snapshot.relation_names[static_cast<size_t>(relation)];
+          state->snapshot.relation_names()[static_cast<size_t>(relation)];
     }
     scored.probability =
         prediction.probabilities[static_cast<size_t>(relation)];
@@ -373,12 +373,13 @@ util::StatusOr<Query> InferenceEngine::MakeQuery(
     const std::string& head_name, const std::string& tail_name,
     std::vector<text::Sentence> sentences) const {
   const std::shared_ptr<const ModelState> state = CurrentState();
-  const auto head = state->entity_by_name.find(head_name);
-  if (head == state->entity_by_name.end()) {
+  const ModelState::EntityIndex& index = *state->entity_by_name;
+  const auto head = index.find(head_name);
+  if (head == index.end()) {
     return util::NotFound("unknown entity '" + head_name + "'");
   }
-  const auto tail = state->entity_by_name.find(tail_name);
-  if (tail == state->entity_by_name.end()) {
+  const auto tail = index.find(tail_name);
+  if (tail == index.end()) {
     return util::NotFound("unknown entity '" + tail_name + "'");
   }
   Query query;

@@ -8,7 +8,8 @@
 namespace imr::serve {
 
 util::StatusOr<std::shared_ptr<const ModelState>> ModelState::Create(
-    Snapshot snapshot, bool quantized, uint64_t generation) {
+    Snapshot snapshot, bool quantized, uint64_t generation,
+    const ModelState* base) {
   if (snapshot.model == nullptr) {
     return util::InvalidArgument("snapshot carries no model");
   }
@@ -26,10 +27,17 @@ util::StatusOr<std::shared_ptr<const ModelState>> ModelState::Create(
     }
     state->snapshot.model->EnableQuantizedInference();
   }
-  state->entity_by_name.reserve(state->snapshot.entities.size());
-  for (size_t i = 0; i < state->snapshot.entities.size(); ++i) {
-    state->entity_by_name.emplace(state->snapshot.entities[i].name,
-                                  static_cast<int64_t>(i));
+  if (base != nullptr && base->snapshot.tables == state->snapshot.tables) {
+    // Same immutable tables handle (delta generation): share the index.
+    state->entity_by_name = base->entity_by_name;
+  } else {
+    auto index = std::make_shared<EntityIndex>();
+    const std::vector<EntityRecord>& entities = state->snapshot.entities();
+    index->reserve(entities.size());
+    for (size_t i = 0; i < entities.size(); ++i) {
+      index->emplace(entities[i].name, static_cast<int64_t>(i));
+    }
+    state->entity_by_name = std::move(index);
   }
   return std::shared_ptr<const ModelState>(std::move(state));
 }

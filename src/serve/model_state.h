@@ -26,19 +26,29 @@
 namespace imr::serve {
 
 struct ModelState {
+  using EntityIndex = std::unordered_map<std::string, int64_t>;
+
   /// Generation numbers are assigned by whoever publishes the state (the
   /// engine numbers its boot snapshot 1 and increments per swap).
   uint64_t generation = 0;
   Snapshot snapshot;
-  /// Entity name -> vertex id, built once so MakeQuery never scans.
-  std::unordered_map<std::string, int64_t> entity_by_name;
+  /// Entity name -> vertex id, built once so MakeQuery never scans. Never
+  /// null. Shared: an IMRD delta generation whose snapshot reuses its
+  /// base's tables also reuses the base's index instead of re-hashing
+  /// O(entities) names — part of keeping delta publication O(touched rows).
+  std::shared_ptr<const EntityIndex> entity_by_name =
+      std::make_shared<EntityIndex>();
 
   /// Prepares a loaded snapshot for serving: forces eval mode, applies the
   /// int8 path when `quantized` (building the QEMB store on the fly for
   /// files that predate the section), and indexes the entity table. The
-  /// returned state must not be mutated after publication.
+  /// returned state must not be mutated after publication. `base` (may be
+  /// null) is the generation this snapshot was derived from; when its
+  /// tables handle matches, derived lookup structures are shared instead of
+  /// rebuilt.
   [[nodiscard]] static util::StatusOr<std::shared_ptr<const ModelState>>
-  Create(Snapshot snapshot, bool quantized, uint64_t generation);
+  Create(Snapshot snapshot, bool quantized, uint64_t generation,
+         const ModelState* base = nullptr);
 
   /// Swap-compatibility validation: a new generation may replace `current`
   /// only if it serves the same decision space (relation count and

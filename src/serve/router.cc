@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/delta.h"
 #include "util/logging.h"
 
 namespace imr::serve {
@@ -157,8 +158,34 @@ util::Status ServeRouter::Reload(const std::string& snapshot_path) {
   }
   const uint64_t next_generation =
       generation_.load(std::memory_order_acquire) + 1;
-  auto next = ModelState::Create(std::move(*snapshot),
-                                 options_.engine.quantized, next_generation);
+  return PublishLocked(
+      ModelState::Create(std::move(*snapshot), options_.engine.quantized,
+                         next_generation),
+      /*is_delta=*/false);
+}
+
+util::Status ServeRouter::ReloadDelta(const std::string& delta_path) {
+  util::MutexLock lock(reload_mutex_);
+  // Pin the base generation for the whole apply: even if a concurrent full
+  // Reload were possible (it is not — reload_mutex_), the delta patches
+  // exactly the state it hash-matched against.
+  const std::shared_ptr<const ModelState> base =
+      engines_.front()->CurrentState();
+  auto snapshot = ApplyDelta(base->snapshot, delta_path);
+  if (!snapshot.ok()) {
+    last_reload_error_ = snapshot.status().message();
+    return snapshot.status();
+  }
+  const uint64_t next_generation =
+      generation_.load(std::memory_order_acquire) + 1;
+  return PublishLocked(
+      ModelState::Create(std::move(*snapshot), options_.engine.quantized,
+                         next_generation, base.get()),
+      /*is_delta=*/true);
+}
+
+util::Status ServeRouter::PublishLocked(
+    util::StatusOr<std::shared_ptr<const ModelState>> next, bool is_delta) {
   if (!next.ok()) {
     last_reload_error_ = next.status().message();
     return next.status();
@@ -171,10 +198,13 @@ util::Status ServeRouter::Reload(const std::string& snapshot_path) {
     return valid;
   }
   // Publish: one atomic store per replica. In-flight requests drain on the
-  // generation they pinned; the old state frees when the last one returns.
+  // generation they pinned; the old state frees when the last one returns —
+  // which is also what keeps a delta's base mapping pinned until its last
+  // borrower exits.
   for (auto& engine : engines_) engine->SwapState(*next);
-  generation_.store(next_generation, std::memory_order_release);
+  generation_.store((*next)->generation, std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  if (is_delta) delta_reloads_.fetch_add(1, std::memory_order_relaxed);
   last_reload_error_.clear();
   return util::OkStatus();
 }
@@ -183,6 +213,8 @@ RouterStats ServeRouter::Stats() const {
   RouterStats stats;
   stats.generation = generation_.load(std::memory_order_acquire);
   stats.reloads = reloads_.load(std::memory_order_relaxed);
+  stats.delta_reloads = delta_reloads_.load(std::memory_order_relaxed);
+  stats.content_hash = content_hash();
   {
     util::MutexLock lock(reload_mutex_);
     stats.last_reload_error = last_reload_error_;

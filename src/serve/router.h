@@ -74,7 +74,14 @@ struct RouterStats {
   std::vector<EngineStats> replicas;
   uint64_t generation = 0;
   uint64_t reloads = 0;
-  /// Empty when the last Reload() succeeded (or none was attempted).
+  /// How many of `reloads` were IMRD delta applies (ReloadDelta) rather
+  /// than full snapshot loads.
+  uint64_t delta_reloads = 0;
+  /// Content hash of the serving generation (v2 snapshots and delta
+  /// results; 0 for v1). The identity the next delta must chain on.
+  uint64_t content_hash = 0;
+  /// Empty when the last Reload()/ReloadDelta() succeeded (or none was
+  /// attempted).
   std::string last_reload_error;
 };
 
@@ -118,6 +125,19 @@ class ServeRouter {
   [[nodiscard]] util::Status Reload(const std::string& snapshot_path)
       IMR_EXCLUDES(reload_mutex_);
 
+  /// O(touched-rows) hot swap: applies the IMRD delta at `delta_path` to
+  /// the serving generation (copy-on-write block aliasing of its mapping,
+  /// see delta.h) and publishes the result exactly like Reload(). Fails
+  /// with a clean Status — and leaves the serving generation untouched —
+  /// when the delta's base hash does not match the serving content hash.
+  [[nodiscard]] util::Status ReloadDelta(const std::string& delta_path)
+      IMR_EXCLUDES(reload_mutex_);
+
+  /// Content hash of the serving generation (0 for v1 snapshots).
+  uint64_t content_hash() const {
+    return engines_.front()->CurrentState()->snapshot.content_hash;
+  }
+
   [[nodiscard]] RouterStats Stats() const IMR_EXCLUDES(reload_mutex_);
 
   uint64_t generation() const {
@@ -151,8 +171,15 @@ class ServeRouter {
   std::vector<std::unique_ptr<InferenceEngine>> engines_;
   std::vector<std::unique_ptr<ReplicaQueue>> queues_;
   std::vector<std::thread> workers_;
+  /// Shared swap tail of Reload/ReloadDelta: validate against the serving
+  /// generation, publish to every replica, bump the counters.
+  [[nodiscard]] util::Status PublishLocked(
+      util::StatusOr<std::shared_ptr<const ModelState>> next, bool is_delta)
+      IMR_REQUIRES(reload_mutex_);
+
   std::atomic<uint64_t> generation_{1};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> delta_reloads_{0};
 
   /// Serializes Reload() callers (never contended by request traffic).
   mutable util::Mutex reload_mutex_;

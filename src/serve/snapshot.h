@@ -1,8 +1,24 @@
 // Versioned on-disk model snapshots: everything needed to stand a trained
 // PA-* pipeline back up in a fresh process, in one file.
 //
-// A snapshot is a single magic+version-headed binary (util::BinaryWriter
-// framing) with tagged sections in fixed order:
+// Two format versions share the magic and the section vocabulary
+// (DESIGN.md §14 has the byte-level diagrams):
+//
+//   v1 — streamed: tagged sections in fixed order, parsed front to back
+//        with util::BinaryReader and copied into owned storage. Still
+//        written on request and always readable (the sanctioned
+//        parse-and-copy fallback).
+//   v2 — zero-copy: same sections, but every section payload is 64-byte
+//        aligned, the bulk arrays (EMBD floats, QEMB scales/int8) are
+//        additionally 64-byte aligned inside their payloads, and a footer
+//        carries a section-offset table plus an FNV-1a content hash. The
+//        reader mmaps the file (util::MmapFile), validates the
+//        bounds-checked footer, parses the small sections in place through
+//        view-mode BinaryReaders, and hands the embedding stores
+//        *borrowed* views of the mapped bytes — open is O(header) with
+//        lazy page faulting, instead of O(model) parse-and-copy.
+//
+// Section order (tags precede payloads in both versions):
 //
 //   MANI  manifest: PaModelConfig (incl. EncoderConfig), BagDatasetOptions,
 //         trained-step count, free-form notes
@@ -13,20 +29,17 @@
 //   EMBD  graph::EmbeddingStore (the mutual-relation source)
 //   PARM  model parameters (name + values, registry order)
 //   QEMB  OPTIONAL int8 graph::QuantizedEmbeddingStore for the quantized
-//         serving path; readers branch on the tag after PARM, so files
-//         written without it (all pre-quantization snapshots) load
-//         unchanged and the version stays 1
+//         serving path
 //   ANNI  OPTIONAL re::KnnPredictor — memorised training pairs plus the
-//         learned IVF structure for kNN-interpolated long-tail serving.
-//         Like QEMB, readers branch on the tag, so v1 files without it
-//         (and v1 readers that predate it) are unaffected
-//   SEND  end sentinel — detects files truncated on a section boundary
+//         learned IVF structure for kNN-interpolated long-tail serving
+//   SEND  end sentinel (v1) / footer opener (v2)
 //
 // Every section is validated on load (tag, counts, cross-section shape
 // consistency, parameter names/shapes); any mismatch returns a non-OK
 // Status naming the file and byte offset instead of crashing or silently
-// loading garbage. The format version bumps on any layout change; readers
-// reject other versions outright (no silent migration).
+// loading garbage. Readers reject unknown versions outright; a v2 file
+// presented to a v1-only reader fails on the version field with a clean
+// Status (the snapshot-compat CI stage asserts this).
 #ifndef IMR_SERVE_SNAPSHOT_H_
 #define IMR_SERVE_SNAPSHOT_H_
 
@@ -41,9 +54,13 @@
 #include "re/knn_predictor.h"
 #include "re/pa_model.h"
 #include "text/vocab.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace imr::serve {
+
+inline constexpr int kSnapshotFormatV1 = 1;
+inline constexpr int kSnapshotFormatV2 = 2;
 
 /// Everything about a snapshot except the tensors: enough to rebuild the
 /// model skeleton and the input featurization exactly as trained.
@@ -60,13 +77,34 @@ struct EntityRecord {
   std::vector<int> type_ids;
 };
 
+/// The lookup tables (vocabulary, relation names, entity table) bundled
+/// behind one shared, immutable handle: an IMRD delta generation reuses its
+/// base's tables by bumping a refcount instead of copying O(vocab)
+/// strings — part of keeping delta apply O(touched rows).
+struct SnapshotTables {
+  text::Vocabulary vocab;
+  std::vector<std::string> relation_names;
+  std::vector<EntityRecord> entities;
+};
+
+/// Byte offsets of the zero-copy bulk arrays inside a v2 mapping, recorded
+/// at load so ApplyDelta can patch touched rows into a copy-on-write clone
+/// without re-parsing the file.
+struct SnapshotLayout {
+  bool valid = false;
+  uint64_t embd_data = 0;    // first float of the [nv x dim] fp32 matrix
+  uint64_t qemb_scales = 0;  // first float of the per-row scales (QEMB only)
+  uint64_t qemb_data = 0;    // first int8 of the [nv x dim] matrix
+};
+
 /// A fully materialized snapshot: the model is constructed, loaded, and
 /// switched to eval mode.
 struct Snapshot {
   SnapshotManifest manifest;
-  text::Vocabulary vocab;
-  std::vector<std::string> relation_names;
-  std::vector<EntityRecord> entities;
+  /// Never null; shared with delta generations derived from this snapshot.
+  std::shared_ptr<const SnapshotTables> tables =
+      std::make_shared<SnapshotTables>();
+  /// Owned (v1) or borrowing `mapping` (v2 zero-copy).
   graph::EmbeddingStore embeddings;
   /// Empty unless the file carried a QEMB section.
   graph::QuantizedEmbeddingStore quantized_embeddings;
@@ -75,6 +113,23 @@ struct Snapshot {
   /// predictor across the RCU swap.
   std::shared_ptr<const re::KnnPredictor> knn;
   std::unique_ptr<re::PaModel> model;
+  /// v2 only: the mapping the embedding stores borrow from. Held shared so
+  /// the mapped pages survive file unlink/replace until the last borrower
+  /// (serving generation) drops its reference.
+  std::shared_ptr<const util::MmapFile> mapping;
+  SnapshotLayout layout;
+  /// FNV-1a identity of the snapshot contents (v2 footer; deltas chain on
+  /// it). 0 for v1 files, which carry no hash.
+  uint64_t content_hash = 0;
+  int format_version = kSnapshotFormatV1;
+
+  const text::Vocabulary& vocab() const { return tables->vocab; }
+  const std::vector<std::string>& relation_names() const {
+    return tables->relation_names;
+  }
+  const std::vector<EntityRecord>& entities() const {
+    return tables->entities;
+  }
 };
 
 /// Writes a snapshot of `model` plus its featurization state. `entities`
@@ -84,6 +139,8 @@ struct Snapshot {
 /// section so the file also carries the int8 serving weights. Passing
 /// `knn` (dim- and relation-matched) appends the optional ANNI section so
 /// the serve tier can kNN-interpolate long-tail predictions.
+/// `format_version` selects the layout; v2 (the default) is required for
+/// zero-copy opens and delta generations.
 [[nodiscard]] util::Status SaveSnapshot(
     const re::PaModel& model, const text::Vocabulary& vocab,
     const graph::EmbeddingStore& embeddings,
@@ -92,7 +149,8 @@ struct Snapshot {
     const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
     const std::string& notes, const std::string& path,
     const graph::QuantizedEmbeddingStore* quantized = nullptr,
-    const re::KnnPredictor* knn = nullptr);
+    const re::KnnPredictor* knn = nullptr,
+    int format_version = kSnapshotFormatV2);
 
 /// Convenience overload that pulls relation names and the entity table
 /// (names + type ids) from a knowledge graph.
@@ -102,10 +160,12 @@ struct Snapshot {
     const re::BagDatasetOptions& bag_options, uint64_t trained_steps,
     const std::string& notes, const std::string& path,
     const graph::QuantizedEmbeddingStore* quantized = nullptr,
-    const re::KnnPredictor* knn = nullptr);
+    const re::KnnPredictor* knn = nullptr,
+    int format_version = kSnapshotFormatV2);
 
-/// Loads and validates a snapshot; the returned model reproduces the saved
-/// model's inference outputs bit-for-bit.
+/// Loads and validates a snapshot (either version, dispatched on the
+/// header); the returned model reproduces the saved model's inference
+/// outputs bit-for-bit.
 [[nodiscard]] util::StatusOr<Snapshot> LoadSnapshot(const std::string& path);
 
 }  // namespace imr::serve

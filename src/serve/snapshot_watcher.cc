@@ -1,11 +1,13 @@
 #include "serve/snapshot_watcher.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "serve/delta.h"
 #include "util/logging.h"
 
 namespace imr::serve {
@@ -70,7 +72,23 @@ void SnapshotWatcher::PollLoop() {
 
 bool SnapshotWatcher::CheckNow() { return PollStep(); }
 
+void SnapshotWatcher::WatchDeltas(DeltaHooks hooks) {
+  IMR_CHECK(hooks.serving_hash != nullptr);
+  IMR_CHECK(hooks.apply != nullptr);
+  util::MutexLock lock(mutex_);
+  delta_hooks_ = std::move(hooks);
+  // Deltas already sitting in the directory ARE applied (unlike the main
+  // snapshot, whose on-disk generation is the one already serving): a
+  // restart must catch up on the chain its base snapshot has accumulated.
+}
+
 bool SnapshotWatcher::PollStep() {
+  bool acted = SnapshotPollStep();
+  if (delta_hooks_.apply != nullptr) acted = DeltaPollStep() || acted;
+  return acted;
+}
+
+bool SnapshotWatcher::SnapshotPollStep() {
   const Signature now = Stat(path_);
   {
     util::MutexLock lock(mutex_);
@@ -104,6 +122,116 @@ bool SnapshotWatcher::PollStep() {
     last_error_ = status.message();
   }
   return true;
+}
+
+std::vector<std::string> SnapshotWatcher::ListDeltaFiles() const {
+  const size_t slash = path_.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash);
+  std::vector<std::string> files;
+  ::DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return files;
+  while (struct ::dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    constexpr const char kSuffix[] = ".imrd";
+    constexpr size_t kSuffixLen = sizeof kSuffix - 1;
+    if (name.size() <= kSuffixLen ||
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+      continue;
+    }
+    files.push_back(dir + "/" + name);
+  }
+  ::closedir(handle);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool SnapshotWatcher::DeltaPollStep() {
+  const std::vector<std::string> files = ListDeltaFiles();
+  // Debounce pass: collect files whose signature held for two polls and
+  // whose current signature has not already been acted on.
+  std::vector<std::string> settled;
+  {
+    util::MutexLock lock(mutex_);
+    // Forget bookkeeping for files that vanished.
+    for (auto it = deltas_.begin(); it != deltas_.end();) {
+      if (std::find(files.begin(), files.end(), it->first) == files.end()) {
+        it = deltas_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const std::string& file : files) {
+      const Signature now = Stat(file);
+      if (now.size < 0) continue;
+      DeltaState& state = deltas_[file];
+      if (state.has_consumed && state.consumed == now) continue;
+      if (!state.has_candidate || !(state.candidate == now)) {
+        state.candidate = now;  // first sighting: wait one more poll
+        state.has_candidate = true;
+        continue;
+      }
+      settled.push_back(file);
+    }
+  }
+  if (settled.empty()) return false;
+
+  // Apply pass: each round applies every delta whose base hash matches the
+  // CURRENT serving hash; a success advances the hash, so a chain of
+  // deltas (base -> d1 -> d2) rolls out fully in one poll. Bounded by one
+  // apply per settled file.
+  bool acted = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const std::string& file : settled) {
+      {
+        util::MutexLock lock(mutex_);
+        const DeltaState& state = deltas_[file];
+        if (state.has_consumed && state.consumed == state.candidate) {
+          continue;  // acted on in an earlier round
+        }
+      }
+      auto header = ReadDeltaHeader(file);
+      if (!header.ok()) {
+        // Corrupt framing: consume this signature (rewriting re-arms it).
+        util::MutexLock lock(mutex_);
+        DeltaState& state = deltas_[file];
+        state.consumed = state.candidate;
+        state.has_consumed = true;
+        ++stats_.delta_applies_attempted;
+        ++stats_.delta_applies_failed;
+        last_error_ = header.status().message();
+        acted = true;
+        continue;
+      }
+      if (header->base_hash != delta_hooks_.serving_hash()) {
+        continue;  // not this generation's delta (yet) — cheap re-probe later
+      }
+      {
+        util::MutexLock lock(mutex_);
+        ++stats_.delta_applies_attempted;
+      }
+      const util::Status status = delta_hooks_.apply(file);
+      util::MutexLock lock(mutex_);
+      DeltaState& state = deltas_[file];
+      // Success or failure, this signature is consumed — a bad delta is
+      // not re-applied every poll (no retry storm).
+      state.consumed = state.candidate;
+      state.has_consumed = true;
+      if (status.ok()) {
+        ++stats_.delta_applies_succeeded;
+        last_error_.clear();
+        progress = true;  // serving hash advanced: rescan for chained deltas
+      } else {
+        ++stats_.delta_applies_failed;
+        last_error_ = status.message();
+      }
+      acted = true;
+    }
+  }
+  return acted;
 }
 
 WatcherStats SnapshotWatcher::Stats() const {

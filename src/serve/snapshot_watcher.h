@@ -9,6 +9,16 @@
 // recorded in last_error(); the old generation keeps serving and the
 // watcher re-arms, so dropping a fixed snapshot at the same path later
 // still rolls out.
+//
+// Delta generations: with WatchDeltas() installed, every poll also scans
+// the snapshot's directory for sibling `*.imrd` files (delta.h). Each file
+// gets the same two-poll debounce; a settled delta whose base hash matches
+// the serving generation's content hash is applied (ReloadDelta), and
+// because a successful apply advances the serving hash, a directory of
+// chained deltas rolls out in base-hash order within one poll. A delta
+// whose APPLY fails has its signature consumed — it is not retried every
+// poll (no retry storm); rewriting the file re-arms it. A delta whose base
+// hash simply does not match yet stays pending at O(1) header-probe cost.
 #ifndef IMR_SERVE_SNAPSHOT_WATCHER_H_
 #define IMR_SERVE_SNAPSHOT_WATCHER_H_
 
@@ -16,6 +26,8 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "util/mutex.h"
 #include "util/status.h"
@@ -34,6 +46,20 @@ struct WatcherStats {
   uint64_t reloads_attempted = 0;
   uint64_t reloads_succeeded = 0;
   uint64_t reloads_failed = 0;
+  /// IMRD delta traffic (WatchDeltas() installed): applies attempted on
+  /// hash-matched settled deltas, and their outcomes.
+  uint64_t delta_applies_attempted = 0;
+  uint64_t delta_applies_succeeded = 0;
+  uint64_t delta_applies_failed = 0;
+};
+
+/// How the watcher talks to the serve tier about deltas. Both hooks are
+/// required: `serving_hash` reports the content hash of the generation
+/// serving right now (ServeRouter::content_hash), `apply` performs the
+/// delta reload (ServeRouter::ReloadDelta).
+struct DeltaHooks {
+  std::function<uint64_t()> serving_hash;
+  std::function<util::Status(const std::string& delta_path)> apply;
 };
 
 class SnapshotWatcher {
@@ -63,6 +89,10 @@ class SnapshotWatcher {
   /// last_error for the outcome).
   bool CheckNow() IMR_EXCLUDES(mutex_);
 
+  /// Enables sibling `*.imrd` delta polling (see the class comment).
+  /// Install before Start().
+  void WatchDeltas(DeltaHooks hooks) IMR_EXCLUDES(mutex_);
+
   [[nodiscard]] WatcherStats Stats() const IMR_EXCLUDES(mutex_);
   /// Message of the most recent failed reload; empty after a success.
   [[nodiscard]] std::string last_error() const IMR_EXCLUDES(mutex_);
@@ -75,16 +105,33 @@ class SnapshotWatcher {
     bool operator==(const Signature&) const = default;
   };
 
+  /// Per-delta-file debounce/consumption bookkeeping, keyed by path.
+  struct DeltaState {
+    Signature candidate;
+    bool has_candidate = false;
+    /// The signature already acted on (applied or failed) — never retried.
+    Signature consumed;
+    bool has_consumed = false;
+  };
+
   static Signature Stat(const std::string& path);
   void PollLoop() IMR_EXCLUDES(mutex_);
   /// One poll step: stat + stability bookkeeping + (maybe) reload. File
   /// I/O and the reload callback run with mutex_ released — the lock only
   /// covers bookkeeping, so Stats() never blocks behind a snapshot load.
   bool PollStep() IMR_EXCLUDES(mutex_);
+  /// The full-snapshot half of a poll step.
+  bool SnapshotPollStep() IMR_EXCLUDES(mutex_);
+  /// The delta half: scan, debounce, then apply hash-matched deltas until
+  /// no more progress (chains roll out within one poll).
+  bool DeltaPollStep() IMR_EXCLUDES(mutex_);
+  /// `*.imrd` files in the watched snapshot's directory, sorted.
+  std::vector<std::string> ListDeltaFiles() const;
 
   const std::string path_;
   const ReloadFn reload_;
   const WatcherOptions options_;
+  DeltaHooks delta_hooks_;  // set once via WatchDeltas, before Start
 
   mutable util::Mutex mutex_;
   util::CondVar stop_cv_;
@@ -93,6 +140,7 @@ class SnapshotWatcher {
   Signature loaded_ IMR_GUARDED_BY(mutex_);     // signature last reloaded (or boot)
   Signature candidate_ IMR_GUARDED_BY(mutex_);  // new signature awaiting stability
   bool has_candidate_ IMR_GUARDED_BY(mutex_) = false;
+  std::unordered_map<std::string, DeltaState> deltas_ IMR_GUARDED_BY(mutex_);
   WatcherStats stats_ IMR_GUARDED_BY(mutex_);
   std::string last_error_ IMR_GUARDED_BY(mutex_);
   // Written under mutex_ in Start(), joined unlocked in Stop().

@@ -84,6 +84,12 @@ util::Status Vocabulary::WriteTo(util::BinaryWriter* writer) const {
 util::StatusOr<Vocabulary> Vocabulary::ReadFrom(util::BinaryReader* reader) {
   const uint64_t count = reader->ReadU64();
   IMR_RETURN_IF_ERROR(reader->status());
+  // Every word costs at least a u64 length prefix, so an honest count is
+  // bounded by the bytes left; reject corrupt counts before reserving.
+  if (count > reader->remaining() / 8) {
+    return util::InvalidArgument("corrupt vocabulary section in '" +
+                                 reader->path() + "'");
+  }
   Vocabulary vocab;
   vocab.words_.clear();
   vocab.words_.reserve(count);

@@ -1,0 +1,105 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace imr::util {
+
+namespace {
+
+bool MmapDisabled() {
+  const char* flag = std::getenv("IMR_NO_MMAP");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+/// Reads the whole file behind `fd` into `out` (fallback mode).
+Status ReadAll(int fd, size_t size, const std::string& path,
+               std::vector<uint8_t>* out) {
+  out->resize(size);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t got =
+        ::pread(fd, out->data() + done, size - done, static_cast<off_t>(done));
+    if (got < 0) return IoError("read failed for '" + path + "'");
+    if (got == 0) {
+      return IoError(StrFormat("file '%s' shrank while reading (wanted %zu "
+                               "bytes, got %zu)",
+                               path.c_str(), size, done));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("cannot open for read: " + path);
+  struct ::stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return IoError("cannot stat regular file: " + path);
+  }
+  auto file = std::make_shared<MmapFile>();
+  file->fd_ = fd;
+  file->size_ = static_cast<size_t>(st.st_size);
+  file->path_ = path;
+  if (file->size_ > 0 && !MmapDisabled()) {
+    void* map = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      file->map_ = map;
+      file->data_ = static_cast<const uint8_t*>(map);
+      return file;
+    }
+    // mmap unavailable (filesystem, rlimit, ...): fall through to the read
+    // fallback rather than failing the load.
+  }
+  const Status read = ReadAll(fd, file->size_, path, &file->heap_);
+  if (!read.ok()) return read;
+  file->data_ = file->heap_.data();
+  return file;
+}
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::PrivateCopy() const {
+  auto copy = std::make_shared<MmapFile>();
+  copy->size_ = size_;
+  copy->path_ = path_;
+  copy->writable_ = true;
+  if (map_ != nullptr && fd_ >= 0) {
+    // Fresh CoW mapping from the retained descriptor: valid after unlink,
+    // and only the pages we later store into get private copies.
+    void* map = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                       fd_, 0);
+    if (map == MAP_FAILED) {
+      return IoError("cannot remap for private copy: " + path_);
+    }
+    copy->map_ = map;
+    copy->data_ = static_cast<uint8_t*>(map);
+    return copy;
+  }
+  copy->heap_.assign(data_, data_ + size_);
+  copy->data_ = copy->heap_.data();
+  return copy;
+}
+
+uint8_t* MmapFile::mutable_data() {
+  IMR_CHECK(writable_);
+  if (map_ != nullptr) return static_cast<uint8_t*>(map_);
+  return heap_.data();
+}
+
+}  // namespace imr::util

@@ -1,8 +1,24 @@
 #include "util/serialization.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace imr::util {
+
+namespace {
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
 
 BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
                            uint32_t version)
@@ -25,6 +41,7 @@ void BinaryWriter::WriteRaw(const void* data, size_t size) {
                                 static_cast<unsigned long long>(offset_)));
     return;
   }
+  if (hashing_) hash_ = Fnv1a(data, size, hash_);
   offset_ += size;
 }
 
@@ -56,6 +73,27 @@ void BinaryWriter::WriteIntVector(const std::vector<int>& values) {
   for (int value : values) WriteI64(value);
 }
 
+void BinaryWriter::WriteRawBytes(const void* data, size_t size) {
+  WriteRaw(data, size);
+}
+
+void BinaryWriter::PadTo(size_t alignment) {
+  static constexpr char kZeros[64] = {};
+  if (alignment == 0) return;
+  while (status_.ok() && offset_ % alignment != 0) {
+    const size_t pad = std::min<size_t>(sizeof kZeros,
+                                        alignment - offset_ % alignment);
+    WriteRaw(kZeros, pad);
+  }
+}
+
+void BinaryWriter::StartHashing(uint64_t seed) {
+  hashing_ = true;
+  hash_ = seed;
+}
+
+void BinaryWriter::StopHashing() { hashing_ = false; }
+
 Status BinaryWriter::Close() {
   if (status_.ok()) {
     out_.flush();
@@ -72,6 +110,14 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
     status_ = IoError("cannot open for read: " + path);
     return;
   }
+  in_.seekg(0, std::ios::end);
+  const std::streamoff size = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (!in_.good() || size < 0) {
+    status_ = IoError("cannot determine size of '" + path + "'");
+    return;
+  }
+  end_offset_ = static_cast<uint64_t>(size);
   const uint32_t file_magic = ReadU32();
   const uint32_t file_version = ReadU32();
   if (!status_.ok()) return;
@@ -86,8 +132,34 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
   }
 }
 
+BinaryReader::BinaryReader(const std::string& label, const void* data,
+                           size_t size, uint64_t base_offset)
+    : path_(label),
+      offset_(base_offset),
+      end_offset_(base_offset + size),
+      view_(static_cast<const uint8_t*>(data)),
+      view_base_(base_offset) {}
+
+uint64_t BinaryReader::remaining() const {
+  return offset_ >= end_offset_ ? 0 : end_offset_ - offset_;
+}
+
 void BinaryReader::ReadRaw(void* data, size_t size) {
   if (!status_.ok()) return;
+  if (view_ != nullptr) {
+    if (size > remaining()) {
+      status_ = IoError(StrFormat(
+          "unexpected end of section in '%s' at byte offset %llu (wanted "
+          "%zu bytes, got %llu)",
+          path_.c_str(), static_cast<unsigned long long>(offset_), size,
+          static_cast<unsigned long long>(remaining())));
+      return;
+    }
+    std::copy_n(view_ + (offset_ - view_base_), size,
+                static_cast<uint8_t*>(data));
+    offset_ += size;
+    return;
+  }
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
   const auto got = in_.gcount();
   if (got != static_cast<std::streamsize>(size)) {
@@ -99,6 +171,13 @@ void BinaryReader::ReadRaw(void* data, size_t size) {
     return;
   }
   offset_ += size;
+}
+
+void BinaryReader::FailCorruptLength(const char* what) {
+  status_ = InvalidArgument(StrFormat(
+      "%s longer than the bytes remaining in '%s' at byte offset %llu; "
+      "corrupt file?",
+      what, path_.c_str(), static_cast<unsigned long long>(offset_)));
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -134,10 +213,8 @@ double BinaryReader::ReadDouble() {
 std::string BinaryReader::ReadString() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
-  if (size > (1ULL << 32)) {
-    status_ = InvalidArgument(StrFormat(
-        "string too large in '%s' at byte offset %llu; corrupt file?",
-        path_.c_str(), static_cast<unsigned long long>(offset_)));
+  if (size > remaining()) {
+    FailCorruptLength("string");
     return {};
   }
   std::string value(size, '\0');
@@ -148,10 +225,8 @@ std::string BinaryReader::ReadString() {
 std::vector<float> BinaryReader::ReadFloatVector() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
-  if (size > (1ULL << 32)) {
-    status_ = InvalidArgument(StrFormat(
-        "vector too large in '%s' at byte offset %llu; corrupt file?",
-        path_.c_str(), static_cast<unsigned long long>(offset_)));
+  if (size > remaining() / sizeof(float)) {
+    FailCorruptLength("vector");
     return {};
   }
   std::vector<float> values(size);
@@ -162,10 +237,8 @@ std::vector<float> BinaryReader::ReadFloatVector() {
 std::vector<int8_t> BinaryReader::ReadByteVector() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
-  if (size > (1ULL << 32)) {
-    status_ = InvalidArgument(StrFormat(
-        "byte vector too large in '%s' at byte offset %llu; corrupt file?",
-        path_.c_str(), static_cast<unsigned long long>(offset_)));
+  if (size > remaining()) {
+    FailCorruptLength("byte vector");
     return {};
   }
   std::vector<int8_t> values(size);
@@ -176,10 +249,8 @@ std::vector<int8_t> BinaryReader::ReadByteVector() {
 std::vector<int> BinaryReader::ReadIntVector() {
   const uint64_t size = ReadU64();
   if (!status_.ok()) return {};
-  if (size > (1ULL << 24)) {
-    status_ = InvalidArgument(StrFormat(
-        "int vector too large in '%s' at byte offset %llu; corrupt file?",
-        path_.c_str(), static_cast<unsigned long long>(offset_)));
+  if (size > remaining() / sizeof(int64_t)) {
+    FailCorruptLength("int vector");
     return {};
   }
   std::vector<int> values(size);

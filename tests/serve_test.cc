@@ -7,11 +7,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "datagen/presets.h"
 #include "graph/line.h"
@@ -21,6 +24,7 @@
 #include "re/pa_model.h"
 #include "re/trainer.h"
 #include "serve/admission.h"
+#include "serve/delta.h"
 #include "serve/inference_engine.h"
 #include "serve/lru_cache.h"
 #include "serve/router.h"
@@ -30,6 +34,7 @@
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/rng.h"
+#include "util/serialization.h"
 
 namespace imr {
 namespace {
@@ -222,14 +227,14 @@ TEST(SnapshotTest, PreservesManifestAndTables) {
   EXPECT_EQ(snapshot->manifest.trained_steps, 8u);
   EXPECT_EQ(snapshot->manifest.notes, "serve_test");
 
-  EXPECT_EQ(snapshot->vocab.size(), f.bags->vocabulary().size());
-  ASSERT_EQ(static_cast<int>(snapshot->relation_names.size()),
+  EXPECT_EQ(snapshot->vocab().size(), f.bags->vocabulary().size());
+  ASSERT_EQ(static_cast<int>(snapshot->relation_names().size()),
             f.bags->num_relations());
-  EXPECT_EQ(snapshot->relation_names[0],
+  EXPECT_EQ(snapshot->relation_names()[0],
             f.dataset->world.graph.relation(0).name);
-  ASSERT_EQ(static_cast<int>(snapshot->entities.size()),
+  ASSERT_EQ(static_cast<int>(snapshot->entities().size()),
             f.dataset->world.graph.num_entities());
-  EXPECT_EQ(snapshot->entities[0].name,
+  EXPECT_EQ(snapshot->entities()[0].name,
             f.dataset->world.graph.entity(0).name);
   EXPECT_EQ(snapshot->embeddings.num_vertices(),
             f.embeddings.num_vertices());
@@ -371,7 +376,7 @@ TEST(InferenceEngineTest, MatchesInProcessModel) {
       ASSERT_EQ(prediction->probabilities[r], expected[r]);
     ASSERT_FALSE(prediction->top.empty());
     EXPECT_EQ(prediction->top[0].name,
-              (*engine)->snapshot().relation_names[prediction->top[0].relation]);
+        (*engine)->snapshot().relation_names()[prediction->top[0].relation]);
     if (++checked >= 8) break;
   }
   EXPECT_GT(checked, 0);
@@ -545,8 +550,12 @@ TEST(QuantizedSnapshotTest, QuantizedSectionRoundTripsBitExactly) {
       ASSERT_EQ(actual[d], expected[d]) << "vertex " << v << " dim " << d;
     }
   }
-  // The fp32 sections are untouched by the extra tail section.
-  EXPECT_EQ(snapshot->embeddings.flat(), f.embeddings.flat());
+  // The fp32 sections are untouched by the extra tail section. (The loaded
+  // store may be a borrowed mmap view, so compare raw rows, not flat().)
+  ASSERT_EQ(snapshot->embeddings.value_count(), f.embeddings.value_count());
+  EXPECT_EQ(std::memcmp(snapshot->embeddings.raw(), f.embeddings.raw(),
+                        f.embeddings.value_count() * sizeof(float)),
+            0);
   std::remove(path.c_str());
 }
 
@@ -1098,11 +1107,28 @@ TEST(HotSwapTest, ServesConsistentQuantizedGenerationsUnderFire) {
 
 namespace {
 
+// Atomic replace: write a temp sibling, then rename() over the target.
+// This is the published contract for snapshot writers — live generations
+// mmap the old inode, and rename keeps that inode alive while swapping
+// the path. Truncating the watched file in place would SIGBUS readers.
 void CopyFile(const std::string& from, const std::string& to) {
-  std::ifstream in(from, std::ios::binary);
-  IMR_CHECK(in.good());
-  std::ofstream out(to, std::ios::binary);
-  out << in.rdbuf();
+  const std::string tmp = to + ".tmp";
+  {
+    std::ifstream in(from, std::ios::binary);
+    IMR_CHECK(in.good());
+    std::ofstream out(tmp, std::ios::binary);
+    out << in.rdbuf();
+  }
+  IMR_CHECK_EQ(std::rename(tmp.c_str(), to.c_str()), 0);
+}
+
+void WriteFileAtomic(const std::string& to, const std::string& bytes) {
+  const std::string tmp = to + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  IMR_CHECK_EQ(std::rename(tmp.c_str(), to.c_str()), 0);
 }
 
 }  // namespace
@@ -1156,11 +1182,9 @@ TEST(SnapshotWatcherTest, FailedReloadKeepsServingAndRearms) {
     return (*router)->Reload(path);
   });
 
-  // A corrupt write lands at the watched path.
-  {
-    std::ofstream out(watched, std::ios::binary | std::ios::trunc);
-    out << "garbage, definitely not IMRS";
-  }
+  // A corrupt write lands at the watched path (atomically, like any
+  // well-behaved publisher — the serving mmap stays on the old inode).
+  WriteFileAtomic(watched, "garbage, definitely not IMRS");
   EXPECT_FALSE(watcher.CheckNow());  // candidate observed
   EXPECT_TRUE(watcher.CheckNow());   // stable -> reload attempted, fails
   EXPECT_EQ(watcher.Stats().reloads_failed, 1u);
@@ -1205,6 +1229,670 @@ TEST(SnapshotWatcherTest, BackgroundThreadPicksUpChanges) {
   watcher.Stop();
   EXPECT_EQ(reloads.load(), 1);
   std::remove(watched.c_str());
+}
+
+// ---- format compat (v1 <-> v2) --------------------------------------------
+//
+// check.sh's snapshot-compat stage runs exactly `SnapshotCompat*`.
+
+TEST(SnapshotCompatTest, V1WrittenByCurrentWriterLoadsBitIdentical) {
+  ServeFixture& f = Shared();
+  const std::string v1_path = testing::TempDir() + "/imr_compat_v1.imrs";
+  ASSERT_TRUE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(),
+                                  f.embeddings, f.dataset->world.graph,
+                                  f.bag_options, /*trained_steps=*/8,
+                                  "compat", v1_path, nullptr, nullptr,
+                                  serve::kSnapshotFormatV1)
+                  .ok());
+  auto v1 = serve::LoadSnapshot(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->format_version, serve::kSnapshotFormatV1);
+  EXPECT_FALSE(v1->embeddings.borrowed());  // v1 parses into owned storage
+  EXPECT_EQ(v1->mapping, nullptr);
+  EXPECT_EQ(v1->content_hash, 0u);  // v1 files carry no identity hash
+
+  auto v2 = serve::LoadSnapshot(f.snapshot_path);  // the fixture file is v2
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  // Same bundle through both layouts: identical tables, embeddings, and
+  // bit-identical model outputs.
+  EXPECT_EQ(v1->vocab().size(), v2->vocab().size());
+  EXPECT_EQ(v1->relation_names(), v2->relation_names());
+  ASSERT_EQ(v1->entities().size(), v2->entities().size());
+  EXPECT_EQ(v1->entities()[0].name, v2->entities()[0].name);
+  ASSERT_EQ(v1->embeddings.value_count(), v2->embeddings.value_count());
+  EXPECT_EQ(std::memcmp(v1->embeddings.raw(), v2->embeddings.raw(),
+                        v1->embeddings.value_count() * sizeof(float)),
+            0);
+  int checked = 0;
+  for (const re::Bag& bag : f.bags->test_bags()) {
+    EXPECT_EQ(v1->model->Predict(bag), v2->model->Predict(bag));
+    if (++checked >= 5) break;
+  }
+  std::remove(v1_path.c_str());
+}
+
+TEST(SnapshotCompatTest, V2OpensZeroCopyWithContentHash) {
+  ServeFixture& f = Shared();
+  auto v2 = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->format_version, serve::kSnapshotFormatV2);
+  EXPECT_TRUE(v2->embeddings.borrowed());  // views into the mapping
+  ASSERT_NE(v2->mapping, nullptr);
+  EXPECT_TRUE(v2->layout.valid);
+  EXPECT_NE(v2->content_hash, 0u);
+  // The borrowed rows point into the mapped file, on a 64-byte boundary.
+  const auto* raw = reinterpret_cast<const uint8_t*>(v2->embeddings.raw());
+  EXPECT_GE(raw, v2->mapping->data());
+  EXPECT_LT(raw, v2->mapping->data() + v2->mapping->size());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(raw) % 64, 0u);
+  // The footer hash is reproducible from the file bytes (identity, not
+  // checked on the open fast path): FNV-1a over [8, footer_offset), where
+  // footer_offset sits in the 16-byte trailer.
+  const std::string bytes = SlurpSnapshot();
+  ASSERT_GT(bytes.size(), 24u);
+  uint64_t footer_offset = 0;
+  std::memcpy(&footer_offset, bytes.data() + bytes.size() - 16, 8);
+  ASSERT_LT(footer_offset, bytes.size());
+  EXPECT_EQ(util::Fnv1a(bytes.data() + 8, footer_offset - 8),
+            v2->content_hash);
+}
+
+TEST(SnapshotCompatTest, V2RejectedBySimulatedV1Reader) {
+  // A v1-era reader validates (magic, version=1) in the BinaryReader
+  // header check; a v2 file must fail that check with a clean Status, not
+  // misparse the section table as sections.
+  util::BinaryReader reader(Shared().snapshot_path, 0x494D5253u, 1u);
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().message().find("unsupported version"),
+            std::string::npos);
+  EXPECT_NE(reader.status().message().find("file has 2"), std::string::npos);
+}
+
+// ---- IMRD delta generations ------------------------------------------------
+
+namespace {
+
+/// Owned copy of `source` with `rows` perturbed by a row-dependent offset.
+graph::EmbeddingStore PerturbRows(const graph::EmbeddingStore& source,
+                                  const std::vector<int>& rows,
+                                  float offset = 0.5f) {
+  graph::EmbeddingStore copy(source.num_vertices(), source.dim());
+  std::memcpy(copy.Vector(0), source.raw(),
+              source.value_count() * sizeof(float));
+  for (int row : rows) {
+    float* values = copy.Vector(row);
+    for (int d = 0; d < copy.dim(); ++d)
+      values[d] += offset + 0.01f * static_cast<float>(d);
+  }
+  return copy;
+}
+
+}  // namespace
+
+TEST(DeltaTest, HeaderProbeAndRowPatchRoundTrip) {
+  ServeFixture& f = Shared();
+  auto base = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_NE(base->content_hash, 0u);
+
+  const std::vector<int> rows = {1, 7, f.embeddings.num_vertices() - 1};
+  const graph::EmbeddingStore patched = PerturbRows(f.embeddings, rows);
+  const std::string delta_path = testing::TempDir() + "/imr_rt.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = {rows[2], rows[0], rows[1], rows[0]};  // unsorted, dup
+  auto result_hash = serve::SaveDelta(base->content_hash, patched, nullptr,
+                                      spec, delta_path);
+  ASSERT_TRUE(result_hash.ok()) << result_hash.status().ToString();
+  EXPECT_NE(*result_hash, base->content_hash);
+
+  // O(1) identity probe.
+  auto header = serve::ReadDeltaHeader(delta_path);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->base_hash, base->content_hash);
+  EXPECT_EQ(header->result_hash, *result_hash);
+
+  auto applied = serve::ApplyDelta(*base, delta_path);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->content_hash, *result_hash);
+  EXPECT_EQ(applied->format_version, serve::kSnapshotFormatV2);
+  EXPECT_TRUE(applied->embeddings.borrowed());  // views over the CoW clone
+  ASSERT_NE(applied->mapping, nullptr);
+  EXPECT_NE(applied->mapping, base->mapping);  // private clone, not the base
+  // Tables and kNN ride along by refcount, not copy.
+  EXPECT_EQ(applied->tables.get(), base->tables.get());
+  EXPECT_EQ(applied->knn.get(), base->knn.get());
+
+  const int dim = f.embeddings.dim();
+  const graph::EmbeddingStore& base_rows = base->embeddings;
+  const graph::EmbeddingStore& applied_rows = applied->embeddings;
+  for (int v = 0; v < f.embeddings.num_vertices(); ++v) {
+    const bool touched =
+        std::find(rows.begin(), rows.end(), v) != rows.end();
+    const float* expected =
+        touched ? patched.Vector(v) : base_rows.Vector(v);
+    ASSERT_EQ(std::memcmp(applied_rows.Vector(v), expected,
+                          static_cast<size_t>(dim) * sizeof(float)),
+              0)
+        << "row " << v << (touched ? " (touched)" : " (untouched)");
+  }
+  // The base generation is untouched by the apply (CoW isolation).
+  EXPECT_EQ(std::memcmp(base->embeddings.raw(), f.embeddings.raw(),
+                        f.embeddings.value_count() * sizeof(float)),
+            0);
+  // The applied model still predicts (parameters rebuilt from the base).
+  ASSERT_NE(applied->model, nullptr);
+  EXPECT_EQ(applied->model->Predict(*f.bags->test_bags().begin()),
+            base->model->Predict(*f.bags->test_bags().begin()));
+  std::remove(delta_path.c_str());
+}
+
+TEST(DeltaTest, PatchesNamedParameters) {
+  ServeFixture& f = Shared();
+  auto base = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(base.ok());
+  // A scratch model (same trained weights) whose first parameter we nudge:
+  // the delta must carry exactly that tensor.
+  auto scratch = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(scratch.ok());
+  auto scratch_params = scratch->model->Parameters();
+  ASSERT_FALSE(scratch_params.empty());
+  const std::string& name = scratch_params[0].name;
+  scratch_params[0].tensor.mutable_data()[0] += 0.25f;  // shared node
+
+  const std::string delta_path = testing::TempDir() + "/imr_param.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = {0};
+  spec.changed_params = {name};
+  auto result_hash = serve::SaveDelta(base->content_hash, f.embeddings,
+                                      scratch->model.get(), spec, delta_path);
+  ASSERT_TRUE(result_hash.ok()) << result_hash.status().ToString();
+
+  auto applied = serve::ApplyDelta(*base, delta_path);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  const auto applied_params = applied->model->Parameters();
+  const auto base_params = base->model->Parameters();
+  ASSERT_EQ(applied_params.size(), base_params.size());
+  for (size_t i = 0; i < applied_params.size(); ++i) {
+    const std::vector<float>& expected = i == 0
+                                             ? scratch_params[0].tensor.data()
+                                             : base_params[i].tensor.data();
+    EXPECT_EQ(applied_params[i].tensor.data(), expected)
+        << "parameter " << applied_params[i].name;
+  }
+  // End to end: the applied model now predicts like the scratch model.
+  int checked = 0;
+  for (const re::Bag& bag : f.bags->test_bags()) {
+    EXPECT_EQ(applied->model->Predict(bag), scratch->model->Predict(bag));
+    if (++checked >= 3) break;
+  }
+  std::remove(delta_path.c_str());
+}
+
+TEST(DeltaTest, QuantizedRowsPatchInPlaceBitExactly) {
+  ServeFixture& f = Shared();
+  auto base = serve::LoadSnapshot(f.snapshot_b_path);  // carries QEMB
+  ASSERT_TRUE(base.ok());
+  ASSERT_FALSE(base->quantized_embeddings.empty());
+  ASSERT_TRUE(base->quantized_embeddings.borrowed());
+
+  const std::vector<int> rows = {0, 5, 11};
+  const graph::EmbeddingStore patched = PerturbRows(f.embeddings_b, rows);
+  const std::string delta_path = testing::TempDir() + "/imr_qemb.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = rows;  // include_quantized defaults to true
+  auto result_hash = serve::SaveDelta(base->content_hash, patched, nullptr,
+                                      spec, delta_path);
+  ASSERT_TRUE(result_hash.ok()) << result_hash.status().ToString();
+
+  auto applied = serve::ApplyDelta(*base, delta_path);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_FALSE(applied->quantized_embeddings.empty());
+  EXPECT_TRUE(applied->quantized_embeddings.borrowed());
+
+  const int dim = patched.dim();
+  std::vector<int8_t> expected_row(static_cast<size_t>(dim));
+  for (int v = 0; v < patched.num_vertices(); ++v) {
+    const bool touched =
+        std::find(rows.begin(), rows.end(), v) != rows.end();
+    float expected_scale;
+    if (touched) {
+      // Bit-identical to save-time quantization: one shared kernel.
+      graph::QuantizedEmbeddingStore::QuantizeRow(
+          patched.Vector(v), dim, expected_row.data(), &expected_scale);
+    } else {
+      std::memcpy(expected_row.data(), base->quantized_embeddings.Row(v),
+                  static_cast<size_t>(dim));
+      expected_scale = base->quantized_embeddings.scale(v);
+    }
+    ASSERT_EQ(applied->quantized_embeddings.scale(v), expected_scale)
+        << "row " << v;
+    ASSERT_EQ(std::memcmp(applied->quantized_embeddings.Row(v),
+                          expected_row.data(), static_cast<size_t>(dim)),
+              0)
+        << "row " << v;
+  }
+  std::remove(delta_path.c_str());
+}
+
+TEST(DeltaTest, RejectsBaseHashMismatchAndBadFraming) {
+  ServeFixture& f = Shared();
+  auto base = serve::LoadSnapshot(f.snapshot_path);
+  auto other = serve::LoadSnapshot(f.snapshot_b_path);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(other.ok());
+  ASSERT_NE(base->content_hash, other->content_hash);
+
+  const std::string delta_path = testing::TempDir() + "/imr_mismatch.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = {3};
+  ASSERT_TRUE(serve::SaveDelta(base->content_hash, f.embeddings, nullptr,
+                               spec, delta_path)
+                  .ok());
+  // Wrong generation: clean FailedPrecondition naming both hashes.
+  auto mismatch = serve::ApplyDelta(*other, delta_path);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.status().message().find("applies to base hash"),
+            std::string::npos);
+
+  // Bad framing: Status, never a crash.
+  WriteFileAtomic(delta_path, "definitely not an IMRD file");
+  EXPECT_FALSE(serve::ReadDeltaHeader(delta_path).ok());
+  EXPECT_FALSE(serve::ApplyDelta(*base, delta_path).ok());
+
+  // Bad spec: out-of-range rows and unknown parameter names fail the save.
+  serve::DeltaSpec bad_rows;
+  bad_rows.touched_rows = {f.embeddings.num_vertices() + 3};
+  EXPECT_FALSE(serve::SaveDelta(base->content_hash, f.embeddings, nullptr,
+                                bad_rows, delta_path)
+                   .ok());
+  serve::DeltaSpec bad_param;
+  bad_param.touched_rows = {0};
+  bad_param.changed_params = {"no/such/parameter"};
+  EXPECT_FALSE(serve::SaveDelta(base->content_hash, f.embeddings,
+                                f.model.get(), bad_param, delta_path)
+                   .ok());
+  std::remove(delta_path.c_str());
+}
+
+TEST(DeltaTest, ChainedDeltasComposeAcrossGenerations) {
+  ServeFixture& f = Shared();
+  auto base = serve::LoadSnapshot(f.snapshot_path);
+  ASSERT_TRUE(base.ok());
+
+  const std::vector<int> rows1 = {2, 9};
+  const std::vector<int> rows2 = {4};
+  const graph::EmbeddingStore step1 = PerturbRows(f.embeddings, rows1);
+  const graph::EmbeddingStore step2 = PerturbRows(step1, rows2, 0.25f);
+  const std::string d1 = testing::TempDir() + "/imr_chain1.imrd";
+  const std::string d2 = testing::TempDir() + "/imr_chain2.imrd";
+  serve::DeltaSpec spec1;
+  spec1.touched_rows = rows1;
+  auto h1 = serve::SaveDelta(base->content_hash, step1, nullptr, spec1, d1);
+  ASSERT_TRUE(h1.ok());
+  serve::DeltaSpec spec2;
+  spec2.touched_rows = rows2;
+  auto h2 = serve::SaveDelta(*h1, step2, nullptr, spec2, d2);
+  ASSERT_TRUE(h2.ok());
+
+  // d2 refuses the base generation (it chains on d1's result)...
+  EXPECT_FALSE(serve::ApplyDelta(*base, d2).ok());
+  // ...but composes through the chain.
+  auto gen1 = serve::ApplyDelta(*base, d1);
+  ASSERT_TRUE(gen1.ok()) << gen1.status().ToString();
+  EXPECT_EQ(gen1->content_hash, *h1);
+  auto gen2 = serve::ApplyDelta(*gen1, d2);
+  ASSERT_TRUE(gen2.ok()) << gen2.status().ToString();
+  EXPECT_EQ(gen2->content_hash, *h2);
+  EXPECT_EQ(gen2->tables.get(), base->tables.get());
+  ASSERT_EQ(gen2->embeddings.value_count(), step2.value_count());
+  EXPECT_EQ(std::memcmp(gen2->embeddings.raw(), step2.raw(),
+                        step2.value_count() * sizeof(float)),
+            0);
+  std::remove(d1.c_str());
+  std::remove(d2.c_str());
+}
+
+TEST(DeltaTest, OwnedV1BaseFallbackStillApplies) {
+  ServeFixture& f = Shared();
+  const auto quantized = graph::QuantizedEmbeddingStore::Quantize(f.embeddings);
+  const std::string v1_path = testing::TempDir() + "/imr_delta_v1.imrs";
+  ASSERT_TRUE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(),
+                                  f.embeddings, f.dataset->world.graph,
+                                  f.bag_options, 8, "v1", v1_path, &quantized,
+                                  nullptr, serve::kSnapshotFormatV1)
+                  .ok());
+  auto base = serve::LoadSnapshot(v1_path);
+  ASSERT_TRUE(base.ok());
+  ASSERT_FALSE(base->embeddings.borrowed());
+  ASSERT_EQ(base->content_hash, 0u);  // v1: deltas chain on hash 0
+
+  const std::vector<int> rows = {6, 13};
+  const graph::EmbeddingStore patched = PerturbRows(f.embeddings, rows);
+  const std::string delta_path = testing::TempDir() + "/imr_delta_v1.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = rows;
+  auto result_hash =
+      serve::SaveDelta(0, patched, nullptr, spec, delta_path);
+  ASSERT_TRUE(result_hash.ok());
+
+  auto applied = serve::ApplyDelta(*base, delta_path);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_FALSE(applied->embeddings.borrowed());  // owned fallback
+  EXPECT_EQ(applied->content_hash, *result_hash);
+  EXPECT_EQ(std::memcmp(applied->embeddings.raw(), patched.raw(),
+                        patched.value_count() * sizeof(float)),
+            0);
+  // The owned fallback requantizes the whole patched store through the
+  // same kernel — bit-identical to quantizing from scratch.
+  ASSERT_FALSE(applied->quantized_embeddings.empty());
+  const auto requantized = graph::QuantizedEmbeddingStore::Quantize(patched);
+  EXPECT_EQ(std::memcmp(applied->quantized_embeddings.raw(),
+                        requantized.raw(), patched.value_count()),
+            0);
+  EXPECT_EQ(std::memcmp(applied->quantized_embeddings.raw_scales(),
+                        requantized.raw_scales(),
+                        static_cast<size_t>(patched.num_vertices()) *
+                            sizeof(float)),
+            0);
+  std::remove(v1_path.c_str());
+  std::remove(delta_path.c_str());
+}
+
+TEST(DeltaTest, RouterReloadDeltaMatchesFullSnapshot) {
+  ServeFixture& f = Shared();
+  serve::RouterOptions options;
+  options.replicas = 2;
+  auto router = serve::ServeRouter::Open(f.snapshot_path, options);
+  ASSERT_TRUE(router.ok());
+  const uint64_t base_hash = (*router)->content_hash();
+  ASSERT_NE(base_hash, 0u);
+
+  // Touch every sampled query's head row so predictions actually change.
+  const std::vector<serve::Query> queries = f.SampleQueries(6);
+  std::vector<int> rows;
+  for (const serve::Query& query : queries)
+    rows.push_back(static_cast<int>(query.head));
+  const graph::EmbeddingStore patched = PerturbRows(f.embeddings, rows);
+  const std::string delta_path = testing::TempDir() + "/imr_router.imrd";
+  serve::DeltaSpec spec;
+  spec.touched_rows = rows;
+  auto result_hash =
+      serve::SaveDelta(base_hash, patched, nullptr, spec, delta_path);
+  ASSERT_TRUE(result_hash.ok());
+
+  // Reference: the same post-step state saved as a FULL snapshot.
+  const std::string ref_path = testing::TempDir() + "/imr_router_ref.imrs";
+  ASSERT_TRUE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(), patched,
+                                  f.dataset->world.graph, f.bag_options, 9,
+                                  "ref", ref_path)
+                  .ok());
+  auto reference = serve::InferenceEngine::Open(ref_path);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_TRUE((*router)->ReloadDelta(delta_path).ok());
+  EXPECT_EQ((*router)->generation(), 2u);
+  EXPECT_EQ((*router)->content_hash(), *result_hash);
+  const serve::RouterStats stats = (*router)->Stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.delta_reloads, 1u);
+  EXPECT_EQ(stats.content_hash, *result_hash);
+  EXPECT_TRUE(stats.last_reload_error.empty());
+
+  for (const serve::Query& query : queries) {
+    auto via_delta = (*router)->Predict(query);
+    auto via_full = (*reference)->Predict(query);
+    ASSERT_TRUE(via_delta.ok()) << via_delta.status().ToString();
+    ASSERT_TRUE(via_full.ok());
+    EXPECT_EQ(via_delta->probabilities, via_full->probabilities);
+    EXPECT_EQ(via_delta->generation, 2u);
+  }
+
+  // Replaying the same delta fails cleanly (its base generation is gone)
+  // and leaves the serving generation untouched.
+  EXPECT_FALSE((*router)->ReloadDelta(delta_path).ok());
+  EXPECT_EQ((*router)->generation(), 2u);
+  EXPECT_FALSE((*router)->Stats().last_reload_error.empty());
+  std::remove(delta_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
+// ---- watcher-driven delta rollout ------------------------------------------
+
+namespace {
+
+std::string MakeWatchDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+}  // namespace
+
+TEST(SnapshotWatcherTest, AppliesSettledDeltasInChainOrder) {
+  ServeFixture& f = Shared();
+  const std::string dir = MakeWatchDir("imr_watch_chain");
+  const std::string watched = dir + "/base.imrs";
+  CopyFile(f.snapshot_path, watched);
+  auto router = serve::ServeRouter::Open(watched);
+  ASSERT_TRUE(router.ok());
+  const uint64_t h0 = (*router)->content_hash();
+
+  // Two chained deltas, NAMED so lexicographic order disagrees with chain
+  // order — the watcher must order by base hash, not by name.
+  const graph::EmbeddingStore step1 = PerturbRows(f.embeddings, {2, 9});
+  const graph::EmbeddingStore step2 = PerturbRows(step1, {4}, 0.25f);
+  serve::DeltaSpec spec1;
+  spec1.touched_rows = {2, 9};
+  auto h1 = serve::SaveDelta(h0, step1, nullptr, spec1,
+                             dir + "/z_first.imrd");
+  ASSERT_TRUE(h1.ok());
+  serve::DeltaSpec spec2;
+  spec2.touched_rows = {4};
+  auto h2 = serve::SaveDelta(*h1, step2, nullptr, spec2,
+                             dir + "/a_second.imrd");
+  ASSERT_TRUE(h2.ok());
+
+  serve::SnapshotWatcher watcher(watched, [&](const std::string& path) {
+    return (*router)->Reload(path);
+  });
+  watcher.WatchDeltas(serve::DeltaHooks{
+      [&] { return (*router)->content_hash(); },
+      [&](const std::string& path) { return (*router)->ReloadDelta(path); }});
+
+  // First poll: both files become debounce candidates, nothing applies.
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ((*router)->generation(), 1u);
+  // Second poll: both settled; the chain rolls out fully, in hash order.
+  EXPECT_TRUE(watcher.CheckNow());
+  EXPECT_EQ((*router)->generation(), 3u);
+  EXPECT_EQ((*router)->content_hash(), *h2);
+  serve::WatcherStats stats = watcher.Stats();
+  EXPECT_EQ(stats.delta_applies_attempted, 2u);
+  EXPECT_EQ(stats.delta_applies_succeeded, 2u);
+  EXPECT_EQ(stats.delta_applies_failed, 0u);
+  // Consumed: further polls are quiet.
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ(watcher.Stats().delta_applies_attempted, 2u);
+
+  std::remove((dir + "/z_first.imrd").c_str());
+  std::remove((dir + "/a_second.imrd").c_str());
+  std::remove(watched.c_str());
+}
+
+TEST(SnapshotWatcherTest, ConsumesFailedDeltasWithoutRetryStorm) {
+  ServeFixture& f = Shared();
+  const std::string dir = MakeWatchDir("imr_watch_bad_delta");
+  const std::string watched = dir + "/base.imrs";
+  CopyFile(f.snapshot_path, watched);
+  auto router = serve::ServeRouter::Open(watched);
+  ASSERT_TRUE(router.ok());
+  const uint64_t h0 = (*router)->content_hash();
+
+  serve::SnapshotWatcher watcher(watched, [&](const std::string& path) {
+    return (*router)->Reload(path);
+  });
+  watcher.WatchDeltas(serve::DeltaHooks{
+      [&] { return (*router)->content_hash(); },
+      [&](const std::string& path) { return (*router)->ReloadDelta(path); }});
+
+  // Corrupt framing: consumed after one failed probe, never retried.
+  WriteFileAtomic(dir + "/bad.imrd", "garbage, definitely not IMRD");
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_TRUE(watcher.CheckNow());
+  serve::WatcherStats stats = watcher.Stats();
+  EXPECT_EQ(stats.delta_applies_attempted, 1u);
+  EXPECT_EQ(stats.delta_applies_failed, 1u);
+  EXPECT_FALSE(watcher.last_error().empty());
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ(watcher.Stats().delta_applies_attempted, 1u);  // no storm
+
+  // A delta for a FUTURE generation stays pending (cheap header probe,
+  // not consumed, not counted as an attempt).
+  serve::DeltaSpec spec;
+  spec.touched_rows = {1};
+  ASSERT_TRUE(serve::SaveDelta(0xDEADBEEFu, f.embeddings, nullptr, spec,
+                               dir + "/pending.imrd")
+                  .ok());
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ(watcher.Stats().delta_applies_attempted, 1u);
+
+  // A hash-matched delta whose APPLY fails (shape mismatch) is consumed.
+  graph::EmbeddingStore tiny(4, 3);
+  serve::DeltaSpec tiny_spec;
+  tiny_spec.touched_rows = {0};
+  ASSERT_TRUE(serve::SaveDelta(h0, tiny, nullptr, tiny_spec,
+                               dir + "/mismatch.imrd")
+                  .ok());
+  EXPECT_FALSE(watcher.CheckNow());  // debounce
+  EXPECT_TRUE(watcher.CheckNow());   // apply attempted, fails, consumed
+  stats = watcher.Stats();
+  EXPECT_EQ(stats.delta_applies_attempted, 2u);
+  EXPECT_EQ(stats.delta_applies_failed, 2u);
+  EXPECT_FALSE(watcher.CheckNow());
+  EXPECT_EQ(watcher.Stats().delta_applies_attempted, 2u);
+  // Through it all the old generation kept serving.
+  EXPECT_EQ((*router)->generation(), 1u);
+  EXPECT_EQ((*router)->content_hash(), h0);
+
+  for (const char* name : {"/bad.imrd", "/pending.imrd", "/mismatch.imrd"})
+    std::remove((dir + name).c_str());
+  std::remove(watched.c_str());
+}
+
+// ---- mmap lifetime under fire ----------------------------------------------
+
+TEST(MmapLifetimeTest, UnlinkedBaseServesBitExactThroughDeltaSwap) {
+  // The base snapshot file is DELETED mid-traffic while borrowed views are
+  // live, then a delta generation is published (CoW clone of the unlinked
+  // mapping) and the delta file is deleted too. Every response must carry
+  // an in-range generation stamp and bit-match that generation's
+  // reference — the mapping outlives the directory entry.
+  ServeFixture& f = Shared();
+  const std::string dir = MakeWatchDir("imr_mmap_lifetime");
+  const std::string base_path = dir + "/base.imrs";
+  CopyFile(f.snapshot_path, base_path);
+
+  serve::RouterOptions options;
+  options.replicas = 2;
+  options.workers_per_replica = 2;
+  auto router = serve::ServeRouter::Open(base_path, options);
+  ASSERT_TRUE(router.ok());
+
+  const std::vector<serve::Query> queries = f.SampleQueries(4);
+  std::vector<int> rows;
+  for (const serve::Query& query : queries)
+    rows.push_back(static_cast<int>(query.head));
+  const graph::EmbeddingStore patched = PerturbRows(f.embeddings, rows);
+  const std::string delta_path = dir + "/step.imrd";
+  auto result_hash = [&] {
+    serve::DeltaSpec spec;
+    spec.touched_rows = rows;
+    return serve::SaveDelta((*router)->content_hash(), patched, nullptr,
+                            spec, delta_path);
+  }();
+  ASSERT_TRUE(result_hash.ok());
+
+  // Per-generation references, from in-memory state (no files needed).
+  auto engine_a = serve::InferenceEngine::Open(f.snapshot_path);
+  ASSERT_TRUE(engine_a.ok());
+  const std::string ref_path = dir + "/ref.imrs";
+  ASSERT_TRUE(serve::SaveSnapshot(*f.model, f.bags->vocabulary(), patched,
+                                  f.dataset->world.graph, f.bag_options, 9,
+                                  "ref", ref_path)
+                  .ok());
+  auto engine_b = serve::InferenceEngine::Open(ref_path);
+  ASSERT_TRUE(engine_b.ok());
+  std::vector<std::vector<float>> expected_a, expected_b;
+  for (const serve::Query& query : queries) {
+    auto a = (*engine_a)->Predict(query);
+    auto b = (*engine_b)->Predict(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_NE(a->probabilities, b->probabilities);
+    expected_a.push_back(a->probabilities);
+    expected_b.push_back(b->probabilities);
+  }
+  std::remove(ref_path.c_str());
+
+  struct Observed {
+    size_t query = 0;
+    uint64_t generation = 0;
+    std::vector<float> probabilities;
+  };
+  util::Mutex observed_mutex;
+  std::vector<Observed> observed;
+  std::atomic<uint64_t> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = i++ % queries.size();
+        auto result = (*router)->Predict(queries[q]);
+        if (!result.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        util::MutexLock lock(observed_mutex);
+        observed.push_back(
+            Observed{q, result->generation, result->probabilities});
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // Unlink the base snapshot out from under the live mapping...
+  ASSERT_EQ(std::remove(base_path.c_str()), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // ...publish the delta generation (CoW over the unlinked mapping)...
+  ASSERT_TRUE((*router)->ReloadDelta(delta_path).ok());
+  // ...and delete the delta file as well: serving owes nothing to disk.
+  ASSERT_EQ(std::remove(delta_path.c_str()), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  stop.store(true);
+  for (std::thread& t : traffic) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ((*router)->generation(), 2u);
+  EXPECT_EQ((*router)->content_hash(), *result_hash);
+  util::MutexLock lock(observed_mutex);
+  ASSERT_GT(observed.size(), 0u);
+  uint64_t max_generation = 0;
+  for (const Observed& response : observed) {
+    ASSERT_GE(response.generation, 1u);
+    ASSERT_LE(response.generation, 2u);
+    const std::vector<std::vector<float>>& expected =
+        response.generation == 1 ? expected_a : expected_b;
+    ASSERT_EQ(response.probabilities, expected[response.query])
+        << "generation " << response.generation << " query "
+        << response.query;
+    max_generation = std::max(max_generation, response.generation);
+  }
+  EXPECT_EQ(max_generation, 2u);  // traffic actually crossed the swap
 }
 
 TEST(QuantizedEngineTest, QuantizedServingIsDeterministic) {
